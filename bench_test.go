@@ -1,0 +1,503 @@
+// Benchmarks regenerating the paper's tables and figures. Each table and
+// figure of the evaluation has at least one testing.B benchmark exercising
+// the cell's designated workload and solver; `go test -bench=. -benchmem`
+// prints the full suite, and `cmd/divbench` runs the scaling sweeps that
+// classify growth against the proved bounds.
+package diversification
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/objective"
+	"repro/internal/online"
+	"repro/internal/query/eval"
+	"repro/internal/reduction"
+	"repro/internal/sat"
+	"repro/internal/solver"
+	"repro/internal/subset"
+	"repro/internal/workload"
+)
+
+// --- Table I: combined complexity ---
+
+// BenchmarkTableI_QRD_CQ_FMS_Combined exercises the NP-complete cell via the
+// Theorem 5.1 3SAT gadget.
+func BenchmarkTableI_QRD_CQ_FMS_Combined(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	f := sat.Random3SAT(rng, 5, 12)
+	in := reduction.ThreeSATToQRDMaxSum(f)
+	in.Answers() // materialize outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.QRDExact(in)
+	}
+}
+
+// BenchmarkTableI_QRD_CQ_FMM_Combined is the FMM twin.
+func BenchmarkTableI_QRD_CQ_FMM_Combined(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	f := sat.Random3SAT(rng, 5, 12)
+	in := reduction.ThreeSATToQRDMaxMin(f)
+	in.Answers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.QRDExact(in)
+	}
+}
+
+// BenchmarkTableI_QRD_FO_Combined exercises the PSPACE-complete FO cell:
+// membership-style FO evaluation dominates.
+func BenchmarkTableI_QRD_FO_Combined(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	in := workload.GiftInstance(rng, 30, 60, 3, objective.MaxSum, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.SetAnswers(nil) // force FO re-evaluation: the dominant cost
+		solver.QRDExact(in)
+	}
+}
+
+// BenchmarkTableI_QRD_CQ_Fmono_Combined exercises the Theorem 5.2 cell: the
+// cube query blows |Q(D)| up to 2^m from a constant database.
+func BenchmarkTableI_QRD_CQ_Fmono_Combined(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	q := sat.RandomQBF(rng, 8, 16)
+	q.Matrix.NumVars = 8
+	in := reduction.Q3SATToQRDMono(q)
+	in.Answers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.QRDExact(in)
+	}
+}
+
+// --- Table I: data complexity ---
+
+// BenchmarkTableI_QRD_FMS_Data exercises the NP-complete data cell:
+// dispersion search with an unreachable bound.
+func BenchmarkTableI_QRD_FMS_Data(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	in := workload.Points(rng, 14, 2, 64, objective.MaxSum, 1, 7)
+	best := solver.QRDBest(in)
+	in.B = best.Value + 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.QRDExact(in)
+	}
+}
+
+// BenchmarkTableI_QRD_Fmono_Data exercises the PTIME cell (Thm 5.4).
+func BenchmarkTableI_QRD_Fmono_Data(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	in := workload.Points(rng, 1024, 2, 1<<20, objective.Mono, 0.5, 10)
+	in.B = 1
+	in.Answers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.QRDMonoPTime(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI_DRP_FMM_Data exercises the coNP-complete cell.
+func BenchmarkTableI_DRP_FMM_Data(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	in := workload.Points(rng, 14, 2, 64, objective.MaxMin, 1, 7)
+	in.U = in.Answers()[:7]
+	in.R = 1 << 30
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.DRPExact(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI_DRP_Fmono_Data exercises the PTIME FindNext cell (Thm 6.4).
+func BenchmarkTableI_DRP_Fmono_Data(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	in := workload.Points(rng, 512, 2, 1<<20, objective.Mono, 0.5, 8)
+	in.U = in.Answers()[:8]
+	in.R = 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.DRPMonoPTime(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI_RDC_FMS_Data exercises the #P-complete counting cell.
+func BenchmarkTableI_RDC_FMS_Data(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	in := workload.Points(rng, 16, 2, 64, objective.MaxSum, 1, 8)
+	in.B = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.RDCExact(in)
+	}
+}
+
+// BenchmarkTableI_RDC_Fmono_Data exercises the #P-complete (Turing) cell
+// through the subset-sum dynamic program.
+func BenchmarkTableI_RDC_Fmono_Data(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	// λ = 0 Fmono scores are c0/side: integral at scale = side. The bound
+	// asks for 8-sets whose score sum reaches half the attainable maximum.
+	in := workload.Points(rng, 64, 2, 128, objective.Mono, 0, 8)
+	in.B = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.RDCModularDP(in, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table II: special cases ---
+
+// BenchmarkTableII_Identity_Fmono exercises the PTIME identity-query cell
+// (Cor 8.1).
+func BenchmarkTableII_Identity_Fmono(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	in := workload.Points(rng, 1024, 2, 1<<20, objective.Mono, 0.5, 10)
+	in.B = 1
+	in.Answers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.QRDMonoPTime(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII_Lambda0_QRD exercises the λ=0 PTIME cell (Thm 8.2).
+func BenchmarkTableII_Lambda0_QRD(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	in := workload.Points(rng, 1024, 2, 1<<20, objective.MaxSum, 0, 10)
+	in.B = 1
+	in.Answers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.QRDRelevanceOnlyPTime(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII_Lambda0_RDC_FMM exercises the FP counting cell (Thm 8.2).
+func BenchmarkTableII_Lambda0_RDC_FMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	in := workload.Points(rng, 2048, 2, 1<<20, objective.MaxMin, 0, 10)
+	in.B = 0.25
+	in.Answers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.RDCMaxMinRelevanceOnlyFP(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII_ConstantK_RDC exercises the FP constant-k cell (Cor 8.4).
+func BenchmarkTableII_ConstantK_RDC(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	in := workload.Points(rng, 128, 2, 64, objective.MaxSum, 0.5, 2)
+	in.B = 0
+	in.Answers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.RDCConstantK(in)
+	}
+}
+
+// --- Table III: compatibility constraints ---
+
+// BenchmarkTableIII_Constrained_Fmono_Data exercises the Theorem 9.3 cell:
+// constraints flip the PTIME mono cell to NP-complete.
+func BenchmarkTableIII_Constrained_Fmono_Data(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	f := sat.Random3SAT(rng, 6, 18)
+	in := reduction.ThreeSATToConstrainedQRD(f)
+	in.Answers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.QRDExact(in)
+	}
+}
+
+// BenchmarkTableIII_Constrained_ConstantK exercises Cor 9.7: constant k
+// stays tractable under constraints.
+func BenchmarkTableIII_Constrained_ConstantK(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	f := sat.Random3SAT(rng, 6, 18)
+	in := reduction.ThreeSATToConstrainedQRD(f)
+	in.K = 2 // constant k overrides the clause count
+	in.Answers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.QRDExact(in)
+	}
+}
+
+// --- Figures ---
+
+// BenchmarkFigure1_QRD_BoundMap regenerates the Figure 1 bound map.
+func BenchmarkFigure1_QRD_BoundMap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := bench.RenderFigure(core.QRD); len(s) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure2_DistanceConstruction builds and fully evaluates the
+// Lemma 5.3 inductive distance of Figure 2's example.
+func BenchmarkFigure2_DistanceConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pd := reduction.NewPrefixDistance(reduction.Figure2QBF())
+		for x := 1; x <= 16; x++ {
+			for y := x + 1; y <= 16; y++ {
+				pd.Dis(reduction.Figure2Tuple(x), reduction.Figure2Tuple(y))
+			}
+		}
+	}
+}
+
+// BenchmarkFigure3_DRP_BoundMap regenerates the Figure 3 bound map.
+func BenchmarkFigure3_DRP_BoundMap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := bench.RenderFigure(core.DRP); len(s) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure4_RDC_BoundMap regenerates the Figure 4 bound map.
+func BenchmarkFigure4_RDC_BoundMap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := bench.RenderFigure(core.RDC); len(s) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFigure5_GadgetDatabase builds the Boolean gadget relations.
+func BenchmarkFigure5_GadgetDatabase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if db := reduction.GadgetDatabase(); db.Size() != 12 {
+			b.Fatal("gadget size wrong")
+		}
+	}
+}
+
+// --- Ablations (Section 10's call for heuristics, and design choices) ---
+
+// BenchmarkAblation_GreedyVsExact compares the 2-approximation greedy with
+// exact search on the same instance.
+func BenchmarkAblation_GreedyVsExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	in := workload.Clustered(rng, 4, 6, 1000, 10, objective.MaxSum, 0.7, 5)
+	in.Answers()
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			approx.Greedy(in)
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			solver.QRDBest(in)
+		}
+	})
+	b.Run("local-search", func(b *testing.B) {
+		seed := approx.Greedy(in)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			approx.LocalSearchSwap(in, seed.Set)
+		}
+	})
+}
+
+// BenchmarkAblation_PruningOnOff measures the branch-and-bound pruning gain
+// on a refutation instance (unreachable bound).
+func BenchmarkAblation_PruningOnOff(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	in := workload.Points(rng, 14, 2, 64, objective.MaxSum, 1, 7)
+	best := solver.QRDBest(in)
+	b.Run("pruned", func(b *testing.B) {
+		in.B = best.Value + 1
+		for i := 0; i < b.N; i++ {
+			solver.QRDExact(in)
+		}
+	})
+	b.Run("unpruned-full-enumeration", func(b *testing.B) {
+		// B = 0 admits everything: the search cannot prune and must touch
+		// every leaf, the brute-force baseline.
+		in.B = 0
+		for i := 0; i < b.N; i++ {
+			solver.RDCExact(in)
+		}
+	})
+}
+
+// BenchmarkAblation_EarlyTermination compares the paper's Section 1
+// embed-diversification-in-evaluation mode (stop at the first valid set
+// while streaming Q(D)) against materialize-then-solve on a reachable
+// bound, where early termination should avoid most of the evaluation.
+func BenchmarkAblation_EarlyTermination(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	mk := func() *core.Instance {
+		return workload.GiftInstance(rng, 60, 120, 3, objective.MaxSum, 1)
+	}
+	probe := mk()
+	best := solver.QRDBest(probe)
+	bound := best.Value / 2
+	b.Run("online-early-stop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			in := mk()
+			in.B = bound
+			if _, err := online.QRD(in, online.Options{CheckInterval: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("materialize-then-solve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			in := mk()
+			in.B = bound
+			in.Answers()
+			solver.QRDExact(in)
+		}
+	})
+}
+
+// BenchmarkAblation_RankedVsExactDRP compares the Theorem 6.4 FindNext
+// enumeration against exhaustive DRP on a modular objective.
+func BenchmarkAblation_RankedVsExactDRP(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	in := workload.Points(rng, 18, 2, 1<<20, objective.Mono, 0.5, 6)
+	in.U = in.Answers()[:6]
+	in.R = 8
+	b.Run("findnext-ptime", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.DRPMonoPTime(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := solver.DRPExact(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_EvaluatorLanguages compares query evaluation cost across
+// the language hierarchy on the gift workload (the combined-complexity
+// story at fixed data).
+func BenchmarkAblation_EvaluatorLanguages(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	db := workload.GiftShop(rng, 50, 100)
+	queries := map[string]func() *core.Instance{
+		"CQ": func() *core.Instance {
+			return &core.Instance{Query: workload.GiftCQQuery(20, 60), DB: db,
+				Obj: objective.New(objective.MaxSum, nil, nil, 0.5), K: 3}
+		},
+		"FO": func() *core.Instance {
+			return &core.Instance{Query: workload.GiftQuery("buyer00", "recipient00", 20, 60), DB: db,
+				Obj: objective.New(objective.MaxSum, nil, nil, 0.5), K: 3}
+		},
+	}
+	for name, mk := range queries {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				in := mk()
+				_ = in.Answers()
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_EvaluatorOptimizer measures the hash-index and
+// conjunct-reordering gains on a three-way chain join with a late selective
+// filter — the shape where join order and index probes decide the constant
+// factors of the (polynomial) data-complexity regime.
+func BenchmarkAblation_EvaluatorOptimizer(b *testing.B) {
+	db, q := workload.ChainJoin(rand.New(rand.NewSource(22)), 400, 40)
+	configs := []struct {
+		name string
+		opts eval.Options
+	}{
+		{"indexed+reordered", eval.Options{}},
+		{"no-index", eval.Options{NoIndex: true}},
+		{"no-reorder", eval.Options{NoReorder: true}},
+		{"naive", eval.Options{NoIndex: true, NoReorder: true}},
+	}
+	want := -1
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ev := eval.NewWithOptions(q, db, cfg.opts)
+				n := ev.Result().Len()
+				if want == -1 {
+					want = n
+				}
+				if n != want {
+					b.Fatalf("config %s: %d answers, want %d", cfg.name, n, want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_SubsetEnumeration isolates the candidate-set generator.
+func BenchmarkAblation_SubsetEnumeration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		count := 0
+		subset.ForEach(20, 5, func([]int) bool {
+			count++
+			return true
+		})
+		if count != 15504 {
+			b.Fatalf("C(20,5) = %d", count)
+		}
+	}
+}
+
+// BenchmarkFacade_EndToEnd runs the public API end to end on the quickstart
+// shape, the workload a downstream user hits first.
+func BenchmarkFacade_EndToEnd(b *testing.B) {
+	e := NewEngine()
+	e.MustCreateTable("items", "id", "cat", "price")
+	rng := rand.New(rand.NewSource(21))
+	cats := []string{"a", "b", "c", "d"}
+	for i := 0; i < 40; i++ {
+		e.MustInsert("items", i, cats[rng.Intn(len(cats))], rng.Intn(100))
+	}
+	req := Request{
+		Query:     "Q(id, cat, price) :- items(id, cat, price), price < 80",
+		K:         4,
+		Objective: "max-sum",
+		Lambda:    0.6,
+		Distance: func(a, c Row) float64 {
+			if a.Get("cat") == c.Get("cat") {
+				return 0
+			}
+			return 1
+		},
+		Algorithm: "greedy",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Diversify(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,432 @@
+package diversification
+
+import (
+	"math"
+	"math/big"
+	"strings"
+	"testing"
+)
+
+// giftEngine builds a small engine in the spirit of Example 1.1.
+func giftEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine()
+	e.MustCreateTable("catalog", "item", "type", "price", "inStock")
+	rows := []struct {
+		item, typ string
+		price     int
+		stock     int
+	}{
+		{"ring", "jewelry", 28, 2},
+		{"novel", "book", 22, 9},
+		{"puzzle", "toy", 25, 4},
+		{"scarf", "fashion", 30, 1},
+		{"paints", "artsy", 21, 7},
+		{"kite", "toy", 55, 3},
+	}
+	for _, r := range rows {
+		e.MustInsert("catalog", r.item, r.typ, r.price, r.stock)
+	}
+	return e
+}
+
+func typeDistance(a, b Row) float64 {
+	if a.Get("type") == b.Get("type") {
+		return 0
+	}
+	return 1
+}
+
+func priceRelevance(r Row) float64 { return float64(30 - absInt(r.Get("price").(int64)-25)) }
+
+func absInt(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestEngineTableLifecycle(t *testing.T) {
+	e := NewEngine()
+	if err := e.CreateTable("t", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateTable("t", "a"); err == nil {
+		t.Error("duplicate table should fail")
+	}
+	if err := e.CreateTable("u"); err == nil {
+		t.Error("attribute-less table should fail")
+	}
+	if err := e.Insert("missing", 1); err == nil {
+		t.Error("insert into missing table should fail")
+	}
+	if err := e.Insert("t", 1, 2); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := e.Insert("t", struct{}{}); err == nil {
+		t.Error("unsupported type should fail")
+	}
+	if err := e.Insert("t", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineQuery(t *testing.T) {
+	e := giftEngine(t)
+	rs, err := e.Query("Q(item, price) :- catalog(item, t, price, s), price <= 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 5 {
+		t.Fatalf("got %d rows, want 5", rs.Len())
+	}
+	row := rs.Row(0)
+	if row.Get("item") == nil || row.Get("price") == nil {
+		t.Error("named access failed")
+	}
+	if row.Get("nope") != nil {
+		t.Error("missing attribute should be nil")
+	}
+}
+
+func TestEngineQueryParseError(t *testing.T) {
+	e := giftEngine(t)
+	if _, err := e.Query("not a query"); err == nil {
+		t.Error("parse error expected")
+	}
+}
+
+func TestLanguageClassification(t *testing.T) {
+	e := giftEngine(t)
+	cases := map[string]string{
+		"Q(i, t, p, s) :- catalog(i, t, p, s)":                 "identity",
+		"Q(i) :- catalog(i, t, p, s), p < 30":                  "CQ",
+		"Q(i) :- catalog(i, t, p, s), not catalog(i, t, p, s)": "FO",
+	}
+	for src, want := range cases {
+		got, err := e.Language(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Language(%q) = %q, want %q", src, got, want)
+		}
+	}
+	if _, err := ClassifyQuery("Q(x) :- R(x) or S(x)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiversifyExact(t *testing.T) {
+	e := giftEngine(t)
+	sel, err := e.Diversify(Request{
+		Query:     "Q(item, type, price) :- catalog(item, type, price, s), price <= 30",
+		K:         3,
+		Objective: "max-sum",
+		Lambda:    1,
+		Distance:  typeDistance,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Rows) != 3 || sel.Method != "exact" {
+		t.Fatalf("selection malformed: %+v", sel)
+	}
+	// λ=1 with type distance: the three picks must have pairwise distinct
+	// types (value 6 = 3 ordered pairs × 2).
+	types := map[interface{}]bool{}
+	for _, r := range sel.Rows {
+		types[r.Get("type")] = true
+	}
+	if len(types) != 3 {
+		t.Errorf("types not diverse: %v", sel.Rows)
+	}
+}
+
+func TestDiversifyGreedyAndLocalSearch(t *testing.T) {
+	e := giftEngine(t)
+	base := Request{
+		Query:     "Q(item, type, price) :- catalog(item, type, price, s)",
+		K:         3,
+		Objective: "max-sum",
+		Lambda:    0.5,
+		Relevance: priceRelevance,
+		Distance:  typeDistance,
+	}
+	exact, err := e.Diversify(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := base
+	g.Algorithm = "greedy"
+	greedy, err := e.Diversify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Value > exact.Value+1e-9 {
+		t.Errorf("greedy %v beat exact %v", greedy.Value, exact.Value)
+	}
+	ls := base
+	ls.Algorithm = "local-search"
+	improved, err := e.Diversify(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved.Value < greedy.Value-1e-9 || improved.Value > exact.Value+1e-9 {
+		t.Errorf("local-search %v outside [greedy %v, exact %v]", improved.Value, greedy.Value, exact.Value)
+	}
+}
+
+func TestDiversifyOnline(t *testing.T) {
+	e := giftEngine(t)
+	base := Request{
+		Query:     "Q(item, type, price) :- catalog(item, type, price, s)",
+		K:         3,
+		Objective: "max-sum",
+		Lambda:    0.5,
+		Relevance: priceRelevance,
+		Distance:  typeDistance,
+	}
+	exact, err := e.Diversify(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := base
+	on.Algorithm = "online"
+	sel, err := e.Diversify(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Method != "online" || len(sel.Rows) != 3 {
+		t.Fatalf("selection malformed: %+v", sel)
+	}
+	if sel.Value > exact.Value+1e-9 {
+		t.Errorf("online %v beat exact %v", sel.Value, exact.Value)
+	}
+	// Online rejects mono (needs all of Q(D)) — surfaced as an error.
+	mono := on
+	mono.Objective = "mono"
+	if _, err := e.Diversify(mono); err == nil {
+		t.Error("online with mono should be refused")
+	}
+}
+
+func TestDiversifyErrors(t *testing.T) {
+	e := giftEngine(t)
+	if _, err := e.Diversify(Request{Query: "bad", K: 1}); err == nil {
+		t.Error("bad query should fail")
+	}
+	if _, err := e.Diversify(Request{Query: "Q(i) :- catalog(i, t, p, s)", K: 100}); err == nil {
+		t.Error("k too large should fail")
+	}
+	if _, err := e.Diversify(Request{Query: "Q(i) :- catalog(i, t, p, s)", K: -1}); err == nil {
+		t.Error("negative k should fail")
+	}
+	if _, err := e.Diversify(Request{Query: "Q(i) :- catalog(i, t, p, s)", K: 1, Objective: "nope"}); err == nil {
+		t.Error("unknown objective should fail")
+	}
+	if _, err := e.Diversify(Request{Query: "Q(i) :- catalog(i, t, p, s)", K: 1, Algorithm: "nope"}); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestDecideRespectsBound(t *testing.T) {
+	e := giftEngine(t)
+	req := Request{
+		Query:     "Q(item, type, price) :- catalog(item, type, price, s)",
+		K:         2,
+		Objective: "max-min",
+		Lambda:    1,
+		Distance:  typeDistance,
+		Bound:     1, // two items of different types exist
+	}
+	ok, err := e.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("bound 1 should be reachable")
+	}
+	req.Bound = 5
+	ok, err = e.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("bound 5 should be unreachable (distances are 0/1)")
+	}
+}
+
+func TestDecideMonoUsesPTimePath(t *testing.T) {
+	e := giftEngine(t)
+	req := Request{
+		Query:     "Q(item, type, price) :- catalog(item, type, price, s)",
+		K:         3,
+		Objective: "mono",
+		LambdaSet: true, // λ = 0: pure relevance
+		Relevance: priceRelevance,
+		Bound:     60,
+	}
+	ok, err := e.Decide(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("three items near price 25 should reach 60")
+	}
+}
+
+func TestCount(t *testing.T) {
+	e := giftEngine(t)
+	// All 2-subsets of the 6 items with B=0: C(6,2) = 15.
+	n, err := e.Count(Request{
+		Query:     "Q(item) :- catalog(item, t, p, s)",
+		K:         2,
+		Objective: "max-sum",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Cmp(big.NewInt(15)) != 0 {
+		t.Errorf("count = %v, want 15", n)
+	}
+}
+
+func TestCountWithConstraints(t *testing.T) {
+	e := giftEngine(t)
+	// Pairs containing the ring only: 5.
+	n, err := e.Count(Request{
+		Query:       "Q(item) :- catalog(item, t, p, s)",
+		K:           2,
+		Objective:   "max-sum",
+		Constraints: []string{`exists s (s.item = "ring")`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Cmp(big.NewInt(5)) != 0 {
+		t.Errorf("constrained count = %v, want 5", n)
+	}
+}
+
+func TestConstraintErrors(t *testing.T) {
+	e := giftEngine(t)
+	base := Request{Query: "Q(item) :- catalog(item, t, p, s)", K: 1, Objective: "max-sum"}
+	bad := base
+	bad.Constraints = []string{"((("}
+	if _, err := e.Count(bad); err == nil {
+		t.Error("unparsable constraint should fail")
+	}
+	badAttr := base
+	badAttr.Constraints = []string{`exists s (s.nope = 1)`}
+	if _, err := e.Count(badAttr); err == nil {
+		t.Error("unknown attribute should fail validation")
+	}
+	greedyReq := base
+	greedyReq.Constraints = []string{`exists s (s.item = "ring")`}
+	greedyReq.Algorithm = "greedy"
+	if _, err := e.Diversify(greedyReq); err == nil {
+		t.Error("greedy with constraints should be refused")
+	}
+}
+
+func TestInTopR(t *testing.T) {
+	e := giftEngine(t)
+	req := Request{
+		Query:     "Q(item, price) :- catalog(item, price0, price, s)",
+		K:         2,
+		Objective: "mono",
+		LambdaSet: true,
+		Relevance: func(r Row) float64 { return float64(r.Get("price").(int64)) },
+		Rank:      1,
+	}
+	// Top pair by price sum: kite(55) + scarf(30).
+	ok, err := e.InTopR(req, [][]interface{}{{"kite", 55}, {"scarf", 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("highest-price pair should be rank 1")
+	}
+	ok, err = e.InTopR(req, [][]interface{}{{"paints", 21}, {"novel", 22}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("lowest-price pair should not be rank 1")
+	}
+	if _, err := e.InTopR(req, [][]interface{}{{"kite", 55}}); err == nil {
+		t.Error("wrong-size set should fail")
+	}
+	bad := req
+	bad.Rank = 0
+	if _, err := e.InTopR(bad, nil); err == nil {
+		t.Error("rank 0 should fail")
+	}
+}
+
+func TestRankExact(t *testing.T) {
+	e := giftEngine(t)
+	req := Request{
+		Query:     "Q(item, price) :- catalog(item, price0, price, s)",
+		K:         2,
+		Objective: "mono",
+		LambdaSet: true,
+		Relevance: func(r Row) float64 { return float64(r.Get("price").(int64)) },
+	}
+	// Top pair by price sum is rank 1; the bottom pair is rank C(6,2) = 15.
+	rank, err := e.Rank(req, [][]interface{}{{"kite", 55}, {"scarf", 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 1 {
+		t.Errorf("best pair ranks %d, want 1", rank)
+	}
+	rank, err = e.Rank(req, [][]interface{}{{"paints", 21}, {"novel", 22}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 15 {
+		t.Errorf("worst pair ranks %d, want 15", rank)
+	}
+	if _, err := e.Rank(req, [][]interface{}{{"kite", 55}}); err == nil {
+		t.Error("wrong-size set should fail")
+	}
+	bad := req
+	bad.Query = "broken"
+	if _, err := e.Rank(bad, nil); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestLambdaDefaultsToHalf(t *testing.T) {
+	e := giftEngine(t)
+	// With the default λ = 0.5 both relevance and diversity matter; with a
+	// degenerate distance, FMS should still track relevance.
+	sel, err := e.Diversify(Request{
+		Query:     "Q(item, price) :- catalog(item, t, price, s)",
+		K:         1,
+		Objective: "max-sum",
+		Relevance: func(r Row) float64 { return float64(r.Get("price").(int64)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Rows[0].Get("item") != "kite" {
+		t.Errorf("k=1 should pick the most relevant item, got %v", sel.Rows[0])
+	}
+	if math.IsNaN(sel.Value) {
+		t.Error("value is NaN")
+	}
+}
+
+func TestRowString(t *testing.T) {
+	e := giftEngine(t)
+	rs, err := e.Query("Q(item) :- catalog(item, t, p, s)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(rs.Row(0).String(), "(") {
+		t.Error("row rendering broken")
+	}
+}

@@ -1,0 +1,120 @@
+// Teamselect reproduces the basketball team-formation scenario of the
+// paper's Example 9.1 (after Lappas et al.): pick a k-player squad from a
+// roster where max-min diversification keeps skill profiles from
+// collapsing onto one archetype, and a Cm compatibility constraint caps the
+// number of centers at two.
+//
+// The example also contrasts exact search against the greedy and
+// local-search heuristics that the paper's conclusion prescribes for the
+// intractable cells, reporting the approximation quality achieved.
+//
+// Run with:
+//
+//	go run ./examples/teamselect
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+type player struct {
+	id                       int
+	name, position           string
+	scoring, defense, passes int
+}
+
+var roster = []player{
+	{1, "Avery", "center", 7, 9, 3},
+	{2, "Blake", "center", 8, 8, 2},
+	{3, "Casey", "center", 6, 9, 4},
+	{4, "Drew", "forward", 9, 6, 5},
+	{5, "Emery", "forward", 8, 7, 6},
+	{6, "Finley", "forward", 7, 5, 7},
+	{7, "Gray", "guard", 9, 4, 9},
+	{8, "Harper", "guard", 8, 5, 8},
+	{9, "Indigo", "guard", 7, 6, 9},
+	{10, "Jules", "forward", 6, 8, 5},
+	{11, "Kai", "guard", 9, 3, 7},
+	{12, "Lane", "center", 9, 7, 2},
+}
+
+func main() {
+	e := diversification.NewEngine()
+	e.MustCreateTable("roster", "id", "name", "position", "scoring", "defense", "passes")
+	for _, p := range roster {
+		e.MustInsert("roster", p.id, p.name, p.position, p.scoring, p.defense, p.passes)
+	}
+
+	// δrel: overall skill. δdis: Manhattan distance between skill profiles,
+	// so FMM rewards squads whose *closest* pair is still far apart.
+	relevance := func(r diversification.Row) float64 {
+		return float64(r.Get("scoring").(int64) + r.Get("defense").(int64) + r.Get("passes").(int64))
+	}
+	distance := func(a, b diversification.Row) float64 {
+		d := math.Abs(float64(a.Get("scoring").(int64)-b.Get("scoring").(int64))) +
+			math.Abs(float64(a.Get("defense").(int64)-b.Get("defense").(int64))) +
+			math.Abs(float64(a.Get("passes").(int64)-b.Get("passes").(int64)))
+		return d
+	}
+
+	base := diversification.Request{
+		Query:     "Q(id, name, position, scoring, defense, passes) :- roster(id, name, position, scoring, defense, passes)",
+		K:         5,
+		Objective: "max-min", // FMM penalizes any homogeneous pair
+		Lambda:    0.5,
+		Relevance: relevance,
+		Distance:  distance,
+	}
+
+	exact, err := e.Diversify(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exact FMM squad (no constraints):")
+	printSquad(exact)
+
+	// Example 9.1's ρ3: no more than two centers on the squad. Any three
+	// distinct selected tuples cannot all be centers — expressed in Cm by
+	// deriving a contradiction from three pairwise-distinct centers.
+	constrained := base
+	constrained.Constraints = []string{
+		`forall t1, t2, t3 (t1.position = "center", t2.position = "center", t3.position = "center",
+		     t1.id != t2.id, t1.id != t3.id, t2.id != t3.id -> t1.position != t2.position)`,
+	}
+	sel, err := e.Diversify(constrained)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exact FMM squad (at most two centers, ρ3 in Cm):")
+	printSquad(sel)
+
+	// Heuristics on the unconstrained instance: the paper's Section 10
+	// notes that the intractable cells call for approximation. Gonzalez-style
+	// greedy guarantees a 2-approximation for max-min dispersion.
+	for _, alg := range []string{"greedy", "local-search"} {
+		req := base
+		req.Algorithm = alg
+		h, err := e.Diversify(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		quality := 0.0
+		if exact.Value > 0 {
+			quality = h.Value / exact.Value
+		}
+		fmt.Printf("%-12s F = %.3f (%.0f%% of exact)\n", alg, h.Value, 100*quality)
+	}
+}
+
+func printSquad(sel *diversification.Selection) {
+	for _, row := range sel.Rows {
+		fmt.Printf("  %-8v %-8v score %v / def %v / pass %v\n",
+			row.Get("name"), row.Get("position"),
+			row.Get("scoring"), row.Get("defense"), row.Get("passes"))
+	}
+	fmt.Printf("  F = %.3f\n\n", sel.Value)
+}

@@ -1,0 +1,117 @@
+// Websearch diversifies search results — the application the paper's
+// introduction cites first (Gollapudi & Sharma; Agrawal et al.). A query
+// over an inverted-index-style relation returns pages matching "jaguar";
+// the mono-objective formulation Fmono then scores each page by relevance
+// plus its mean distance to the ENTIRE result set, rewarding novelty and
+// coverage: the selected page set spans the query's senses (animal, car,
+// operating system) instead of piling onto the dominant one.
+//
+// Fmono is the one objective whose value depends on all of Q(D), the source
+// of its PSPACE-completeness for combined complexity (Theorem 5.2) and of
+// its PTIME data complexity (Theorem 5.4) — both visible here: the engine
+// solves the fixed-query instance with the paper's modular PTIME algorithm.
+//
+// Run with:
+//
+//	go run ./examples/websearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+type page struct {
+	id      int
+	title   string
+	sense   string // which meaning of "jaguar" the page is about
+	score   int    // retrieval score out of 100
+	matches string // the matched term
+}
+
+var pages = []page{
+	{1, "Jaguar XF review: the executive saloon", "car", 93, "jaguar"},
+	{2, "Jaguar unveils electric concept", "car", 90, "jaguar"},
+	{3, "Used Jaguar buying guide", "car", 86, "jaguar"},
+	{4, "Jaguar F-Type specifications", "car", 84, "jaguar"},
+	{5, "Jaguars in the Amazon: habitat and diet", "animal", 82, "jaguar"},
+	{6, "Jaguar conservation status 2026", "animal", 78, "jaguar"},
+	{7, "Mac OS X Jaguar retrospective", "software", 74, "jaguar"},
+	{8, "Jacksonville Jaguars season preview", "sports", 71, "jaguar"},
+	{9, "Big cats compared: jaguar vs leopard", "animal", 69, "jaguar"},
+	{10, "Atari Jaguar: the 64-bit gamble", "hardware", 64, "jaguar"},
+}
+
+func main() {
+	e := diversification.NewEngine()
+	e.MustCreateTable("pages", "id", "title", "sense", "score", "term")
+	for _, p := range pages {
+		e.MustInsert("pages", p.id, p.title, p.sense, p.score, p.matches)
+	}
+
+	req := diversification.Request{
+		Query:     `Q(id, title, sense, score) :- pages(id, title, sense, score, t), t = "jaguar"`,
+		K:         4,
+		Objective: "mono", // Fmono: novelty/coverage against all of Q(D)
+		Lambda:    0.6,
+		Relevance: func(r diversification.Row) float64 {
+			return float64(r.Get("score").(int64)) / 100
+		},
+		Distance: func(a, b diversification.Row) float64 {
+			if a.Get("sense") == b.Get("sense") {
+				return 0
+			}
+			return 1
+		},
+	}
+
+	sel, err := e.Diversify(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diversified results for \"jaguar\" (Fmono = %.3f):\n", sel.Value)
+	for _, r := range sel.Rows {
+		fmt.Printf("  [%-8v] %v\n", r.Get("sense"), r.Get("title"))
+	}
+
+	// Contrast: pure relevance ranking (λ = 0) returns the four car pages.
+	rel := req
+	rel.Lambda = 0
+	rel.LambdaSet = true
+	relSel, err := e.Diversify(rel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npure relevance ranking (λ = 0):")
+	senses := map[interface{}]bool{}
+	for _, r := range relSel.Rows {
+		senses[r.Get("sense")] = true
+		fmt.Printf("  [%-8v] %v\n", r.Get("sense"), r.Get("title"))
+	}
+	fmt.Printf("senses covered: %d (diversified run covers more)\n", len(senses))
+
+	// DRP in action: how does the user's hand-picked set rank?
+	handPicked := [][]interface{}{
+		{1, "Jaguar XF review: the executive saloon", "car", 93},
+		{5, "Jaguars in the Amazon: habitat and diet", "animal", 82},
+		{7, "Mac OS X Jaguar retrospective", "software", 74},
+		{8, "Jacksonville Jaguars season preview", "sports", 71},
+	}
+	rank, err := e.Rank(req, handPicked)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhand-picked 4-set ranks #%d among all candidate sets\n", rank)
+	inTop10, err := e.InTopR(withRank(req, 10), handPicked)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("within the top 10: %v\n", inTop10)
+}
+
+func withRank(req diversification.Request, r int) diversification.Request {
+	req.Rank = r
+	return req
+}

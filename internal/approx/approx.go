@@ -1,0 +1,243 @@
+// Package approx provides the heuristic and approximation algorithms that
+// Section 10 of the paper calls for: since QRD is intractable for FMS and
+// FMM even in data complexity, practical systems use polynomial heuristics.
+// We implement the classical ones the diversification literature (Gollapudi
+// & Sharma 2009; Vieira et al. 2011) builds on:
+//
+//   - GreedyMaxSum — the max-sum dispersion greedy: repeatedly add the tuple
+//     with the largest marginal FMS gain. A 2-approximation for metric
+//     distances on the dispersion core.
+//   - GreedyMaxMin — Gonzalez-style farthest-point greedy for max-min
+//     dispersion: start from the most relevant tuple and repeatedly add the
+//     tuple maximizing the minimum weighted distance/relevance to the chosen
+//     set. A 2-approximation for metric distances.
+//   - MMR — Maximal Marginal Relevance, the classic trade-off heuristic:
+//     each step picks argmax (1-λ)·δrel(t) + λ·min over chosen δdis(t, ·).
+//   - LocalSearchSwap — hill climbing by single-tuple swaps from any seed,
+//     for any objective, the paper's "heuristic algorithms" workhorse.
+//
+// All run in polynomial time; Quality measures their objective ratio
+// against the exact optimum for ablation experiments.
+package approx
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/objective"
+	"repro/internal/relation"
+)
+
+// Result is a heuristic's selected set with its objective value.
+type Result struct {
+	Set   []relation.Tuple
+	Value float64
+	Steps int // number of candidate evaluations, for cost accounting
+}
+
+// GreedyMaxSum selects k answers greedily by marginal FMS gain.
+func GreedyMaxSum(in *core.Instance) Result {
+	answers := in.Answers()
+	k := in.K
+	var res Result
+	if k <= 0 || k > len(answers) {
+		return res
+	}
+	chosen := make([]relation.Tuple, 0, k)
+	used := make([]bool, len(answers))
+	for len(chosen) < k {
+		bestIdx, bestGain := -1, math.Inf(-1)
+		for i, t := range answers {
+			if used[i] {
+				continue
+			}
+			res.Steps++
+			g := in.Obj.MaxSumDelta(chosen, t, k)
+			if g > bestGain {
+				bestGain, bestIdx = g, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		used[bestIdx] = true
+		chosen = append(chosen, answers[bestIdx])
+	}
+	res.Set = chosen
+	res.Value = in.Eval(chosen)
+	return res
+}
+
+// GreedyMaxMin selects k answers farthest-point style: seed with the most
+// relevant answer, then repeatedly add the answer maximizing
+// (1-λ)·δrel(t) + λ·min_{s∈chosen} δdis(t, s).
+func GreedyMaxMin(in *core.Instance) Result {
+	answers := in.Answers()
+	k := in.K
+	var res Result
+	if k <= 0 || k > len(answers) {
+		return res
+	}
+	o := in.Obj
+	used := make([]bool, len(answers))
+	seed, seedRel := -1, math.Inf(-1)
+	for i, t := range answers {
+		res.Steps++
+		if r := o.Rel.Rel(t); r > seedRel {
+			seedRel, seed = r, i
+		}
+	}
+	chosen := []relation.Tuple{answers[seed]}
+	used[seed] = true
+	for len(chosen) < k {
+		bestIdx, bestScore := -1, math.Inf(-1)
+		for i, t := range answers {
+			if used[i] {
+				continue
+			}
+			res.Steps++
+			minDis := math.Inf(1)
+			for _, s := range chosen {
+				if d := o.Dis.Dis(s, t); d < minDis {
+					minDis = d
+				}
+			}
+			score := (1-o.Lambda)*o.Rel.Rel(t) + o.Lambda*minDis
+			if score > bestScore {
+				bestScore, bestIdx = score, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		used[bestIdx] = true
+		chosen = append(chosen, answers[bestIdx])
+	}
+	res.Set = chosen
+	res.Value = in.Eval(chosen)
+	return res
+}
+
+// MMR is Maximal Marginal Relevance: identical selection loop to
+// GreedyMaxMin but seeded by pure relevance and scoring candidates with the
+// classic MMR formula. Kept separate because benchmarks compare both.
+func MMR(in *core.Instance) Result {
+	// MMR and the farthest-point greedy share their iteration structure;
+	// the distinction in the literature is the seeding and that MMR is
+	// usually stated for max-marginal relevance over a similarity rather
+	// than distance. With δdis as dissimilarity they coincide.
+	return GreedyMaxMin(in)
+}
+
+// LocalSearchSwap improves a seed set by hill climbing: repeatedly apply the
+// single best swap (one chosen tuple out, one unchosen in) while the
+// objective strictly improves. Works for all three objectives; for Fmono it
+// converges to the optimum because the objective is modular.
+func LocalSearchSwap(in *core.Instance, seed []relation.Tuple) Result {
+	answers := in.Answers()
+	var res Result
+	if len(seed) == 0 || len(seed) > len(answers) {
+		return res
+	}
+	current := append([]relation.Tuple(nil), seed...)
+	chosenKeys := make(map[string]bool, len(current))
+	for _, t := range current {
+		chosenKeys[t.Key()] = true
+	}
+	cur := in.Eval(current)
+	improved := true
+	for improved {
+		improved = false
+		bestVal := cur
+		bestI, bestJ := -1, -1
+		for i := range current {
+			for j, t := range answers {
+				if chosenKeys[t.Key()] {
+					continue
+				}
+				res.Steps++
+				old := current[i]
+				current[i] = t
+				if v := in.Eval(current); v > bestVal {
+					bestVal, bestI, bestJ = v, i, j
+				}
+				current[i] = old
+			}
+		}
+		if bestI >= 0 {
+			delete(chosenKeys, current[bestI].Key())
+			current[bestI] = answers[bestJ]
+			chosenKeys[current[bestI].Key()] = true
+			cur = bestVal
+			improved = true
+		}
+	}
+	res.Set = current
+	res.Value = cur
+	return res
+}
+
+// Greedy picks the heuristic matched to the instance's objective kind:
+// GreedyMaxSum for FMS, GreedyMaxMin for FMM, and exact top-k scores for
+// Fmono (optimal thanks to modularity).
+func Greedy(in *core.Instance) Result {
+	switch in.Obj.Kind {
+	case objective.MaxSum:
+		return GreedyMaxSum(in)
+	case objective.MaxMin:
+		return GreedyMaxMin(in)
+	default:
+		return monoTopK(in)
+	}
+}
+
+// monoTopK selects the k answers with the largest Fmono scores — exact for
+// the modular objective.
+func monoTopK(in *core.Instance) Result {
+	answers := in.Answers()
+	var res Result
+	if in.K <= 0 || in.K > len(answers) {
+		return res
+	}
+	scores := in.Obj.MonoScores(answers)
+	type pair struct {
+		idx   int
+		score float64
+	}
+	ps := make([]pair, len(scores))
+	for i, s := range scores {
+		ps[i] = pair{i, s}
+	}
+	// Selection of top k by partial sort.
+	for i := 0; i < in.K; i++ {
+		best := i
+		for j := i + 1; j < len(ps); j++ {
+			res.Steps++
+			if ps[j].score > ps[best].score {
+				best = j
+			}
+		}
+		ps[i], ps[best] = ps[best], ps[i]
+	}
+	set := make([]relation.Tuple, in.K)
+	for i := 0; i < in.K; i++ {
+		set[i] = answers[ps[i].idx]
+	}
+	res.Set = set
+	res.Value = in.Eval(set)
+	return res
+}
+
+// Quality compares a heuristic value against the exact optimum, returning
+// the ratio heuristic/optimum in [0, 1] (1 when the optimum is 0 and the
+// heuristic matched it). The exactOpt argument is typically
+// solver.QRDBest(in).Value.
+func Quality(heuristic, exactOpt float64) float64 {
+	if exactOpt == 0 {
+		if heuristic == 0 {
+			return 1
+		}
+		return 0
+	}
+	return heuristic / exactOpt
+}

@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/objective"
+	"repro/internal/query"
+)
+
+func setting(p core.Problem, l query.Language, k objective.Kind, mods ...func(*core.Setting)) core.Setting {
+	s := core.Setting{Problem: p, Language: l, Objective: k}
+	for _, m := range mods {
+		m(&s)
+	}
+	return s
+}
+
+func data(s *core.Setting)    { s.Data = true }
+func lambda0(s *core.Setting) { s.Lambda0 = true }
+func lambda1(s *core.Setting) { s.Lambda1 = true }
+func constK(s *core.Setting)  { s.ConstantK = true }
+func sigma(s *core.Setting)   { s.Constraints = true }
+
+// TestTableIBounds pins every cell of Table I.
+func TestTableIBounds(t *testing.T) {
+	cases := []struct {
+		s    core.Setting
+		want Bound
+	}{
+		// Combined, FMS/FMM.
+		{setting(core.QRD, query.CQ, objective.MaxSum), NPC},
+		{setting(core.QRD, query.UCQ, objective.MaxMin), NPC},
+		{setting(core.QRD, query.EFOPlus, objective.MaxSum), NPC},
+		{setting(core.QRD, query.FO, objective.MaxSum), PSpaceC},
+		{setting(core.DRP, query.CQ, objective.MaxMin), CoNPC},
+		{setting(core.DRP, query.FO, objective.MaxMin), PSpaceC},
+		{setting(core.RDC, query.CQ, objective.MaxSum), SharpNPC},
+		{setting(core.RDC, query.FO, objective.MaxSum), SharpPSpaceC},
+		// Combined, Fmono: language-independent.
+		{setting(core.QRD, query.CQ, objective.Mono), PSpaceC},
+		{setting(core.QRD, query.FO, objective.Mono), PSpaceC},
+		{setting(core.DRP, query.UCQ, objective.Mono), PSpaceC},
+		{setting(core.RDC, query.EFOPlus, objective.Mono), SharpPSpaceC},
+		// Data, FMS/FMM.
+		{setting(core.QRD, query.CQ, objective.MaxSum, data), NPC},
+		{setting(core.QRD, query.FO, objective.MaxMin, data), NPC},
+		{setting(core.DRP, query.FO, objective.MaxSum, data), CoNPC},
+		{setting(core.RDC, query.CQ, objective.MaxMin, data), SharpPParsimony},
+		// Data, Fmono.
+		{setting(core.QRD, query.FO, objective.Mono, data), PTime},
+		{setting(core.DRP, query.CQ, objective.Mono, data), PTime},
+		{setting(core.RDC, query.FO, objective.Mono, data), SharpPTuring},
+	}
+	for _, c := range cases {
+		got, thm := ProvedBound(c.s)
+		if got != c.want {
+			t.Errorf("%v: got %s, want %s (%s)", c.s, got, c.want, thm)
+		}
+	}
+}
+
+// TestTableIIBounds pins the special-case cells of Table II.
+func TestTableIIBounds(t *testing.T) {
+	cases := []struct {
+		s    core.Setting
+		want Bound
+	}{
+		// Identity queries with Fmono: PTIME / PTIME / #P (Turing), both
+		// combined and data (Cor 8.1).
+		{setting(core.QRD, query.Identity, objective.Mono), PTime},
+		{setting(core.DRP, query.Identity, objective.Mono), PTime},
+		{setting(core.RDC, query.Identity, objective.Mono), SharpPTuring},
+		{setting(core.QRD, query.Identity, objective.Mono, data), PTime},
+		// Identity with FMS/FMM stays intractable (Cor 8.1).
+		{setting(core.QRD, query.Identity, objective.MaxSum), NPC},
+		{setting(core.RDC, query.Identity, objective.MaxMin), SharpPParsimony},
+		// λ=0 data (Thm 8.2).
+		{setting(core.QRD, query.CQ, objective.MaxSum, data, lambda0), PTime},
+		{setting(core.DRP, query.FO, objective.MaxMin, data, lambda0), PTime},
+		{setting(core.RDC, query.CQ, objective.MaxSum, data, lambda0), SharpPTuring},
+		{setting(core.RDC, query.CQ, objective.MaxMin, data, lambda0), FP},
+		// λ=0 combined for Fmono drops to the NP level (Thm 8.2).
+		{setting(core.QRD, query.CQ, objective.Mono, lambda0), NPC},
+		{setting(core.DRP, query.EFOPlus, objective.Mono, lambda0), CoNPC},
+		{setting(core.RDC, query.UCQ, objective.Mono, lambda0), SharpNPC},
+		{setting(core.QRD, query.FO, objective.Mono, lambda0), PSpaceC},
+		// λ=0 combined for FMS/FMM unchanged (Thm 8.2).
+		{setting(core.QRD, query.CQ, objective.MaxSum, lambda0), NPC},
+		{setting(core.QRD, query.FO, objective.MaxMin, lambda0), PSpaceC},
+		// λ=1 behaves like the general case (Thm 8.3).
+		{setting(core.QRD, query.CQ, objective.MaxSum, data, lambda1), NPC},
+		{setting(core.RDC, query.CQ, objective.Mono, data, lambda1), SharpPTuring},
+		// Constant k data: tractable across the board (Cor 8.4).
+		{setting(core.QRD, query.FO, objective.MaxSum, data, constK), PTime},
+		{setting(core.DRP, query.CQ, objective.Mono, data, constK), PTime},
+		{setting(core.RDC, query.FO, objective.MaxMin, data, constK), FP},
+		// Constant k combined: unchanged (Cor 8.4).
+		{setting(core.QRD, query.CQ, objective.MaxSum, constK), NPC},
+		{setting(core.QRD, query.CQ, objective.Mono, constK), PSpaceC},
+	}
+	for _, c := range cases {
+		got, thm := ProvedBound(c.s)
+		if got != c.want {
+			t.Errorf("%v: got %s, want %s (%s)", c.s, got, c.want, thm)
+		}
+	}
+}
+
+// TestTableIIIBounds pins the constrained cells of Table III.
+func TestTableIIIBounds(t *testing.T) {
+	cases := []struct {
+		s    core.Setting
+		want Bound
+	}{
+		// Fmono data + Σ flips to intractable (Thm 9.3).
+		{setting(core.QRD, query.CQ, objective.Mono, data, sigma), NPC},
+		{setting(core.DRP, query.FO, objective.Mono, data, sigma), CoNPC},
+		{setting(core.RDC, query.CQ, objective.Mono, data, sigma), SharpPParsimony},
+		// Identity + Fmono + Σ: intractable both ways (Cor 9.4).
+		{setting(core.QRD, query.Identity, objective.Mono, sigma), NPC},
+		{setting(core.RDC, query.Identity, objective.Mono, sigma), SharpPParsimony},
+		// Identity + FMS + Σ: as without constraints (Cor 9.4).
+		{setting(core.QRD, query.Identity, objective.MaxSum, sigma), NPC},
+		// λ=0 data + Σ: intractable for every objective (Cor 9.5).
+		{setting(core.QRD, query.CQ, objective.MaxSum, data, lambda0, sigma), NPC},
+		{setting(core.DRP, query.CQ, objective.MaxMin, data, lambda0, sigma), CoNPC},
+		{setting(core.RDC, query.FO, objective.MaxSum, data, lambda0, sigma), SharpPParsimony},
+		// λ=1 data + Σ: FMS/FMM unchanged, Fmono flips (Cor 9.6).
+		{setting(core.QRD, query.CQ, objective.MaxSum, data, lambda1, sigma), NPC},
+		{setting(core.QRD, query.CQ, objective.Mono, data, lambda1, sigma), NPC},
+		// Combined + Σ: unchanged (Cor 9.2).
+		{setting(core.QRD, query.CQ, objective.MaxSum, sigma), NPC},
+		{setting(core.QRD, query.FO, objective.Mono, sigma), PSpaceC},
+		{setting(core.RDC, query.CQ, objective.Mono, sigma), SharpPSpaceC},
+		// Constant k + Σ: still tractable (Cor 9.7).
+		{setting(core.QRD, query.CQ, objective.Mono, data, constK, sigma), PTime},
+		{setting(core.RDC, query.CQ, objective.MaxSum, data, constK, sigma), FP},
+	}
+	for _, c := range cases {
+		got, thm := ProvedBound(c.s)
+		if got != c.want {
+			t.Errorf("%v: got %s, want %s (%s)", c.s, got, c.want, thm)
+		}
+	}
+}
+
+func TestBoundTractable(t *testing.T) {
+	if !PTime.Tractable() || !FP.Tractable() {
+		t.Error("PTIME and FP are tractable")
+	}
+	for _, b := range []Bound{NPC, CoNPC, PSpaceC, SharpNPC, SharpPSpaceC, SharpPTuring, SharpPParsimony} {
+		if b.Tractable() {
+			t.Errorf("%s should not be tractable", b)
+		}
+	}
+}
+
+func TestClassifyPolynomial(t *testing.T) {
+	var s Series
+	for _, n := range []int{64, 128, 256, 512, 1024} {
+		s = append(s, Measurement{N: n, Work: float64(n) * float64(n) * 3})
+	}
+	f := Classify(s)
+	if f.Kind != Polynomial {
+		t.Fatalf("quadratic series classified as %v", f)
+	}
+	if math.Abs(f.Degree-2) > 0.1 {
+		t.Errorf("degree = %v, want ≈2", f.Degree)
+	}
+}
+
+func TestClassifyExponential(t *testing.T) {
+	var s Series
+	for _, n := range []int{4, 6, 8, 10, 12, 14} {
+		s = append(s, Measurement{N: n, Work: math.Pow(2, float64(n))})
+	}
+	f := Classify(s)
+	if f.Kind != Exponential {
+		t.Fatalf("2^n series classified as %v", f)
+	}
+	if math.Abs(f.Base-2) > 0.2 {
+		t.Errorf("base = %v, want ≈2", f.Base)
+	}
+}
+
+func TestClassifyFlatAndDegenerate(t *testing.T) {
+	if f := Classify(Series{{N: 1, Work: 5}, {N: 2, Work: 5}}); f.Kind != Flat {
+		t.Errorf("two points should be Flat, got %v", f)
+	}
+	var s Series
+	for _, n := range []int{10, 20, 40, 80} {
+		s = append(s, Measurement{N: n, Work: 7})
+	}
+	if f := Classify(s); f.Kind != Flat {
+		t.Errorf("constant series should be Flat, got %v", f)
+	}
+	if f := Classify(nil); f.Kind != Flat {
+		t.Errorf("empty series should be Flat, got %v", f)
+	}
+}
+
+func TestClassifyFallsBackToSeconds(t *testing.T) {
+	var s Series
+	for _, n := range []int{64, 128, 256, 512} {
+		s = append(s, Measurement{N: n, Secs: float64(n)})
+	}
+	if f := Classify(s); f.Kind != Polynomial {
+		t.Errorf("linear seconds should classify polynomial, got %v", f)
+	}
+}
+
+func TestRenderTables(t *testing.T) {
+	t1 := RenderTableI()
+	for _, want := range []string{"NP-complete", "PSPACE-complete", "PTIME", "#·NP-complete", "FMS and FMM", "Fmono"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table I missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := RenderTableII()
+	for _, want := range []string{"identity queries", "constant k", "FP"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+	t3 := RenderTableIII()
+	for _, want := range []string{"Fmono", "#P-complete (parsimonious)", "NP-complete"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table III missing %q", want)
+		}
+	}
+}
+
+func TestRenderFigures(t *testing.T) {
+	for _, p := range []core.Problem{core.QRD, core.DRP, core.RDC} {
+		fig := RenderFigure(p)
+		if !strings.Contains(fig, p.String()) {
+			t.Errorf("figure for %v missing its title", p)
+		}
+		if !strings.Contains(fig, "combined") || !strings.Contains(fig, "FMS") {
+			t.Errorf("figure for %v missing structure:\n%s", p, fig)
+		}
+	}
+}
+
+func TestCatalogExperimentsRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is slow")
+	}
+	for _, e := range Catalog() {
+		t.Log(e.ID)
+		// Run only the smallest size of each experiment as a smoke test.
+		small := &Experiment{ID: e.ID, Table: e.Table, Setting: e.Setting, Sizes: e.Sizes[:1], Run: e.Run}
+		res := small.Execute(30 * time.Second)
+		if len(res.Series) != 1 {
+			t.Errorf("%s: expected one measurement, got %d", e.ID, len(res.Series))
+		}
+		if res.Theorem == "" {
+			t.Errorf("%s: missing theorem reference", e.ID)
+		}
+		out := RenderResult(res)
+		if !strings.Contains(out, e.ID) {
+			t.Errorf("%s: render missing id", e.ID)
+		}
+	}
+}
+
+func TestCatalogIDsUniqueAndTabled(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Catalog() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Table == "" || len(e.Sizes) < 3 {
+			t.Errorf("%s: table/sizes malformed", e.ID)
+		}
+	}
+	if len(seen) < 10 {
+		t.Errorf("catalog has only %d experiments", len(seen))
+	}
+}

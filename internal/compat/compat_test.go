@@ -1,0 +1,255 @@
+package compat
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// itemSchema and tuples model the shopping scenario of Example 9.1 (ρ1).
+var itemSchema = relation.NewSchema("RQ1", "item", "price")
+
+func item(name string, price int64) relation.Tuple {
+	return relation.Tuple{value.Str(name), value.Int(price)}
+}
+
+// rho1: if items a and b are both picked, c must be too.
+func rho1() *Constraint {
+	return &Constraint{
+		Forall: []string{"t1", "t2"},
+		Exists: []string{"s"},
+		Cond: []Pred{
+			{Op: Eq, L: Ref("t1", "item"), R: Lit(value.Str("a"))},
+			{Op: Eq, L: Ref("t2", "item"), R: Lit(value.Str("b"))},
+		},
+		Conc: []Pred{{Op: Eq, L: Ref("s", "item"), R: Lit(value.Str("c"))}},
+	}
+}
+
+func TestRho1Semantics(t *testing.T) {
+	c := rho1()
+	if err := c.Validate(itemSchema); err != nil {
+		t.Fatal(err)
+	}
+	withAB := []relation.Tuple{item("a", 1), item("b", 2)}
+	if c.Satisfies(withAB, itemSchema) {
+		t.Error("a and b without c should violate ρ1")
+	}
+	withABC := []relation.Tuple{item("a", 1), item("b", 2), item("c", 3)}
+	if !c.Satisfies(withABC, itemSchema) {
+		t.Error("a, b and c should satisfy ρ1")
+	}
+	onlyA := []relation.Tuple{item("a", 1), item("x", 9)}
+	if !c.Satisfies(onlyA, itemSchema) {
+		t.Error("without b the implication is vacuous")
+	}
+	if !c.Satisfies(nil, itemSchema) {
+		t.Error("empty set satisfies vacuously")
+	}
+}
+
+// rho2: course CS450 requires its prerequisites CS220 and CS350
+// (Example 9.1).
+func TestRho2CoursePrerequisites(t *testing.T) {
+	schema := relation.NewSchema("RQ2", "id", "title")
+	course := func(id string) relation.Tuple {
+		return relation.Tuple{value.Str(id), value.Str("title-" + id)}
+	}
+	c := MustParse(`forall t (t.id = "CS450" -> exists p1, p2 (p1.id = "CS220", p2.id = "CS350"))`)
+	if err := c.Validate(schema); err != nil {
+		t.Fatal(err)
+	}
+	if c.Satisfies([]relation.Tuple{course("CS450"), course("CS220")}, schema) {
+		t.Error("missing CS350 should violate ρ2")
+	}
+	if !c.Satisfies([]relation.Tuple{course("CS450"), course("CS220"), course("CS350")}, schema) {
+		t.Error("all prerequisites present should satisfy ρ2")
+	}
+	if !c.Satisfies([]relation.Tuple{course("CS101")}, schema) {
+		t.Error("no CS450 means vacuous satisfaction")
+	}
+}
+
+// rho3: at most two centers on the team (Example 9.1). Three pairwise
+// distinct centers force a contradiction in the conclusion.
+func TestRho3AtMostTwoCenters(t *testing.T) {
+	schema := relation.NewSchema("RQ3", "id", "position")
+	player := func(id int64, pos string) relation.Tuple {
+		return relation.Tuple{value.Int(id), value.Str(pos)}
+	}
+	c := &Constraint{
+		Forall: []string{"t1", "t2", "t3"},
+		Cond: []Pred{
+			{Op: Eq, L: Ref("t1", "position"), R: Lit(value.Str("center"))},
+			{Op: Eq, L: Ref("t2", "position"), R: Lit(value.Str("center"))},
+			{Op: Eq, L: Ref("t3", "position"), R: Lit(value.Str("center"))},
+			{Op: Ne, L: Ref("t1", "id"), R: Ref("t2", "id")},
+			{Op: Ne, L: Ref("t1", "id"), R: Ref("t3", "id")},
+			{Op: Ne, L: Ref("t2", "id"), R: Ref("t3", "id")},
+		},
+		// Unsatisfiable conclusion: no set with three distinct centers passes.
+		Conc: []Pred{{Op: Ne, L: Ref("t1", "id"), R: Ref("t1", "id")}},
+	}
+	if err := c.Validate(schema); err != nil {
+		t.Fatal(err)
+	}
+	two := []relation.Tuple{player(1, "center"), player(2, "center"), player(3, "guard")}
+	if !c.Satisfies(two, schema) {
+		t.Error("two centers should be allowed")
+	}
+	three := []relation.Tuple{player(1, "center"), player(2, "center"), player(3, "center")}
+	if c.Satisfies(three, schema) {
+		t.Error("three centers should be rejected")
+	}
+}
+
+func TestUnconditionalExists(t *testing.T) {
+	c := MustParse(`exists s (s.item = "card")`)
+	if c.Width() != 1 || len(c.Forall) != 0 {
+		t.Fatalf("parsed shape wrong: %+v", c)
+	}
+	with := []relation.Tuple{item("card", 3)}
+	without := []relation.Tuple{item("gift", 25)}
+	if !c.Satisfies(with, itemSchema) || c.Satisfies(without, itemSchema) {
+		t.Error("unconditional exists misbehaves")
+	}
+}
+
+func TestSameTupleMayBindMultipleVariables(t *testing.T) {
+	// forall t1, t2 with t1=t2 allowed: a single tuple binds both.
+	c := MustParse(`forall t1, t2 (t1.item = "a", t2.item = "a" -> exists s (s.item = "b"))`)
+	if c.Satisfies([]relation.Tuple{item("a", 1)}, itemSchema) {
+		t.Error("single 'a' tuple binds both variables; 'b' is required")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []*Constraint{
+		{Forall: []string{"t", "t"}},                   // dup var
+		{Forall: []string{"t"}, Exists: []string{"t"}}, // dup across blocks
+		{Forall: []string{"t"}, Cond: []Pred{{Op: Eq, L: Ref("u", "item"), R: Lit(value.Int(1))}}}, // undeclared
+		{Forall: []string{"t"}, Exists: []string{"s"},
+			Cond: []Pred{{Op: Eq, L: Ref("s", "item"), R: Lit(value.Int(1))}}}, // existential in condition
+		{Forall: []string{"t"}, Cond: []Pred{{Op: Eq, L: Ref("t", "nope"), R: Lit(value.Int(1))}}}, // bad attr
+	}
+	for i, c := range cases {
+		if err := c.Validate(itemSchema); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestSetWidthBound(t *testing.T) {
+	s := NewSet(2)
+	wide := &Constraint{Forall: []string{"a", "b"}, Exists: []string{"c"}}
+	if err := s.Add(wide); err == nil {
+		t.Error("width-3 constraint should exceed m=2")
+	}
+	ok := &Constraint{Forall: []string{"a"}, Exists: []string{"b"}}
+	if err := s.Add(ok); err != nil {
+		t.Errorf("width-2 constraint rejected: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if NewSet(0).M != 2 {
+		t.Error("m should be raised to 2")
+	}
+}
+
+func TestSetSatisfiesAll(t *testing.T) {
+	s := NewSet(3)
+	s.MustAdd(MustParse(`forall t (t.item = "a" -> exists x (x.item = "b"))`))
+	s.MustAdd(MustParse(`forall t (t.item = "b" -> exists x (x.item = "c"))`))
+	u := []relation.Tuple{item("a", 1), item("b", 2)}
+	if s.Satisfies(u, itemSchema) {
+		t.Error("chain requires c")
+	}
+	u = append(u, item("c", 3))
+	if !s.Satisfies(u, itemSchema) {
+		t.Error("full chain should satisfy")
+	}
+	var nilSet *Set
+	if !nilSet.Satisfies(u, itemSchema) || nilSet.Len() != 0 {
+		t.Error("nil set should be trivially satisfied")
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	srcs := []string{
+		`forall t1, t2 (t1.item = "a", t2.item = "b" -> exists s (s.item = "c"))`,
+		`forall t (true -> exists s (s.item = "c"))`,
+		`forall t (t.price != 5 -> t.item != "z")`,
+		`exists s (s.price = 10)`,
+		`forall t (t.item = "x")`, // unconditional universal conclusion
+	}
+	for _, src := range srcs {
+		c, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if err := c.Validate(itemSchema); err != nil {
+			t.Errorf("Validate(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseNumbersAndBooleans(t *testing.T) {
+	c := MustParse(`forall t (t.price = -3 -> exists s (s.price = 2.5))`)
+	if c.Cond[0].R.Const.AsInt() != -3 {
+		t.Error("negative int literal")
+	}
+	if c.Conc[0].R.Const.AsFloat() != 2.5 {
+		t.Error("float literal")
+	}
+	c2 := MustParse(`forall t (t.price = true -> t.price = false)`)
+	if !c2.Cond[0].R.Const.AsBool() || c2.Conc[0].R.Const.AsBool() {
+		t.Error("boolean literals")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`forall (x.a = 1)`,
+		`forall t x.a = 1`,
+		`forall t (t.a = )`,
+		`forall t (t.a ~ 1)`,
+		`forall t (t.a = 1`,
+		`exists s (s.a = "unterminated)`,
+		`forall t (t.a = 1) trailing`,
+		`forall t (t = 1)`, // missing .attr
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`forall t1, t2 (t1.item = "a", t2.item = "b" -> exists s (s.item = "c"))`,
+		`exists s (s.item = "card")`,
+	}
+	for _, src := range srcs {
+		c1 := MustParse(src)
+		c2, err := Parse(c1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", c1.String(), err)
+		}
+		if c1.String() != c2.String() {
+			t.Errorf("round trip changed %q -> %q", c1.String(), c2.String())
+		}
+	}
+}
+
+func TestUnconditionalGroundConstraint(t *testing.T) {
+	// Width 0: constant-only predicates.
+	c := MustParse(`true`)
+	if !c.Satisfies(nil, itemSchema) {
+		t.Error("empty constraint should hold")
+	}
+}

@@ -1,0 +1,173 @@
+// Package core defines the shared problem-instance types of the paper's
+// Section 4: the three analysis problems QRD (query result diversification),
+// DRP (diversity ranking) and RDC (result diversity counting), and the
+// Instance structure that bundles their common input — a database D, a query
+// Q in some language LQ, an objective function F built from δrel, δdis and λ,
+// the set size k, the bound B or rank r, and optionally a set Σ of
+// compatibility constraints (Section 9).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compat"
+	"repro/internal/objective"
+	"repro/internal/query"
+	"repro/internal/query/eval"
+	"repro/internal/relation"
+)
+
+// Problem identifies one of the paper's three diversification problems.
+type Problem int
+
+// The three problems of Section 4.1.
+const (
+	QRD Problem = iota // does a valid set exist? (decision)
+	DRP                // is rank(U) <= r? (decision)
+	RDC                // how many valid sets are there? (counting)
+)
+
+// String returns the paper's abbreviation.
+func (p Problem) String() string {
+	switch p {
+	case QRD:
+		return "QRD"
+	case DRP:
+		return "DRP"
+	case RDC:
+		return "RDC"
+	default:
+		return fmt.Sprintf("Problem(%d)", int(p))
+	}
+}
+
+// Instance is a problem instance shared by QRD, DRP and RDC.
+type Instance struct {
+	Query *query.Query
+	DB    *relation.Database
+	Obj   *objective.Objective
+	K     int // candidate-set size k >= 1
+
+	// B is the objective bound for QRD and RDC (F(U) >= B is "valid").
+	B float64
+	// R is the rank threshold for DRP (is rank(U) <= R?).
+	R int
+	// U is the candidate set whose rank DRP assesses.
+	U []relation.Tuple
+
+	// Sigma optionally holds compatibility constraints of Cm; nil means
+	// the unconstrained problems of Sections 5-8.
+	Sigma *compat.Set
+
+	answers []relation.Tuple // memoized Q(D)
+}
+
+// Answers computes (and memoizes) the answer set Q(D) in a deterministic
+// order. Solvers that must avoid materializing Q(D) (the paper's
+// early-termination motivation) use eval.Member directly instead.
+func (in *Instance) Answers() []relation.Tuple {
+	if in.answers == nil {
+		res := eval.Evaluate(in.Query, in.DB)
+		in.answers = res.Sorted()
+	}
+	return in.answers
+}
+
+// SetAnswers overrides the memoized answer set; used by identity-query
+// instances where Q(D) = D is available without evaluation, and by tests.
+func (in *Instance) SetAnswers(ts []relation.Tuple) { in.answers = ts }
+
+// ResultSchema is the schema RQ of the query result: one attribute per head
+// variable.
+func (in *Instance) ResultSchema() relation.Schema {
+	return relation.NewSchema(in.Query.Name, in.Query.Head...)
+}
+
+// Eval scores a candidate set under the instance's objective, supplying the
+// answer space that Fmono needs.
+func (in *Instance) Eval(u []relation.Tuple) float64 {
+	return in.Obj.Eval(u, in.Answers())
+}
+
+// SatisfiesConstraints reports U ⊨ Σ (trivially true without constraints).
+func (in *Instance) SatisfiesConstraints(u []relation.Tuple) bool {
+	if in.Sigma == nil {
+		return true
+	}
+	return in.Sigma.Satisfies(u, in.ResultSchema())
+}
+
+// IsCandidate reports whether u is a candidate set for (Q, D, k) — and for
+// (Q, D, Σ, k) when constraints are present: u ⊆ Q(D), |u| = k, u ⊨ Σ.
+// Membership is checked against the memoized answer set.
+func (in *Instance) IsCandidate(u []relation.Tuple) bool {
+	if len(u) != in.K {
+		return false
+	}
+	seen := make(map[string]bool, len(u))
+	for _, t := range u {
+		k := t.Key()
+		if seen[k] {
+			return false // not a set
+		}
+		seen[k] = true
+	}
+	idx := make(map[string]bool, len(in.Answers()))
+	for _, t := range in.Answers() {
+		idx[t.Key()] = true
+	}
+	for _, t := range u {
+		if !idx[t.Key()] {
+			return false
+		}
+	}
+	return in.SatisfiesConstraints(u)
+}
+
+// IsValid reports whether u is a valid set for (Q, D, k, F, B): a candidate
+// set with F(u) >= B.
+func (in *Instance) IsValid(u []relation.Tuple) bool {
+	return in.IsCandidate(u) && in.Eval(u) >= in.B
+}
+
+// Language classifies the instance's query.
+func (in *Instance) Language() query.Language { return in.Query.Classify() }
+
+// Setting describes a cell of the paper's complexity tables: which problem,
+// which language, which objective, and which special-case restrictions
+// apply. The bench harness uses it to label experiments and to look up the
+// proved bound.
+type Setting struct {
+	Problem     Problem
+	Language    query.Language
+	Objective   objective.Kind
+	Data        bool // data complexity (fixed query) vs combined
+	Lambda0     bool // λ = 0: relevance only (Section 8)
+	Lambda1     bool // λ = 1: diversity only (Section 8)
+	ConstantK   bool // k is a predefined constant (Section 8)
+	Constraints bool // compatibility constraints present (Section 9)
+}
+
+// String renders the setting compactly, e.g.
+// "QRD(CQ, FMS) combined λ=1 +Σ".
+func (s Setting) String() string {
+	out := fmt.Sprintf("%s(%s, %s)", s.Problem, s.Language, s.Objective)
+	if s.Data {
+		out += " data"
+	} else {
+		out += " combined"
+	}
+	if s.Lambda0 {
+		out += " λ=0"
+	}
+	if s.Lambda1 {
+		out += " λ=1"
+	}
+	if s.ConstantK {
+		out += " const-k"
+	}
+	if s.Constraints {
+		out += " +Σ"
+	}
+	return out
+}

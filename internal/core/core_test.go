@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compat"
+	"repro/internal/objective"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// pointsInstance builds a small identity-query instance over a unary
+// relation of integers with relevance = the value and unit distances.
+func pointsInstance(t *testing.T, k int, vals ...int64) *Instance {
+	t.Helper()
+	r := relation.NewRelation(relation.NewSchema("P", "x"))
+	for _, v := range vals {
+		r.Insert(relation.Tuple{value.Int(v)})
+	}
+	db := relation.NewDatabase().Add(r)
+	obj := objective.New(objective.MaxSum,
+		objective.AttrRelevance(0, 1), objective.HammingDistance(), 0.5)
+	return &Instance{
+		Query: query.IdentityQueryNamed("P", []string{"x"}),
+		DB:    db,
+		Obj:   obj,
+		K:     k,
+	}
+}
+
+func TestProblemString(t *testing.T) {
+	cases := map[Problem]string{QRD: "QRD", DRP: "DRP", RDC: "RDC", Problem(9): "Problem(9)"}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestAnswersMemoization(t *testing.T) {
+	in := pointsInstance(t, 2, 3, 1, 2)
+	first := in.Answers()
+	if len(first) != 3 {
+		t.Fatalf("|Q(D)| = %d, want 3", len(first))
+	}
+	// Answers are deterministic and sorted.
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Compare(first[i]) >= 0 {
+			t.Error("answers not in canonical order")
+		}
+	}
+	// Mutating the database after memoization must not change Answers —
+	// the memo pins the snapshot the instance was built over.
+	in.DB.Relation("P").Insert(relation.Tuple{value.Int(99)})
+	if got := len(in.Answers()); got != 3 {
+		t.Errorf("memoized answers changed: %d", got)
+	}
+	in.SetAnswers(nil)
+	if got := len(in.Answers()); got != 4 {
+		t.Errorf("after reset, answers = %d, want 4", got)
+	}
+}
+
+func TestIsCandidateSemantics(t *testing.T) {
+	in := pointsInstance(t, 2, 1, 2, 3)
+	a := in.Answers()
+	if !in.IsCandidate([]relation.Tuple{a[0], a[1]}) {
+		t.Error("two distinct answers form a candidate set")
+	}
+	if in.IsCandidate([]relation.Tuple{a[0]}) {
+		t.Error("wrong cardinality accepted")
+	}
+	if in.IsCandidate([]relation.Tuple{a[0], a[0]}) {
+		t.Error("multiset accepted as a set")
+	}
+	outside := relation.Tuple{value.Int(42)}
+	if in.IsCandidate([]relation.Tuple{a[0], outside}) {
+		t.Error("tuple outside Q(D) accepted")
+	}
+}
+
+func TestIsValidUsesBound(t *testing.T) {
+	in := pointsInstance(t, 2, 1, 2, 3)
+	a := in.Answers()
+	u := []relation.Tuple{a[1], a[2]} // values 2 and 3
+	v := in.Eval(u)
+	in.B = v
+	if !in.IsValid(u) {
+		t.Error("set at the bound must be valid (F >= B)")
+	}
+	in.B = v + 0.001
+	if in.IsValid(u) {
+		t.Error("set below the bound accepted")
+	}
+}
+
+func TestConstraintsGateCandidacy(t *testing.T) {
+	in := pointsInstance(t, 2, 1, 2, 3)
+	set := compat.NewSet(2)
+	set.MustAdd(compat.MustParse(`exists s (s.x = 1)`))
+	in.Sigma = set
+	a := in.Answers()
+	with1 := []relation.Tuple{a[0], a[1]} // {1, 2}
+	without1 := []relation.Tuple{a[1], a[2]}
+	if !in.IsCandidate(with1) {
+		t.Error("set containing x=1 satisfies Σ")
+	}
+	if in.IsCandidate(without1) {
+		t.Error("set missing x=1 violates Σ")
+	}
+	// Nil Sigma means unconstrained.
+	in.Sigma = nil
+	if !in.SatisfiesConstraints(without1) {
+		t.Error("nil Σ should be vacuous")
+	}
+}
+
+func TestLanguageClassification(t *testing.T) {
+	in := pointsInstance(t, 1, 1)
+	if got := in.Language(); got != query.Identity {
+		t.Errorf("identity instance classified %v", got)
+	}
+}
+
+func TestResultSchema(t *testing.T) {
+	in := pointsInstance(t, 1, 1)
+	s := in.ResultSchema()
+	if s.Arity() != 1 || s.AttrIndex("x") != 0 {
+		t.Errorf("result schema wrong: %v", s)
+	}
+}
+
+func TestSettingString(t *testing.T) {
+	s := Setting{Problem: QRD, Language: query.CQ, Objective: objective.MaxSum}
+	if got := s.String(); got != "QRD(CQ, FMS) combined" {
+		t.Errorf("Setting.String() = %q", got)
+	}
+	full := Setting{
+		Problem: RDC, Language: query.FO, Objective: objective.Mono,
+		Data: true, Lambda0: true, ConstantK: true, Constraints: true,
+	}
+	for _, want := range []string{"RDC(FO, Fmono)", "data", "λ=0", "const-k", "+Σ"} {
+		if got := full.String(); !strings.Contains(got, want) {
+			t.Errorf("Setting.String() = %q missing %q", got, want)
+		}
+	}
+	l1 := Setting{Problem: DRP, Language: query.UCQ, Objective: objective.MaxMin, Lambda1: true}
+	if got := l1.String(); !strings.Contains(got, "λ=1") {
+		t.Errorf("Setting.String() = %q missing λ=1", got)
+	}
+}

@@ -1,0 +1,302 @@
+package objective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func tuples(xs ...int64) []relation.Tuple {
+	out := make([]relation.Tuple, len(xs))
+	for i, x := range xs {
+		out[i] = relation.Ints(x)
+	}
+	return out
+}
+
+func TestKindString(t *testing.T) {
+	if MaxSum.String() != "FMS" || MaxMin.String() != "FMM" || Mono.String() != "Fmono" {
+		t.Error("Kind names wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind name wrong")
+	}
+}
+
+func TestNewDefaultsAndClamping(t *testing.T) {
+	o := New(MaxSum, nil, nil, -0.5)
+	if o.Lambda != 0 {
+		t.Errorf("lambda should clamp to 0, got %v", o.Lambda)
+	}
+	if o.Rel.Rel(relation.Ints(1)) != 1 {
+		t.Error("default relevance should be constant 1")
+	}
+	if o.Dis.Dis(relation.Ints(1), relation.Ints(2)) != 0 {
+		t.Error("default distance should be zero")
+	}
+	if New(MaxSum, nil, nil, 1.5).Lambda != 1 {
+		t.Error("lambda should clamp to 1")
+	}
+}
+
+func TestConstRelevanceAndZeroDistance(t *testing.T) {
+	r := ConstRelevance(3.5)
+	if r.Rel(relation.Ints(1)) != 3.5 {
+		t.Error("ConstRelevance wrong")
+	}
+	d := ZeroDistance()
+	if d.Dis(relation.Ints(1), relation.Ints(2)) != 0 {
+		t.Error("ZeroDistance wrong")
+	}
+}
+
+func TestTableRelevance(t *testing.T) {
+	tr := (&TableRelevance{Default: 0.5}).Set(relation.Ints(1), 4)
+	if tr.Rel(relation.Ints(1)) != 4 {
+		t.Error("stored score missed")
+	}
+	if tr.Rel(relation.Ints(2)) != 0.5 {
+		t.Error("default score missed")
+	}
+}
+
+func TestAttrRelevance(t *testing.T) {
+	r := AttrRelevance(1, 2.0)
+	if got := r.Rel(relation.Ints(9, 3)); got != 6 {
+		t.Errorf("AttrRelevance = %v, want 6", got)
+	}
+	if got := r.Rel(relation.Ints(9)); got != 0 {
+		t.Errorf("out-of-range column should score 0, got %v", got)
+	}
+	if got := r.Rel(relation.Ints(9, -3)); got != 0 {
+		t.Errorf("negative scores clamp to 0, got %v", got)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	d := HammingDistance()
+	if got := d.Dis(relation.Ints(1, 2, 3), relation.Ints(1, 9, 9)); got != 2 {
+		t.Errorf("Hamming = %v, want 2", got)
+	}
+	if got := d.Dis(relation.Ints(1, 2), relation.Ints(1, 2)); got != 0 {
+		t.Errorf("identical tuples distance = %v, want 0", got)
+	}
+}
+
+func TestWeightedHamming(t *testing.T) {
+	d := WeightedHamming([]float64{5, 1})
+	if got := d.Dis(relation.Ints(0, 0), relation.Ints(1, 1)); got != 6 {
+		t.Errorf("weighted = %v, want 6", got)
+	}
+}
+
+func TestEuclideanDistance(t *testing.T) {
+	d := EuclideanDistance()
+	if got := d.Dis(relation.Ints(0, 0), relation.Ints(3, 4)); got != 5 {
+		t.Errorf("euclidean = %v, want 5", got)
+	}
+}
+
+func TestTableDistance(t *testing.T) {
+	a, b, c := relation.Ints(1), relation.Ints(2), relation.Ints(3)
+	td := NewTableDistance(0.25).Set(a, b, 7)
+	if td.Dis(a, b) != 7 || td.Dis(b, a) != 7 {
+		t.Error("TableDistance should be symmetric")
+	}
+	if td.Dis(a, c) != 0.25 {
+		t.Error("default distance missed")
+	}
+	if td.Dis(a, a) != 0 {
+		t.Error("self distance must be 0")
+	}
+}
+
+func TestMaxSumEval(t *testing.T) {
+	// k=3 tuples, rel=1 each, all pairwise distances 1, λ=0.5:
+	// (k-1)(1-λ)·3 + λ·2·3 = 2·0.5·3 + 0.5·6 = 3 + 3 = 6.
+	o := New(MaxSum, ConstRelevance(1), DistanceFunc(func(s, t relation.Tuple) float64 {
+		if s.Equal(t) {
+			return 0
+		}
+		return 1
+	}), 0.5)
+	u := tuples(1, 2, 3)
+	if got := o.Eval(u, u); got != 6 {
+		t.Errorf("FMS = %v, want 6", got)
+	}
+}
+
+func TestMaxSumMatchesTheorem51Bound(t *testing.T) {
+	// λ=1, l tuples with all pairwise distances 1: FMS = l(l-1), the bound
+	// B used in the Thm 5.1 reduction.
+	l := 5
+	o := New(MaxSum, ConstRelevance(1), DistanceFunc(func(s, t relation.Tuple) float64 {
+		if s.Equal(t) {
+			return 0
+		}
+		return 1
+	}), 1)
+	u := tuples(1, 2, 3, 4, 5)
+	if got, want := o.Eval(u, u), float64(l*(l-1)); got != want {
+		t.Errorf("FMS = %v, want %v", got, want)
+	}
+}
+
+func TestMaxMinEval(t *testing.T) {
+	rel := &TableRelevance{Default: 0}
+	rel.Set(relation.Ints(1), 3).Set(relation.Ints(2), 5).Set(relation.Ints(3), 4)
+	dis := NewTableDistance(0)
+	dis.Set(relation.Ints(1), relation.Ints(2), 2)
+	dis.Set(relation.Ints(1), relation.Ints(3), 8)
+	dis.Set(relation.Ints(2), relation.Ints(3), 6)
+	o := New(MaxMin, rel, dis, 0.5)
+	// min rel = 3, min dis = 2: 0.5·3 + 0.5·2 = 2.5.
+	if got := o.Eval(tuples(1, 2, 3), nil); got != 2.5 {
+		t.Errorf("FMM = %v, want 2.5", got)
+	}
+}
+
+func TestMaxMinSingleton(t *testing.T) {
+	o := New(MaxMin, ConstRelevance(4), nil, 0.5)
+	// |U|=1: diversity term is 0 by convention.
+	if got := o.Eval(tuples(1), nil); got != 2 {
+		t.Errorf("FMM singleton = %v, want 2", got)
+	}
+}
+
+func TestEmptySetEvaluatesZero(t *testing.T) {
+	for _, k := range []Kind{MaxSum, MaxMin, Mono} {
+		o := New(k, ConstRelevance(1), HammingDistance(), 0.5)
+		if got := o.Eval(nil, tuples(1, 2)); got != 0 {
+			t.Errorf("%v(∅) = %v, want 0", k, got)
+		}
+	}
+}
+
+func TestMonoEval(t *testing.T) {
+	// Answers {1,2,3}, U = {1}. Hamming distance on 1-column ints: distance
+	// 1 between distinct. λ=1: Fmono({1}) = 1/(3-1)·(0+1+1) = 1.
+	o := New(Mono, ConstRelevance(1), HammingDistance(), 1)
+	ans := tuples(1, 2, 3)
+	if got := o.Eval(tuples(1), ans); got != 1 {
+		t.Errorf("Fmono = %v, want 1", got)
+	}
+	// λ=0: pure relevance sum.
+	o0 := New(Mono, ConstRelevance(2), HammingDistance(), 0)
+	if got := o0.Eval(tuples(1, 2), ans); got != 4 {
+		t.Errorf("Fmono λ=0 = %v, want 4", got)
+	}
+}
+
+func TestMonoSingletonAnswerSpace(t *testing.T) {
+	// |Q(D)| = 1: normalized diversity term defined as 0.
+	o := New(Mono, ConstRelevance(3), HammingDistance(), 0.5)
+	if got := o.Eval(tuples(1), tuples(1)); got != 1.5 {
+		t.Errorf("Fmono singleton space = %v, want 1.5", got)
+	}
+}
+
+func TestMonoScoresModularity(t *testing.T) {
+	o := New(Mono, AttrRelevance(0, 1), HammingDistance(), 0.3)
+	ans := tuples(1, 2, 3, 4)
+	scores := o.MonoScores(ans)
+	// Fmono(U) must equal the sum of per-tuple scores for any U.
+	u := []relation.Tuple{ans[0], ans[2]}
+	want := scores[0] + scores[2]
+	if got := o.Eval(u, ans); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Fmono = %v, want modular sum %v", got, want)
+	}
+}
+
+func TestMaxSumDeltaConsistency(t *testing.T) {
+	o := New(MaxSum, AttrRelevance(0, 1), HammingDistance(), 0.4)
+	u := tuples(1, 2)
+	t3 := relation.Ints(3)
+	k := 3
+	full := append(append([]relation.Tuple{}, u...), t3)
+	got := o.Eval(u, nil) + o.MaxSumDelta(u, t3, k)
+	// Eval(u) uses k=len(u)=2 for the relevance scaling, so recompute the
+	// base with scaling (k-1): delta consistency holds for fixed-k scaling.
+	base := 0.0
+	for _, s := range u {
+		base += float64(k-1) * (1 - o.Lambda) * o.Rel.Rel(s)
+	}
+	base += o.Lambda * 2 * o.Dis.Dis(u[0], u[1])
+	want := o.Eval(full, nil)
+	if math.Abs(base+o.MaxSumDelta(u, t3, k)-want) > 1e-12 {
+		t.Errorf("delta-built = %v, direct = %v", base+o.MaxSumDelta(u, t3, k), want)
+	}
+	_ = got
+}
+
+// Property: λ=0 FMS reduces to scaled relevance sum; λ=1 FMS ignores
+// relevance entirely.
+func TestLambdaExtremesProperty(t *testing.T) {
+	f := func(xs [4]int64) bool {
+		u := tuples(xs[0], xs[1], xs[2], xs[3])
+		rel := AttrRelevance(0, 1)
+		dis := HammingDistance()
+		o0 := New(MaxSum, rel, dis, 0)
+		sum := 0.0
+		for _, tt := range u {
+			sum += rel.Rel(tt)
+		}
+		if math.Abs(o0.Eval(u, nil)-float64(len(u)-1)*sum) > 1e-9 {
+			return false
+		}
+		o1a := New(MaxSum, rel, dis, 1)
+		o1b := New(MaxSum, ConstRelevance(99), dis, 1)
+		return math.Abs(o1a.Eval(u, nil)-o1b.Eval(u, nil)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FMM is monotone non-increasing under adding tuples (the min can
+// only fall), for constant relevance.
+func TestMaxMinMonotoneProperty(t *testing.T) {
+	f := func(xs []int64) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		o := New(MaxMin, ConstRelevance(1), EuclideanDistance(), 1)
+		u := tuples(xs...)
+		return o.Eval(u, nil) <= o.Eval(u[:len(u)-1], nil)+1e-9 || len(u[:len(u)-1]) < 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Fmono is modular — Eval(U) equals the sum of MonoScores.
+func TestMonoModularProperty(t *testing.T) {
+	f := func(xs [5]int64, pick [5]bool) bool {
+		ans := tuples(xs[0], xs[1], xs[2], xs[3], xs[4])
+		// Deduplicate answers (answer sets are sets).
+		seen := map[string]bool{}
+		var uniq []relation.Tuple
+		for _, tt := range ans {
+			if !seen[tt.Key()] {
+				seen[tt.Key()] = true
+				uniq = append(uniq, tt)
+			}
+		}
+		o := New(Mono, AttrRelevance(0, 1), HammingDistance(), 0.5)
+		scores := o.MonoScores(uniq)
+		var u []relation.Tuple
+		want := 0.0
+		for i, tt := range uniq {
+			if pick[i%len(pick)] {
+				u = append(u, tt)
+				want += scores[i]
+			}
+		}
+		return math.Abs(o.Eval(u, uniq)-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package online embeds diversification in query evaluation, the paper's
+// Section 1 motivation for taking (Q, D) rather than the materialized
+// result Q(D) as input: "we want to combine the two steps by embedding
+// diversification in query evaluation, and stop as soon as top-ranked
+// results are found (i.e., early termination), rather than to retrieve
+// entire Q(D) in advance".
+//
+// Two procedures are provided. QRD streams answers out of the evaluator
+// and stops — with a verified witness — as soon as the answers seen so far
+// already contain a valid k-set, falling back to an exact verdict on the
+// full answer set only when no early witness appears. Diversify maintains
+// an anytime k-set by greedy insertion and single-tuple swaps as answers
+// arrive, so a selection is available at any point of the evaluation.
+//
+// Early termination is sound for FMS and FMM, whose value depends only on
+// the selected set. It is unsound for Fmono, whose diversity term averages
+// distances over the entire Q(D) (the same asymmetry that makes
+// QRD(CQ, Fmono) PSPACE-complete, Theorem 5.2); both procedures reject
+// mono-objective instances.
+package online
+
+import (
+	"errors"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/objective"
+	"repro/internal/query/eval"
+	"repro/internal/relation"
+	"repro/internal/solver"
+)
+
+// ErrMono is returned for mono-objective instances: Fmono needs all of
+// Q(D), so no early termination is possible.
+var ErrMono = errors.New("online: Fmono depends on the entire Q(D); early termination is unsound")
+
+// ErrConstrained is returned when compatibility constraints are present;
+// the incremental witness checks do not search the constrained space.
+var ErrConstrained = errors.New("online: compatibility constraints require the exact constrained solvers")
+
+// Result is the outcome of an online procedure.
+type Result struct {
+	// Exists and Witness/Value answer QRD as solver.QRDExact would.
+	Exists  bool
+	Witness []relation.Tuple
+	Value   float64
+	// Seen counts the answers materialized before the procedure stopped.
+	Seen int
+	// Exhausted reports whether the full Q(D) was enumerated; false means
+	// the procedure terminated early.
+	Exhausted bool
+}
+
+// Options tune the online procedures.
+type Options struct {
+	// CheckInterval is how many new answers arrive between witness checks
+	// in QRD; 1 checks after every answer. Zero means the default of 1.
+	CheckInterval int
+}
+
+func (o Options) interval() int {
+	if o.CheckInterval <= 0 {
+		return 1
+	}
+	return o.CheckInterval
+}
+
+// supported rejects settings where streaming is unsound or unsupported.
+func supported(in *core.Instance) error {
+	if in.Obj.Kind == objective.Mono {
+		return ErrMono
+	}
+	if in.Sigma.Len() > 0 {
+		return ErrConstrained
+	}
+	return nil
+}
+
+// poolInstance wraps the streamed prefix as an instance whose Answers()
+// are exactly the pool, so the pool can be handed to the offline solvers.
+func poolInstance(in *core.Instance, pool []relation.Tuple) *core.Instance {
+	shadow := &core.Instance{Query: in.Query, DB: in.DB, Obj: in.Obj, K: in.K, B: in.B}
+	shadow.SetAnswers(pool)
+	return shadow
+}
+
+// QRD decides whether a valid set for (Q, D, k, F, B) exists, stopping
+// evaluation as soon as the streamed prefix of Q(D) contains one. Witness
+// checks run a greedy probe on the pool every opts.CheckInterval answers;
+// a greedy set reaching B is verified against F and returned immediately.
+// If the stream ends without an early witness, the exact solver settles
+// the verdict on the complete answer set, so QRD agrees with
+// solver.QRDExact in every case.
+func QRD(in *core.Instance, opts Options) (Result, error) {
+	if err := supported(in); err != nil {
+		return Result{}, err
+	}
+	interval := opts.interval()
+
+	var res Result
+	var pool []relation.Tuple
+	sinceCheck := 0
+	ev := eval.New(in.Query, in.DB)
+	ev.Stream(func(t relation.Tuple) bool {
+		pool = append(pool, t.Clone())
+		res.Seen++
+		sinceCheck++
+		if len(pool) < in.K || sinceCheck < interval {
+			return true
+		}
+		sinceCheck = 0
+		probe := approx.Greedy(poolInstance(in, pool))
+		if len(probe.Set) == in.K {
+			// Verify directly against F: the greedy value is trusted only
+			// after re-evaluation, keeping the early exit sound.
+			if v := in.Obj.Eval(probe.Set, pool); v >= in.B {
+				res.Exists = true
+				res.Witness = probe.Set
+				res.Value = v
+				return false // stop the evaluator: early termination
+			}
+		}
+		return true
+	})
+	if res.Exists {
+		return res, nil
+	}
+
+	// No early witness: the pool now holds all of Q(D); decide exactly.
+	res.Exhausted = true
+	exact := solver.QRDExact(poolInstance(in, pool))
+	res.Exists = exact.Exists
+	res.Witness = exact.Witness
+	res.Value = exact.Value
+	return res, nil
+}
+
+// Diversify maintains an anytime selection while streaming Q(D): each new
+// answer joins the set while it has fewer than k members, and afterwards
+// replaces the member whose exchange most improves F, if any improves it.
+// The final set is a locally swap-optimal selection of the full answer
+// stream — the online counterpart of approx.LocalSearchSwap. Seen always
+// equals |Q(D)| (the stream is consumed fully); the point is that a valid
+// selection was available throughout.
+func Diversify(in *core.Instance) (Result, error) {
+	if err := supported(in); err != nil {
+		return Result{}, err
+	}
+
+	var res Result
+	var set []relation.Tuple
+	ev := eval.New(in.Query, in.DB)
+	ev.Stream(func(t relation.Tuple) bool {
+		res.Seen++
+		t = t.Clone()
+		if len(set) < in.K {
+			set = append(set, t)
+			return true
+		}
+		cur := in.Obj.Eval(set, nil)
+		bestIdx, bestVal := -1, cur
+		for i := range set {
+			old := set[i]
+			set[i] = t
+			if v := in.Obj.Eval(set, nil); v > bestVal {
+				bestIdx, bestVal = i, v
+			}
+			set[i] = old
+		}
+		if bestIdx >= 0 {
+			set[bestIdx] = t
+		}
+		return true
+	})
+	res.Exhausted = true
+	if len(set) < in.K {
+		return res, nil // fewer than k answers: no candidate set
+	}
+	res.Exists = true
+	res.Witness = set
+	res.Value = in.Obj.Eval(set, nil)
+	return res, nil
+}

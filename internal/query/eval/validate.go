@@ -1,0 +1,59 @@
+// Query/database compatibility checks, surfaced as errors before
+// evaluation. The evaluator itself treats a mismatched atom as an internal
+// invariant violation (panic); callers that accept user input validate
+// first.
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Validate reports whether q can be evaluated over db: every relation atom
+// must reference an existing relation with matching arity. (An unknown
+// relation is an error rather than an empty answer: in the facade's usage a
+// missing table is a user mistake, not a semantic choice.)
+func Validate(q *query.Query, db *relation.Database) error {
+	return validateFormula(q.Body, db)
+}
+
+func validateFormula(f query.Formula, db *relation.Database) error {
+	switch n := f.(type) {
+	case *query.Atom:
+		rel := db.Relation(n.Rel)
+		if rel == nil {
+			return fmt.Errorf("eval: query references unknown relation %q", n.Rel)
+		}
+		if got, want := len(n.Args), rel.Schema().Arity(); got != want {
+			return fmt.Errorf("eval: atom %s has %d arguments, relation %q has arity %d",
+				n.Rel, got, n.Rel, want)
+		}
+		return nil
+	case *query.Cmp:
+		return nil
+	case *query.And:
+		for _, g := range n.Fs {
+			if err := validateFormula(g, db); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *query.Or:
+		for _, g := range n.Fs {
+			if err := validateFormula(g, db); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *query.Not:
+		return validateFormula(n.F, db)
+	case *query.Exists:
+		return validateFormula(n.F, db)
+	case *query.ForAll:
+		return validateFormula(n.F, db)
+	default:
+		return fmt.Errorf("eval: unknown formula %T", f)
+	}
+}

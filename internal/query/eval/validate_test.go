@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := randomJoinDB(rng, 5, 3)
+	for trial := 0; trial < 12; trial++ {
+		q := randomQuery(rng)
+		if err := Validate(q, db); err != nil {
+			t.Errorf("well-formed query rejected: %v (%s)", err, q)
+		}
+	}
+}
+
+func TestValidateRejectsUnknownRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := randomJoinDB(rng, 5, 3)
+	q := query.MustNew("Q", []string{"x"},
+		&query.Atom{Rel: "Nope", Args: []query.Term{query.V("x")}})
+	err := Validate(q, db)
+	if err == nil || !strings.Contains(err.Error(), "unknown relation") {
+		t.Errorf("unknown relation not rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsArityMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := randomJoinDB(rng, 5, 3)
+	q := query.MustNew("Q", []string{"x"},
+		&query.Atom{Rel: "R", Args: []query.Term{query.V("x")}}) // R is binary
+	err := Validate(q, db)
+	if err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Errorf("arity mismatch not rejected: %v", err)
+	}
+}
+
+func TestValidateDescendsIntoComposites(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db := randomJoinDB(rng, 5, 3)
+	bad := &query.Atom{Rel: "R", Args: []query.Term{query.V("x")}}
+	shapes := []query.Formula{
+		&query.And{Fs: []query.Formula{bad}},
+		&query.Or{Fs: []query.Formula{bad}},
+		&query.Not{F: bad},
+		&query.Exists{Vars: []string{"x"}, F: bad},
+		&query.ForAll{Vars: []string{"x"}, F: bad},
+	}
+	for _, f := range shapes {
+		q := query.MustNew("Q", []string{"y"}, &query.And{Fs: []query.Formula{
+			&query.Atom{Rel: "T", Args: []query.Term{query.V("y")}}, f,
+		}})
+		if Validate(q, db) == nil {
+			t.Errorf("mismatch not caught under %T", f)
+		}
+	}
+}

@@ -1,0 +1,442 @@
+// Package parse turns a textual rule syntax into query ASTs. The syntax
+// covers all four languages of the paper:
+//
+//	Q(x, y) :- R(x, z), S(z, y), x < 5                         (CQ)
+//	Q(x) :- R(x) or S(x)                                       (UCQ)
+//	Q(x) :- exists y (R(x, y) and (S(y) or T(y)))              (∃FO+)
+//	Q(n) :- C(n, p), p >= 20, not exists b (H(n, b), b = 1)    (FO)
+//
+// Connectives: "," / "and" / "&" for conjunction, "or" / "|" for
+// disjunction, "not" / "!" for negation, "implies" / "->" for implication
+// (desugared to not/or), and "exists v1, v2 (...)" / "forall v (...)" for
+// quantifiers. Comparisons use = != < <= > >=. Constants are integers,
+// floats, double-quoted strings, true and false.
+package parse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/query"
+	"repro/internal/value"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) ,
+	tokOp    // = != < <= > >= :- -> | & !
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(' || c == ')' || c == ',':
+			l.emit(tokPunct, string(c), 1)
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.lexNumber()
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}
+
+func (l *lexer) emit(kind tokenKind, text string, width int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: l.pos})
+	l.pos += width
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			c = l.src[l.pos]
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("parse: unterminated string at offset %d", start)
+}
+
+func (l *lexer) lexOp() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "!=", "<=", ">=", ":-", "->":
+		l.emit(tokOp, two, 2)
+		return nil
+	}
+	switch c := l.src[l.pos]; c {
+	case '=', '<', '>', '|', '&', '!':
+		l.emit(tokOp, string(c), 1)
+		return nil
+	default:
+		return fmt.Errorf("parse: unexpected character %q at offset %d", c, l.pos)
+	}
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		got := p.peek()
+		return token{}, fmt.Errorf("parse: expected %q at offset %d, got %q", text, got.pos, got.text)
+	}
+	return p.next(), nil
+}
+
+// Query parses a complete query definition "Name(v1, ..., vn) :- body".
+func Query(src string) (*query.Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, fmt.Errorf("parse: query must start with a name: %v", err)
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var head []string
+	for !p.at(tokPunct, ")") {
+		v, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		head = append(head, v.text)
+		if p.at(tokPunct, ",") {
+			p.next()
+		}
+	}
+	p.next() // ')'
+	if !p.at(tokOp, ":-") && !p.at(tokOp, "=") {
+		return nil, fmt.Errorf("parse: expected :- after query head at offset %d", p.peek().pos)
+	}
+	p.next()
+	body, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("parse: trailing input at offset %d: %q", p.peek().pos, p.peek().text)
+	}
+	return query.New(name.text, head, body)
+}
+
+// MustQuery parses a query, panicking on error; for statically known text.
+func MustQuery(src string) *query.Query {
+	q, err := Query(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Formula parses a standalone formula (used by tests and the CLI).
+func Formula(src string) (query.Formula, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("parse: trailing input at offset %d: %q", p.peek().pos, p.peek().text)
+	}
+	return f, nil
+}
+
+// formula := implication (lowest precedence).
+func (p *parser) formula() (query.Formula, error) { return p.implies() }
+
+func (p *parser) implies() (query.Formula, error) {
+	left, err := p.disjunction()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokOp, "->") || p.at(tokIdent, "implies") {
+		p.next()
+		right, err := p.implies() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return &query.Or{Fs: []query.Formula{&query.Not{F: left}, right}}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) disjunction() (query.Formula, error) {
+	first, err := p.conjunction()
+	if err != nil {
+		return nil, err
+	}
+	fs := []query.Formula{first}
+	for p.at(tokOp, "|") || p.at(tokIdent, "or") {
+		p.next()
+		f, err := p.conjunction()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+	if len(fs) == 1 {
+		return first, nil
+	}
+	return &query.Or{Fs: fs}, nil
+}
+
+func (p *parser) conjunction() (query.Formula, error) {
+	first, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	fs := []query.Formula{first}
+	for p.at(tokPunct, ",") || p.at(tokOp, "&") || p.at(tokIdent, "and") {
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+	if len(fs) == 1 {
+		return first, nil
+	}
+	return &query.And{Fs: fs}, nil
+}
+
+func (p *parser) unary() (query.Formula, error) {
+	switch {
+	case p.at(tokOp, "!") || p.at(tokIdent, "not"):
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &query.Not{F: f}, nil
+	case p.at(tokIdent, "exists"), p.at(tokIdent, "forall"):
+		kw := p.next().text
+		vars, err := p.varList()
+		if err != nil {
+			return nil, err
+		}
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if kw == "exists" {
+			return &query.Exists{Vars: vars, F: f}, nil
+		}
+		return &query.ForAll{Vars: vars, F: f}, nil
+	default:
+		return p.primary()
+	}
+}
+
+// varList parses "v1, v2, ..., vk" after a quantifier keyword, stopping at
+// the formula that follows (an opening parenthesis, another quantifier or
+// negation, or the last identifier when it begins an atom).
+func (p *parser) varList() ([]string, error) {
+	var vars []string
+	for {
+		if !p.at(tokIdent, "") {
+			return nil, fmt.Errorf("parse: expected quantified variable at offset %d", p.peek().pos)
+		}
+		vars = append(vars, p.next().text)
+		if p.at(tokPunct, ",") {
+			p.next()
+			continue
+		}
+		return vars, nil
+	}
+}
+
+func (p *parser) primary() (query.Formula, error) {
+	if p.at(tokPunct, "(") {
+		p.next()
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	// Either an atom R(...) or a comparison term op term.
+	if p.at(tokIdent, "") && p.toks[p.i+1].kind == tokPunct && p.toks[p.i+1].text == "(" {
+		return p.atom()
+	}
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.cmpOp()
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	return &query.Cmp{Op: op, L: left, R: right}, nil
+}
+
+func (p *parser) atom() (query.Formula, error) {
+	name := p.next().text
+	p.next() // '('
+	var args []query.Term
+	for !p.at(tokPunct, ")") {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, t)
+		if p.at(tokPunct, ",") {
+			p.next()
+		}
+	}
+	p.next() // ')'
+	return &query.Atom{Rel: name, Args: args}, nil
+}
+
+func (p *parser) term() (query.Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokIdent:
+		p.next()
+		switch t.text {
+		case "true":
+			return query.C(value.Bool(true)), nil
+		case "false":
+			return query.C(value.Bool(false)), nil
+		}
+		return query.V(t.text), nil
+	case tokNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return query.Term{}, fmt.Errorf("parse: bad number %q at offset %d", t.text, t.pos)
+			}
+			return query.C(value.Float(f)), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return query.Term{}, fmt.Errorf("parse: bad number %q at offset %d", t.text, t.pos)
+		}
+		return query.C(value.Int(i)), nil
+	case tokString:
+		p.next()
+		return query.C(value.Str(t.text)), nil
+	default:
+		return query.Term{}, fmt.Errorf("parse: expected term at offset %d, got %q", t.pos, t.text)
+	}
+}
+
+func (p *parser) cmpOp() (query.CmpOp, error) {
+	t := p.peek()
+	if t.kind != tokOp {
+		return 0, fmt.Errorf("parse: expected comparison operator at offset %d, got %q", t.pos, t.text)
+	}
+	p.next()
+	switch t.text {
+	case "=":
+		return query.EQ, nil
+	case "!=":
+		return query.NE, nil
+	case "<":
+		return query.LT, nil
+	case "<=":
+		return query.LE, nil
+	case ">":
+		return query.GT, nil
+	case ">=":
+		return query.GE, nil
+	default:
+		return 0, fmt.Errorf("parse: %q is not a comparison operator (offset %d)", t.text, t.pos)
+	}
+}

@@ -1,0 +1,219 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestParseCQ(t *testing.T) {
+	q, err := Query("Q(x, y) :- R(x, z), S(z, y), x < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "Q" || len(q.Head) != 2 {
+		t.Errorf("head parsed wrong: %v", q)
+	}
+	if got := q.Classify(); got != query.CQ {
+		t.Errorf("Classify = %v, want CQ", got)
+	}
+}
+
+func TestParseIdentity(t *testing.T) {
+	q := MustQuery("Q(x, y) :- R(x, y)")
+	if got := q.Classify(); got != query.Identity {
+		t.Errorf("Classify = %v, want identity", got)
+	}
+}
+
+func TestParseUCQ(t *testing.T) {
+	q := MustQuery("Q(x) :- R(x) or S(x)")
+	if got := q.Classify(); got != query.UCQ {
+		t.Errorf("Classify = %v, want UCQ", got)
+	}
+}
+
+func TestParseEFOPlus(t *testing.T) {
+	q := MustQuery("Q(x) :- T(x) and (R(x) or S(x))")
+	if got := q.Classify(); got != query.EFOPlus {
+		t.Errorf("Classify = %v, want ∃FO+", got)
+	}
+}
+
+func TestParseFO(t *testing.T) {
+	q := MustQuery("Q(x) :- R(x), not S(x), forall y (R(y) -> y >= 0)")
+	if got := q.Classify(); got != query.FO {
+		t.Errorf("Classify = %v, want FO", got)
+	}
+}
+
+func TestParseQuantifiers(t *testing.T) {
+	q := MustQuery("Q(x) :- exists y, z (R(x, y, z))")
+	ex, ok := q.Body.(*query.Exists)
+	if !ok {
+		t.Fatalf("body is %T, want Exists", q.Body)
+	}
+	if len(ex.Vars) != 2 || ex.Vars[0] != "y" || ex.Vars[1] != "z" {
+		t.Errorf("quantified vars = %v", ex.Vars)
+	}
+}
+
+func TestParseImpliesDesugars(t *testing.T) {
+	f, err := Formula("R(x) -> S(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := f.(*query.Or)
+	if !ok || len(or.Fs) != 2 {
+		t.Fatalf("implies should desugar to Or, got %v", f)
+	}
+	if _, ok := or.Fs[0].(*query.Not); !ok {
+		t.Errorf("left of desugared implies should be negated, got %v", or.Fs[0])
+	}
+}
+
+func TestParseImpliesRightAssociative(t *testing.T) {
+	f, err := Formula("A(x) -> B(x) -> C(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A -> (B -> C): outer Or's second disjunct is itself an Or.
+	or := f.(*query.Or)
+	if _, ok := or.Fs[1].(*query.Or); !ok {
+		t.Errorf("implies should be right associative, got %v", f)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// and binds tighter than or.
+	f, err := Formula("A(x) or B(x) and C(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := f.(*query.Or)
+	if !ok || len(or.Fs) != 2 {
+		t.Fatalf("got %v, want top-level Or", f)
+	}
+	if _, ok := or.Fs[1].(*query.And); !ok {
+		t.Errorf("second disjunct should be And, got %v", or.Fs[1])
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	q := MustQuery(`Q(x) :- R(x, 42, 2.5, "name", true)`)
+	a := q.Body.(*query.Atom)
+	if len(a.Args) != 5 {
+		t.Fatalf("args = %v", a.Args)
+	}
+	if a.Args[1].Value.AsInt() != 42 {
+		t.Error("int constant wrong")
+	}
+	if a.Args[2].Value.AsFloat() != 2.5 {
+		t.Error("float constant wrong")
+	}
+	if a.Args[3].Value.AsString() != "name" {
+		t.Error("string constant wrong")
+	}
+	if !a.Args[4].Value.AsBool() {
+		t.Error("bool constant wrong")
+	}
+}
+
+func TestParseNegativeNumber(t *testing.T) {
+	f, err := Formula("x > -3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.(*query.Cmp)
+	if c.R.Value.AsInt() != -3 {
+		t.Errorf("got %v", c.R)
+	}
+}
+
+func TestParseComparisonOps(t *testing.T) {
+	for _, src := range []string{"x = y", "x != y", "x < y", "x <= y", "x > y", "x >= y"} {
+		f, err := Formula(src)
+		if err != nil {
+			t.Fatalf("Formula(%q): %v", src, err)
+		}
+		if _, ok := f.(*query.Cmp); !ok {
+			t.Errorf("Formula(%q) = %T, want Cmp", src, f)
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	f, err := Formula(`x = "a\"b"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.(*query.Cmp).R.Value.AsString(); got != `a"b` {
+		t.Errorf("escaped string = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                      // no name
+		"Q(x)",                  // missing :- body
+		"Q(x) :- R(x",           // unclosed paren
+		"Q(x) :- R(x) trailing", // trailing junk
+		"Q(x) :- ",              // empty body
+		`Q(x) :- x = "unterm`,   // unterminated string
+		"Q(x) :- x ~ y",         // bad operator
+		"Q(x, x) :- R(x, x)",    // repeated head var
+		"Q(y) :- R(x)",          // head var not in body
+		"Q(x) :- exists (R(x))", // missing quantified var
+	}
+	for _, src := range bad {
+		if _, err := Query(src); err == nil {
+			t.Errorf("Query(%q) should fail", src)
+		}
+	}
+}
+
+func TestMustQueryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustQuery should panic on bad input")
+		}
+	}()
+	MustQuery("not a query")
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	srcs := []string{
+		"Q(x, y) :- R(x, z), S(z, y), x < 5",
+		"Q(x) :- exists y (R(x, y) and (S(y) or T(y)))",
+		"Q(x) :- R(x), not S(x)",
+		"Q(n) :- C(n, p), p >= 20, p <= 30",
+	}
+	for _, src := range srcs {
+		q1 := MustQuery(src)
+		q2, err := Query(q1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (%q) failed: %v", src, q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip changed: %q -> %q", q1.String(), q2.String())
+		}
+		if q1.Classify() != q2.Classify() {
+			t.Errorf("round trip changed classification of %q", src)
+		}
+	}
+}
+
+func TestParseGiftQuery(t *testing.T) {
+	// Example 3.1's Q0, transliterated to the textual syntax.
+	src := `Q0(n) :- exists t, p, s (catalog(n, t, p, s) and p <= 30 and p >= 20 and
+		forall n2, b, r, g, a, x, e, y (
+			not (history(n2, b, r, g, a, x, e, y) and b = "peter" and r = "Grace" and n = n2)))`
+	q, err := Query(strings.ReplaceAll(src, "\n", " "))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Classify(); got != query.FO {
+		t.Errorf("gift query should be FO, got %v", got)
+	}
+}

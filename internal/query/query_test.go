@@ -1,0 +1,216 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func atom(rel string, vars ...string) *Atom {
+	args := make([]Term, len(vars))
+	for i, v := range vars {
+		args[i] = V(v)
+	}
+	return &Atom{Rel: rel, Args: args}
+}
+
+func TestLanguageOrderingAndNames(t *testing.T) {
+	if !FO.Includes(CQ) || CQ.Includes(FO) || !CQ.Includes(Identity) {
+		t.Error("Includes misbehaves")
+	}
+	names := map[Language]string{Identity: "identity", CQ: "CQ", UCQ: "UCQ", EFOPlus: "∃FO+", FO: "FO"}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("%d.String() = %q, want %q", l, l.String(), want)
+		}
+	}
+}
+
+func TestTermBasics(t *testing.T) {
+	v := V("x")
+	if !v.IsVar() || v.String() != "x" {
+		t.Error("variable term misbehaves")
+	}
+	c := CInt(5)
+	if c.IsVar() || c.String() != "5" {
+		t.Error("constant term misbehaves")
+	}
+	if CStr("a").String() != `"a"` {
+		t.Errorf("string constant renders as %q", CStr("a").String())
+	}
+}
+
+func TestCmpOpEval(t *testing.T) {
+	two, three := value.Int(2), value.Int(3)
+	cases := []struct {
+		op   CmpOp
+		a, b value.Value
+		want bool
+	}{
+		{EQ, two, two, true}, {EQ, two, three, false},
+		{NE, two, three, true}, {NE, two, two, false},
+		{LT, two, three, true}, {LT, three, two, false},
+		{LE, two, two, true}, {LE, three, two, false},
+		{GT, three, two, true}, {GT, two, two, false},
+		{GE, two, two, true}, {GE, two, three, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	// exists y (R(x, y) and y < z)
+	f := &Exists{Vars: []string{"y"}, F: &And{Fs: []Formula{
+		atom("R", "x", "y"),
+		&Cmp{Op: LT, L: V("y"), R: V("z")},
+	}}}
+	got := FreeVars(f)
+	if len(got) != 2 || got[0] != "x" || got[1] != "z" {
+		t.Errorf("FreeVars = %v, want [x z]", got)
+	}
+}
+
+func TestFreeVarsShadowing(t *testing.T) {
+	// R(x) and exists x S(x): x is free (from the first conjunct).
+	f := &And{Fs: []Formula{
+		atom("R", "x"),
+		&Exists{Vars: []string{"x"}, F: atom("S", "x")},
+	}}
+	got := FreeVars(f)
+	if len(got) != 1 || got[0] != "x" {
+		t.Errorf("FreeVars = %v, want [x]", got)
+	}
+	// forall-only occurrence is bound.
+	g := &ForAll{Vars: []string{"x"}, F: atom("R", "x")}
+	if len(FreeVars(g)) != 0 {
+		t.Errorf("FreeVars(forall x R(x)) = %v, want []", FreeVars(g))
+	}
+}
+
+func TestNewValidatesHead(t *testing.T) {
+	if _, err := New("Q", []string{"x", "x"}, atom("R", "x")); err == nil {
+		t.Error("expected error for repeated head variable")
+	}
+	if _, err := New("Q", []string{"y"}, atom("R", "x")); err == nil {
+		t.Error("expected error for head variable not free in body")
+	}
+	if _, err := New("Q", []string{"x"}, atom("R", "x")); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+}
+
+func TestIdentityQueryConstruction(t *testing.T) {
+	q := IdentityQuery("R", 3)
+	if q.Arity() != 3 {
+		t.Errorf("arity = %d", q.Arity())
+	}
+	if q.Classify() != Identity {
+		t.Errorf("Classify = %v, want identity", q.Classify())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cq := MustNew("Q", []string{"x"}, &Exists{Vars: []string{"y"}, F: &And{Fs: []Formula{
+		atom("R", "x", "y"), &Cmp{Op: LT, L: V("x"), R: CInt(5)},
+	}}})
+	ucq := MustNew("Q", []string{"x"}, &Or{Fs: []Formula{atom("R", "x"), atom("S", "x")}})
+	efo := MustNew("Q", []string{"x"}, &And{Fs: []Formula{
+		atom("R", "x"),
+		&Or{Fs: []Formula{atom("S", "x"), atom("T", "x")}},
+	}})
+	fo := MustNew("Q", []string{"x"}, &And{Fs: []Formula{
+		atom("R", "x"), &Not{F: atom("S", "x")},
+	}})
+	forall := MustNew("Q", []string{"x"}, &And{Fs: []Formula{
+		atom("R", "x"),
+		&ForAll{Vars: []string{"y"}, F: atom("R", "y")},
+	}})
+
+	cases := []struct {
+		q    *Query
+		want Language
+	}{
+		{IdentityQuery("R", 2), Identity},
+		{cq, CQ},
+		{ucq, UCQ},
+		{efo, EFOPlus},
+		{fo, FO},
+		{forall, FO},
+	}
+	for _, c := range cases {
+		if got := c.q.Classify(); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestClassifyIdentityRequiresExactShape(t *testing.T) {
+	// Head order differs from atom order: a projection/permutation, not identity.
+	q := MustNew("Q", []string{"y", "x"}, atom("R", "x", "y"))
+	if q.Classify() != CQ {
+		t.Errorf("permuted head should classify as CQ, got %v", q.Classify())
+	}
+	// Constant in atom: selection, not identity.
+	q2 := MustNew("Q", []string{"x"}, &Atom{Rel: "R", Args: []Term{V("x"), CInt(1)}})
+	if q2.Classify() != CQ {
+		t.Errorf("selection should classify as CQ, got %v", q2.Classify())
+	}
+}
+
+func TestExistsOverUnionIsUCQ(t *testing.T) {
+	q := MustNew("Q", []string{"x"}, &Exists{Vars: []string{"y"}, F: &Or{Fs: []Formula{
+		atom("R", "x", "y"), atom("S", "x", "y"),
+	}}})
+	if got := q.Classify(); got != UCQ {
+		t.Errorf("Classify = %v, want UCQ", got)
+	}
+	// Conjunction above a disjunction is ∃FO+ but not UCQ (not a union of CQs
+	// syntactically).
+	q2 := MustNew("Q", []string{"x"}, &And{Fs: []Formula{
+		atom("T", "x"),
+		&Or{Fs: []Formula{atom("R", "x"), atom("S", "x")}},
+	}})
+	if got := q2.Classify(); got != EFOPlus {
+		t.Errorf("Classify = %v, want ∃FO+", got)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	q := MustNew("Q", []string{"x"}, &And{Fs: []Formula{
+		&Atom{Rel: "R", Args: []Term{V("x"), CInt(7)}},
+		&Cmp{Op: GE, L: V("x"), R: CInt(3)},
+		&Not{F: &Atom{Rel: "S", Args: []Term{CStr("a")}}},
+	}})
+	consts := q.Constants()
+	if len(consts) != 3 {
+		t.Fatalf("Constants = %v, want 3 values", consts)
+	}
+	if consts[0].AsInt() != 3 || consts[1].AsInt() != 7 || consts[2].AsString() != "a" {
+		t.Errorf("Constants = %v", consts)
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := MustNew("Q", []string{"x"}, &And{Fs: []Formula{
+		atom("R", "x"),
+		&Cmp{Op: LT, L: V("x"), R: CInt(5)},
+	}})
+	want := "Q(x) :- (R(x) and x < 5)"
+	if got := q.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	f := &ForAll{Vars: []string{"y"}, F: &Or{Fs: []Formula{
+		&Not{F: atom("R", "y")},
+		&Exists{Vars: []string{"z"}, F: atom("S", "y", "z")},
+	}}}
+	want := "forall y ((not R(y) or exists z (S(y, z))))"
+	if got := f.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,86 @@
+package reduction
+
+import (
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/objective"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/sat"
+	"repro/internal/value"
+)
+
+// witnessSchema is the fixed result schema of the Theorem 9.3
+// demonstration: one row per (clause, literal) pair, read as "setting var to
+// val witnesses clause cid".
+var witnessSchema = relation.NewSchema("RW3", "cid", "var", "val")
+
+// ConstrainedSigma returns the fixed constraint set Σ of the Theorem 9.3 /
+// Corollary 9.4 demonstration — independent of the input formula, as data
+// complexity demands:
+//
+//	ρcons:  chosen witnesses are consistent — two rows on the same
+//	        variable agree on its value.
+//	ρone:   at most one row per clause — two rows with the same cid agree
+//	        on variable and value (i.e. coincide).
+//
+// Both are width-2 constraints of C2, validated in PTIME.
+func ConstrainedSigma() *compat.Set {
+	s := compat.NewSet(2)
+	s.MustAdd(compat.MustParse(`forall t1, t2 (t1.var = t2.var -> t1.val = t2.val)`))
+	s.MustAdd(compat.MustParse(`forall t1, t2 (t1.cid = t2.cid -> t1.var = t2.var, t1.val = t2.val)`))
+	return s
+}
+
+// HardConstrainedRefutation builds a refutation family for the Theorem 9.3
+// cell with a controllable blow-up: clauses C1..Cn are independent binary
+// choices (ai ∨ bi) over fresh variables, and the final two clauses demand
+// z and ¬z. The instance is unsatisfiable, so QRD must answer "no", and the
+// constrained search has to run through all 2^n consistent witness
+// combinations of the choice clauses before the contradiction — the
+// database grows linearly (2n+2 rows) while refutation cost doubles per
+// row pair, the data-complexity shape the theorem proves.
+func HardConstrainedRefutation(n int) *core.Instance {
+	f := &sat.CNF{NumVars: 2*n + 1}
+	for i := 0; i < n; i++ {
+		a, b := 1+2*i, 2+2*i
+		f.Clauses = append(f.Clauses, sat.Clause{a, b})
+	}
+	z := 2*n + 1
+	f.Clauses = append(f.Clauses, sat.Clause{z}, sat.Clause{-z})
+	return ThreeSATToConstrainedQRD(f)
+}
+
+// ThreeSATToConstrainedQRD demonstrates Theorem 9.3 and Corollary 9.4: with
+// the FIXED identity query over RW3 and the FIXED constraint set
+// ConstrainedSigma, QRD under Fmono — a PTIME cell without constraints
+// (Thm 5.4, Cor 8.1) — decides 3SAT when only the database varies.
+//
+// The database holds one row (i, v, b) per literal occurrence: choosing it
+// asserts variable v takes value b and thereby satisfies clause i. With
+// k = |clauses|, B = 0 and a trivial objective, a valid set exists iff a
+// system of one-witness-per-clause, variable-consistent choices exists —
+// iff f is satisfiable.
+func ThreeSATToConstrainedQRD(f *sat.CNF) *core.Instance {
+	r := relation.NewRelation(witnessSchema)
+	for i, c := range f.Clauses {
+		for _, lit := range c {
+			v, b := lit, int64(1)
+			if v < 0 {
+				v, b = -v, 0
+			}
+			r.Insert(relation.Tuple{
+				value.Int(int64(i + 1)), value.Int(int64(v)), value.Int(b),
+			})
+		}
+	}
+	db := relation.NewDatabase().Add(r)
+	return &core.Instance{
+		Query: query.IdentityQueryNamed("RW3", witnessSchema.Attrs),
+		DB:    db,
+		Obj:   objective.New(objective.Mono, objective.ConstRelevance(1), objective.ZeroDistance(), 0),
+		K:     len(f.Clauses),
+		B:     0,
+		Sigma: ConstrainedSigma(),
+	}
+}

@@ -1,0 +1,135 @@
+// Package reduction implements the paper's lower-bound proofs as executable
+// instance constructions. Each theorem's reduction becomes a function from
+// the source problem (a 3SAT/Q3SAT/#SAT/#QBF/#SSP instance or an
+// FO-membership triple) to a diversification instance, with the proof's
+// "if and only if" checked by the package tests on bounded inputs:
+//
+//	Thm 5.1  3SAT          → QRD(CQ, FMS) and QRD(CQ, FMM)      threesat.go
+//	Thm 5.1  FO-membership → QRD(FO, FMS) and QRD(FO, FMM)      membership.go
+//	Thm 5.2  Q3SAT         → QRD(CQ, Fmono)  (Lemma 5.3)        q3sat.go
+//	Thm 6.1  co-3SAT       → DRP(CQ, FMS) and DRP(CQ, FMM)      threesat.go
+//	Thm 6.1  FO-membership → DRP(FO, FMS/FMM)                   membership.go
+//	Thm 6.2  Q3SAT         → DRP(CQ, Fmono)  (Lemma 6.3)        q3sat.go
+//	Thm 7.1  #Σ1SAT        → RDC(CQ, FMS/FMM)                   sigma1.go
+//	Thm 7.2  #QBF          → RDC(CQ, Fmono)  (Lemma 7.3)        q3sat.go
+//	Thm 7.4  #SAT          → RDC(CQ, FMS/FMM) (data)            threesat.go
+//	Lem 7.6  #SSP          → #SSPk                              subsetsum.go
+//	Thm 7.5  #SSPk         → RDC(CQ, Fmono) (Turing)            subsetsum.go
+//	Thm 9.3  3SAT          → QRD(identity, Fmono, Σ) (data)     constraints.go
+//
+// This file holds the shared Boolean gadgets of Figure 5 — the relations
+// I01, I∨, I∧ and I¬ that encode the Boolean domain and the logical
+// connectives — and the truth-assignment cube query of Theorem 5.2.
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Gadget relation names, kept distinctive to avoid clashing with user
+// relations when a reduction extends an existing database.
+const (
+	RelBool = "R01"  // R01(X):       the Boolean domain {0, 1}
+	RelOr   = "ROR"  // ROR(B,A1,A2): B = A1 ∨ A2
+	RelAnd  = "RAND" // RAND(B,A1,A2): B = A1 ∧ A2
+	RelNot  = "RNOT" // RNOT(A,NA):   NA = ¬A
+)
+
+// BoolRelation builds I01 = {(0), (1)} of Figure 5.
+func BoolRelation() *relation.Relation {
+	r := relation.NewRelation(relation.NewSchema(RelBool, "X"))
+	r.InsertAll(relation.Ints(0), relation.Ints(1))
+	return r
+}
+
+// OrRelation builds I∨ of Figure 5: all (b, a1, a2) with b = a1 ∨ a2.
+func OrRelation() *relation.Relation {
+	r := relation.NewRelation(relation.NewSchema(RelOr, "B", "A1", "A2"))
+	for a1 := int64(0); a1 <= 1; a1++ {
+		for a2 := int64(0); a2 <= 1; a2++ {
+			b := a1 | a2
+			r.Insert(relation.Ints(b, a1, a2))
+		}
+	}
+	return r
+}
+
+// AndRelation builds I∧ of Figure 5: all (b, a1, a2) with b = a1 ∧ a2.
+func AndRelation() *relation.Relation {
+	r := relation.NewRelation(relation.NewSchema(RelAnd, "B", "A1", "A2"))
+	for a1 := int64(0); a1 <= 1; a1++ {
+		for a2 := int64(0); a2 <= 1; a2++ {
+			b := a1 & a2
+			r.Insert(relation.Ints(b, a1, a2))
+		}
+	}
+	return r
+}
+
+// NotRelation builds I¬ of Figure 5: {(0,1), (1,0)}.
+func NotRelation() *relation.Relation {
+	r := relation.NewRelation(relation.NewSchema(RelNot, "A", "NA"))
+	r.InsertAll(relation.Ints(0, 1), relation.Ints(1, 0))
+	return r
+}
+
+// GadgetDatabase bundles the four Figure 5 relations into one database.
+func GadgetDatabase() *relation.Database {
+	return relation.NewDatabase().
+		Add(BoolRelation()).
+		Add(OrRelation()).
+		Add(AndRelation()).
+		Add(NotRelation())
+}
+
+// CubeQuery builds the CQ of Theorem 5.2,
+// Q(x1..xm) = R01(x1) ∧ ... ∧ R01(xm), which generates all 2^m truth
+// assignments of m Boolean variables.
+func CubeQuery(m int) *query.Query {
+	head := make([]string, m)
+	fs := make([]query.Formula, m)
+	for i := 0; i < m; i++ {
+		head[i] = fmt.Sprintf("x%d", i+1)
+		fs[i] = &query.Atom{Rel: RelBool, Args: []query.Term{query.V(head[i])}}
+	}
+	var body query.Formula = &query.And{Fs: fs}
+	if m == 1 {
+		body = fs[0]
+	}
+	return query.MustNew("Cube", head, body)
+}
+
+// bits decodes a Boolean tuple into a []bool assignment (1 = true).
+func bits(t relation.Tuple) []bool {
+	out := make([]bool, len(t))
+	for i, v := range t {
+		out[i] = v.AsInt() != 0
+	}
+	return out
+}
+
+// boolTuple encodes a []bool assignment as a Boolean tuple.
+func boolTuple(bs []bool) relation.Tuple {
+	t := make(relation.Tuple, len(bs))
+	for i, b := range bs {
+		if b {
+			t[i] = relation.Ints(1)[0]
+		} else {
+			t[i] = relation.Ints(0)[0]
+		}
+	}
+	return t
+}
+
+// commonPrefix returns the length of the longest common prefix of two
+// equal-arity Boolean tuples.
+func commonPrefix(a, b []bool) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}

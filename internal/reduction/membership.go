@@ -1,0 +1,142 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/objective"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// extendWithBool clones db and adds the Boolean gadget relation I01,
+// rejecting databases that already define it.
+func extendWithBool(db *relation.Database) (*relation.Database, error) {
+	if db.Relation(RelBool) != nil {
+		return nil, fmt.Errorf("reduction: database already defines %s", RelBool)
+	}
+	out := db.Clone()
+	out.Add(BoolRelation())
+	return out, nil
+}
+
+// MembershipToQRDFO performs the Theorem 5.1 FO-case reduction: given an
+// instance (Q, D, s) of the FO membership problem, it builds a
+// QRD(FO, FMS) or QRD(FO, FMM) instance over D' = (D, I01) and
+// Q'(x̄, c) = Q(x̄) ∧ R01(c), with δrel marking (s, 1), δdis ≡ 0 and λ = 0,
+// such that s ∈ Q(D) iff a valid set exists. maxMin selects the FMM
+// variant (k = 1); otherwise FMS with k = 2.
+func MembershipToQRDFO(q *query.Query, db *relation.Database, s relation.Tuple, maxMin bool) (*core.Instance, error) {
+	if len(s) != q.Arity() {
+		return nil, fmt.Errorf("reduction: tuple arity %d does not match query arity %d", len(s), q.Arity())
+	}
+	db2, err := extendWithBool(db)
+	if err != nil {
+		return nil, err
+	}
+	cVar := freshVar("c", q.Head)
+	head := append(append([]string(nil), q.Head...), cVar)
+	body := &query.And{Fs: []query.Formula{
+		q.Body,
+		&query.Atom{Rel: RelBool, Args: []query.Term{query.V(cVar)}},
+	}}
+	qPrime := query.MustNew(q.Name+"_prime", head, body)
+
+	marked := append(s.Clone(), value.Int(1))
+	rel := (&objective.TableRelevance{Default: 0}).Set(marked, 1)
+	kind, k := objective.MaxSum, 2
+	if maxMin {
+		kind, k = objective.MaxMin, 1
+	}
+	return &core.Instance{
+		Query: qPrime,
+		DB:    db2,
+		Obj:   objective.New(kind, rel, objective.ZeroDistance(), 0),
+		K:     k,
+		B:     1,
+	}, nil
+}
+
+// MembershipToDRPFO performs the Theorem 6.1 FO-case reduction from the
+// complement of the membership problem: over D' = (D, I01) and
+//
+//	Q'(x̄, z, c) = (Q(x̄) ∨ (R01(z) ∧ z = 1)) ∧ R01(c)
+//
+// with δrel scoring (s,0,·) rows 3, (s,1,·) rows 2 and everything else 1,
+// s ∉ Q(D) iff rank(U) ≤ r = 1, where U = {(s,1,1),(s,1,0)} for FMS
+// (k = 2) and U = {(s,1,1)} for FMM (k = 1).
+//
+// The construction requires every value of s to occur in the active domain
+// of D' ∪ Q (otherwise (s,1,·) ∉ Q'(D') under active-domain semantics and U
+// would not be a candidate set); an error is returned if it does not.
+func MembershipToDRPFO(q *query.Query, db *relation.Database, s relation.Tuple, maxMin bool) (*core.Instance, error) {
+	if len(s) != q.Arity() {
+		return nil, fmt.Errorf("reduction: tuple arity %d does not match query arity %d", len(s), q.Arity())
+	}
+	db2, err := extendWithBool(db)
+	if err != nil {
+		return nil, err
+	}
+	adom := map[string]bool{}
+	for _, v := range db2.ActiveDomain() {
+		adom[v.Key()] = true
+	}
+	for _, v := range q.Constants() {
+		adom[v.Key()] = true
+	}
+	for _, v := range s {
+		if !adom[v.Key()] {
+			return nil, fmt.Errorf("reduction: value %v of s is outside the active domain", v)
+		}
+	}
+	zVar := freshVar("z", q.Head)
+	cVar := freshVar("c", append(q.Head, zVar))
+	head := append(append([]string(nil), q.Head...), zVar, cVar)
+	body := &query.And{Fs: []query.Formula{
+		&query.Or{Fs: []query.Formula{
+			q.Body,
+			&query.And{Fs: []query.Formula{
+				&query.Atom{Rel: RelBool, Args: []query.Term{query.V(zVar)}},
+				&query.Cmp{Op: query.EQ, L: query.V(zVar), R: query.CInt(1)},
+			}},
+		}},
+		&query.Atom{Rel: RelBool, Args: []query.Term{query.V(cVar)}},
+	}}
+	qPrime := query.MustNew(q.Name+"_prime", head, body)
+
+	rel := &objective.TableRelevance{Default: 1}
+	withZC := func(z, c int64) relation.Tuple {
+		return append(s.Clone(), value.Int(z), value.Int(c))
+	}
+	rel.Set(withZC(0, 1), 3).Set(withZC(0, 0), 3)
+	rel.Set(withZC(1, 1), 2).Set(withZC(1, 0), 2)
+
+	kind, k := objective.MaxSum, 2
+	u := []relation.Tuple{withZC(1, 1), withZC(1, 0)}
+	if maxMin {
+		kind, k = objective.MaxMin, 1
+		u = u[:1]
+	}
+	return &core.Instance{
+		Query: qPrime,
+		DB:    db2,
+		Obj:   objective.New(kind, rel, objective.ZeroDistance(), 0),
+		K:     k,
+		R:     1,
+		U:     u,
+	}, nil
+}
+
+// freshVar returns base with a suffix avoiding collisions with taken names.
+func freshVar(base string, taken []string) string {
+	used := make(map[string]bool, len(taken))
+	for _, t := range taken {
+		used[t] = true
+	}
+	name := base
+	for i := 0; used[name]; i++ {
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+	return name
+}

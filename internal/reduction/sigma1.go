@@ -1,0 +1,184 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/objective"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/sat"
+)
+
+// SigmaSATToRDC performs the Theorem 7.1 parsimonious reduction from
+// #Σ1SAT: given ϕ(X, Y) = ∃X ψ(X, Y), it builds an RDC(CQ, F) instance
+// over the Figure 5 gadget database whose valid-set count equals the number
+// of Y-assignments satisfying ϕ.
+//
+// The CQ computes Q(ȳ, z, a): ȳ and z range over the Boolean domain and a
+// is the circuit output of ϕ'(ȳ) = ∃x̄ ((ψ(x̄, ȳ) ∨ z) ∧ ¬z), wired from the
+// I∨, I∧ and I¬ gate relations. With λ = 0:
+//
+//	FMS variant: δrel(ȳ,0,1) = 1, δrel(anchor) = 2 for the always-present
+//	             anchor (1,...,1, z=1, a=0), else 0; k = 2, B = 3 — valid
+//	             sets pair the anchor with a satisfying (ȳ, 0, 1).
+//	FMM variant: δrel(ȳ,0,1) = 1 else 0; k = 1, B = 1 — valid sets are the
+//	             satisfying singletons.
+//
+// xVars and yVars partition the variables of ψ.
+func SigmaSATToRDC(psi *sat.CNF, xVars, yVars []int, maxMin bool) (*core.Instance, error) {
+	inX := make(map[int]bool, len(xVars))
+	for _, v := range xVars {
+		inX[v] = true
+	}
+	inY := make(map[int]bool, len(yVars))
+	for _, v := range yVars {
+		if inX[v] {
+			return nil, fmt.Errorf("reduction: variable %d in both X and Y", v)
+		}
+		inY[v] = true
+	}
+	for _, v := range psi.Vars() {
+		if !inX[v] && !inY[v] {
+			return nil, fmt.Errorf("reduction: variable %d not assigned to X or Y", v)
+		}
+	}
+
+	b := newCircuitBuilder()
+	// Domain atoms: every variable of X and Y ranges over {0, 1}.
+	for _, v := range xVars {
+		b.atom(RelBool, b.varName(v))
+	}
+	for _, v := range yVars {
+		b.atom(RelBool, b.varName(v))
+	}
+	b.atom(RelBool, "z")
+	psiOut, err := b.wireCNF(psi)
+	if err != nil {
+		return nil, err
+	}
+	// ϕ' = (ψ ∨ z) ∧ ¬z.
+	orZ := b.fresh("pz")
+	b.atom(RelOr, orZ, psiOut, "z")
+	notZ := b.fresh("nz")
+	b.atom(RelNot, "z", notZ)
+	b.atom(RelAnd, "a", orZ, notZ)
+
+	head := make([]string, 0, len(yVars)+2)
+	for _, v := range yVars {
+		head = append(head, b.varName(v))
+	}
+	head = append(head, "z", "a")
+	q := query.MustNew("SigmaQ", head, &query.And{Fs: b.formulas})
+
+	n := len(yVars)
+	isSat := func(t relation.Tuple) bool {
+		// (ȳ, z=0, a=1)
+		return t[n].AsInt() == 0 && t[n+1].AsInt() == 1
+	}
+	isAnchor := func(t relation.Tuple) bool {
+		for i := 0; i < n; i++ {
+			if t[i].AsInt() != 1 {
+				return false
+			}
+		}
+		return t[n].AsInt() == 1 && t[n+1].AsInt() == 0
+	}
+	in := &core.Instance{Query: q, DB: GadgetDatabase()}
+	if maxMin {
+		in.Obj = objective.New(objective.MaxMin, objective.RelevanceFunc(func(t relation.Tuple) float64 {
+			if isSat(t) {
+				return 1
+			}
+			return 0
+		}), objective.ZeroDistance(), 0)
+		in.K, in.B = 1, 1
+	} else {
+		in.Obj = objective.New(objective.MaxSum, objective.RelevanceFunc(func(t relation.Tuple) float64 {
+			switch {
+			case isSat(t):
+				return 1
+			case isAnchor(t):
+				return 2
+			default:
+				return 0
+			}
+		}), objective.ZeroDistance(), 0)
+		in.K, in.B = 2, 3
+	}
+	return in, nil
+}
+
+// CountSigmaSAT is the reference count for SigmaSATToRDC: the number of
+// Y-assignments of ψ extendable by an X-assignment to a model.
+func CountSigmaSAT(psi *sat.CNF, yVars []int) int64 {
+	return psi.CountProjected(yVars)
+}
+
+// circuitBuilder accumulates the atoms of a gate-wired CQ body.
+type circuitBuilder struct {
+	formulas []query.Formula
+	next     int
+}
+
+func newCircuitBuilder() *circuitBuilder { return &circuitBuilder{} }
+
+func (b *circuitBuilder) varName(v int) string { return fmt.Sprintf("v%d", v) }
+
+func (b *circuitBuilder) fresh(prefix string) string {
+	b.next++
+	return fmt.Sprintf("%s_%d", prefix, b.next)
+}
+
+func (b *circuitBuilder) atom(rel string, vars ...string) {
+	args := make([]query.Term, len(vars))
+	for i, v := range vars {
+		args[i] = query.V(v)
+	}
+	b.formulas = append(b.formulas, &query.Atom{Rel: rel, Args: args})
+}
+
+// literal wires a literal's value: the variable itself, or a RNOT gate
+// output for a negated variable (one gate per distinct variable, cached).
+func (b *circuitBuilder) literal(lit int, negCache map[int]string) string {
+	if lit > 0 {
+		return b.varName(lit)
+	}
+	v := -lit
+	if name, ok := negCache[v]; ok {
+		return name
+	}
+	name := b.fresh("n" + b.varName(v))
+	b.atom(RelNot, b.varName(v), name)
+	negCache[v] = name
+	return name
+}
+
+// wireCNF wires ψ's clauses through I∨ gates and its conjunction through
+// I∧ gates, returning the output variable name.
+func (b *circuitBuilder) wireCNF(psi *sat.CNF) (string, error) {
+	if len(psi.Clauses) == 0 {
+		return "", fmt.Errorf("reduction: empty CNF has no circuit")
+	}
+	negCache := make(map[int]string)
+	clauseOuts := make([]string, len(psi.Clauses))
+	for i, c := range psi.Clauses {
+		if len(c) == 0 {
+			return "", fmt.Errorf("reduction: empty clause")
+		}
+		cur := b.literal(c[0], negCache)
+		for _, lit := range c[1:] {
+			next := b.fresh("o")
+			b.atom(RelOr, next, cur, b.literal(lit, negCache))
+			cur = next
+		}
+		clauseOuts[i] = cur
+	}
+	out := clauseOuts[0]
+	for _, c := range clauseOuts[1:] {
+		next := b.fresh("p")
+		b.atom(RelAnd, next, out, c)
+		out = next
+	}
+	return out, nil
+}

@@ -1,0 +1,386 @@
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/objective"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/sat"
+	"repro/internal/value"
+)
+
+// clauseRelSchema is RC(cid, L1, V1, L2, V2, L3, V3) from the Theorem 5.1
+// proof: one row per clause per satisfying assignment of its three
+// variables.
+var clauseRelSchema = relation.NewSchema("RC", "cid", "L1", "V1", "L2", "V2", "L3", "V3")
+
+// clauseVars returns the (distinct, ordered) variables of a ternary clause,
+// padded by repeating the last variable if the clause mentions fewer than
+// three distinct ones.
+func clauseVars(c sat.Clause) [3]int {
+	var vars [3]int
+	seen := map[int]bool{}
+	n := 0
+	for _, lit := range c {
+		v := lit
+		if v < 0 {
+			v = -v
+		}
+		if !seen[v] {
+			seen[v] = true
+			vars[n] = v
+			n++
+			if n == 3 {
+				break
+			}
+		}
+	}
+	for ; n < 3; n++ {
+		vars[n] = vars[n-1]
+	}
+	return vars
+}
+
+// clauseSatisfied evaluates a clause under an assignment of its variables.
+func clauseSatisfied(c sat.Clause, a sat.Assignment) bool {
+	for _, lit := range c {
+		v, pos := lit, true
+		if v < 0 {
+			v, pos = -v, false
+		}
+		if a[v] == pos {
+			return true
+		}
+	}
+	return false
+}
+
+// clauseRelation builds the Theorem 5.1 instance relation IC for formula f:
+// for every clause Ci and every assignment µ of its variables that makes Ci
+// true, the tuple (i, x, µ(x), y, µ(y), z, µ(z)). At most 8 tuples per
+// clause (7 satisfying out of 8 for a real ternary clause).
+func clauseRelation(f *sat.CNF) *relation.Relation {
+	r := relation.NewRelation(clauseRelSchema)
+	for i, c := range f.Clauses {
+		vars := clauseVars(c)
+		for mask := 0; mask < 8; mask++ {
+			a := sat.Assignment{}
+			for b, v := range vars {
+				a[v] = mask&(1<<b) != 0
+			}
+			if !clauseSatisfied(c, a) {
+				continue
+			}
+			t := relation.Tuple{
+				value.Int(int64(i + 1)),
+				value.Int(int64(vars[0])), boolVal(a[vars[0]]),
+				value.Int(int64(vars[1])), boolVal(a[vars[1]]),
+				value.Int(int64(vars[2])), boolVal(a[vars[2]]),
+			}
+			r.Insert(t)
+		}
+	}
+	return r
+}
+
+func boolVal(b bool) value.Value {
+	if b {
+		return value.Int(1)
+	}
+	return value.Int(0)
+}
+
+// clauseTupleAssignment extracts the (variable, value) pairs of a clause
+// tuple as a partial assignment.
+func clauseTupleAssignment(t relation.Tuple) map[int]bool {
+	a := make(map[int]bool, 3)
+	for i := 1; i+1 < len(t); i += 2 {
+		a[int(t[i].AsInt())] = t[i+1].AsInt() != 0
+	}
+	return a
+}
+
+// clauseConsistentDistance is δdis of Theorem 5.1: distance 1 between tuples
+// of distinct clauses that agree on every shared variable, 0 otherwise.
+func clauseConsistentDistance() objective.Distance {
+	return objective.DistanceFunc(func(s, t relation.Tuple) float64 {
+		if s.Equal(t) || value.Equal(s[0], t[0]) {
+			return 0
+		}
+		as, at := clauseTupleAssignment(s), clauseTupleAssignment(t)
+		for v, vs := range as {
+			if vt, ok := at[v]; ok && vt != vs {
+				return 0
+			}
+		}
+		return 1
+	})
+}
+
+// ThreeSATToQRDMaxSum performs the Theorem 5.1 reduction for FMS: the
+// returned instance has a valid set iff f is satisfiable. The instance uses
+// an identity query, λ = 1, k = l and B = l(l−1) with l = |clauses|.
+func ThreeSATToQRDMaxSum(f *sat.CNF) *core.Instance {
+	l := len(f.Clauses)
+	db := relation.NewDatabase().Add(clauseRelation(f))
+	return &core.Instance{
+		Query: query.IdentityQueryNamed("RC", clauseRelSchema.Attrs),
+		DB:    db,
+		Obj:   objective.New(objective.MaxSum, objective.ConstRelevance(1), clauseConsistentDistance(), 1),
+		K:     l,
+		B:     float64(l * (l - 1)),
+	}
+}
+
+// ThreeSATToQRDMaxMin performs the Theorem 5.1 reduction for FMM: valid set
+// exists iff f is satisfiable, with B = 1 (every pair in the set must be a
+// consistent cross-clause pair).
+func ThreeSATToQRDMaxMin(f *sat.CNF) *core.Instance {
+	in := ThreeSATToQRDMaxSum(f)
+	in.Obj = objective.New(objective.MaxMin, objective.ConstRelevance(1), clauseConsistentDistance(), 1)
+	in.B = 1
+	return in
+}
+
+// SATToRDCCount performs the Theorem 7.4 data-complexity reduction: the
+// number of valid sets of the returned instance equals the number of
+// satisfying assignments of f over the variables that occur in it
+// (a parsimonious reduction from #SAT). Pass maxMin to use the FMM variant.
+func SATToRDCCount(f *sat.CNF, maxMin bool) *core.Instance {
+	if maxMin {
+		return ThreeSATToQRDMaxMin(f)
+	}
+	return ThreeSATToQRDMaxSum(f)
+}
+
+// --- Theorem 6.1: complement of 3SAT → DRP(CQ, FMS/FMM) ---
+
+// drpSchema is RC'(cid, L1, V1, L2, V2, L3, V3, Z, VZ, A) from the
+// Theorem 6.1 proof: clause rows of ϕ' = ∧(Ci ∨ z) ∧ ¬z carry the fresh
+// variable z's value and a satisfaction flag A.
+var drpSchema = relation.NewSchema("RCp",
+	"cid", "L1", "V1", "L2", "V2", "L3", "V3", "Z", "VZ", "A")
+
+// zVarName is the fresh-variable marker stored in the Z column, and eVals
+// are the distinct constants e1..e3/f1..f3 of the z̄ rows.
+const zVarName int64 = -1
+
+// drpRelation builds the instance relation for ϕ' = ∧ (Ci ∨ z) ∧ ¬z: for
+// each clause C'i = Ci ∨ z and every assignment of its three variables and
+// z, one row flagged A=1 iff the assignment satisfies C'i; plus the two
+// special rows for the final clause ¬z.
+func drpRelation(f *sat.CNF) *relation.Relation {
+	r := relation.NewRelation(drpSchema)
+	l := len(f.Clauses)
+	for i, c := range f.Clauses {
+		vars := clauseVars(c)
+		for mask := 0; mask < 16; mask++ {
+			a := sat.Assignment{}
+			for b, v := range vars {
+				a[v] = mask&(1<<b) != 0
+			}
+			zVal := mask&8 != 0
+			sat1 := clauseSatisfied(c, a) || zVal
+			t := relation.Tuple{
+				value.Int(int64(i + 1)),
+				value.Int(int64(vars[0])), boolVal(a[vars[0]]),
+				value.Int(int64(vars[1])), boolVal(a[vars[1]]),
+				value.Int(int64(vars[2])), boolVal(a[vars[2]]),
+				value.Int(zVarName), boolVal(zVal),
+				boolVal(sat1),
+			}
+			r.Insert(t)
+		}
+	}
+	// Final clause z̄: rows (l+1, e1, f1, e2, f2, e3, f3, z, 1, 0) and
+	// (l+1, ..., z, 0, 1): distinct constants ei, fi outside X ∪ {z, 0, 1}.
+	e := func(i int64) value.Value { return value.Int(-100 - i) }
+	r.Insert(relation.Tuple{
+		value.Int(int64(l + 1)), e(1), e(11), e(2), e(12), e(3), e(13),
+		value.Int(zVarName), boolVal(true), boolVal(false),
+	})
+	r.Insert(relation.Tuple{
+		value.Int(int64(l + 1)), e(1), e(11), e(2), e(12), e(3), e(13),
+		value.Int(zVarName), boolVal(false), boolVal(true),
+	})
+	return r
+}
+
+// drpTupleAssignment reads the variable/value pairs of a ϕ' row, including
+// z (keyed by zVarName) but excluding the ei marker constants.
+func drpTupleAssignment(t relation.Tuple) map[int64]bool {
+	a := make(map[int64]bool, 4)
+	for i := 1; i+1 < 9; i += 2 {
+		v := t[i].AsInt()
+		if v <= -100 {
+			continue // marker constant, not a variable
+		}
+		a[v] = t[i+1].AsInt() != 0
+	}
+	a[zVarName] = t[8].AsInt() != 0
+	return a
+}
+
+// drpDistance is δdis of Theorem 6.1: 1 between rows of distinct clauses
+// that are variable-consistent (including z) and both flagged A=1.
+func drpDistance() objective.Distance {
+	return objective.DistanceFunc(func(s, t relation.Tuple) float64 {
+		if s.Equal(t) || value.Equal(s[0], t[0]) {
+			return 0
+		}
+		if s[9].AsInt() != 1 || t[9].AsInt() != 1 {
+			return 0
+		}
+		as, at := drpTupleAssignment(s), drpTupleAssignment(t)
+		for v, vs := range as {
+			if vt, ok := at[v]; ok && vt != vs {
+				return 0
+			}
+		}
+		return 1
+	})
+}
+
+// drpAssessedSet builds the set U of the Theorem 6.1 proof: one row per
+// clause of ϕ' with every variable (and z) set to 1.
+func drpAssessedSet(f *sat.CNF, rel *relation.Relation) ([]relation.Tuple, error) {
+	l := len(f.Clauses)
+	var u []relation.Tuple
+	for i, c := range f.Clauses {
+		vars := clauseVars(c)
+		want := relation.Tuple{
+			value.Int(int64(i + 1)),
+			value.Int(int64(vars[0])), boolVal(true),
+			value.Int(int64(vars[1])), boolVal(true),
+			value.Int(int64(vars[2])), boolVal(true),
+			value.Int(zVarName), boolVal(true),
+			boolVal(true), // all-true with z=1 always satisfies Ci ∨ z
+		}
+		if !rel.Contains(want) {
+			return nil, fmt.Errorf("reduction: expected row %v missing", want)
+		}
+		u = append(u, want)
+	}
+	e := func(i int64) value.Value { return value.Int(-100 - i) }
+	zRow := relation.Tuple{
+		value.Int(int64(l + 1)), e(1), e(11), e(2), e(12), e(3), e(13),
+		value.Int(zVarName), boolVal(true), boolVal(false),
+	}
+	if !rel.Contains(zRow) {
+		return nil, fmt.Errorf("reduction: z̄ row missing")
+	}
+	return append(u, zRow), nil
+}
+
+// refVarBase marks the synthetic variables of reference rows; real variable
+// ids are positive, z is -1, marker constants are ≤ -100, reference
+// variables are ≤ -200.
+const refVarBase int64 = -200
+
+// CoThreeSATToDRPMaxSum reduces the complement of 3SAT to DRP(CQ, FMS):
+// in the returned instance, rank(U) ≤ r = 1 holds iff f is NOT satisfiable.
+// f must have at least two clauses.
+//
+// Note on fidelity: the paper's Theorem 6.1 text compares U against
+// arbitrary candidate sets and asserts every set has at most l satisfied
+// consistent rows when ϕ is unsatisfiable; that step overlooks sets whose
+// consistency graph is dense but not complete (rows of pairwise-disjoint
+// clauses with clashing assignments elsewhere can out-score U). We
+// therefore use a repaired construction with the same skeleton: D gains one
+// "reference" row per clause forming a clique of pairwise distance 1 − ε
+// with ε = 1/l², and U is that reference clique. A satisfying assignment
+// yields a real clique of pairwise distance 1, beating U; when ϕ is
+// unsatisfiable every real or mixed set loses at least one full pair and
+// stays strictly below FMS(U). The theorem's statement (coNP-hardness via
+// a fixed identity query, λ = 1, r = 1) is preserved.
+func CoThreeSATToDRPMaxSum(f *sat.CNF) (*core.Instance, error) {
+	l := len(f.Clauses)
+	if l < 2 {
+		return nil, fmt.Errorf("reduction: CoThreeSATToDRPMaxSum needs at least 2 clauses, got %d", l)
+	}
+	rel := clauseRelation(f)
+	var u []relation.Tuple
+	for i := 1; i <= l; i++ {
+		w := refVarBase - int64(i)
+		ref := relation.Tuple{
+			value.Int(int64(i)),
+			value.Int(w), boolVal(true),
+			value.Int(w), boolVal(true),
+			value.Int(w), boolVal(true),
+		}
+		rel.Insert(ref)
+		u = append(u, ref)
+	}
+	eps := 1 / float64(l*l)
+	base := clauseConsistentDistance()
+	isRef := func(t relation.Tuple) bool { return t[1].AsInt() <= refVarBase }
+	dis := objective.DistanceFunc(func(s, t relation.Tuple) float64 {
+		rs, rt := isRef(s), isRef(t)
+		switch {
+		case rs && rt:
+			if value.Equal(s[0], t[0]) {
+				return 0
+			}
+			return 1 - eps
+		case rs != rt:
+			return 0
+		default:
+			return base.Dis(s, t)
+		}
+	})
+	db := relation.NewDatabase().Add(rel)
+	return &core.Instance{
+		Query: query.IdentityQueryNamed("RC", clauseRelSchema.Attrs),
+		DB:    db,
+		Obj:   objective.New(objective.MaxSum, objective.ConstRelevance(1), dis, 1),
+		K:     l,
+		R:     1,
+		U:     u,
+	}, nil
+}
+
+// CoThreeSATToDRPMaxMin performs the paper's Theorem 6.1 reduction for FMM,
+// via ϕ' = ∧ (Ci ∨ z) ∧ ¬z: the instance relation carries every assignment
+// row of every extended clause with a satisfaction flag A, U is the all-true
+// row per clause plus the z̄ row, and δ'dis scores 2 on consistent satisfied
+// pairs outside U, 1 on pairs inside U, 0 otherwise. Since FMM takes the
+// minimum pairwise distance, a set scores 2 only if it is a full clique of
+// consistent satisfied rows outside U — which encodes a satisfying
+// assignment of ϕ with z = 0. Hence rank(U) ≤ r = 1 iff f is NOT
+// satisfiable.
+func CoThreeSATToDRPMaxMin(f *sat.CNF) (*core.Instance, error) {
+	rel := drpRelation(f)
+	db := relation.NewDatabase().Add(rel)
+	u, err := drpAssessedSet(f, rel)
+	if err != nil {
+		return nil, err
+	}
+	inU := make(map[string]bool, len(u))
+	for _, t := range u {
+		inU[t.Key()] = true
+	}
+	base := drpDistance()
+	dis := objective.DistanceFunc(func(s, t relation.Tuple) float64 {
+		if s.Equal(t) {
+			return 0
+		}
+		su, tu := inU[s.Key()], inU[t.Key()]
+		if su && tu {
+			return 1
+		}
+		if !su && !tu && base.Dis(s, t) == 1 {
+			return 2
+		}
+		return 0
+	})
+	return &core.Instance{
+		Query: query.IdentityQueryNamed("RCp", drpSchema.Attrs),
+		DB:    db,
+		Obj:   objective.New(objective.MaxMin, objective.ConstRelevance(1), dis, 1),
+		K:     len(f.Clauses) + 1,
+		R:     1,
+		U:     u,
+	}, nil
+}

@@ -1,0 +1,280 @@
+// Package relation implements the relational substrate of the paper's model:
+// named relation schemas over fixed attribute lists, set-semantics relation
+// instances, and databases D = (R1, ..., Rn) with an active domain. Query
+// evaluation, diversification and the lower-bound gadget constructions all
+// operate on these types.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Tuple is an ordered list of constants. Tuples of the same arity compare
+// lexicographically; a tuple's Key canonically encodes it for set membership.
+type Tuple []value.Value
+
+// Key returns a canonical encoding of the tuple, unique per tuple content.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(0x1f) // unit separator: cannot collide with payloads
+		}
+		b.WriteString(v.Key())
+	}
+	return b.String()
+}
+
+// Equal reports whether t and u have the same arity and equal fields.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !value.Equal(t[i], u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare lexicographically orders tuples; shorter tuples order first on a
+// shared prefix.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := value.Compare(t[i], u[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Ints builds a tuple of integer values; a convenience heavily used by the
+// Boolean gadget constructions, where tuples encode truth assignments.
+func Ints(xs ...int64) Tuple {
+	t := make(Tuple, len(xs))
+	for i, x := range xs {
+		t[i] = value.Int(x)
+	}
+	return t
+}
+
+// Schema names a relation and its attributes.
+type Schema struct {
+	Name  string
+	Attrs []string
+}
+
+// NewSchema constructs a schema. Attribute names must be distinct.
+func NewSchema(name string, attrs ...string) Schema {
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if seen[a] {
+			panic(fmt.Sprintf("relation: schema %s repeats attribute %q", name, a))
+		}
+		seen[a] = true
+	}
+	return Schema{Name: name, Attrs: append([]string(nil), attrs...)}
+}
+
+// Arity returns the number of attributes.
+func (s Schema) Arity() int { return len(s.Attrs) }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (s Schema) AttrIndex(name string) int {
+	for i, a := range s.Attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the schema as Name(attr1, attr2, ...).
+func (s Schema) String() string {
+	return s.Name + "(" + strings.Join(s.Attrs, ", ") + ")"
+}
+
+// Relation is a set of tuples under a schema. Insertion order is preserved
+// for deterministic iteration; duplicates are ignored (set semantics).
+type Relation struct {
+	schema Schema
+	tuples []Tuple
+	index  map[string]int
+}
+
+// NewRelation creates an empty relation instance of the schema.
+func NewRelation(schema Schema) *Relation {
+	return &Relation{schema: schema, index: make(map[string]int)}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() Schema { return r.schema }
+
+// Len reports the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert adds a tuple, ignoring duplicates. It reports whether the tuple was
+// new. Inserting a tuple of the wrong arity is a programming error.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.schema.Arity() {
+		panic(fmt.Sprintf("relation: tuple arity %d does not match schema %s", len(t), r.schema))
+	}
+	k := t.Key()
+	if _, ok := r.index[k]; ok {
+		return false
+	}
+	r.index[k] = len(r.tuples)
+	r.tuples = append(r.tuples, t.Clone())
+	return true
+}
+
+// InsertAll inserts every tuple, returning the count of new tuples.
+func (r *Relation) InsertAll(ts ...Tuple) int {
+	n := 0
+	for _, t := range ts {
+		if r.Insert(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports membership of t.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.index[t.Key()]
+	return ok
+}
+
+// Tuples returns the tuples in insertion order. The slice is shared; callers
+// must not mutate it.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Sorted returns the tuples in lexicographic order (a fresh slice).
+func (r *Relation) Sorted() []Tuple {
+	out := append([]Tuple(nil), r.tuples...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.schema)
+	for _, t := range r.tuples {
+		c.Insert(t)
+	}
+	return c
+}
+
+// String renders the relation with its schema header and sorted tuples.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.schema.String())
+	b.WriteString(" {")
+	for i, t := range r.Sorted() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Database is a named collection of relations, the D in Q(D).
+type Database struct {
+	relations map[string]*Relation
+	order     []string
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{relations: make(map[string]*Relation)}
+}
+
+// Add registers a relation instance. Re-adding a name replaces the instance
+// but keeps its position.
+func (d *Database) Add(r *Relation) *Database {
+	name := r.Schema().Name
+	if _, ok := d.relations[name]; !ok {
+		d.order = append(d.order, name)
+	}
+	d.relations[name] = r
+	return d
+}
+
+// Relation returns the named relation, or nil.
+func (d *Database) Relation(name string) *Relation { return d.relations[name] }
+
+// Names lists relation names in registration order.
+func (d *Database) Names() []string { return append([]string(nil), d.order...) }
+
+// Size returns the total number of tuples across all relations.
+func (d *Database) Size() int {
+	n := 0
+	for _, r := range d.relations {
+		n += r.Len()
+	}
+	return n
+}
+
+// ActiveDomain returns the distinct constants appearing anywhere in the
+// database, in deterministic (sorted) order. Queries with quantifiers are
+// evaluated under active-domain semantics over this set (plus the query's
+// own constants).
+func (d *Database) ActiveDomain() []value.Value {
+	seen := make(map[string]value.Value)
+	for _, name := range d.order {
+		for _, t := range d.relations[name].Tuples() {
+			for _, v := range t {
+				seen[v.Key()] = v
+			}
+		}
+	}
+	out := make([]value.Value, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return value.Less(out[i], out[j]) })
+	return out
+}
+
+// Clone deep-copies the database.
+func (d *Database) Clone() *Database {
+	c := NewDatabase()
+	for _, name := range d.order {
+		c.Add(d.relations[name].Clone())
+	}
+	return c
+}

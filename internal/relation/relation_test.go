@@ -1,0 +1,251 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestTupleKeyUniqueness(t *testing.T) {
+	a := Ints(1, 2, 3)
+	b := Ints(1, 2, 3)
+	c := Ints(1, 2, 4)
+	if a.Key() != b.Key() {
+		t.Error("equal tuples must share keys")
+	}
+	if a.Key() == c.Key() {
+		t.Error("distinct tuples must have distinct keys")
+	}
+}
+
+func TestTupleKeyNoSeparatorCollision(t *testing.T) {
+	// (12, 3) vs (1, 23): naive concatenation would collide.
+	a := Ints(12, 3)
+	b := Ints(1, 23)
+	if a.Key() == b.Key() {
+		t.Error("separator failed to prevent collision")
+	}
+	// ("a", "b") vs ("ab",): arity differences must matter too.
+	c := Tuple{value.Str("a"), value.Str("b")}
+	d := Tuple{value.Str("ab")}
+	if c.Key() == d.Key() {
+		t.Error("arity-differing tuples collided")
+	}
+}
+
+func TestTupleEqualAndCompare(t *testing.T) {
+	a, b := Ints(1, 2), Ints(1, 3)
+	if !a.Equal(Ints(1, 2)) || a.Equal(b) || a.Equal(Ints(1)) {
+		t.Error("Equal misbehaves")
+	}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(Ints(1, 2)) != 0 {
+		t.Error("Compare misbehaves")
+	}
+	if Ints(1).Compare(Ints(1, 0)) != -1 {
+		t.Error("shorter tuple should order first on shared prefix")
+	}
+}
+
+func TestTupleCloneIndependence(t *testing.T) {
+	a := Ints(1, 2)
+	c := a.Clone()
+	c[0] = value.Int(99)
+	if a[0].AsInt() != 1 {
+		t.Error("Clone should be independent")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	got := Tuple{value.Int(1), value.Str("x")}.String()
+	if got != "(1, x)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema("R", "a", "b", "c")
+	if s.Arity() != 3 {
+		t.Errorf("Arity = %d", s.Arity())
+	}
+	if s.AttrIndex("b") != 1 || s.AttrIndex("z") != -1 {
+		t.Error("AttrIndex misbehaves")
+	}
+	if s.String() != "R(a, b, c)" {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestSchemaRejectsDuplicateAttrs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for duplicate attribute")
+		}
+	}()
+	NewSchema("R", "a", "a")
+}
+
+func TestRelationSetSemantics(t *testing.T) {
+	r := NewRelation(NewSchema("R", "x", "y"))
+	if !r.Insert(Ints(1, 2)) {
+		t.Error("first insert should be new")
+	}
+	if r.Insert(Ints(1, 2)) {
+		t.Error("duplicate insert should be ignored")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d, want 1", r.Len())
+	}
+	if !r.Contains(Ints(1, 2)) || r.Contains(Ints(2, 1)) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestRelationArityCheck(t *testing.T) {
+	r := NewRelation(NewSchema("R", "x"))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong arity")
+		}
+	}()
+	r.Insert(Ints(1, 2))
+}
+
+func TestRelationInsertAllAndSorted(t *testing.T) {
+	r := NewRelation(NewSchema("R", "x"))
+	n := r.InsertAll(Ints(3), Ints(1), Ints(2), Ints(1))
+	if n != 3 {
+		t.Errorf("InsertAll = %d, want 3", n)
+	}
+	s := r.Sorted()
+	for i, want := range []int64{1, 2, 3} {
+		if s[i][0].AsInt() != want {
+			t.Errorf("Sorted[%d] = %v, want %d", i, s[i], want)
+		}
+	}
+}
+
+func TestRelationCloneIndependence(t *testing.T) {
+	r := NewRelation(NewSchema("R", "x"))
+	r.Insert(Ints(1))
+	c := r.Clone()
+	c.Insert(Ints(2))
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Error("Clone not independent")
+	}
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	d := NewDatabase()
+	r1 := NewRelation(NewSchema("R", "x"))
+	r1.Insert(Ints(1))
+	r2 := NewRelation(NewSchema("S", "y", "z"))
+	r2.InsertAll(Ints(2, 3), Ints(4, 5))
+	d.Add(r1).Add(r2)
+
+	if d.Relation("R") != r1 || d.Relation("S") != r2 || d.Relation("T") != nil {
+		t.Error("Relation lookup misbehaves")
+	}
+	names := d.Names()
+	if len(names) != 2 || names[0] != "R" || names[1] != "S" {
+		t.Errorf("Names = %v", names)
+	}
+	if d.Size() != 3 {
+		t.Errorf("Size = %d, want 3", d.Size())
+	}
+}
+
+func TestDatabaseActiveDomain(t *testing.T) {
+	d := NewDatabase()
+	r := NewRelation(NewSchema("R", "x", "y"))
+	r.InsertAll(Ints(3, 1), Ints(1, 2))
+	d.Add(r)
+	dom := d.ActiveDomain()
+	if len(dom) != 3 {
+		t.Fatalf("ActiveDomain size = %d, want 3", len(dom))
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if dom[i].AsInt() != want {
+			t.Errorf("dom[%d] = %v, want %d", i, dom[i], want)
+		}
+	}
+}
+
+func TestDatabaseReplaceKeepsOrder(t *testing.T) {
+	d := NewDatabase()
+	d.Add(NewRelation(NewSchema("A", "x")))
+	d.Add(NewRelation(NewSchema("B", "x")))
+	repl := NewRelation(NewSchema("A", "x"))
+	repl.Insert(Ints(7))
+	d.Add(repl)
+	if got := d.Names(); len(got) != 2 || got[0] != "A" {
+		t.Errorf("Names after replace = %v", got)
+	}
+	if d.Relation("A").Len() != 1 {
+		t.Error("replacement instance not installed")
+	}
+}
+
+func TestDatabaseCloneIsDeep(t *testing.T) {
+	d := NewDatabase()
+	r := NewRelation(NewSchema("R", "x"))
+	r.Insert(Ints(1))
+	d.Add(r)
+	c := d.Clone()
+	c.Relation("R").Insert(Ints(2))
+	if d.Relation("R").Len() != 1 {
+		t.Error("Clone should deep-copy relations")
+	}
+}
+
+// Property: tuple Key is injective on integer tuples of equal arity.
+func TestTupleKeyInjectiveProperty(t *testing.T) {
+	f := func(a, b [3]int64) bool {
+		ta := Ints(a[0], a[1], a[2])
+		tb := Ints(b[0], b[1], b[2])
+		return (ta.Key() == tb.Key()) == ta.Equal(tb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare defines a total order consistent with Equal.
+func TestTupleCompareConsistencyProperty(t *testing.T) {
+	f := func(a, b [2]int64) bool {
+		ta, tb := Ints(a[0], a[1]), Ints(b[0], b[1])
+		c := ta.Compare(tb)
+		return c == -tb.Compare(ta) && (c == 0) == ta.Equal(tb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: inserting the same multiset of tuples in any two orders yields
+// relations with identical sorted contents and Len.
+func TestRelationOrderInsensitivityProperty(t *testing.T) {
+	f := func(xs []int64) bool {
+		fwd := NewRelation(NewSchema("R", "x"))
+		rev := NewRelation(NewSchema("R", "x"))
+		for _, x := range xs {
+			fwd.Insert(Ints(x))
+		}
+		for i := len(xs) - 1; i >= 0; i-- {
+			rev.Insert(Ints(xs[i]))
+		}
+		if fwd.Len() != rev.Len() {
+			return false
+		}
+		fs, rs := fwd.Sorted(), rev.Sorted()
+		for i := range fs {
+			if !fs[i].Equal(rs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

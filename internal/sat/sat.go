@@ -1,0 +1,421 @@
+// Package sat implements the Boolean-satisfiability machinery the paper's
+// lower bounds are built from: CNF formulas, a DPLL satisfiability solver
+// (3SAT, Thm 5.1), exhaustive model counting (#SAT, Thm 7.4; #Σ1SAT,
+// Thm 7.1), quantified Boolean formula evaluation (Q3SAT, Thm 5.2; #QBF,
+// Thm 7.1/7.2), and random instance generation for the benchmark harness.
+//
+// Variables are 1-based integers; a literal is +v or -v.
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Clause is a disjunction of literals.
+type Clause []int
+
+// CNF is a conjunction of clauses over variables 1..NumVars.
+type CNF struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewCNF builds a formula, computing NumVars from the literals.
+func NewCNF(clauses ...Clause) *CNF {
+	f := &CNF{Clauses: clauses}
+	for _, c := range clauses {
+		for _, lit := range c {
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if v > f.NumVars {
+				f.NumVars = v
+			}
+		}
+	}
+	return f
+}
+
+// Clone deep-copies the formula.
+func (f *CNF) Clone() *CNF {
+	g := &CNF{NumVars: f.NumVars, Clauses: make([]Clause, len(f.Clauses))}
+	for i, c := range f.Clauses {
+		g.Clauses[i] = append(Clause(nil), c...)
+	}
+	return g
+}
+
+// String renders the CNF as (a ∨ ¬b) ∧ ....
+func (f *CNF) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		lits := make([]string, len(c))
+		for j, l := range c {
+			if l < 0 {
+				lits[j] = fmt.Sprintf("¬x%d", -l)
+			} else {
+				lits[j] = fmt.Sprintf("x%d", l)
+			}
+		}
+		parts[i] = "(" + strings.Join(lits, " ∨ ") + ")"
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Assignment maps variables to truth values; missing variables are
+// unassigned.
+type Assignment map[int]bool
+
+// Eval reports whether the assignment (which must cover all variables in
+// the clause set) satisfies the formula.
+func (f *CNF) Eval(a Assignment) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			v := l
+			neg := false
+			if v < 0 {
+				v, neg = -v, true
+			}
+			if val, ok := a[v]; ok && val != neg {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve decides satisfiability by DPLL with unit propagation and pure
+// literal elimination, returning a model if satisfiable.
+func (f *CNF) Solve() (Assignment, bool) {
+	a := make(Assignment)
+	if f.dpll(f.Clauses, a) {
+		return a, true
+	}
+	return nil, false
+}
+
+// Satisfiable is Solve without the model.
+func (f *CNF) Satisfiable() bool {
+	_, ok := f.Solve()
+	return ok
+}
+
+func (f *CNF) dpll(clauses []Clause, a Assignment) bool {
+	clauses, ok := simplify(clauses, a)
+	if !ok {
+		return false
+	}
+	if len(clauses) == 0 {
+		return true
+	}
+	// Unit propagation.
+	for _, c := range clauses {
+		if len(c) == 1 {
+			v, val := litVar(c[0])
+			a[v] = val
+			if f.dpll(clauses, a) {
+				return true
+			}
+			delete(a, v)
+			return false
+		}
+	}
+	// Branch on the first variable of the first clause.
+	v, _ := litVar(clauses[0][0])
+	for _, val := range []bool{true, false} {
+		a[v] = val
+		if f.dpll(clauses, a) {
+			return true
+		}
+		delete(a, v)
+	}
+	return false
+}
+
+// simplify removes satisfied clauses and false literals under a; reports
+// false when a clause became empty (conflict).
+func simplify(clauses []Clause, a Assignment) ([]Clause, bool) {
+	out := make([]Clause, 0, len(clauses))
+	for _, c := range clauses {
+		var nc Clause
+		sat := false
+		for _, l := range c {
+			v, pos := litVar(l)
+			val, ok := a[v]
+			if !ok {
+				nc = append(nc, l)
+				continue
+			}
+			if val == pos {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			continue
+		}
+		if len(nc) == 0 {
+			return nil, false
+		}
+		out = append(out, nc)
+	}
+	return out, true
+}
+
+// litVar decodes a literal into (variable, polarity).
+func litVar(l int) (int, bool) {
+	if l < 0 {
+		return -l, false
+	}
+	return l, true
+}
+
+// CountModels counts satisfying assignments over variables 1..NumVars by
+// exhaustive branching with early clause checks — the #SAT oracle of
+// Theorem 7.4.
+func (f *CNF) CountModels() int64 {
+	a := make(Assignment)
+	return f.countRec(1, a)
+}
+
+func (f *CNF) countRec(v int, a Assignment) int64 {
+	if _, ok := simplify(f.Clauses, a); !ok {
+		return 0
+	}
+	if v > f.NumVars {
+		return 1
+	}
+	var total int64
+	for _, val := range []bool{false, true} {
+		a[v] = val
+		total += f.countRec(v+1, a)
+		delete(a, v)
+	}
+	return total
+}
+
+// CountProjected counts, over assignments of the projection variables, how
+// many can be extended by some assignment of the remaining variables to a
+// model — the #Σ1SAT oracle of Theorem 7.1 (project onto Y, existentially
+// quantify X).
+func (f *CNF) CountProjected(project []int) int64 {
+	rest := make([]int, 0, f.NumVars)
+	inProj := make(map[int]bool, len(project))
+	for _, v := range project {
+		inProj[v] = true
+	}
+	for v := 1; v <= f.NumVars; v++ {
+		if !inProj[v] {
+			rest = append(rest, v)
+		}
+	}
+	a := make(Assignment)
+	var count int64
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(project) {
+			if f.existsExtension(rest, 0, a) {
+				count++
+			}
+			return
+		}
+		for _, val := range []bool{false, true} {
+			a[project[i]] = val
+			walk(i + 1)
+			delete(a, project[i])
+		}
+	}
+	walk(0)
+	return count
+}
+
+func (f *CNF) existsExtension(rest []int, i int, a Assignment) bool {
+	if _, ok := simplify(f.Clauses, a); !ok {
+		return false
+	}
+	if i == len(rest) {
+		return true
+	}
+	for _, val := range []bool{false, true} {
+		a[rest[i]] = val
+		ok := f.existsExtension(rest, i+1, a)
+		delete(a, rest[i])
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Quantifier marks a QBF block as existential or universal.
+type Quantifier bool
+
+// The two quantifiers.
+const (
+	Exists Quantifier = true
+	ForAll Quantifier = false
+)
+
+// String renders the quantifier.
+func (q Quantifier) String() string {
+	if q == Exists {
+		return "∃"
+	}
+	return "∀"
+}
+
+// QBF is a prenex quantified Boolean formula P1 x1 ... Pm xm ψ with ψ in
+// CNF; Prefix[i] quantifies variable i+1. Variables beyond the prefix are
+// free (used by #QBF, which counts assignments of the free block).
+type QBF struct {
+	Prefix []Quantifier // Prefix[i] quantifies variable i+1
+	Matrix *CNF
+}
+
+// Eval decides the sentence when every matrix variable is quantified,
+// recursing over the prefix (the Q3SAT oracle of Theorem 5.2).
+func (q *QBF) Eval() bool {
+	a := make(Assignment)
+	return q.evalFrom(1, a)
+}
+
+// EvalUnder decides the formula under an assignment of free (unquantified
+// leading) variables: used when the prefix covers variables f+1..m and
+// 1..f are provided in a.
+func (q *QBF) EvalUnder(a Assignment, firstQuantified int) bool {
+	cp := make(Assignment, len(a))
+	for k, v := range a {
+		cp[k] = v
+	}
+	return q.evalFromAt(firstQuantified, cp)
+}
+
+func (q *QBF) evalFrom(v int, a Assignment) bool { return q.evalFromAt(v, a) }
+
+func (q *QBF) evalFromAt(v int, a Assignment) bool {
+	if _, ok := simplify(q.Matrix.Clauses, a); !ok {
+		return false
+	}
+	idx := v - 1
+	if idx >= len(q.Prefix) || v > q.Matrix.NumVars {
+		// All quantified variables assigned: matrix must be satisfied by
+		// the (complete) assignment; any remaining variables are
+		// unconstrained, so check satisfiability of the residue.
+		rest := make([]int, 0)
+		for u := v; u <= q.Matrix.NumVars; u++ {
+			rest = append(rest, u)
+		}
+		return q.Matrix.existsExtension(rest, 0, a)
+	}
+	if q.Prefix[idx] == Exists {
+		for _, val := range []bool{true, false} {
+			a[v] = val
+			if q.evalFromAt(v+1, a) {
+				delete(a, v)
+				return true
+			}
+			delete(a, v)
+		}
+		return false
+	}
+	for _, val := range []bool{true, false} {
+		a[v] = val
+		if !q.evalFromAt(v+1, a) {
+			delete(a, v)
+			return false
+		}
+		delete(a, v)
+	}
+	return true
+}
+
+// CountFreeModels counts assignments of the free variables 1..numFree that
+// make the quantified remainder true — the #QBF oracle of Ladner used in
+// Theorems 7.1/7.2 (ϕ = ∃X ∀y1 P2 y2 ... ψ counts X-assignments).
+func (q *QBF) CountFreeModels(numFree int) int64 {
+	a := make(Assignment)
+	var count int64
+	var walk func(v int)
+	walk = func(v int) {
+		if v > numFree {
+			if q.EvalUnder(a, numFree+1) {
+				count++
+			}
+			return
+		}
+		for _, val := range []bool{false, true} {
+			a[v] = val
+			walk(v + 1)
+			delete(a, v)
+		}
+	}
+	walk(1)
+	return count
+}
+
+// Random3SAT generates a uniform random 3-CNF with the given variable and
+// clause counts — the scaling family for combined-complexity experiments.
+func Random3SAT(rng *rand.Rand, numVars, numClauses int) *CNF {
+	f := &CNF{NumVars: numVars}
+	width := 3
+	if numVars < width {
+		width = numVars // fewer than 3 variables: clauses shrink to fit
+	}
+	for i := 0; i < numClauses; i++ {
+		c := make(Clause, 0, 3)
+		seen := map[int]bool{}
+		for len(c) < width {
+			v := rng.Intn(numVars) + 1
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			if rng.Intn(2) == 0 {
+				v = -v
+			}
+			c = append(c, v)
+		}
+		sort.Ints(c)
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+// RandomQBF generates a random prenex QBF: a random 3-CNF matrix with a
+// random quantifier prefix whose first block is existential.
+func RandomQBF(rng *rand.Rand, numVars, numClauses int) *QBF {
+	prefix := make([]Quantifier, numVars)
+	for i := range prefix {
+		prefix[i] = Quantifier(rng.Intn(2) == 0)
+	}
+	if numVars > 0 {
+		prefix[0] = Exists
+	}
+	return &QBF{Prefix: prefix, Matrix: Random3SAT(rng, numVars, numClauses)}
+}
+
+// Vars returns the sorted variables appearing in the formula.
+func (f *CNF) Vars() []int {
+	seen := map[int]bool{}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			v, _ := litVar(l)
+			seen[v] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,290 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCNFComputesNumVars(t *testing.T) {
+	f := NewCNF(Clause{1, -3}, Clause{2})
+	if f.NumVars != 3 {
+		t.Errorf("NumVars = %d, want 3", f.NumVars)
+	}
+}
+
+func TestEval(t *testing.T) {
+	f := NewCNF(Clause{1, 2}, Clause{-1, 3})
+	cases := []struct {
+		a    Assignment
+		want bool
+	}{
+		{Assignment{1: true, 2: false, 3: true}, true},
+		{Assignment{1: true, 2: false, 3: false}, false},
+		{Assignment{1: false, 2: true, 3: false}, true},
+		{Assignment{1: false, 2: false, 3: true}, false},
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.a); got != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.a, got, c.want)
+		}
+	}
+}
+
+func TestSolveSatisfiable(t *testing.T) {
+	f := NewCNF(Clause{1, 2, 3}, Clause{-1, -2, 3}, Clause{-3, 1})
+	model, ok := f.Solve()
+	if !ok {
+		t.Fatal("formula is satisfiable")
+	}
+	// The returned model may be partial; complete it arbitrarily and check.
+	for v := 1; v <= f.NumVars; v++ {
+		if _, assigned := model[v]; !assigned {
+			model[v] = false
+		}
+	}
+	if !f.Eval(model) {
+		t.Errorf("model %v does not satisfy %v", model, f)
+	}
+}
+
+func TestSolveUnsatisfiable(t *testing.T) {
+	// (x) ∧ (¬x).
+	f := NewCNF(Clause{1}, Clause{-1})
+	if f.Satisfiable() {
+		t.Error("contradiction reported satisfiable")
+	}
+	// Classic pigeonhole-ish unsat core.
+	g := NewCNF(Clause{1, 2}, Clause{1, -2}, Clause{-1, 2}, Clause{-1, -2})
+	if g.Satisfiable() {
+		t.Error("all-sign square is unsatisfiable")
+	}
+}
+
+func TestEmptyCNFIsSatisfiable(t *testing.T) {
+	if !NewCNF().Satisfiable() {
+		t.Error("empty CNF is vacuously satisfiable")
+	}
+	if got := NewCNF().CountModels(); got != 1 {
+		t.Errorf("empty CNF has %d models over zero vars, want 1", got)
+	}
+}
+
+func TestCountModels(t *testing.T) {
+	// (x1 ∨ x2): 3 of 4 assignments.
+	f := NewCNF(Clause{1, 2})
+	if got := f.CountModels(); got != 3 {
+		t.Errorf("models = %d, want 3", got)
+	}
+	// (x1) ∧ (¬x2): exactly 1.
+	g := NewCNF(Clause{1}, Clause{-2})
+	if got := g.CountModels(); got != 1 {
+		t.Errorf("models = %d, want 1", got)
+	}
+	// x3 unconstrained: multiplies by 2.
+	h := NewCNF(Clause{1, 2})
+	h.NumVars = 3
+	if got := h.CountModels(); got != 6 {
+		t.Errorf("models = %d, want 6", got)
+	}
+}
+
+func TestCountModelsBruteForceAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		f := Random3SAT(rng, 5, 3+rng.Intn(8))
+		f.NumVars = 5
+		var brute int64
+		a := make(Assignment)
+		var walk func(v int)
+		walk = func(v int) {
+			if v > 5 {
+				if f.Eval(a) {
+					brute++
+				}
+				return
+			}
+			for _, val := range []bool{false, true} {
+				a[v] = val
+				walk(v + 1)
+				delete(a, v)
+			}
+		}
+		walk(1)
+		if got := f.CountModels(); got != brute {
+			t.Fatalf("trial %d: CountModels=%d brute=%d for %v", trial, got, brute, f)
+		}
+		if f.Satisfiable() != (brute > 0) {
+			t.Fatalf("trial %d: Satisfiable disagrees with count", trial)
+		}
+	}
+}
+
+func TestCountProjected(t *testing.T) {
+	// ϕ(X={1}, Y={2,3}) = (x1 ∨ y2) ∧ (¬x1 ∨ y3).
+	// Project onto Y={2,3}: count Y-assignments with some x1 extension.
+	// y2=0,y3=0: x1 must satisfy (x1)(¬x1): no. y2=0,y3=1: x1=1 works.
+	// y2=1,y3=0: x1=0 works. y2=1,y3=1: both work -> counts once.
+	f := NewCNF(Clause{1, 2}, Clause{-1, 3})
+	if got := f.CountProjected([]int{2, 3}); got != 3 {
+		t.Errorf("projected count = %d, want 3", got)
+	}
+}
+
+func TestCountProjectedAllVars(t *testing.T) {
+	// Projecting onto all variables degenerates to #SAT.
+	f := NewCNF(Clause{1, 2})
+	if got := f.CountProjected([]int{1, 2}); got != f.CountModels() {
+		t.Errorf("full projection %d != #SAT %d", got, f.CountModels())
+	}
+}
+
+func TestQBFEval(t *testing.T) {
+	// ∀x1 ∃x2 (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2): true (pick x2 = ¬x1).
+	q := &QBF{Prefix: []Quantifier{ForAll, Exists},
+		Matrix: NewCNF(Clause{1, 2}, Clause{-1, -2})}
+	if !q.Eval() {
+		t.Error("∀x∃y XOR-ish formula should be true")
+	}
+	// ∃x1 ∀x2 (x1 ∨ x2) ∧ (¬x1 ∨ ¬x2): false.
+	q2 := &QBF{Prefix: []Quantifier{Exists, ForAll},
+		Matrix: NewCNF(Clause{1, 2}, Clause{-1, -2})}
+	if q2.Eval() {
+		t.Error("∃x∀y XOR-ish formula should be false")
+	}
+}
+
+func TestQBFEvalPaperExample(t *testing.T) {
+	// Figure 2's sentence: ϕ = ∃x1 ∀x2 ∃x3 ∀x4 ψ,
+	// ψ = (x1 ∨ x2 ∨ ¬x3) ∧ (¬x2 ∨ ¬x3 ∨ x4).
+	q := &QBF{
+		Prefix: []Quantifier{Exists, ForAll, Exists, ForAll},
+		Matrix: NewCNF(Clause{1, 2, -3}, Clause{-2, -3, 4}),
+	}
+	// x1=1: ∀x2: need ∃x3 ∀x4. Take x3=0: clause1 = x1∨x2∨1 ✓ (¬x3 true);
+	// clause2 = ¬x2∨1∨x4 ✓. So the sentence is true.
+	if !q.Eval() {
+		t.Error("the Figure 2 sentence should be true")
+	}
+}
+
+func TestQBFAllForAll(t *testing.T) {
+	// ∀x1 ∀x2 (x1 ∨ x2): false.
+	q := &QBF{Prefix: []Quantifier{ForAll, ForAll}, Matrix: NewCNF(Clause{1, 2})}
+	if q.Eval() {
+		t.Error("should be false at x1=x2=0")
+	}
+	// ∀x1 ∀x2 (x1 ∨ ¬x1): true.
+	q2 := &QBF{Prefix: []Quantifier{ForAll, ForAll}, Matrix: NewCNF(Clause{1, -1})}
+	if !q2.Eval() {
+		t.Error("tautology should be true")
+	}
+}
+
+func TestQBFBruteForceAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		q := RandomQBF(rng, 4, 3+rng.Intn(5))
+		q.Matrix.NumVars = 4
+		if got, want := q.Eval(), bruteQBF(q, 1, make(Assignment)); got != want {
+			t.Fatalf("trial %d: Eval=%v brute=%v for %v %v", trial, got, want, q.Prefix, q.Matrix)
+		}
+	}
+}
+
+// bruteQBF evaluates the QBF by unoptimized recursion directly over Eval.
+func bruteQBF(q *QBF, v int, a Assignment) bool {
+	if v > q.Matrix.NumVars {
+		return q.Matrix.Eval(a)
+	}
+	t := func(val bool) bool {
+		a[v] = val
+		defer delete(a, v)
+		return bruteQBF(q, v+1, a)
+	}
+	if v-1 < len(q.Prefix) && q.Prefix[v-1] == ForAll {
+		return t(false) && t(true)
+	}
+	return t(false) || t(true)
+}
+
+func TestCountFreeModels(t *testing.T) {
+	// ϕ = ∃-free x1; then ∀x2 (x1 ∨ x2 has no universal witness unless x1).
+	// Count x1-assignments such that ∀x2 (x1 ∨ x2): only x1=1. Prefix covers
+	// variable 2 onwards.
+	q := &QBF{Prefix: []Quantifier{Exists, ForAll}, Matrix: NewCNF(Clause{1, 2})}
+	// Free block: variable 1. Prefix index is positional; EvalUnder starts
+	// at firstQuantified=2, whose prefix entry is Prefix[1] = ForAll.
+	if got := q.CountFreeModels(1); got != 1 {
+		t.Errorf("free models = %d, want 1", got)
+	}
+}
+
+func TestRandom3SATShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := Random3SAT(rng, 10, 20)
+	if len(f.Clauses) != 20 {
+		t.Errorf("%d clauses, want 20", len(f.Clauses))
+	}
+	for _, c := range f.Clauses {
+		if len(c) != 3 {
+			t.Errorf("clause %v is not ternary", c)
+		}
+		vars := map[int]bool{}
+		for _, l := range c {
+			v, _ := litVar(l)
+			if v < 1 || v > 10 {
+				t.Errorf("variable %d out of range", v)
+			}
+			if vars[v] {
+				t.Errorf("clause %v repeats a variable", c)
+			}
+			vars[v] = true
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	f := NewCNF(Clause{3, -1}, Clause{5})
+	got := f.Vars()
+	want := []int{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := NewCNF(Clause{1, 2})
+	g := f.Clone()
+	g.Clauses[0][0] = 9
+	if f.Clauses[0][0] != 1 {
+		t.Error("Clone should deep-copy clauses")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := NewCNF(Clause{1, -2})
+	if got := f.String(); got != "(x1 ∨ ¬x2)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: DPLL agrees with brute-force satisfiability on small random
+// formulas.
+func TestSolveBruteAgreementProperty(t *testing.T) {
+	f := func(seed int64, clausesRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nc := int(clausesRaw%12) + 1
+		cnf := Random3SAT(rng, 4, nc)
+		cnf.NumVars = 4
+		return cnf.Satisfiable() == (cnf.CountModels() > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,311 @@
+// Package solver implements decision and counting procedures for the three
+// diversification problems of Section 4:
+//
+//   - QRD — does a valid k-set exist? Exact branch-and-bound search (the
+//     guess-and-check upper-bound procedures of Thm 5.1/5.2 made
+//     deterministic), plus the paper's PTIME algorithms for the tractable
+//     cells: Fmono data complexity (Thm 5.4), λ=0 data complexity (Thm 8.2)
+//     and identity queries with Fmono (Cor 8.1).
+//   - DRP — is rank(U) ≤ r? Exact counting of better sets, plus the
+//     FindNext-style top-r enumeration for Fmono (Thm 6.4) and the λ=0
+//     special cases.
+//   - RDC — how many valid sets? Exact enumeration with admissible pruning,
+//     the FP counting formulas of Thm 8.2/Cor 8.4, and a pseudo-polynomial
+//     dynamic program for integer-scored modular instances.
+//
+// Every exact procedure honours compatibility constraints Σ (Section 9);
+// the PTIME shortcuts refuse instances with constraints, mirroring the
+// paper's result that those cells turn intractable under Cm (Thm 9.3).
+package solver
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/objective"
+	"repro/internal/relation"
+)
+
+// Stats reports work done by a solver run, used by the bench harness to
+// expose the exponential/polynomial gap empirically.
+type Stats struct {
+	Nodes    int // search-tree nodes visited (partial sets)
+	Leaves   int // complete candidate sets evaluated
+	Pruned   int // subtrees cut by the admissible bound
+	Answers  int // |Q(D)|
+	Explored bool
+}
+
+// search enumerates k-subsets of the instance's answers in index order,
+// maintaining objective-specific incremental state for admissible
+// upper-bound pruning.
+//
+// cutoff is the score threshold; strict selects F > cutoff (DRP counting)
+// versus F >= cutoff (QRD/RDC validity). found is invoked with each
+// qualifying candidate set and may return false to stop (QRD existence).
+type search struct {
+	in      *core.Instance
+	answers []relation.Tuple
+	k       int
+	cutoff  float64
+	strict  bool
+	found   func(sel []int, f float64) bool
+	stats   *Stats
+
+	// pruneSigma enables constraint pruning on partial selections: sound
+	// exactly when every constraint is universal-only (violation-monotone).
+	pruneSigma bool
+
+	// Incremental state.
+	sel     []int
+	relSum  float64 // Σ δrel over selection
+	pairSum float64 // Σ unordered pairwise δdis over selection
+	minRel  float64
+	minDis  float64
+
+	// Precomputed optimistic bounds.
+	maxRel     float64
+	maxDis     float64
+	monoScores []float64 // per-answer Fmono contributions
+	monoSuffix []float64 // monoSuffix[i] = sum of top (k) scores among answers[i:]... see build
+}
+
+func newSearch(in *core.Instance, cutoff float64, strict bool, stats *Stats, found func([]int, float64) bool) *search {
+	s := &search{
+		in:      in,
+		answers: in.Answers(),
+		k:       in.K,
+		cutoff:  cutoff,
+		strict:  strict,
+		found:   found,
+		stats:   stats,
+		minRel:  math.Inf(1),
+		minDis:  math.Inf(1),
+	}
+	s.stats.Answers = len(s.answers)
+	s.pruneSigma = in.Sigma.Len() > 0 && in.Sigma.ForallOnly()
+	o := in.Obj
+	switch o.Kind {
+	case objective.MaxSum, objective.MaxMin:
+		for i, t := range s.answers {
+			if r := o.Rel.Rel(t); r > s.maxRel {
+				s.maxRel = r
+			}
+			for j := i + 1; j < len(s.answers); j++ {
+				if d := o.Dis.Dis(t, s.answers[j]); d > s.maxDis {
+					s.maxDis = d
+				}
+			}
+		}
+	case objective.Mono:
+		s.monoScores = o.MonoScores(s.answers)
+	}
+	return s
+}
+
+// run walks the subset tree.
+func (s *search) run() {
+	if s.k < 0 || s.k > len(s.answers) {
+		return
+	}
+	s.sel = make([]int, 0, s.k)
+	s.recurse(0)
+	s.stats.Explored = true
+}
+
+// admits reports whether a complete set's score qualifies.
+func (s *search) admits(f float64) bool {
+	if s.strict {
+		return f > s.cutoff
+	}
+	return f >= s.cutoff
+}
+
+// bound returns an admissible (never under-estimating) upper bound on the
+// score of any completion of the current partial selection drawing its
+// remaining elements from answers[next:].
+func (s *search) bound(next int) float64 {
+	o := s.in.Obj
+	j := len(s.sel)
+	r := s.k - j
+	switch o.Kind {
+	case objective.MaxSum:
+		rel := float64(s.k-1) * (1 - o.Lambda) * (s.relSum + float64(r)*s.maxRel)
+		pairs := s.pairSum + (float64(j*r)+float64(r*(r-1))/2)*s.maxDis
+		return rel + o.Lambda*2*pairs
+	case objective.MaxMin:
+		mr := s.minRel
+		if j == 0 {
+			mr = s.maxRel
+		}
+		md := s.minDis
+		if j < 2 {
+			md = s.maxDis
+		}
+		if s.k < 2 {
+			md = 0
+		}
+		return (1-o.Lambda)*mr + o.Lambda*md
+	case objective.Mono:
+		// Optimistic: take the r largest scores among the remaining tail.
+		sum := s.relSum // reused as the running mono score sum
+		rest := topSum(s.monoScores[next:], r)
+		return sum + rest
+	default:
+		return math.Inf(1)
+	}
+}
+
+// topSum returns the sum of the r largest values in xs (all of them if
+// fewer). Small r and xs in our workloads; selection by partial sort.
+func topSum(xs []float64, r int) float64 {
+	if r <= 0 {
+		return 0
+	}
+	if r >= len(xs) {
+		total := 0.0
+		for _, x := range xs {
+			total += x
+		}
+		return total
+	}
+	// Maintain the r largest in a small slice (r is k-j, typically tiny).
+	best := make([]float64, 0, r)
+	for _, x := range xs {
+		if len(best) < r {
+			best = append(best, x)
+			continue
+		}
+		mi := 0
+		for i := 1; i < r; i++ {
+			if best[i] < best[mi] {
+				mi = i
+			}
+		}
+		if x > best[mi] {
+			best[mi] = x
+		}
+	}
+	total := 0.0
+	for _, x := range best {
+		total += x
+	}
+	return total
+}
+
+// recurse extends the selection with indices >= next. It returns false when
+// the caller requested a stop.
+func (s *search) recurse(next int) bool {
+	s.stats.Nodes++
+	if len(s.sel) == s.k {
+		return s.leaf()
+	}
+	// Not enough elements left to finish the set.
+	if len(s.answers)-next < s.k-len(s.sel) {
+		return true
+	}
+	if ub := s.bound(next); s.strict && ub <= s.cutoff || !s.strict && ub < s.cutoff {
+		s.stats.Pruned++
+		return true
+	}
+	for i := next; i < len(s.answers); i++ {
+		saved := s.push(i)
+		if s.pruneSigma && !s.in.SatisfiesConstraints(s.tuples(s.sel)) {
+			// Universal-only constraints already violated by the partial
+			// set stay violated in every completion: cut the subtree.
+			s.stats.Pruned++
+			s.pop(i, saved)
+			continue
+		}
+		ok := s.recurse(i + 1)
+		s.pop(i, saved)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+type savedState struct {
+	relSum, pairSum, minRel, minDis float64
+}
+
+func (s *search) push(i int) savedState {
+	saved := savedState{s.relSum, s.pairSum, s.minRel, s.minDis}
+	o := s.in.Obj
+	t := s.answers[i]
+	switch o.Kind {
+	case objective.Mono:
+		s.relSum += s.monoScores[i]
+	default:
+		r := o.Rel.Rel(t)
+		s.relSum += r
+		if r < s.minRel {
+			s.minRel = r
+		}
+		for _, j := range s.sel {
+			d := o.Dis.Dis(s.answers[j], t)
+			s.pairSum += d
+			if d < s.minDis {
+				s.minDis = d
+			}
+		}
+	}
+	s.sel = append(s.sel, i)
+	return saved
+}
+
+func (s *search) pop(i int, saved savedState) {
+	s.sel = s.sel[:len(s.sel)-1]
+	s.relSum, s.pairSum, s.minRel, s.minDis = saved.relSum, saved.pairSum, saved.minRel, saved.minDis
+	_ = i
+}
+
+// leaf evaluates a complete candidate set.
+func (s *search) leaf() bool {
+	s.stats.Leaves++
+	f := s.value()
+	if !s.admits(f) {
+		return true
+	}
+	if s.in.Sigma != nil {
+		u := s.tuples(s.sel)
+		if !s.in.SatisfiesConstraints(u) {
+			return true
+		}
+	}
+	return s.found(s.sel, f)
+}
+
+// value computes the exact objective of the current complete selection from
+// the incremental state.
+func (s *search) value() float64 {
+	o := s.in.Obj
+	switch o.Kind {
+	case objective.MaxSum:
+		return float64(s.k-1)*(1-o.Lambda)*s.relSum + o.Lambda*2*s.pairSum
+	case objective.MaxMin:
+		mr := s.minRel
+		if s.k == 0 {
+			mr = 0
+		}
+		md := s.minDis
+		if s.k < 2 {
+			md = 0
+		}
+		return (1-o.Lambda)*mr + o.Lambda*md
+	case objective.Mono:
+		return s.relSum
+	default:
+		return 0
+	}
+}
+
+// tuples materializes the selected tuples.
+func (s *search) tuples(sel []int) []relation.Tuple {
+	out := make([]relation.Tuple, len(sel))
+	for i, idx := range sel {
+		out[i] = s.answers[idx]
+	}
+	return out
+}

@@ -1,0 +1,481 @@
+package solver
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/objective"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/subset"
+	"repro/internal/value"
+)
+
+// identityInstance builds an instance over an identity query whose answer
+// set is exactly the given single-column integer tuples.
+func identityInstance(xs []int64, obj *objective.Objective, k int, b float64) *core.Instance {
+	r := relation.NewRelation(relation.NewSchema("R", "x"))
+	for _, x := range xs {
+		r.Insert(relation.Ints(x))
+	}
+	db := relation.NewDatabase().Add(r)
+	return &core.Instance{
+		Query: query.IdentityQuery("R", 1),
+		DB:    db,
+		Obj:   obj,
+		K:     k,
+		B:     b,
+	}
+}
+
+// bruteCount counts valid sets by direct enumeration without any pruning —
+// the reference for every solver test.
+func bruteCount(in *core.Instance, strict bool, cutoff float64) int {
+	answers := in.Answers()
+	count := 0
+	subset.ForEach(len(answers), in.K, func(idx []int) bool {
+		u := make([]relation.Tuple, len(idx))
+		for i, j := range idx {
+			u[i] = answers[j]
+		}
+		f := in.Eval(u)
+		ok := f >= cutoff
+		if strict {
+			ok = f > cutoff
+		}
+		if ok && in.SatisfiesConstraints(u) {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+func hamming() objective.Distance { return objective.HammingDistance() }
+
+func attrRel() objective.Relevance { return objective.AttrRelevance(0, 1) }
+
+func TestQRDExactFindsWitness(t *testing.T) {
+	obj := objective.New(objective.MaxSum, attrRel(), hamming(), 0.5)
+	in := identityInstance([]int64{1, 2, 3, 4, 5}, obj, 3, 1)
+	res := QRDExact(in)
+	if !res.Exists {
+		t.Fatal("expected a valid set")
+	}
+	if !in.IsValid(res.Witness) {
+		t.Errorf("witness %v is not valid", res.Witness)
+	}
+	if math.Abs(in.Eval(res.Witness)-res.Value) > 1e-9 {
+		t.Errorf("reported value %v != evaluated %v", res.Value, in.Eval(res.Witness))
+	}
+}
+
+func TestQRDExactUnsatisfiableBound(t *testing.T) {
+	obj := objective.New(objective.MaxSum, attrRel(), hamming(), 0.5)
+	in := identityInstance([]int64{1, 2, 3}, obj, 2, 1e9)
+	if res := QRDExact(in); res.Exists {
+		t.Error("bound 1e9 should be unreachable")
+	}
+}
+
+func TestQRDExactKTooLarge(t *testing.T) {
+	obj := objective.New(objective.MaxMin, attrRel(), hamming(), 0.5)
+	in := identityInstance([]int64{1, 2}, obj, 5, 0)
+	if res := QRDExact(in); res.Exists {
+		t.Error("k > |Q(D)| has no candidate sets")
+	}
+}
+
+func TestQRDExactAgreesWithBruteForceAcrossObjectives(t *testing.T) {
+	xs := []int64{1, 3, 5, 7, 9, 11}
+	for _, kind := range []objective.Kind{objective.MaxSum, objective.MaxMin, objective.Mono} {
+		for _, lambda := range []float64{0, 0.5, 1} {
+			obj := objective.New(kind, attrRel(), hamming(), lambda)
+			for _, b := range []float64{0, 1, 5, 20, 100} {
+				in := identityInstance(xs, obj, 3, b)
+				got := QRDExact(in).Exists
+				want := bruteCount(in, false, b) > 0
+				if got != want {
+					t.Errorf("%v λ=%v B=%v: exact=%v brute=%v", kind, lambda, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQRDMonoPTimeMatchesExact(t *testing.T) {
+	obj := objective.New(objective.Mono, attrRel(), hamming(), 0.7)
+	for _, b := range []float64{0, 3, 10, 50} {
+		in := identityInstance([]int64{2, 4, 6, 8, 10}, obj, 2, b)
+		fast, err := QRDMonoPTime(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := QRDExact(in)
+		if fast.Exists != slow.Exists {
+			t.Errorf("B=%v: ptime=%v exact=%v", b, fast.Exists, slow.Exists)
+		}
+		if fast.Exists && !in.IsValid(fast.Witness) {
+			t.Errorf("B=%v: ptime witness invalid", b)
+		}
+	}
+}
+
+func TestQRDMonoPTimeRejectsWrongObjective(t *testing.T) {
+	obj := objective.New(objective.MaxSum, attrRel(), hamming(), 0.5)
+	in := identityInstance([]int64{1, 2}, obj, 1, 0)
+	if _, err := QRDMonoPTime(in); err == nil {
+		t.Error("should reject non-mono objective")
+	}
+}
+
+func TestQRDMonoPTimeRejectsConstraints(t *testing.T) {
+	obj := objective.New(objective.Mono, attrRel(), hamming(), 0.5)
+	in := identityInstance([]int64{1, 2, 3}, obj, 2, 0)
+	in.Sigma = compat.NewSet(2)
+	in.Sigma.MustAdd(compat.MustParse(`exists s (s.x1 = 1)`))
+	if _, err := QRDMonoPTime(in); err != ErrConstrained {
+		t.Errorf("want ErrConstrained, got %v", err)
+	}
+}
+
+func TestQRDRelevanceOnlyPTimeMatchesExact(t *testing.T) {
+	xs := []int64{5, 1, 9, 3, 7}
+	for _, kind := range []objective.Kind{objective.MaxSum, objective.MaxMin, objective.Mono} {
+		obj := objective.New(kind, attrRel(), hamming(), 0)
+		for _, b := range []float64{0, 4, 8, 15, 40} {
+			in := identityInstance(xs, obj, 2, b)
+			fast, err := QRDRelevanceOnlyPTime(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow := QRDExact(in)
+			if fast.Exists != slow.Exists {
+				t.Errorf("%v B=%v: ptime=%v exact=%v", kind, b, fast.Exists, slow.Exists)
+			}
+		}
+	}
+}
+
+func TestQRDRelevanceOnlyRequiresLambdaZero(t *testing.T) {
+	obj := objective.New(objective.MaxSum, attrRel(), hamming(), 0.5)
+	in := identityInstance([]int64{1}, obj, 1, 0)
+	if _, err := QRDRelevanceOnlyPTime(in); err == nil {
+		t.Error("should reject λ>0")
+	}
+}
+
+func TestQRDBestIsMaximum(t *testing.T) {
+	xs := []int64{1, 2, 6, 9}
+	for _, kind := range []objective.Kind{objective.MaxSum, objective.MaxMin, objective.Mono} {
+		obj := objective.New(kind, attrRel(), hamming(), 0.4)
+		in := identityInstance(xs, obj, 2, 0)
+		best := QRDBest(in)
+		if !best.Exists {
+			t.Fatalf("%v: no best set found", kind)
+		}
+		// Brute force the true maximum.
+		answers := in.Answers()
+		max := math.Inf(-1)
+		subset.ForEach(len(answers), in.K, func(idx []int) bool {
+			u := []relation.Tuple{answers[idx[0]], answers[idx[1]]}
+			if f := in.Eval(u); f > max {
+				max = f
+			}
+			return true
+		})
+		if math.Abs(best.Value-max) > 1e-9 {
+			t.Errorf("%v: best=%v, true max=%v", kind, best.Value, max)
+		}
+	}
+}
+
+func TestQRDWithConstraints(t *testing.T) {
+	// Valid sets must contain x=1 whenever they contain x=2.
+	obj := objective.New(objective.MaxSum, objective.ConstRelevance(1), hamming(), 1)
+	in := identityInstance([]int64{1, 2, 3}, obj, 2, 2) // any 2 distinct tuples score 2·1·...
+	in.Sigma = compat.NewSet(2)
+	in.Sigma.MustAdd(compat.MustParse(`forall t (t.x1 = 2 -> exists s (s.x1 = 1))`))
+	res := QRDExact(in)
+	if !res.Exists {
+		t.Fatal("constrained instance should still have valid sets")
+	}
+	if !in.SatisfiesConstraints(res.Witness) {
+		t.Errorf("witness %v violates constraints", res.Witness)
+	}
+	// Force the violating pair {2,3} to be the only high scorer and check it
+	// is excluded: distance table makes {2,3} the unique top pair.
+	td := objective.NewTableDistance(0)
+	td.Set(relation.Ints(2), relation.Ints(3), 10)
+	obj2 := objective.New(objective.MaxSum, objective.ConstRelevance(0), td, 1)
+	in2 := identityInstance([]int64{1, 2, 3}, obj2, 2, 15)
+	in2.Sigma = in.Sigma
+	if res := QRDExact(in2); res.Exists {
+		t.Error("only {2,3} reaches B=15 but violates Σ; QRD must say no")
+	}
+}
+
+func TestDRPExactRanks(t *testing.T) {
+	// Scores: {9,7}=16·(k-1)=16, ... use λ=0 FMS: F(U) = (k-1)·Σ rel = Σ rel.
+	obj := objective.New(objective.MaxSum, attrRel(), nil, 0)
+	xs := []int64{9, 7, 5, 3}
+	// Candidate sets of size 2 by F: {9,7}=16, {9,5}=14, {9,3}=12, {7,5}=12,
+	// {7,3}=10, {5,3}=8.
+	cases := []struct {
+		u      []int64
+		r      int
+		inTopR bool
+	}{
+		{[]int64{9, 7}, 1, true},
+		{[]int64{9, 5}, 1, false},
+		{[]int64{9, 5}, 2, true},
+		{[]int64{9, 3}, 2, false},
+		{[]int64{9, 3}, 3, true},  // two sets beat 12
+		{[]int64{7, 5}, 3, true},  // ties do not count as better
+		{[]int64{5, 3}, 5, false}, // five sets beat 8
+		{[]int64{5, 3}, 6, true},
+	}
+	for _, c := range cases {
+		in := identityInstance(xs, obj, 2, 0)
+		in.R = c.r
+		in.U = []relation.Tuple{relation.Ints(c.u[0]), relation.Ints(c.u[1])}
+		res, err := DRPExact(in)
+		if err != nil {
+			t.Fatalf("u=%v r=%d: %v", c.u, c.r, err)
+		}
+		if res.InTopR != c.inTopR {
+			t.Errorf("u=%v r=%d: got %v (better=%d), want %v", c.u, c.r, res.InTopR, res.Better, c.inTopR)
+		}
+	}
+}
+
+func TestDRPExactRejectsNonCandidate(t *testing.T) {
+	obj := objective.New(objective.MaxSum, attrRel(), nil, 0)
+	in := identityInstance([]int64{1, 2}, obj, 2, 0)
+	in.R = 1
+	in.U = []relation.Tuple{relation.Ints(1), relation.Ints(99)}
+	if _, err := DRPExact(in); err == nil {
+		t.Error("U ⊄ Q(D) must be rejected")
+	}
+	in.U = []relation.Tuple{relation.Ints(1)}
+	if _, err := DRPExact(in); err == nil {
+		t.Error("|U| != k must be rejected")
+	}
+	in.U = []relation.Tuple{relation.Ints(1), relation.Ints(1)}
+	if _, err := DRPExact(in); err == nil {
+		t.Error("multiset U must be rejected")
+	}
+}
+
+func TestDRPMonoPTimeMatchesExact(t *testing.T) {
+	obj := objective.New(objective.Mono, attrRel(), hamming(), 0.6)
+	xs := []int64{2, 4, 6, 8, 10, 12}
+	in0 := identityInstance(xs, obj, 3, 0)
+	answers := in0.Answers()
+	// Assess every candidate set at several ranks.
+	subset.ForEach(len(answers), 3, func(idx []int) bool {
+		u := []relation.Tuple{answers[idx[0]], answers[idx[1]], answers[idx[2]]}
+		for _, r := range []int{1, 3, 10, 25} {
+			in := identityInstance(xs, obj, 3, 0)
+			in.R = r
+			in.U = u
+			fast, err := DRPMonoPTime(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := DRPExact(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast.InTopR != slow.InTopR {
+				t.Errorf("u=%v r=%d: ptime=%v exact=%v", u, r, fast.InTopR, slow.InTopR)
+			}
+		}
+		return true
+	})
+}
+
+func TestDRPRelevanceOnlyPTimeMatchesExact(t *testing.T) {
+	xs := []int64{3, 5, 5, 7, 9} // includes a duplicate-relevance pair
+	for _, kind := range []objective.Kind{objective.MaxSum, objective.MaxMin, objective.Mono} {
+		obj := objective.New(kind, attrRel(), hamming(), 0)
+		in0 := identityInstance(xs, obj, 2, 0)
+		answers := in0.Answers()
+		subset.ForEach(len(answers), 2, func(idx []int) bool {
+			u := []relation.Tuple{answers[idx[0]], answers[idx[1]]}
+			for _, r := range []int{1, 2, 4, 8} {
+				in := identityInstance(xs, obj, 2, 0)
+				in.R = r
+				in.U = u
+				fast, err := DRPRelevanceOnlyPTime(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				slow, err := DRPExact(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fast.InTopR != slow.InTopR {
+					t.Errorf("%v u=%v r=%d: ptime=%v exact=%v", kind, u, r, fast.InTopR, slow.InTopR)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestRDCExactCountsMatchBruteForce(t *testing.T) {
+	xs := []int64{1, 2, 4, 8, 16}
+	for _, kind := range []objective.Kind{objective.MaxSum, objective.MaxMin, objective.Mono} {
+		for _, lambda := range []float64{0, 0.5, 1} {
+			obj := objective.New(kind, attrRel(), hamming(), lambda)
+			for _, b := range []float64{0, 2, 6, 18, 60} {
+				in := identityInstance(xs, obj, 3, b)
+				got := RDCExact(in).Count.Int64()
+				want := int64(bruteCount(in, false, b))
+				if got != want {
+					t.Errorf("%v λ=%v B=%v: exact=%d brute=%d", kind, lambda, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRDCExactWithConstraints(t *testing.T) {
+	obj := objective.New(objective.MaxSum, objective.ConstRelevance(1), nil, 0)
+	in := identityInstance([]int64{1, 2, 3, 4}, obj, 2, 0)
+	in.Sigma = compat.NewSet(2)
+	// Any chosen set must include x=1.
+	in.Sigma.MustAdd(compat.MustParse(`exists s (s.x1 = 1)`))
+	got := RDCExact(in).Count.Int64()
+	if got != 3 { // {1,2},{1,3},{1,4}
+		t.Errorf("constrained count = %d, want 3", got)
+	}
+}
+
+func TestRDCMaxMinRelevanceOnlyFP(t *testing.T) {
+	obj := objective.New(objective.MaxMin, attrRel(), hamming(), 0)
+	for _, b := range []float64{0, 3, 5, 9, 11} {
+		in := identityInstance([]int64{1, 3, 5, 7, 9}, obj, 2, b)
+		fast, err := RDCMaxMinRelevanceOnlyFP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := RDCExact(in)
+		if fast.Count.Cmp(slow.Count) != 0 {
+			t.Errorf("B=%v: FP=%v exact=%v", b, fast.Count, slow.Count)
+		}
+	}
+}
+
+func TestRDCMaxMinRelevanceOnlyFPRejects(t *testing.T) {
+	obj := objective.New(objective.MaxMin, attrRel(), hamming(), 0.5)
+	in := identityInstance([]int64{1}, obj, 1, 0)
+	if _, err := RDCMaxMinRelevanceOnlyFP(in); err == nil {
+		t.Error("λ>0 must be rejected")
+	}
+}
+
+func TestRDCModularDPMatchesExact(t *testing.T) {
+	// Integer scores: relevance = x (ints), λ=0 mono.
+	obj := objective.New(objective.Mono, attrRel(), nil, 0)
+	for _, b := range []float64{0, 5, 10, 17, 100} {
+		in := identityInstance([]int64{1, 2, 3, 4, 5, 6}, obj, 3, b)
+		dp, err := RDCModularDP(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := RDCExact(in)
+		if dp.Count.Cmp(slow.Count) != 0 {
+			t.Errorf("B=%v: dp=%v exact=%v", b, dp.Count, slow.Count)
+		}
+	}
+}
+
+func TestRDCModularDPRejectsNonIntegerScores(t *testing.T) {
+	obj := objective.New(objective.Mono, objective.RelevanceFunc(func(relation.Tuple) float64 {
+		return 0.3333333
+	}), nil, 0)
+	in := identityInstance([]int64{1, 2}, obj, 1, 0)
+	if _, err := RDCModularDP(in, 1); err == nil {
+		t.Error("non-integer scores must be rejected")
+	}
+}
+
+func TestRDCTuringReduce(t *testing.T) {
+	// Count sets whose relevance sum is exactly 7 with k=2 over {1..6}:
+	// {1,6},{2,5},{3,4} -> 3. λ=0 mono scores are the values themselves.
+	obj := objective.New(objective.Mono, attrRel(), nil, 0)
+	in := identityInstance([]int64{1, 2, 3, 4, 5, 6}, obj, 2, 0)
+	got := RDCTuringReduce(in, 7, 0.5, RDCExact)
+	if got.Cmp(big.NewInt(3)) != 0 {
+		t.Errorf("exact-sum count = %v, want 3", got)
+	}
+}
+
+func TestSearchPruningIsLossless(t *testing.T) {
+	// Property: with random integer data, pruned exact counting equals
+	// brute-force counting for all three objectives.
+	f := func(raw [7]int8, kRaw, bRaw uint8) bool {
+		xs := make([]int64, len(raw))
+		for i, v := range raw {
+			xs[i] = int64(v%10) + 10 // keep values positive and small
+		}
+		k := int(kRaw)%4 + 1
+		b := float64(bRaw % 64)
+		for _, kind := range []objective.Kind{objective.MaxSum, objective.MaxMin, objective.Mono} {
+			obj := objective.New(kind, attrRel(), hamming(), 0.5)
+			in := identityInstance(xs, obj, k, b)
+			if RDCExact(in).Count.Int64() != int64(bruteCount(in, false, b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	obj := objective.New(objective.MaxSum, attrRel(), hamming(), 0.5)
+	in := identityInstance([]int64{1, 2, 3, 4}, obj, 2, 0)
+	res := QRDExact(in)
+	if res.Stats.Answers != 4 || res.Stats.Nodes == 0 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+}
+
+func TestQRDOnNonIdentityQuery(t *testing.T) {
+	// QRD over a CQ with a join: Q(x, y) :- R(x, y), S(y).
+	r := relation.NewRelation(relation.NewSchema("R", "a", "b"))
+	r.InsertAll(relation.Ints(1, 2), relation.Ints(3, 4), relation.Ints(5, 6))
+	s := relation.NewRelation(relation.NewSchema("S", "b"))
+	s.InsertAll(relation.Ints(2), relation.Ints(6))
+	db := relation.NewDatabase().Add(r).Add(s)
+	q := query.MustNew("Q", []string{"x", "y"}, &query.And{Fs: []query.Formula{
+		&query.Atom{Rel: "R", Args: []query.Term{query.V("x"), query.V("y")}},
+		&query.Atom{Rel: "S", Args: []query.Term{query.V("y")}},
+	}})
+	obj := objective.New(objective.MaxSum, objective.ConstRelevance(1), hamming(), 0.5)
+	in := &core.Instance{Query: q, DB: db, Obj: obj, K: 2, B: 0}
+	res := QRDExact(in)
+	if !res.Exists {
+		t.Fatal("join query instance should have a valid set")
+	}
+	if len(in.Answers()) != 2 {
+		t.Errorf("|Q(D)| = %d, want 2", len(in.Answers()))
+	}
+}
+
+func TestValueHelperUnused(t *testing.T) {
+	// Guard against regressions in the float tolerance helper.
+	if floatSlack(0) <= 0 || floatSlack(-100) <= 0 {
+		t.Error("floatSlack must be positive")
+	}
+	_ = value.Int(0) // keep the import exercised alongside relation helpers
+}

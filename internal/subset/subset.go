@@ -1,0 +1,176 @@
+// Package subset supplies the k-subset combinatorics that the
+// diversification solvers are built on: lexicographic enumeration of
+// k-element index sets (the candidate sets U ⊆ Q(D) with |U| = k of
+// Section 4), exact binomial coefficients for the FP counting results
+// (Thm 8.2, Cor 8.4), and best-first enumeration of k-subsets in descending
+// order of additive score — the engine behind the paper's FindNext procedure
+// for DRP(LQ, Fmono) (Thm 6.4).
+package subset
+
+import (
+	"container/heap"
+	"math/big"
+	"sort"
+)
+
+// ForEach enumerates every k-element subset of {0, ..., n-1} in
+// lexicographic order, invoking yield with a reused index slice. yield
+// returning false stops the enumeration early; ForEach reports whether the
+// enumeration ran to completion. k = 0 yields the empty subset once.
+func ForEach(n, k int, yield func(idx []int) bool) bool {
+	if k < 0 || k > n {
+		return true
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		if !yield(idx) {
+			return false
+		}
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return true
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// Count returns the number of k-subsets of an n-set as an exact big integer;
+// C(n, k) = 0 outside 0 <= k <= n.
+func Count(n, k int) *big.Int {
+	if k < 0 || n < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// Ranked enumerates k-subsets of a scored universe in non-increasing order
+// of total score. It implements the best-first search that realizes the
+// paper's FindNext one-tuple-replacement strategy (proof of Thm 6.4): start
+// from the top-1 set (the k highest scores) and generate successors by
+// replacing one element with a lower-scored one, exploring by a max-heap.
+//
+// Construction sorts the scores descending; Next then yields index sets
+// (into the *sorted* order — use Perm to map back) together with their sums.
+type Ranked struct {
+	scores []float64 // sorted descending
+	perm   []int     // perm[i] = original index of sorted position i
+	heap   rankHeap
+	seen   map[string]bool
+	k      int
+}
+
+// NewRanked prepares ranked enumeration of k-subsets of scores.
+// It returns nil if k is out of range.
+func NewRanked(scores []float64, k int) *Ranked {
+	n := len(scores)
+	if k < 0 || k > n {
+		return nil
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sorted := append([]float64(nil), scores...)
+	sort.SliceStable(perm, func(a, b int) bool { return scores[perm[a]] > scores[perm[b]] })
+	for i, p := range perm {
+		sorted[i] = scores[p]
+	}
+	r := &Ranked{scores: sorted, perm: perm, seen: make(map[string]bool), k: k}
+	first := make([]int, k)
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		first[i] = i
+		sum += sorted[i]
+	}
+	r.push(first, sum)
+	return r
+}
+
+// Next returns the next-best k-subset as sorted positions (in the internal
+// descending-score order), its score sum, and whether one was available.
+// The returned slice is owned by the caller.
+func (r *Ranked) Next() ([]int, float64, bool) {
+	if r == nil || r.heap.Len() == 0 {
+		return nil, 0, false
+	}
+	top := heap.Pop(&r.heap).(rankNode)
+	r.expand(top)
+	return top.idx, top.sum, true
+}
+
+// Perm translates sorted positions back to indices into the original scores
+// slice.
+func (r *Ranked) Perm(idx []int) []int {
+	out := make([]int, len(idx))
+	for i, p := range idx {
+		out[i] = r.perm[p]
+	}
+	return out
+}
+
+// expand pushes the successors of a combination: each obtained by moving one
+// chosen position one step right into a free slot (the standard successor
+// rule for subset-sum ranking; with descending scores this never skips a
+// higher-sum set).
+func (r *Ranked) expand(nd rankNode) {
+	n := len(r.scores)
+	for i := len(nd.idx) - 1; i >= 0; i-- {
+		next := nd.idx[i] + 1
+		if next >= n {
+			continue
+		}
+		if i+1 < len(nd.idx) && next == nd.idx[i+1] {
+			continue // occupied
+		}
+		child := append([]int(nil), nd.idx...)
+		child[i] = next
+		sum := nd.sum - r.scores[nd.idx[i]] + r.scores[next]
+		r.push(child, sum)
+	}
+}
+
+func (r *Ranked) push(idx []int, sum float64) {
+	key := comboKey(idx)
+	if r.seen[key] {
+		return
+	}
+	r.seen[key] = true
+	heap.Push(&r.heap, rankNode{idx: idx, sum: sum})
+}
+
+func comboKey(idx []int) string {
+	b := make([]byte, 0, len(idx)*3)
+	for _, i := range idx {
+		b = append(b, byte(i), byte(i>>8), byte(i>>16))
+	}
+	return string(b)
+}
+
+type rankNode struct {
+	idx []int
+	sum float64
+}
+
+type rankHeap []rankNode
+
+func (h rankHeap) Len() int            { return len(h) }
+func (h rankHeap) Less(i, j int) bool  { return h[i].sum > h[j].sum }
+func (h rankHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *rankHeap) Push(x interface{}) { *h = append(*h, x.(rankNode)) }
+func (h *rankHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,253 @@
+package subset
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func collect(n, k int) [][]int {
+	var out [][]int
+	ForEach(n, k, func(idx []int) bool {
+		out = append(out, append([]int(nil), idx...))
+		return true
+	})
+	return out
+}
+
+func TestForEachEnumeratesAll(t *testing.T) {
+	got := collect(4, 2)
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d combos, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Errorf("combo %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	if got := collect(3, 0); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("k=0 should yield exactly the empty set, got %v", got)
+	}
+	if got := collect(3, 3); len(got) != 1 {
+		t.Errorf("k=n should yield one combo, got %v", got)
+	}
+	if got := collect(3, 4); len(got) != 0 {
+		t.Errorf("k>n should yield nothing, got %v", got)
+	}
+	if got := collect(0, 0); len(got) != 1 {
+		t.Errorf("n=k=0 should yield the empty set, got %v", got)
+	}
+	if !ForEach(3, -1, func([]int) bool { return true }) {
+		t.Error("negative k should complete trivially")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	count := 0
+	done := ForEach(5, 2, func([]int) bool {
+		count++
+		return count < 3
+	})
+	if done || count != 3 {
+		t.Errorf("early stop: done=%v count=%d", done, count)
+	}
+}
+
+func TestCountMatchesEnumeration(t *testing.T) {
+	for n := 0; n <= 8; n++ {
+		for k := 0; k <= n+1; k++ {
+			want := int64(len(collect(n, k)))
+			if got := Count(n, k).Int64(); got != want {
+				t.Errorf("Count(%d, %d) = %d, want %d", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestCountBigValues(t *testing.T) {
+	// C(100, 50) overflows int64; make sure big.Int handles it.
+	c := Count(100, 50)
+	if c.Sign() <= 0 || c.BitLen() < 90 {
+		t.Errorf("C(100,50) = %v looks wrong", c)
+	}
+	if Count(-1, 0).Sign() != 0 || Count(5, -1).Sign() != 0 {
+		t.Error("out-of-range Count should be 0")
+	}
+}
+
+func TestRankedDescendingOrder(t *testing.T) {
+	scores := []float64{5, 1, 4, 2, 3}
+	r := NewRanked(scores, 2)
+	var sums []float64
+	for {
+		_, sum, ok := r.Next()
+		if !ok {
+			break
+		}
+		sums = append(sums, sum)
+	}
+	if len(sums) != 10 {
+		t.Fatalf("enumerated %d subsets, want C(5,2)=10", len(sums))
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(sums))) {
+		t.Errorf("sums not descending: %v", sums)
+	}
+	if sums[0] != 9 { // 5+4
+		t.Errorf("best sum = %v, want 9", sums[0])
+	}
+	if sums[len(sums)-1] != 3 { // 1+2
+		t.Errorf("worst sum = %v, want 3", sums[len(sums)-1])
+	}
+}
+
+func TestRankedPermMapsBack(t *testing.T) {
+	scores := []float64{1, 9, 5}
+	r := NewRanked(scores, 2)
+	idx, sum, ok := r.Next()
+	if !ok || sum != 14 {
+		t.Fatalf("best = %v, %v", idx, sum)
+	}
+	orig := r.Perm(idx)
+	total := 0.0
+	for _, i := range orig {
+		total += scores[i]
+	}
+	if total != 14 {
+		t.Errorf("Perm mapped to %v with total %v", orig, total)
+	}
+}
+
+func TestRankedOutOfRange(t *testing.T) {
+	if NewRanked([]float64{1, 2}, 3) != nil {
+		t.Error("k>n should return nil")
+	}
+	if NewRanked([]float64{1}, -1) != nil {
+		t.Error("k<0 should return nil")
+	}
+	var r *Ranked
+	if _, _, ok := r.Next(); ok {
+		t.Error("nil Ranked should yield nothing")
+	}
+}
+
+func TestRankedZeroK(t *testing.T) {
+	r := NewRanked([]float64{1, 2}, 0)
+	idx, sum, ok := r.Next()
+	if !ok || len(idx) != 0 || sum != 0 {
+		t.Errorf("k=0 first = %v,%v,%v", idx, sum, ok)
+	}
+	if _, _, ok := r.Next(); ok {
+		t.Error("k=0 should yield exactly once")
+	}
+}
+
+func TestRankedNoDuplicates(t *testing.T) {
+	scores := []float64{3, 3, 2, 2, 1}
+	r := NewRanked(scores, 3)
+	seen := map[string]bool{}
+	count := 0
+	for {
+		idx, _, ok := r.Next()
+		if !ok {
+			break
+		}
+		key := comboKey(idx)
+		if seen[key] {
+			t.Fatalf("duplicate combination %v", idx)
+		}
+		seen[key] = true
+		count++
+	}
+	if count != 10 {
+		t.Errorf("enumerated %d, want C(5,3)=10", count)
+	}
+}
+
+// Property: Ranked enumerates exactly the C(n,k) subsets in non-increasing
+// sum order, agreeing with brute force.
+func TestRankedCompleteAndOrderedProperty(t *testing.T) {
+	f := func(raw [6]int8, kRaw uint8) bool {
+		scores := make([]float64, len(raw))
+		for i, v := range raw {
+			scores[i] = float64(v)
+		}
+		k := int(kRaw)%len(scores) + 0
+		r := NewRanked(scores, k)
+		var sums []float64
+		for {
+			idx, sum, ok := r.Next()
+			if !ok {
+				break
+			}
+			// Verify sum matches the indices.
+			check := 0.0
+			for _, i := range r.Perm(idx) {
+				check += scores[i]
+			}
+			if math.Abs(check-sum) > 1e-9 {
+				return false
+			}
+			sums = append(sums, sum)
+		}
+		if int64(len(sums)) != Count(len(scores), k).Int64() {
+			return false
+		}
+		for i := 1; i < len(sums); i++ {
+			if sums[i] > sums[i-1]+1e-9 {
+				return false
+			}
+		}
+		// Brute-force comparison of the multiset of sums.
+		var brute []float64
+		ForEach(len(scores), k, func(idx []int) bool {
+			s := 0.0
+			for _, i := range idx {
+				s += scores[i]
+			}
+			brute = append(brute, s)
+			return true
+		})
+		sort.Float64s(brute)
+		got := append([]float64(nil), sums...)
+		sort.Float64s(got)
+		for i := range brute {
+			if math.Abs(brute[i]-got[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every yielded combination from ForEach is strictly increasing
+// and within range.
+func TestForEachWellFormedProperty(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw % 9)
+		k := int(kRaw % 9)
+		ok := true
+		ForEach(n, k, func(idx []int) bool {
+			for i, v := range idx {
+				if v < 0 || v >= n || (i > 0 && idx[i-1] >= v) {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package tsvio reads and writes relations as tab-separated files: the
+// first line names the attributes, every following line is one tuple.
+// Field values parse as int, then float, then bool, then string — the same
+// preference order the value package's literal parser uses, minus quoting
+// (TSV fields are raw).
+//
+// It is the interchange format between divgen (which emits workloads) and
+// divcli (which loads them), and a convenient way to get real data into an
+// Engine.
+package tsvio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// ParseField interprets one TSV field: int, float, bool, then string.
+func ParseField(s string) value.Value {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return value.Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return value.Float(f)
+	}
+	switch s {
+	case "true":
+		return value.Bool(true)
+	case "false":
+		return value.Bool(false)
+	}
+	return value.Str(s)
+}
+
+// Read parses a relation named name from TSV input. Blank lines are
+// skipped; every data line must have exactly as many fields as the header.
+func Read(name string, r io.Reader) (*relation.Relation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("tsvio: %s: %v", name, err)
+		}
+		return nil, fmt.Errorf("tsvio: %s: empty input", name)
+	}
+	attrs := strings.Split(strings.TrimRight(sc.Text(), "\r\n"), "\t")
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("tsvio: %s: empty attribute name at column %d", name, i+1)
+		}
+	}
+	rel := relation.NewRelation(relation.NewSchema(name, attrs...))
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r\n")
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != len(attrs) {
+			return nil, fmt.Errorf("tsvio: %s:%d: %d fields, want %d", name, line, len(fields), len(attrs))
+		}
+		t := make(relation.Tuple, len(fields))
+		for i, f := range fields {
+			t[i] = ParseField(f)
+		}
+		rel.Insert(t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tsvio: %s: %v", name, err)
+	}
+	return rel, nil
+}
+
+// Write emits the relation as TSV, header first, tuples in canonical
+// (sorted) order so output is deterministic.
+func Write(w io.Writer, r *relation.Relation) error {
+	if _, err := fmt.Fprintln(w, strings.Join(r.Schema().Attrs, "\t")); err != nil {
+		return err
+	}
+	for _, t := range r.Sorted() {
+		fields := make([]string, len(t))
+		for i, v := range t {
+			fields[i] = v.AsString()
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package tsvio
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+func TestParseFieldPreference(t *testing.T) {
+	cases := []struct {
+		in   string
+		want value.Value
+	}{
+		{"42", value.Int(42)},
+		{"-7", value.Int(-7)},
+		{"3.5", value.Float(3.5)},
+		{"true", value.Bool(true)},
+		{"false", value.Bool(false)},
+		{"hello", value.Str("hello")},
+		{"", value.Str("")},
+		{"12abc", value.Str("12abc")},
+		{"1e3", value.Float(1000)},
+	}
+	for _, c := range cases {
+		if got := ParseField(c.in); !value.Equal(got, c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("ParseField(%q) = %v (%v), want %v (%v)", c.in, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestReadBasic(t *testing.T) {
+	src := "id\tname\tprice\n1\twidget\t9.5\n2\tgadget\t12\n\n3\tdoohickey\ttrue\n"
+	rel, err := Read("items", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Schema().Name != "items" || rel.Schema().Arity() != 3 {
+		t.Fatalf("schema wrong: %v", rel.Schema())
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("got %d tuples, want 3 (blank line skipped)", rel.Len())
+	}
+	want := relation.Tuple{value.Int(1), value.Str("widget"), value.Float(9.5)}
+	if !rel.Contains(want) {
+		t.Errorf("missing tuple %v", want)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read("r", strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Read("r", strings.NewReader("a\tb\n1\n")); err == nil {
+		t.Error("field-count mismatch should fail")
+	}
+	if _, err := Read("r", strings.NewReader("a\t\tc\n")); err == nil {
+		t.Error("empty attribute name should fail")
+	}
+}
+
+func TestReadDeduplicates(t *testing.T) {
+	rel, err := Read("r", strings.NewReader("x\n1\n1\n2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Errorf("set semantics: %d tuples, want 2", rel.Len())
+	}
+}
+
+func TestReadFailingReader(t *testing.T) {
+	if _, err := Read("r", failingReader{}); err == nil {
+		t.Error("reader error should surface")
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, errors.New("boom") }
+
+// TestRoundTrip is the write/read inverse property over random relations
+// with TSV-safe values.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := relation.NewRelation(relation.NewSchema("R", "a", "b", "c"))
+		for i := 0; i < 1+r.Intn(20); i++ {
+			rel.Insert(relation.Tuple{
+				value.Int(r.Int63n(100)),
+				value.Str(randWord(r)),
+				value.Float(float64(r.Intn(1000)) / 4),
+			})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, rel); err != nil {
+			return false
+		}
+		back, err := Read("R", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		if back.Len() != rel.Len() {
+			return false
+		}
+		for _, tp := range rel.Tuples() {
+			if !back.Contains(tp) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// randWord emits a short word that does not collide with numeric or boolean
+// literals and contains no tabs/newlines.
+func randWord(r *rand.Rand) string {
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	n := 3 + r.Intn(6)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(letters[r.Intn(len(letters))])
+	}
+	return "w" + b.String()
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	rel := relation.NewRelation(relation.NewSchema("R", "x"))
+	rel.Insert(relation.Tuple{value.Int(3)})
+	rel.Insert(relation.Tuple{value.Int(1)})
+	rel.Insert(relation.Tuple{value.Int(2)})
+	var a, b bytes.Buffer
+	if err := Write(&a, rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, rel); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("output not deterministic")
+	}
+	if !strings.HasPrefix(a.String(), "x\n1\n2\n3\n") {
+		t.Errorf("not in canonical order:\n%s", a.String())
+	}
+}

@@ -1,0 +1,280 @@
+// Package workload generates the databases, queries and scoring functions
+// the examples and benchmarks run on: the gift-recommendation scenario of
+// Examples 1.1/3.1, the course-selection and team-formation scenarios of
+// Example 9.1, and synthetic point databases for scaling experiments.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/objective"
+	"repro/internal/query"
+	"repro/internal/query/parse"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// Gift item types, loosely following Example 3.1's categories.
+var giftTypes = []string{
+	"jewelry", "book", "toy", "fashion", "artsy", "educational", "electronics", "sports",
+}
+
+// Events and relationships for history rows.
+var (
+	giftEvents = []string{"birthday", "wedding", "holiday", "graduation"}
+	giftRels   = []string{"uncle", "aunt", "parent", "friend", "sibling"}
+)
+
+// GiftShop builds the FindGift database of Example 1.1 with nCatalog items
+// and nHistory purchase records, deterministically from rng.
+//
+//	catalog(item, type, price, inStock)
+//	history(item, buyer, recipient, gender, age, rel, event, rating)
+func GiftShop(rng *rand.Rand, nCatalog, nHistory int) *relation.Database {
+	catalog := relation.NewRelation(relation.NewSchema("catalog", "item", "type", "price", "inStock"))
+	items := make([]string, nCatalog)
+	for i := 0; i < nCatalog; i++ {
+		items[i] = fmt.Sprintf("item%03d", i)
+		catalog.Insert(relation.Tuple{
+			value.Str(items[i]),
+			value.Str(giftTypes[rng.Intn(len(giftTypes))]),
+			value.Int(int64(5 + rng.Intn(95))),
+			value.Int(int64(rng.Intn(20))),
+		})
+	}
+	history := relation.NewRelation(relation.NewSchema("history",
+		"item", "buyer", "recipient", "gender", "age", "rel", "event", "rating"))
+	for i := 0; i < nHistory && nCatalog > 0; i++ {
+		gender := "f"
+		if rng.Intn(2) == 0 {
+			gender = "m"
+		}
+		history.Insert(relation.Tuple{
+			value.Str(items[rng.Intn(nCatalog)]),
+			value.Str(fmt.Sprintf("buyer%02d", rng.Intn(20))),
+			value.Str(fmt.Sprintf("recipient%02d", rng.Intn(30))),
+			value.Str(gender),
+			value.Int(int64(8 + rng.Intn(60))),
+			value.Str(giftRels[rng.Intn(len(giftRels))]),
+			value.Str(giftEvents[rng.Intn(len(giftEvents))]),
+			value.Int(int64(1 + rng.Intn(5))),
+		})
+	}
+	return relation.NewDatabase().Add(catalog).Add(history)
+}
+
+// GiftQuery builds Example 3.1's Q0: items in [lo, hi] that buyer has not
+// already given to recipient — an FO query (negation over history).
+func GiftQuery(buyer, recipient string, lo, hi int64) *query.Query {
+	src := fmt.Sprintf(
+		`Q0(n) :- exists t, p, s (catalog(n, t, p, s), p >= %d, p <= %d,
+			forall n2, b, r, g, a, x, e, y (
+				not (history(n2, b, r, g, a, x, e, y), b = %q, r = %q, n = n2)))`,
+		lo, hi, buyer, recipient)
+	return parse.MustQuery(src)
+}
+
+// GiftCQQuery is the CQ fragment of the same request (no purchase-history
+// negation): items in the price range.
+func GiftCQQuery(lo, hi int64) *query.Query {
+	return parse.MustQuery(fmt.Sprintf(
+		`Qcq(n) :- catalog(n, t, p, s), p >= %d, p <= %d`, lo, hi))
+}
+
+// GiftRelevance scores an item by its purchase history, as Example 3.1
+// sketches: the mean rating of purchases for recipients in the target age
+// band for the target event, with a default for unseen items.
+func GiftRelevance(db *relation.Database, event string, ageLo, ageHi int64) objective.Relevance {
+	scores := make(map[string]float64)
+	counts := make(map[string]int)
+	hist := db.Relation("history")
+	if hist != nil {
+		for _, t := range hist.Tuples() {
+			age := t[4].AsInt()
+			if t[6].AsString() != event || age < ageLo || age > ageHi {
+				continue
+			}
+			item := t[0].AsString()
+			scores[item] += float64(t[7].AsInt())
+			counts[item]++
+		}
+	}
+	return objective.RelevanceFunc(func(t relation.Tuple) float64 {
+		item := t[0].AsString()
+		if counts[item] > 0 {
+			return scores[item] / float64(counts[item])
+		}
+		return 2.5 // default mid-scale rating
+	})
+}
+
+// GiftDistance measures item dissimilarity by type difference, Example
+// 3.1's δdis: distance 2 across type categories, 1 within related types,
+// 0 for identical types. The catalog is consulted for each item's type.
+func GiftDistance(db *relation.Database) objective.Distance {
+	types := make(map[string]string)
+	if cat := db.Relation("catalog"); cat != nil {
+		for _, t := range cat.Tuples() {
+			types[t[0].AsString()] = t[1].AsString()
+		}
+	}
+	related := map[[2]string]bool{
+		{"jewelry", "fashion"}: true, {"book", "educational"}: true,
+		{"toy", "sports"}: true, {"artsy", "fashion"}: true,
+	}
+	return objective.DistanceFunc(func(s, t relation.Tuple) float64 {
+		a, b := types[s[0].AsString()], types[t[0].AsString()]
+		switch {
+		case a == b:
+			if s.Equal(t) {
+				return 0
+			}
+			return 0.5 // same type, different item
+		case related[[2]string{a, b}] || related[[2]string{b, a}]:
+			return 1
+		default:
+			return 2
+		}
+	})
+}
+
+// GiftInstance assembles Example 3.2's full scenario: Peter shopping for
+// Grace, k items, balanced objective.
+func GiftInstance(rng *rand.Rand, nCatalog, nHistory, k int, kind objective.Kind, lambda float64) *core.Instance {
+	db := GiftShop(rng, nCatalog, nHistory)
+	q := GiftQuery("buyer00", "recipient00", 20, 80)
+	return &core.Instance{
+		Query: q,
+		DB:    db,
+		Obj: objective.New(kind,
+			GiftRelevance(db, "holiday", 11, 16),
+			GiftDistance(db), lambda),
+		K: k,
+	}
+}
+
+// Points builds an identity-query instance over n random integer points in
+// [0, side)^dim, with relevance = first coordinate (scaled to [0,1]) and
+// Euclidean distance — the standard dispersion-style workload.
+func Points(rng *rand.Rand, n, dim int, side int64, kind objective.Kind, lambda float64, k int) *core.Instance {
+	attrs := make([]string, dim)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("c%d", i)
+	}
+	r := relation.NewRelation(relation.NewSchema("P", attrs...))
+	for r.Len() < n {
+		t := make(relation.Tuple, dim)
+		for i := range t {
+			t[i] = value.Int(rng.Int63n(side))
+		}
+		r.Insert(t)
+	}
+	db := relation.NewDatabase().Add(r)
+	return &core.Instance{
+		Query: query.IdentityQueryNamed("P", attrs),
+		DB:    db,
+		Obj: objective.New(kind,
+			objective.AttrRelevance(0, 1/float64(side)),
+			objective.EuclideanDistance(), lambda),
+		K: k,
+	}
+}
+
+// Clustered builds an identity-query instance whose points form c clusters
+// of per points each, spread tightly within a cluster — the workload where
+// diversification visibly beats plain top-k.
+func Clustered(rng *rand.Rand, c, per int, side, spread int64, kind objective.Kind, lambda float64, k int) *core.Instance {
+	r := relation.NewRelation(relation.NewSchema("P", "c0", "c1"))
+	for i := 0; i < c; i++ {
+		cx, cy := rng.Int63n(side), rng.Int63n(side)
+		for j := 0; j < per; j++ {
+			x := cx + rng.Int63n(2*spread+1) - spread
+			y := cy + rng.Int63n(2*spread+1) - spread
+			r.Insert(relation.Ints(x, y))
+		}
+	}
+	db := relation.NewDatabase().Add(r)
+	return &core.Instance{
+		Query: query.IdentityQueryNamed("P", []string{"c0", "c1"}),
+		DB:    db,
+		Obj: objective.New(kind,
+			objective.AttrRelevance(0, 1/float64(side)),
+			objective.EuclideanDistance(), lambda),
+		K: k,
+	}
+}
+
+// Courses builds the course-selection scenario of Example 9.1: a catalog of
+// courses with ids, titles and levels, plus a prerequisite edge list used
+// to generate constraints.
+func Courses() (*relation.Database, []string) {
+	courses := relation.NewRelation(relation.NewSchema("courses", "id", "title", "level", "credits"))
+	rows := [][4]interface{}{
+		{"CS101", "Programming", 1, 10},
+		{"CS110", "Discrete Math", 1, 10},
+		{"CS220", "Data Structures", 2, 10},
+		{"CS230", "Systems", 2, 10},
+		{"CS350", "Databases", 3, 10},
+		{"CS360", "Networks", 3, 10},
+		{"CS450", "Advanced Databases", 4, 20},
+		{"CS460", "Distributed Systems", 4, 20},
+	}
+	for _, row := range rows {
+		courses.Insert(relation.Tuple{
+			value.Str(row[0].(string)), value.Str(row[1].(string)),
+			value.Int(int64(row[2].(int))), value.Int(int64(row[3].(int))),
+		})
+	}
+	prereqs := []string{
+		`forall t (t.id = "CS220" -> exists p (p.id = "CS101"))`,
+		`forall t (t.id = "CS350" -> exists p (p.id = "CS220"))`,
+		`forall t (t.id = "CS450" -> exists p1, p2 (p1.id = "CS220", p2.id = "CS350"))`,
+		`forall t (t.id = "CS460" -> exists p (p.id = "CS230"))`,
+	}
+	return relation.NewDatabase().Add(courses), prereqs
+}
+
+// TeamRoster builds the basketball team-formation scenario of Example 9.1:
+// players with positions and skill ratings.
+func TeamRoster(rng *rand.Rand, n int) *relation.Database {
+	positions := []string{"center", "forward", "guard"}
+	r := relation.NewRelation(relation.NewSchema("players", "id", "position", "skill"))
+	for i := 0; i < n; i++ {
+		r.Insert(relation.Tuple{
+			value.Int(int64(i + 1)),
+			value.Str(positions[rng.Intn(len(positions))]),
+			value.Int(int64(50 + rng.Intn(50))),
+		})
+	}
+	return relation.NewDatabase().Add(r)
+}
+
+// ChainJoin builds a three-relation chain-join workload: R(a,b), S(b,c),
+// T(c,d) with n rows each over join keys drawn from a domain of size dom,
+// and the query
+//
+//	Q(a, d) :- R(a, b), S(b, c), T(c, d), d = 0
+//
+// whose best evaluation probes indexes on the join columns and runs the
+// selective d-filter early. It exercises the evaluator-optimizer ablation.
+func ChainJoin(rng *rand.Rand, n int, dom int64) (*relation.Database, *query.Query) {
+	db := relation.NewDatabase()
+	r := relation.NewRelation(relation.NewSchema("R", "a", "b"))
+	s := relation.NewRelation(relation.NewSchema("S", "b", "c"))
+	t := relation.NewRelation(relation.NewSchema("T", "c", "d"))
+	for i := 0; i < n; i++ {
+		r.Insert(relation.Tuple{value.Int(int64(i)), value.Int(rng.Int63n(dom))})
+		s.Insert(relation.Tuple{value.Int(rng.Int63n(dom)), value.Int(rng.Int63n(dom))})
+		t.Insert(relation.Tuple{value.Int(rng.Int63n(dom)), value.Int(rng.Int63n(8))})
+	}
+	db.Add(r).Add(s).Add(t)
+	q := query.MustNew("Q", []string{"a", "d"}, &query.And{Fs: []query.Formula{
+		&query.Atom{Rel: "R", Args: []query.Term{query.V("a"), query.V("b")}},
+		&query.Atom{Rel: "S", Args: []query.Term{query.V("b"), query.V("c")}},
+		&query.Atom{Rel: "T", Args: []query.Term{query.V("c"), query.V("d")}},
+		&query.Cmp{Op: query.EQ, L: query.V("d"), R: query.CInt(0)},
+	}})
+	return db, q
+}
