@@ -6,6 +6,7 @@
 package diversification
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -56,7 +57,7 @@ func BenchmarkTableI_QRD_FO_Combined(b *testing.B) {
 	in := workload.GiftInstance(rng, 30, 60, 3, objective.MaxSum, 0.5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		in.SetAnswers(nil) // force FO re-evaluation: the dominant cost
+		in.ResetAnswers() // force FO re-evaluation: the dominant cost
 		solver.QRDExact(in)
 	}
 }
@@ -361,7 +362,7 @@ func BenchmarkAblation_EarlyTermination(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			in := mk()
 			in.B = bound
-			if _, err := online.QRD(in, online.Options{CheckInterval: 4}); err != nil {
+			if _, err := online.QRD(context.Background(), in, online.Options{CheckInterval: 4}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -500,4 +501,55 @@ func BenchmarkFacade_EndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPreparedVsOneShot measures the prepared-query API against the
+// deprecated one-shot Request path on the same workload: Prepare performs
+// parse/classify/validate once and caches the materialized answer set
+// across calls, while each Request call repeats the full build-and-evaluate
+// pipeline. The per-call gap is the entire point of compile-once/solve-many
+// serving (expect well over 5x here, since the greedy solve itself is a
+// small fraction of the one-shot cost).
+func BenchmarkPreparedVsOneShot(b *testing.B) {
+	e := NewEngine()
+	e.MustCreateTable("items", "id", "category", "price")
+	for i := 0; i < 200; i++ {
+		e.MustInsert("items", i, []string{"book", "toy", "jewelry", "fashion", "artsy"}[i%5], 10+(i*37)%90)
+	}
+	const src = "Q(id, category, price) :- items(id, category, price), price <= 30"
+	relevance := func(r Row) float64 { return 100 - float64(r.Get("price").(int64)) }
+	distance := func(x, y Row) float64 {
+		if x.Get("category") == y.Get("category") {
+			return 0
+		}
+		return 1
+	}
+
+	b.Run("prepared", func(b *testing.B) {
+		p, err := e.Prepare(src,
+			WithK(3), WithObjective(MaxSum), WithLambda(0.5),
+			WithAlgorithm(Greedy), WithRelevance(relevance), WithDistance(distance))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Diversify(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("oneshot", func(b *testing.B) {
+		req := Request{
+			Query: src, K: 3, Objective: "max-sum", Lambda: 0.5,
+			Algorithm: "greedy", Relevance: relevance, Distance: distance,
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Diversify(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

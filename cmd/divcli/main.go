@@ -1,6 +1,6 @@
 // Command divcli runs diversified queries from the command line. It loads
 // relations from tab-separated files (one file per relation, first line the
-// schema), evaluates a query in the rule syntax, and selects a diverse
+// schema), prepares a query in the rule syntax once, and selects a diverse
 // top-k under one of the paper's three objective functions.
 //
 // Usage:
@@ -21,12 +21,14 @@
 //	-relevance-attr A   numeric attribute used as δrel (default: constant 1)
 //	-distance-attr A    attribute whose inequality defines δdis (default: zero)
 //	-constraint C       compatibility constraint in Cm syntax (repeatable)
-//	-algorithm A        auto | exact | greedy | local-search
+//	-algorithm A        auto | exact | greedy | local-search | online
 //	-count B            instead of selecting, count the k-sets with F >= B
+//	-timeout D          abort long-running (exponential) solves after D, e.g. 30s
 //	-explain            print the query's language class and the answer set
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -55,8 +57,9 @@ func main() {
 		lambda      = flag.Float64("lambda", 0.5, "trade-off λ in [0,1]")
 		relAttr     = flag.String("relevance-attr", "", "numeric attribute used as relevance")
 		disAttr     = flag.String("distance-attr", "", "attribute whose inequality is the distance")
-		algorithm   = flag.String("algorithm", "auto", "auto | exact | greedy | local-search")
+		algName     = flag.String("algorithm", "auto", "auto | exact | greedy | local-search | online")
 		countBound  = flag.Float64("count", -1, "count valid k-sets with F >= bound instead of selecting")
+		timeout     = flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit)")
 		explain     = flag.Bool("explain", false, "print language class and the full answer set")
 	)
 	flag.Var(&loads, "load", "relation to load, as name=file.tsv (repeatable)")
@@ -89,13 +92,20 @@ func main() {
 		fatalf("need -query")
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *explain {
 		lang, err := e.Language(*querySrc)
 		if err != nil {
 			fatalf("query: %v", err)
 		}
 		fmt.Printf("language class: %s\n", lang)
-		rs, err := e.Query(*querySrc)
+		rs, err := e.QueryContext(ctx, *querySrc)
 		if err != nil {
 			fatalf("query: %v", err)
 		}
@@ -106,33 +116,44 @@ func main() {
 		fmt.Println()
 	}
 
-	req := diversification.Request{
-		Query:       *querySrc,
-		K:           *k,
-		Objective:   *objName,
-		Lambda:      *lambda,
-		LambdaSet:   true,
-		Algorithm:   *algorithm,
-		Constraints: constraints,
+	objective, err := diversification.ParseObjective(*objName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	algorithm, err := diversification.ParseAlgorithm(*algName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts := []diversification.Option{
+		diversification.WithK(*k),
+		diversification.WithObjective(objective),
+		diversification.WithLambda(*lambda),
+		diversification.WithAlgorithm(algorithm),
+		diversification.WithConstraints(constraints...),
 	}
 	if *relAttr != "" {
 		attr := *relAttr
-		req.Relevance = func(r diversification.Row) float64 { return asFloat(r.Get(attr)) }
+		opts = append(opts, diversification.WithRelevance(func(r diversification.Row) float64 {
+			return asFloat(r.Get(attr))
+		}))
 	}
 	if *disAttr != "" {
 		attr := *disAttr
-		req.Distance = func(a, b diversification.Row) float64 {
+		opts = append(opts, diversification.WithDistance(func(a, b diversification.Row) float64 {
 			if a.Get(attr) == b.Get(attr) {
 				return 0
 			}
 			return 1
-		}
+		}))
+	}
+
+	p, err := e.Prepare(*querySrc, opts...)
+	if err != nil {
+		fatalf("prepare: %v", err)
 	}
 
 	if *countBound >= 0 {
-		req.Bound = *countBound
-		req.Algorithm = "" // counting is always exact
-		n, err := e.Count(req)
+		n, err := p.Count(ctx, diversification.WithBound(*countBound))
 		if err != nil {
 			fatalf("count: %v", err)
 		}
@@ -140,7 +161,7 @@ func main() {
 		return
 	}
 
-	sel, err := e.Diversify(req)
+	sel, err := p.Diversify(ctx)
 	if err != nil {
 		fatalf("diversify: %v", err)
 	}

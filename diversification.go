@@ -13,187 +13,65 @@
 //   - InTopR (DRP): decide whether a given k-subset ranks among the top r.
 //   - Count (RDC): count the k-subsets reaching B.
 //
+// # The prepared-query API
+//
+// The paper's complexity map (which problem, which language class, which
+// objective) is decided entirely at build time, so the API separates the
+// two phases: Engine.Prepare parses, classifies and validates the query
+// once, binds the objective with typed options, and returns a Prepared
+// handle whose solve methods reuse a cached materialized answer set across
+// calls (invalidated automatically when the database changes):
+//
+//	e := diversification.NewEngine()
+//	e.MustCreateTable("items", "id", "category", "price")
+//	e.MustInsert("items", 1, "book", 12)
+//	...
+//	p, err := e.Prepare(
+//	    "Q(id, category, price) :- items(id, category, price), price <= 50",
+//	    diversification.WithK(3),
+//	    diversification.WithObjective(diversification.MaxSum),
+//	    diversification.WithLambda(0.5),
+//	)
+//	sel, err := p.Diversify(ctx)
+//	sel, err = p.Diversify(ctx, diversification.WithK(5)) // per-call override
+//
+// Every solve method takes a context.Context: the exact solvers are
+// exponential in the paper's intractable cells (Theorems 4.1–6.1), and ctx
+// cancellation aborts them mid-search, as well as aborting a long-running
+// query evaluation itself.
+//
 // Solvers are selected per the paper's complexity map: exact
 // branch-and-bound in the general (intractable) settings, the paper's
 // polynomial algorithms in the tractable cells (mono-objective, λ=0,
 // constant k), and greedy/local-search heuristics when asked. Compatibility
 // constraints in the paper's class Cm restrict feasible sets (Section 9).
 //
-// The quickstart:
+// # Deprecated one-shot API
 //
-//	e := diversification.NewEngine()
-//	e.MustCreateTable("items", "id", "category", "price")
-//	e.MustInsert("items", 1, "book", 12)
-//	...
-//	sel, err := e.Diversify(diversification.Request{
-//	    Query:     "Q(id, category, price) :- items(id, category, price), price <= 50",
-//	    K:         3,
-//	    Objective: "max-sum",
-//	    Lambda:    0.5,
-//	})
+// The Request struct and the Engine.Diversify/Decide/Count/InTopR/Rank
+// methods taking it are retained as thin shims over Prepare; they re-parse,
+// re-validate and re-evaluate the query on every call and use stringly
+// typed objective/algorithm fields. New code should use Prepare and the
+// typed options.
 package diversification
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"math/big"
-
-	"repro/internal/approx"
-	"repro/internal/compat"
-	"repro/internal/core"
-	"repro/internal/objective"
-	"repro/internal/online"
-	"repro/internal/query/eval"
-	"repro/internal/query/parse"
-	"repro/internal/relation"
-	"repro/internal/solver"
-	"repro/internal/value"
 )
 
-// Engine owns a database and evaluates diversification requests against it.
-type Engine struct {
-	db *relation.Database
-}
-
-// NewEngine creates an engine with an empty database.
-func NewEngine() *Engine {
-	return &Engine{db: relation.NewDatabase()}
-}
-
-// CreateTable registers a relation schema.
-func (e *Engine) CreateTable(name string, attrs ...string) error {
-	if len(attrs) == 0 {
-		return errors.New("diversification: table needs at least one attribute")
-	}
-	if e.db.Relation(name) != nil {
-		return fmt.Errorf("diversification: table %q already exists", name)
-	}
-	e.db.Add(relation.NewRelation(relation.NewSchema(name, attrs...)))
-	return nil
-}
-
-// MustCreateTable is CreateTable that panics on error.
-func (e *Engine) MustCreateTable(name string, attrs ...string) {
-	if err := e.CreateTable(name, attrs...); err != nil {
-		panic(err)
-	}
-}
-
-// Insert adds a row of Go values (int, int64, float64, string, bool).
-func (e *Engine) Insert(table string, values ...interface{}) error {
-	r := e.db.Relation(table)
-	if r == nil {
-		return fmt.Errorf("diversification: no table %q", table)
-	}
-	if len(values) != r.Schema().Arity() {
-		return fmt.Errorf("diversification: table %q expects %d values, got %d",
-			table, r.Schema().Arity(), len(values))
-	}
-	t := make(relation.Tuple, len(values))
-	for i, v := range values {
-		cv, err := toValue(v)
-		if err != nil {
-			return err
-		}
-		t[i] = cv
-	}
-	r.Insert(t)
-	return nil
-}
-
-// MustInsert is Insert that panics on error.
-func (e *Engine) MustInsert(table string, values ...interface{}) {
-	if err := e.Insert(table, values...); err != nil {
-		panic(err)
-	}
-}
-
-func toValue(v interface{}) (value.Value, error) {
-	switch x := v.(type) {
-	case int:
-		return value.Int(int64(x)), nil
-	case int64:
-		return value.Int(x), nil
-	case float64:
-		return value.Float(x), nil
-	case string:
-		return value.Str(x), nil
-	case bool:
-		return value.Bool(x), nil
-	case value.Value:
-		return x, nil
-	default:
-		return value.Value{}, fmt.Errorf("diversification: unsupported value type %T", v)
-	}
-}
-
-// Row is one query answer with named attribute access.
-type Row struct {
-	schema relation.Schema
-	tuple  relation.Tuple
-}
-
-// Get returns the named attribute's value as an interface (int64, float64,
-// string or bool), or nil when absent.
-func (r Row) Get(attr string) interface{} {
-	i := r.schema.AttrIndex(attr)
-	if i < 0 || i >= len(r.tuple) {
-		return nil
-	}
-	v := r.tuple[i]
-	switch v.Kind() {
-	case value.KindInt:
-		return v.AsInt()
-	case value.KindFloat:
-		return v.AsFloat()
-	case value.KindBool:
-		return v.AsBool()
-	default:
-		return v.AsString()
-	}
-}
-
-// String renders the row.
-func (r Row) String() string { return r.tuple.String() }
-
-// ResultSet is a materialized query answer.
-type ResultSet struct {
-	schema relation.Schema
-	rows   []relation.Tuple
-}
-
-// Len reports the number of answers.
-func (rs *ResultSet) Len() int { return len(rs.rows) }
-
-// Row returns the i-th answer.
-func (rs *ResultSet) Row(i int) Row { return Row{schema: rs.schema, tuple: rs.rows[i]} }
-
-// Query parses and evaluates a query, returning the full answer set.
-func (e *Engine) Query(src string) (*ResultSet, error) {
-	q, err := parse.Query(src)
-	if err != nil {
-		return nil, err
-	}
-	if err := eval.Validate(q, e.db); err != nil {
-		return nil, err
-	}
-	res := eval.Evaluate(q, e.db)
-	return &ResultSet{schema: res.Schema(), rows: res.Sorted()}, nil
-}
-
-// Language reports the minimal language class of a query text: "identity",
-// "CQ", "UCQ", "∃FO+" or "FO".
-func (e *Engine) Language(src string) (string, error) {
-	q, err := parse.Query(src)
-	if err != nil {
-		return "", err
-	}
-	return q.Classify().String(), nil
-}
-
-// Request describes a diversification task. Query, K and Objective are
-// required; the zero values of the rest select the paper's defaults
+// Request describes a one-shot diversification task. Query, K and Objective
+// are required; the zero values of the rest select the paper's defaults
 // (constant relevance 1, zero distance, λ = 0.5, exact solving).
+//
+// Deprecated: use Engine.Prepare with the typed Objective/Algorithm enums
+// and functional options (WithK, WithLambda, ...). Prepare performs the
+// parse/classify/validate work once and caches the materialized answer set
+// across calls; each Request-based call repeats all of it.
+//
+// One validation is stricter than the original one-shot API: Lambda outside
+// [0,1] (or NaN), which previously flowed unchecked into the objective and
+// produced meaningless scores, is now rejected with an error.
 type Request struct {
 	// Query in the textual rule syntax, e.g.
 	// "Q(x, y) :- R(x, z), S(z, y), x < 5".
@@ -202,8 +80,9 @@ type Request struct {
 	K int
 	// Objective is "max-sum" (FMS), "max-min" (FMM) or "mono" (Fmono).
 	Objective string
-	// Lambda balances relevance (0) against diversity (1); NaN or an
-	// untouched zero-value Request means 0.5. Set LambdaSet to force 0.
+	// Lambda balances relevance (0) against diversity (1); an untouched
+	// zero-value Request means 0.5. Set LambdaSet to force 0. (The typed
+	// API has no such hack: WithLambda(0) means λ = 0.)
 	Lambda    float64
 	LambdaSet bool
 	// Relevance is δrel; nil means constant 1.
@@ -217,254 +96,118 @@ type Request struct {
 	Bound float64
 	// Rank is the r threshold for InTopR.
 	Rank int
-	// Algorithm selects the solver: "auto" (default; the paper's PTIME
-	// algorithm when the setting is tractable, exact search otherwise),
-	// "exact", "greedy", "local-search", or "online" (anytime selection
-	// maintained while the query evaluates; FMS/FMM only).
+	// Algorithm selects the solver: "auto" (default), "exact", "greedy",
+	// "local-search", or "online".
 	Algorithm string
 }
 
-// Selection is a chosen k-set with its objective value.
-type Selection struct {
-	Rows  []Row
-	Value float64
-	// Method names the algorithm that produced the selection.
-	Method string
-}
-
-// build translates a Request into a core.Instance.
-func (e *Engine) build(req Request) (*core.Instance, error) {
-	if req.K < 0 {
-		return nil, errors.New("diversification: K must be non-negative")
-	}
-	q, err := parse.Query(req.Query)
+// options lowers the stringly-typed Request onto the typed option API.
+// withAlgorithm controls whether Request.Algorithm is parsed: only the
+// Diversify shim consults it, and the old API ignored (rather than
+// rejected) a bogus Algorithm on the other methods — the shims preserve
+// that.
+func (r Request) options(withAlgorithm bool) ([]Option, error) {
+	obj, err := ParseObjective(r.Objective)
 	if err != nil {
 		return nil, err
 	}
-	if err := eval.Validate(q, e.db); err != nil {
-		return nil, err
+	opts := []Option{
+		WithK(r.K),
+		WithObjective(obj),
+		WithBound(r.Bound),
 	}
-	schema := relation.NewSchema(q.Name, q.Head...)
-
-	lambda := req.Lambda
-	if !req.LambdaSet && lambda == 0 {
-		lambda = 0.5
-	}
-	var kind objective.Kind
-	switch req.Objective {
-	case "max-sum", "FMS", "":
-		kind = objective.MaxSum
-	case "max-min", "FMM":
-		kind = objective.MaxMin
-	case "mono", "Fmono":
-		kind = objective.Mono
-	default:
-		return nil, fmt.Errorf("diversification: unknown objective %q", req.Objective)
-	}
-
-	var rel objective.Relevance
-	if req.Relevance != nil {
-		f := req.Relevance
-		rel = objective.RelevanceFunc(func(t relation.Tuple) float64 {
-			return f(Row{schema: schema, tuple: t})
-		})
-	}
-	var dis objective.Distance
-	if req.Distance != nil {
-		f := req.Distance
-		dis = objective.DistanceFunc(func(s, t relation.Tuple) float64 {
-			return f(Row{schema: schema, tuple: s}, Row{schema: schema, tuple: t})
-		})
-	}
-
-	in := &core.Instance{
-		Query: q,
-		DB:    e.db,
-		Obj:   objective.New(kind, rel, dis, lambda),
-		K:     req.K,
-		B:     req.Bound,
-		R:     req.Rank,
-	}
-	if len(req.Constraints) > 0 {
-		set := compat.NewSet(8)
-		for _, src := range req.Constraints {
-			c, err := compat.Parse(src)
-			if err != nil {
-				return nil, err
-			}
-			if err := c.Validate(schema); err != nil {
-				return nil, err
-			}
-			if err := set.Add(c); err != nil {
-				return nil, err
-			}
-		}
-		in.Sigma = set
-	}
-	return in, nil
-}
-
-// Diversify finds a k-set maximizing the objective (the optimization form
-// of QRD). Algorithm "auto" uses exact search (or the modular PTIME path
-// for Fmono); "greedy" and "local-search" trade optimality for speed, as
-// the paper's conclusion prescribes for the intractable cells.
-func (e *Engine) Diversify(req Request) (*Selection, error) {
-	in, err := e.build(req)
-	if err != nil {
-		return nil, err
-	}
-	schema := relation.NewSchema(in.Query.Name, in.Query.Head...)
-	wrap := func(set []relation.Tuple, val float64, method string) *Selection {
-		sel := &Selection{Value: val, Method: method}
-		for _, t := range set {
-			sel.Rows = append(sel.Rows, Row{schema: schema, tuple: t})
-		}
-		return sel
-	}
-	switch req.Algorithm {
-	case "", "auto", "exact":
-		res := solver.QRDBest(in)
-		if !res.Exists {
-			return nil, errors.New("diversification: no candidate set (too few answers or unsatisfiable constraints)")
-		}
-		return wrap(res.Witness, res.Value, "exact"), nil
-	case "greedy":
-		if in.Sigma.Len() > 0 {
-			return nil, errors.New("diversification: greedy does not support constraints")
-		}
-		res := approx.Greedy(in)
-		if len(res.Set) == 0 {
-			return nil, errors.New("diversification: no candidate set")
-		}
-		return wrap(res.Set, res.Value, "greedy"), nil
-	case "local-search":
-		if in.Sigma.Len() > 0 {
-			return nil, errors.New("diversification: local-search does not support constraints")
-		}
-		seed := approx.Greedy(in)
-		if len(seed.Set) == 0 {
-			return nil, errors.New("diversification: no candidate set")
-		}
-		res := approx.LocalSearchSwap(in, seed.Set)
-		return wrap(res.Set, res.Value, "local-search"), nil
-	case "online":
-		// Anytime selection maintained while the query evaluates, the
-		// paper's embed-diversification-in-evaluation mode (Section 1).
-		res, err := online.Diversify(in)
+	if withAlgorithm {
+		alg, err := ParseAlgorithm(r.Algorithm)
 		if err != nil {
 			return nil, err
 		}
-		if !res.Exists {
-			return nil, errors.New("diversification: no candidate set")
-		}
-		return wrap(res.Witness, res.Value, "online"), nil
-	default:
-		return nil, fmt.Errorf("diversification: unknown algorithm %q", req.Algorithm)
+		opts = append(opts, WithAlgorithm(alg))
 	}
+	if r.LambdaSet || r.Lambda != 0 {
+		opts = append(opts, WithLambda(r.Lambda))
+	}
+	if r.Relevance != nil {
+		opts = append(opts, WithRelevance(r.Relevance))
+	}
+	if r.Distance != nil {
+		opts = append(opts, WithDistance(r.Distance))
+	}
+	if len(r.Constraints) > 0 {
+		opts = append(opts, WithConstraints(r.Constraints...))
+	}
+	// Only a meaningful rank is forwarded: the old API ignored Rank on
+	// every method but InTopR (which rejects rank < 1 itself), so a
+	// negative Rank must not fail the methods that never read it.
+	if r.Rank > 0 {
+		opts = append(opts, WithRank(r.Rank))
+	}
+	return opts, nil
+}
+
+// prepare compiles the one-shot request into a Prepared handle.
+func (e *Engine) prepare(req Request, withAlgorithm bool) (*Prepared, error) {
+	opts, err := req.options(withAlgorithm)
+	if err != nil {
+		return nil, err
+	}
+	return e.Prepare(req.Query, opts...)
+}
+
+// Diversify finds a k-set maximizing the objective (the optimization form
+// of QRD).
+//
+// Deprecated: use Engine.Prepare followed by Prepared.Diversify.
+func (e *Engine) Diversify(req Request) (*Selection, error) {
+	p, err := e.prepare(req, true)
+	if err != nil {
+		return nil, err
+	}
+	return p.Diversify(context.Background())
 }
 
 // Decide answers QRD: does a k-subset of the query result with objective
 // value at least Bound exist (satisfying the constraints, if any)?
+//
+// Deprecated: use Engine.Prepare followed by Prepared.Decide.
 func (e *Engine) Decide(req Request) (bool, error) {
-	in, err := e.build(req)
+	p, err := e.prepare(req, false)
 	if err != nil {
 		return false, err
 	}
-	// Use the paper's PTIME algorithm when it applies.
-	if in.Obj.Kind == objective.Mono && in.Sigma.Len() == 0 {
-		res, err := solver.QRDMonoPTime(in)
-		if err == nil {
-			return res.Exists, nil
-		}
-	}
-	// For FMS/FMM without constraints, decide while evaluating the query and
-	// stop at the first valid set (early termination, Section 1); the
-	// procedure falls back to exact search on the full answer set when no
-	// early witness appears, so the verdict is always exact.
-	if res, err := online.QRD(in, online.Options{}); err == nil {
-		return res.Exists, nil
-	}
-	return solver.QRDExact(in).Exists, nil
+	return p.Decide(context.Background())
 }
 
 // Count answers RDC: how many valid k-subsets reach Bound?
+//
+// Deprecated: use Engine.Prepare followed by Prepared.Count.
 func (e *Engine) Count(req Request) (*big.Int, error) {
-	in, err := e.build(req)
+	p, err := e.prepare(req, false)
 	if err != nil {
 		return nil, err
 	}
-	return solver.RDCExact(in).Count, nil
+	return p.Count(context.Background())
 }
 
 // InTopR answers DRP: does the given set (specified by attribute values per
 // row, in schema order) rank among the top Rank candidate sets?
+//
+// Deprecated: use Engine.Prepare followed by Prepared.InTopR.
 func (e *Engine) InTopR(req Request, set [][]interface{}) (bool, error) {
-	in, err := e.build(req)
+	p, err := e.prepare(req, false)
 	if err != nil {
 		return false, err
 	}
-	if req.Rank < 1 {
-		return false, errors.New("diversification: Rank must be at least 1")
-	}
-	for _, rowVals := range set {
-		t := make(relation.Tuple, len(rowVals))
-		for i, v := range rowVals {
-			cv, err := toValue(v)
-			if err != nil {
-				return false, err
-			}
-			t[i] = cv
-		}
-		in.U = append(in.U, t)
-	}
-	if in.Obj.Kind == objective.Mono && in.Sigma.Len() == 0 {
-		if res, err := solver.DRPMonoPTime(in); err == nil {
-			return res.InTopR, nil
-		}
-	}
-	res, err := solver.DRPExact(in)
-	if err != nil {
-		return false, err
-	}
-	return res.InTopR, nil
+	return p.InTopR(context.Background(), set)
 }
 
 // Rank computes rank(U) exactly: 1 + the number of candidate k-sets scoring
-// strictly above F(U) (Section 4.1). It is the function-problem companion
-// of InTopR; expect exponential cost in the general setting (Theorem 6.1)
-// and polynomial cost for Fmono without constraints (Theorem 6.4 applies to
-// the decision; the exact rank is computed by exhaustive counting here).
+// strictly above F(U) (Section 4.1).
+//
+// Deprecated: use Engine.Prepare followed by Prepared.Rank.
 func (e *Engine) Rank(req Request, set [][]interface{}) (int, error) {
-	req.Rank = int(^uint(0) >> 1) // count all better sets
-	in, err := e.build(req)
+	p, err := e.prepare(req, false)
 	if err != nil {
 		return 0, err
 	}
-	for _, rowVals := range set {
-		t := make(relation.Tuple, len(rowVals))
-		for i, v := range rowVals {
-			cv, err := toValue(v)
-			if err != nil {
-				return 0, err
-			}
-			t[i] = cv
-		}
-		in.U = append(in.U, t)
-	}
-	res, err := solver.DRPExact(in)
-	if err != nil {
-		return 0, err
-	}
-	return res.Better + 1, nil
-}
-
-// ClassifyQuery exposes the language hierarchy for a parsed query, in
-// support of the paper's guidance that language choice drives combined
-// complexity.
-func ClassifyQuery(src string) (string, error) {
-	q, err := parse.Query(src)
-	if err != nil {
-		return "", err
-	}
-	return q.Classify().String(), nil
+	return p.Rank(context.Background(), set)
 }

@@ -1,0 +1,137 @@
+package diversification
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/query/eval"
+	"repro/internal/query/parse"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// Engine owns a database, compiles queries into Prepared handles, and
+// evaluates diversification requests against it.
+//
+// The engine is not safe for concurrent mutation; once the schema and data
+// are loaded, any number of goroutines may solve against shared Prepared
+// handles concurrently.
+type Engine struct {
+	db *relation.Database
+}
+
+// NewEngine creates an engine with an empty database.
+func NewEngine() *Engine {
+	return &Engine{db: relation.NewDatabase()}
+}
+
+// CreateTable registers a relation schema. It advances the database
+// generation, invalidating every Prepared handle's cached answer set.
+func (e *Engine) CreateTable(name string, attrs ...string) error {
+	if len(attrs) == 0 {
+		return errors.New("diversification: table needs at least one attribute")
+	}
+	if e.db.Relation(name) != nil {
+		return fmt.Errorf("diversification: table %q already exists", name)
+	}
+	e.db.Add(relation.NewRelation(relation.NewSchema(name, attrs...)))
+	return nil
+}
+
+// MustCreateTable is CreateTable that panics on error.
+func (e *Engine) MustCreateTable(name string, attrs ...string) {
+	if err := e.CreateTable(name, attrs...); err != nil {
+		panic(err)
+	}
+}
+
+// Insert adds a row of Go values (int, int64, float64, string, bool). A new
+// row advances the database generation, invalidating every Prepared
+// handle's cached answer set.
+func (e *Engine) Insert(table string, values ...interface{}) error {
+	r := e.db.Relation(table)
+	if r == nil {
+		return fmt.Errorf("diversification: no table %q", table)
+	}
+	if len(values) != r.Schema().Arity() {
+		return fmt.Errorf("diversification: table %q expects %d values, got %d",
+			table, r.Schema().Arity(), len(values))
+	}
+	t := make(relation.Tuple, len(values))
+	for i, v := range values {
+		cv, err := toValue(v)
+		if err != nil {
+			return err
+		}
+		t[i] = cv
+	}
+	r.Insert(t)
+	return nil
+}
+
+// MustInsert is Insert that panics on error.
+func (e *Engine) MustInsert(table string, values ...interface{}) {
+	if err := e.Insert(table, values...); err != nil {
+		panic(err)
+	}
+}
+
+func toValue(v interface{}) (value.Value, error) {
+	switch x := v.(type) {
+	case int:
+		return value.Int(int64(x)), nil
+	case int64:
+		return value.Int(x), nil
+	case float64:
+		return value.Float(x), nil
+	case string:
+		return value.Str(x), nil
+	case bool:
+		return value.Bool(x), nil
+	case value.Value:
+		return x, nil
+	default:
+		return value.Value{}, fmt.Errorf("diversification: unsupported value type %T", v)
+	}
+}
+
+// Query parses and evaluates a query, returning the full answer set.
+func (e *Engine) Query(src string) (*ResultSet, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext is Query under a cancellation context: evaluation of an
+// expensive (for FO, potentially exponential in the query) answer set can
+// be aborted via ctx.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*ResultSet, error) {
+	q, err := parse.Query(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := eval.Validate(q, e.db); err != nil {
+		return nil, err
+	}
+	res, err := eval.EvaluateContext(ctx, q, e.db)
+	if err != nil {
+		return nil, err
+	}
+	return &ResultSet{schema: res.Schema(), rows: res.Sorted()}, nil
+}
+
+// Language reports the minimal language class of a query text: "identity",
+// "CQ", "UCQ", "∃FO+" or "FO".
+func (e *Engine) Language(src string) (string, error) {
+	return ClassifyQuery(src)
+}
+
+// ClassifyQuery exposes the language hierarchy for a parsed query, in
+// support of the paper's guidance that language choice drives combined
+// complexity.
+func ClassifyQuery(src string) (string, error) {
+	q, err := parse.Query(src)
+	if err != nil {
+		return "", err
+	}
+	return q.Classify().String(), nil
+}

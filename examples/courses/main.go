@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,33 +53,38 @@ func main() {
 		return 1
 	}
 
-	base := diversification.Request{
-		Query:     "Q(id, title, area, level) :- courses(id, title, area, level, c)",
-		K:         4,
-		Objective: "max-sum",
-		Lambda:    0.4,
-		Relevance: relevance,
-		Distance:  distance,
+	// The Example 9.1 prerequisite constraint ρ2, in Cm syntax, plus a
+	// breadth constraint: no three courses from the same area (the ρ3
+	// pattern from team formation, adapted).
+	prerequisites := []string{
+		`forall t (t.id = "CS450" -> exists p1, p2 (p1.id = "CS220", p2.id = "CS350"))`,
+		`forall t (t.id = "CS440" -> exists p (p.id = "CS340"))`,
+		`forall t1, t2, t3 (t1.area = t2.area, t2.area = t3.area,
+		     t1.id != t2.id, t1.id != t3.id, t2.id != t3.id -> t1.area != t2.area)`,
 	}
 
-	unconstrained, err := e.Diversify(base)
+	// One prepared handle; the constrained runs override Σ per call while
+	// reusing the same cached answer set.
+	p, err := e.Prepare("Q(id, title, area, level) :- courses(id, title, area, level, c)",
+		diversification.WithK(4),
+		diversification.WithObjective(diversification.MaxSum),
+		diversification.WithLambda(0.4),
+		diversification.WithRelevance(relevance),
+		diversification.WithDistance(distance),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	unconstrained, err := p.Diversify(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("without constraints (pure relevance/diversity trade-off):")
 	printCourses(unconstrained)
 
-	// The Example 9.1 prerequisite constraint ρ2, in Cm syntax, plus a
-	// breadth constraint: no three courses from the same area (the ρ3
-	// pattern from team formation, adapted).
-	constrained := base
-	constrained.Constraints = []string{
-		`forall t (t.id = "CS450" -> exists p1, p2 (p1.id = "CS220", p2.id = "CS350"))`,
-		`forall t (t.id = "CS440" -> exists p (p.id = "CS340"))`,
-		`forall t1, t2, t3 (t1.area = t2.area, t2.area = t3.area,
-		     t1.id != t2.id, t1.id != t3.id, t2.id != t3.id -> t1.area != t2.area)`,
-	}
-	sel, err := e.Diversify(constrained)
+	sel, err := p.Diversify(ctx, diversification.WithConstraints(prerequisites...))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,22 +92,21 @@ func main() {
 	printCourses(sel)
 
 	// RDC under constraints: how many valid 4-packages reach the
-	// unconstrained optimum's value? Usually fewer — constraints shrink the
+	// constrained optimum's value? Usually fewer — constraints shrink the
 	// space of valid sets, the effect Theorem 9.3 formalizes.
-	for _, req := range []struct {
+	for _, variant := range []struct {
 		label string
-		r     diversification.Request
+		opts  []diversification.Option
 	}{
-		{"unconstrained", base},
-		{"constrained", constrained},
+		{"unconstrained", nil},
+		{"constrained", []diversification.Option{diversification.WithConstraints(prerequisites...)}},
 	} {
-		q := req.r
-		q.Bound = sel.Value // the constrained optimum as the bar
-		n, err := e.Count(q)
+		opts := append([]diversification.Option{diversification.WithBound(sel.Value)}, variant.opts...)
+		n, err := p.Count(ctx, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("4-packages with F >= %.2f (%s): %v\n", q.Bound, req.label, n)
+		fmt.Printf("4-packages with F >= %.2f (%s): %v\n", sel.Value, variant.label, n)
 	}
 }
 

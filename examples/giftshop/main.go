@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -127,15 +128,23 @@ func main() {
 		}
 	}
 
-	for _, obj := range []string{"max-sum", "max-min", "mono"} {
-		sel, err := e.Diversify(diversification.Request{
-			Query:     q0,
-			K:         4,
-			Objective: obj,
-			Lambda:    0.5,
-			Relevance: relevance,
-			Distance:  distance,
-		})
+	// One prepared handle for the FO query; the three objectives are
+	// per-call overrides, so the parse/validate/evaluate work — including
+	// evaluating the negation over the history relation — happens once.
+	p, err := e.Prepare(q0,
+		diversification.WithK(4),
+		diversification.WithLambda(0.5),
+		diversification.WithRelevance(relevance),
+		diversification.WithDistance(distance),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, obj := range []diversification.Objective{
+		diversification.MaxSum, diversification.MaxMin, diversification.Mono,
+	} {
+		sel, err := p.Diversify(ctx, diversification.WithObjective(obj))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -36,22 +37,30 @@ func main() {
 		e.MustInsert("items", it.id, it.category, it.price)
 	}
 
-	// δrel: prefer prices near $25. δdis: categories differ.
-	sel, err := e.Diversify(diversification.Request{
-		Query:     "Q(id, category, price) :- items(id, category, price), price <= 50",
-		K:         3,
-		Objective: "max-sum", // FMS of Gollapudi & Sharma, revised per Vieira et al.
-		Lambda:    0.5,       // equal weight on relevance and diversity
-		Relevance: func(r diversification.Row) float64 {
+	// Prepare once: the query is parsed, classified and validated here, and
+	// the answer set is materialized on the first solve and cached for the
+	// rest. δrel: prefer prices near $25. δdis: categories differ.
+	p, err := e.Prepare(
+		"Q(id, category, price) :- items(id, category, price), price <= 50",
+		diversification.WithK(3),
+		diversification.WithObjective(diversification.MaxSum), // FMS of Gollapudi & Sharma
+		diversification.WithLambda(0.5),                       // equal weight on relevance and diversity
+		diversification.WithRelevance(func(r diversification.Row) float64 {
 			return 30 - math.Abs(float64(r.Get("price").(int64))-25)
-		},
-		Distance: func(a, b diversification.Row) float64 {
+		}),
+		diversification.WithDistance(func(a, b diversification.Row) float64 {
 			if a.Get("category") == b.Get("category") {
 				return 0
 			}
 			return 1
-		},
-	})
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	sel, err := p.Diversify(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,32 +70,17 @@ func main() {
 		fmt.Printf("  item %-2v  %-12v $%v\n", row.Get("id"), row.Get("category"), row.Get("price"))
 	}
 
-	// The same request as a decision problem (QRD) and a counting problem
-	// (RDC): is there a 3-set reaching F >= 50, and how many are there?
-	req := diversification.Request{
-		Query:     "Q(id, category, price) :- items(id, category, price), price <= 50",
-		K:         3,
-		Objective: "max-sum",
-		Lambda:    0.5,
-		Relevance: func(r diversification.Row) float64 {
-			return 30 - math.Abs(float64(r.Get("price").(int64))-25)
-		},
-		Distance: func(a, b diversification.Row) float64 {
-			if a.Get("category") == b.Get("category") {
-				return 0
-			}
-			return 1
-		},
-		Bound: 50,
-	}
-	ok, err := e.Decide(req)
+	// The same prepared handle answers the decision problem (QRD) and the
+	// counting problem (RDC) without re-parsing or re-evaluating the query:
+	// is there a 3-set reaching F >= 50, and how many are there?
+	ok, err := p.Decide(ctx, diversification.WithBound(50))
 	if err != nil {
 		log.Fatal(err)
 	}
-	n, err := e.Count(req)
+	n, err := p.Count(ctx, diversification.WithBound(50))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nQRD: a 3-set with F >= %.0f exists: %v\n", req.Bound, ok)
+	fmt.Printf("\nQRD: a 3-set with F >= 50 exists: %v\n", ok)
 	fmt.Printf("RDC: number of such sets: %v\n", n)
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -61,16 +62,19 @@ func main() {
 		return d
 	}
 
-	base := diversification.Request{
-		Query:     "Q(id, name, position, scoring, defense, passes) :- roster(id, name, position, scoring, defense, passes)",
-		K:         5,
-		Objective: "max-min", // FMM penalizes any homogeneous pair
-		Lambda:    0.5,
-		Relevance: relevance,
-		Distance:  distance,
+	p, err := e.Prepare("Q(id, name, position, scoring, defense, passes) :- roster(id, name, position, scoring, defense, passes)",
+		diversification.WithK(5),
+		diversification.WithObjective(diversification.MaxMin), // FMM penalizes any homogeneous pair
+		diversification.WithLambda(0.5),
+		diversification.WithRelevance(relevance),
+		diversification.WithDistance(distance),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
+	ctx := context.Background()
 
-	exact, err := e.Diversify(base)
+	exact, err := p.Diversify(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,12 +84,10 @@ func main() {
 	// Example 9.1's ρ3: no more than two centers on the squad. Any three
 	// distinct selected tuples cannot all be centers — expressed in Cm by
 	// deriving a contradiction from three pairwise-distinct centers.
-	constrained := base
-	constrained.Constraints = []string{
+	sel, err := p.Diversify(ctx, diversification.WithConstraints(
 		`forall t1, t2, t3 (t1.position = "center", t2.position = "center", t3.position = "center",
 		     t1.id != t2.id, t1.id != t3.id, t2.id != t3.id -> t1.position != t2.position)`,
-	}
-	sel, err := e.Diversify(constrained)
+	))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,10 +97,8 @@ func main() {
 	// Heuristics on the unconstrained instance: the paper's Section 10
 	// notes that the intractable cells call for approximation. Gonzalez-style
 	// greedy guarantees a 2-approximation for max-min dispersion.
-	for _, alg := range []string{"greedy", "local-search"} {
-		req := base
-		req.Algorithm = alg
-		h, err := e.Diversify(req)
+	for _, alg := range []diversification.Algorithm{diversification.Greedy, diversification.LocalSearch} {
+		h, err := p.Diversify(ctx, diversification.WithAlgorithm(alg))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,23 +52,30 @@ func main() {
 		e.MustInsert("pages", p.id, p.title, p.sense, p.score, p.matches)
 	}
 
-	req := diversification.Request{
-		Query:     `Q(id, title, sense, score) :- pages(id, title, sense, score, t), t = "jaguar"`,
-		K:         4,
-		Objective: "mono", // Fmono: novelty/coverage against all of Q(D)
-		Lambda:    0.6,
-		Relevance: func(r diversification.Row) float64 {
+	// Prepare the search query once; every solve below — diversified
+	// selection, relevance-only contrast, ranking the hand-picked set —
+	// reuses the cached answer set of the "jaguar" query.
+	p, err := e.Prepare(
+		`Q(id, title, sense, score) :- pages(id, title, sense, score, t), t = "jaguar"`,
+		diversification.WithK(4),
+		diversification.WithObjective(diversification.Mono), // Fmono: novelty/coverage against all of Q(D)
+		diversification.WithLambda(0.6),
+		diversification.WithRelevance(func(r diversification.Row) float64 {
 			return float64(r.Get("score").(int64)) / 100
-		},
-		Distance: func(a, b diversification.Row) float64 {
+		}),
+		diversification.WithDistance(func(a, b diversification.Row) float64 {
 			if a.Get("sense") == b.Get("sense") {
 				return 0
 			}
 			return 1
-		},
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
+	ctx := context.Background()
 
-	sel, err := e.Diversify(req)
+	sel, err := p.Diversify(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,10 +85,8 @@ func main() {
 	}
 
 	// Contrast: pure relevance ranking (λ = 0) returns the four car pages.
-	rel := req
-	rel.Lambda = 0
-	rel.LambdaSet = true
-	relSel, err := e.Diversify(rel)
+	// WithLambda(0) means exactly zero — no LambdaSet flag needed.
+	relSel, err := p.Diversify(ctx, diversification.WithLambda(0))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,19 +105,14 @@ func main() {
 		{7, "Mac OS X Jaguar retrospective", "software", 74},
 		{8, "Jacksonville Jaguars season preview", "sports", 71},
 	}
-	rank, err := e.Rank(req, handPicked)
+	rank, err := p.Rank(ctx, handPicked)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nhand-picked 4-set ranks #%d among all candidate sets\n", rank)
-	inTop10, err := e.InTopR(withRank(req, 10), handPicked)
+	inTop10, err := p.InTopR(ctx, handPicked, diversification.WithRank(10))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("within the top 10: %v\n", inTop10)
-}
-
-func withRank(req diversification.Request, r int) diversification.Request {
-	req.Rank = r
-	return req
 }

@@ -17,13 +17,18 @@
 //     for any objective, the paper's "heuristic algorithms" workhorse.
 //
 // All run in polynomial time; Quality measures their objective ratio
-// against the exact optimum for ablation experiments.
+// against the exact optimum for ablation experiments. Every procedure has a
+// Context variant that polls a cancellation context along its scan loops —
+// the heuristics are polynomial but still quadratic-or-worse in |Q(D)|, so
+// a production caller wants them interruptible too.
 package approx
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/ctxpoll"
 	"repro/internal/objective"
 	"repro/internal/relation"
 )
@@ -37,12 +42,22 @@ type Result struct {
 
 // GreedyMaxSum selects k answers greedily by marginal FMS gain.
 func GreedyMaxSum(in *core.Instance) Result {
-	answers := in.Answers()
-	k := in.K
+	res, _ := GreedyMaxSumContext(context.Background(), in)
+	return res
+}
+
+// GreedyMaxSumContext is GreedyMaxSum under a cancellation context.
+func GreedyMaxSumContext(ctx context.Context, in *core.Instance) (Result, error) {
 	var res Result
-	if k <= 0 || k > len(answers) {
-		return res
+	answers, err := in.AnswersContext(ctx)
+	if err != nil {
+		return res, err
 	}
+	k := in.K
+	if k <= 0 || k > len(answers) {
+		return res, nil
+	}
+	c := ctxpoll.New(ctx)
 	chosen := make([]relation.Tuple, 0, k)
 	used := make([]bool, len(answers))
 	for len(chosen) < k {
@@ -50,6 +65,9 @@ func GreedyMaxSum(in *core.Instance) Result {
 		for i, t := range answers {
 			if used[i] {
 				continue
+			}
+			if c.Stop() {
+				return res, c.Err()
 			}
 			res.Steps++
 			g := in.Obj.MaxSumDelta(chosen, t, k)
@@ -65,19 +83,29 @@ func GreedyMaxSum(in *core.Instance) Result {
 	}
 	res.Set = chosen
 	res.Value = in.Eval(chosen)
-	return res
+	return res, nil
 }
 
 // GreedyMaxMin selects k answers farthest-point style: seed with the most
 // relevant answer, then repeatedly add the answer maximizing
 // (1-λ)·δrel(t) + λ·min_{s∈chosen} δdis(t, s).
 func GreedyMaxMin(in *core.Instance) Result {
-	answers := in.Answers()
-	k := in.K
+	res, _ := GreedyMaxMinContext(context.Background(), in)
+	return res
+}
+
+// GreedyMaxMinContext is GreedyMaxMin under a cancellation context.
+func GreedyMaxMinContext(ctx context.Context, in *core.Instance) (Result, error) {
 	var res Result
-	if k <= 0 || k > len(answers) {
-		return res
+	answers, err := in.AnswersContext(ctx)
+	if err != nil {
+		return res, err
 	}
+	k := in.K
+	if k <= 0 || k > len(answers) {
+		return res, nil
+	}
+	c := ctxpoll.New(ctx)
 	o := in.Obj
 	used := make([]bool, len(answers))
 	seed, seedRel := -1, math.Inf(-1)
@@ -94,6 +122,9 @@ func GreedyMaxMin(in *core.Instance) Result {
 		for i, t := range answers {
 			if used[i] {
 				continue
+			}
+			if c.Stop() {
+				return res, c.Err()
 			}
 			res.Steps++
 			minDis := math.Inf(1)
@@ -115,7 +146,7 @@ func GreedyMaxMin(in *core.Instance) Result {
 	}
 	res.Set = chosen
 	res.Value = in.Eval(chosen)
-	return res
+	return res, nil
 }
 
 // MMR is Maximal Marginal Relevance: identical selection loop to
@@ -134,11 +165,24 @@ func MMR(in *core.Instance) Result {
 // objective strictly improves. Works for all three objectives; for Fmono it
 // converges to the optimum because the objective is modular.
 func LocalSearchSwap(in *core.Instance, seed []relation.Tuple) Result {
-	answers := in.Answers()
+	res, _ := LocalSearchSwapContext(context.Background(), in, seed)
+	return res
+}
+
+// LocalSearchSwapContext is LocalSearchSwap under a cancellation context; a
+// cancelled climb returns the best set reached so far along with ctx's
+// error (hill climbing is anytime, so the partial set is still a valid —
+// just possibly non-local-optimal — selection).
+func LocalSearchSwapContext(ctx context.Context, in *core.Instance, seed []relation.Tuple) (Result, error) {
 	var res Result
-	if len(seed) == 0 || len(seed) > len(answers) {
-		return res
+	answers, err := in.AnswersContext(ctx)
+	if err != nil {
+		return res, err
 	}
+	if len(seed) == 0 || len(seed) > len(answers) {
+		return res, nil
+	}
+	c := ctxpoll.New(ctx)
 	current := append([]relation.Tuple(nil), seed...)
 	chosenKeys := make(map[string]bool, len(current))
 	for _, t := range current {
@@ -154,6 +198,11 @@ func LocalSearchSwap(in *core.Instance, seed []relation.Tuple) Result {
 			for j, t := range answers {
 				if chosenKeys[t.Key()] {
 					continue
+				}
+				if c.Stop() {
+					res.Set = current
+					res.Value = cur
+					return res, c.Err()
 				}
 				res.Steps++
 				old := current[i]
@@ -174,30 +223,39 @@ func LocalSearchSwap(in *core.Instance, seed []relation.Tuple) Result {
 	}
 	res.Set = current
 	res.Value = cur
-	return res
+	return res, nil
 }
 
 // Greedy picks the heuristic matched to the instance's objective kind:
 // GreedyMaxSum for FMS, GreedyMaxMin for FMM, and exact top-k scores for
 // Fmono (optimal thanks to modularity).
 func Greedy(in *core.Instance) Result {
+	res, _ := GreedyContext(context.Background(), in)
+	return res
+}
+
+// GreedyContext is Greedy under a cancellation context.
+func GreedyContext(ctx context.Context, in *core.Instance) (Result, error) {
 	switch in.Obj.Kind {
 	case objective.MaxSum:
-		return GreedyMaxSum(in)
+		return GreedyMaxSumContext(ctx, in)
 	case objective.MaxMin:
-		return GreedyMaxMin(in)
+		return GreedyMaxMinContext(ctx, in)
 	default:
-		return monoTopK(in)
+		return monoTopK(ctx, in)
 	}
 }
 
 // monoTopK selects the k answers with the largest Fmono scores — exact for
 // the modular objective.
-func monoTopK(in *core.Instance) Result {
-	answers := in.Answers()
+func monoTopK(ctx context.Context, in *core.Instance) (Result, error) {
 	var res Result
+	answers, err := in.AnswersContext(ctx)
+	if err != nil {
+		return res, err
+	}
 	if in.K <= 0 || in.K > len(answers) {
-		return res
+		return res, nil
 	}
 	scores := in.Obj.MonoScores(answers)
 	type pair struct {
@@ -225,7 +283,7 @@ func monoTopK(in *core.Instance) Result {
 	}
 	res.Set = set
 	res.Value = in.Eval(set)
-	return res
+	return res, nil
 }
 
 // Quality compares a heuristic value against the exact optimum, returning

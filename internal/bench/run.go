@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -361,7 +362,7 @@ func Catalog() []*Experiment {
 		Run: func(n int) Measurement {
 			in := earlyInstance(n)
 			start := time.Now()
-			res, err := online.QRD(in, online.Options{CheckInterval: 4})
+			res, err := online.QRD(context.Background(), in, online.Options{CheckInterval: 4})
 			if err != nil {
 				panic(err)
 			}

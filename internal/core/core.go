@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/compat"
@@ -59,23 +60,53 @@ type Instance struct {
 	// the unconstrained problems of Sections 5-8.
 	Sigma *compat.Set
 
-	answers []relation.Tuple // memoized Q(D)
+	answers     []relation.Tuple // memoized Q(D)
+	haveAnswers bool             // distinguishes an empty memo from no memo
 }
 
 // Answers computes (and memoizes) the answer set Q(D) in a deterministic
 // order. Solvers that must avoid materializing Q(D) (the paper's
 // early-termination motivation) use eval.Member directly instead.
 func (in *Instance) Answers() []relation.Tuple {
-	if in.answers == nil {
+	if !in.haveAnswers {
 		res := eval.Evaluate(in.Query, in.DB)
 		in.answers = res.Sorted()
+		in.haveAnswers = true
 	}
 	return in.answers
 }
 
+// AnswersContext is Answers under a cancellation context: the (possibly
+// exponential, for FO queries) evaluation of Q(D) is interruptible, and the
+// memo is only filled by a completed evaluation.
+func (in *Instance) AnswersContext(ctx context.Context) ([]relation.Tuple, error) {
+	if in.haveAnswers {
+		return in.answers, nil
+	}
+	res, err := eval.EvaluateContext(ctx, in.Query, in.DB)
+	if err != nil {
+		return nil, err
+	}
+	in.answers = res.Sorted()
+	in.haveAnswers = true
+	return in.answers, nil
+}
+
 // SetAnswers overrides the memoized answer set; used by identity-query
 // instances where Q(D) = D is available without evaluation, and by tests.
-func (in *Instance) SetAnswers(ts []relation.Tuple) { in.answers = ts }
+// A nil slice is a valid (empty) answer set, not an unset memo; use
+// ResetAnswers to force re-evaluation.
+func (in *Instance) SetAnswers(ts []relation.Tuple) {
+	in.answers = ts
+	in.haveAnswers = true
+}
+
+// ResetAnswers discards the memoized answer set so the next Answers call
+// re-evaluates the query; used by benchmarks that measure evaluation cost.
+func (in *Instance) ResetAnswers() {
+	in.answers = nil
+	in.haveAnswers = false
+}
 
 // ResultSchema is the schema RQ of the query result: one attribute per head
 // variable.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -57,9 +58,14 @@ func TestAnswersMemoization(t *testing.T) {
 	if got := len(in.Answers()); got != 3 {
 		t.Errorf("memoized answers changed: %d", got)
 	}
-	in.SetAnswers(nil)
+	in.ResetAnswers()
 	if got := len(in.Answers()); got != 4 {
 		t.Errorf("after reset, answers = %d, want 4", got)
+	}
+	// SetAnswers(nil), by contrast, memoizes emptiness.
+	in.SetAnswers(nil)
+	if got := len(in.Answers()); got != 0 {
+		t.Errorf("after SetAnswers(nil), answers = %d, want 0", got)
 	}
 }
 
@@ -149,5 +155,28 @@ func TestSettingString(t *testing.T) {
 	l1 := Setting{Problem: DRP, Language: query.UCQ, Objective: objective.MaxMin, Lambda1: true}
 	if got := l1.String(); !strings.Contains(got, "λ=1") {
 		t.Errorf("Setting.String() = %q missing λ=1", got)
+	}
+}
+
+func TestSetAnswersEmptyIsMemo(t *testing.T) {
+	// An explicitly set empty (nil) answer set is a memo, not a miss: a
+	// nil-slice sentinel here would silently re-evaluate the query — twice
+	// per solve on cached-but-empty prepared queries — returning the
+	// database rows instead of the cached empty set.
+	r := relation.NewRelation(relation.NewSchema("R", "x"))
+	r.Insert(relation.Ints(1))
+	r.Insert(relation.Ints(2))
+	db := relation.NewDatabase().Add(r)
+	in := &Instance{Query: query.IdentityQuery("R", 1), DB: db, K: 1}
+	in.SetAnswers(nil)
+	if got := in.Answers(); len(got) != 0 {
+		t.Errorf("Answers() re-evaluated past an empty memo: got %d tuples", len(got))
+	}
+	got, err := in.AnswersContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("AnswersContext() re-evaluated past an empty memo: got %d tuples", len(got))
 	}
 }

@@ -1,0 +1,54 @@
+// Package ctxpoll provides the shared throttled context-poll used by every
+// hot loop that must stay interruptible — the solver's subset search, the
+// query evaluator's backtracking join, and the approximation heuristics'
+// scan loops. Polling ctx.Err() on every iteration would dominate the tight
+// loops, so the poller samples once per interval and latches the first
+// error it sees.
+package ctxpoll
+
+import "context"
+
+// interval is the poll throttle: ctx.Err() is sampled every interval calls
+// (must be a power of two). At the >10⁶ iterations/s of the loops using it,
+// this bounds cancellation latency well under a millisecond.
+const interval = 1024
+
+// Poller samples a context's error at a throttled rate. The zero value (and
+// New(nil) / New(context.Background())) is inert and never stops.
+type Poller struct {
+	ctx context.Context
+	ops uint
+	err error
+}
+
+// New returns a poller for ctx. A nil or Background context yields an inert
+// poller with zero per-call cost beyond a nil check. The first Stop call
+// samples the context immediately (ops starts one shy of the interval), so
+// an already-cancelled context aborts even computations whose loops never
+// reach a full interval — the cancellation contract must not depend on
+// workload size.
+func New(ctx context.Context) *Poller {
+	if ctx == nil || ctx == context.Background() {
+		return &Poller{}
+	}
+	return &Poller{ctx: ctx, ops: interval - 1}
+}
+
+// Stop reports whether the computation must abort. Once true it stays true;
+// the cause is in Err.
+func (p *Poller) Stop() bool {
+	if p.ctx == nil {
+		return false
+	}
+	if p.err != nil {
+		return true
+	}
+	if p.ops++; p.ops&(interval-1) != 0 {
+		return false
+	}
+	p.err = p.ctx.Err()
+	return p.err != nil
+}
+
+// Err returns the context error that stopped the computation, or nil.
+func (p *Poller) Err() error { return p.err }

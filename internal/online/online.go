@@ -20,6 +20,7 @@
 package online
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/approx"
@@ -49,6 +50,10 @@ type Result struct {
 	// Exhausted reports whether the full Q(D) was enumerated; false means
 	// the procedure terminated early.
 	Exhausted bool
+	// Answers holds the full materialized Q(D) (in stream order) when
+	// Exhausted: the stream already paid for it, so callers that cache
+	// answer sets can keep it instead of re-evaluating.
+	Answers []relation.Tuple
 }
 
 // Options tune the online procedures.
@@ -56,6 +61,13 @@ type Options struct {
 	// CheckInterval is how many new answers arrive between witness checks
 	// in QRD; 1 checks after every answer. Zero means the default of 1.
 	CheckInterval int
+	// CollectAnswers asks Diversify to retain the streamed tuples and
+	// return them in Result.Answers when the stream exhausts, so callers
+	// that cache answer sets can keep the pool the stream already paid
+	// for. Off by default: the package exists to avoid materializing Q(D).
+	// (QRD ignores the flag — it must pool answers anyway for its exact
+	// fallback, so its Result.Answers is always set when Exhausted.)
+	CollectAnswers bool
 }
 
 func (o Options) interval() int {
@@ -90,8 +102,12 @@ func poolInstance(in *core.Instance, pool []relation.Tuple) *core.Instance {
 // a greedy set reaching B is verified against F and returned immediately.
 // If the stream ends without an early witness, the exact solver settles
 // the verdict on the complete answer set, so QRD agrees with
-// solver.QRDExact in every case.
-func QRD(in *core.Instance, opts Options) (Result, error) {
+// solver.QRDExact in every case. ctx cancels both the streaming evaluation
+// and the closing exact search.
+func QRD(ctx context.Context, in *core.Instance, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := supported(in); err != nil {
 		return Result{}, err
 	}
@@ -100,7 +116,7 @@ func QRD(in *core.Instance, opts Options) (Result, error) {
 	var res Result
 	var pool []relation.Tuple
 	sinceCheck := 0
-	ev := eval.New(in.Query, in.DB)
+	ev := eval.New(in.Query, in.DB).WithContext(ctx)
 	ev.Stream(func(t relation.Tuple) bool {
 		pool = append(pool, t.Clone())
 		res.Seen++
@@ -109,7 +125,10 @@ func QRD(in *core.Instance, opts Options) (Result, error) {
 			return true
 		}
 		sinceCheck = 0
-		probe := approx.Greedy(poolInstance(in, pool))
+		probe, err := approx.GreedyContext(ctx, poolInstance(in, pool))
+		if err != nil {
+			return false
+		}
 		if len(probe.Set) == in.K {
 			// Verify directly against F: the greedy value is trusted only
 			// after re-evaluation, keeping the early exit sound.
@@ -122,13 +141,23 @@ func QRD(in *core.Instance, opts Options) (Result, error) {
 		}
 		return true
 	})
+	if err := ev.Err(); err != nil {
+		return Result{Seen: res.Seen}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{Seen: res.Seen}, err
+	}
 	if res.Exists {
 		return res, nil
 	}
 
 	// No early witness: the pool now holds all of Q(D); decide exactly.
 	res.Exhausted = true
-	exact := solver.QRDExact(poolInstance(in, pool))
+	res.Answers = pool
+	exact, err := solver.QRDExactContext(ctx, poolInstance(in, pool))
+	if err != nil {
+		return Result{Seen: res.Seen, Exhausted: true}, err
+	}
 	res.Exists = exact.Exists
 	res.Witness = exact.Witness
 	res.Value = exact.Value
@@ -141,18 +170,24 @@ func QRD(in *core.Instance, opts Options) (Result, error) {
 // The final set is a locally swap-optimal selection of the full answer
 // stream — the online counterpart of approx.LocalSearchSwap. Seen always
 // equals |Q(D)| (the stream is consumed fully); the point is that a valid
-// selection was available throughout.
-func Diversify(in *core.Instance) (Result, error) {
+// selection was available throughout. ctx cancels the streaming evaluation.
+func Diversify(ctx context.Context, in *core.Instance, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := supported(in); err != nil {
 		return Result{}, err
 	}
 
 	var res Result
-	var set []relation.Tuple
-	ev := eval.New(in.Query, in.DB)
+	var set, pool []relation.Tuple
+	ev := eval.New(in.Query, in.DB).WithContext(ctx)
 	ev.Stream(func(t relation.Tuple) bool {
 		res.Seen++
 		t = t.Clone()
+		if opts.CollectAnswers {
+			pool = append(pool, t)
+		}
 		if len(set) < in.K {
 			set = append(set, t)
 			return true
@@ -172,7 +207,19 @@ func Diversify(in *core.Instance) (Result, error) {
 		}
 		return true
 	})
+	if err := ev.Err(); err != nil {
+		return Result{Seen: res.Seen}, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Small answer sets can finish streaming before the evaluator's
+		// throttled poll ever fires; honour the cancellation regardless so
+		// the contract does not depend on |Q(D)|.
+		return Result{Seen: res.Seen}, err
+	}
 	res.Exhausted = true
+	if opts.CollectAnswers {
+		res.Answers = pool
+	}
 	if len(set) < in.K {
 		return res, nil // fewer than k answers: no candidate set
 	}

@@ -1,6 +1,7 @@
 package online
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 // agreeWithExact checks that the online verdict matches solver.QRDExact.
 func agreeWithExact(t *testing.T, in *core.Instance, opts Options) Result {
 	t.Helper()
-	got, err := QRD(in, opts)
+	got, err := QRD(context.Background(), in, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestQRDTooFewAnswers(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	in := workload.Points(rng, 3, 2, 50, objective.MaxSum, 1, 5)
 	in.B = 0
-	res, err := QRD(in, Options{})
+	res, err := QRD(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,10 +109,10 @@ func TestQRDTooFewAnswers(t *testing.T) {
 func TestQRDRejectsMonoAndConstraints(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	mono := workload.Points(rng, 10, 2, 50, objective.Mono, 0.5, 2)
-	if _, err := QRD(mono, Options{}); err != ErrMono {
+	if _, err := QRD(context.Background(), mono, Options{}); err != ErrMono {
 		t.Errorf("mono: got %v, want ErrMono", err)
 	}
-	if _, err := Diversify(mono); err != ErrMono {
+	if _, err := Diversify(context.Background(), mono, Options{}); err != ErrMono {
 		t.Errorf("mono diversify: got %v, want ErrMono", err)
 	}
 }
@@ -119,7 +120,7 @@ func TestQRDRejectsMonoAndConstraints(t *testing.T) {
 func TestDiversifyAnytimeQuality(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	in := workload.Points(rng, 24, 2, 100, objective.MaxSum, 0.7, 4)
-	res, err := Diversify(in)
+	res, err := Diversify(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestDiversifyAnytimeQuality(t *testing.T) {
 func TestDiversifySmallResult(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	in := workload.Points(rng, 2, 2, 50, objective.MaxMin, 0.5, 4)
-	res, err := Diversify(in)
+	res, err := Diversify(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestQRDRandomizedAgreement(t *testing.T) {
 		best := solver.QRDBest(in)
 		for _, b := range []float64{0, best.Value * rng.Float64(), best.Value, best.Value + 0.5} {
 			in.B = b
-			got, err := QRD(in, Options{CheckInterval: 1 + rng.Intn(4)})
+			got, err := QRD(context.Background(), in, Options{CheckInterval: 1 + rng.Intn(4)})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -19,8 +19,10 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/ctxpoll"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/value"
@@ -55,6 +57,12 @@ type Evaluator struct {
 	// noIndex and noReorder disable the index probes and dynamic conjunct
 	// ordering; used by tests and the optimizer ablation benchmarks.
 	noIndex, noReorder bool
+
+	// poller is sampled along the backtracking search so that exponential
+	// evaluations (deep quantifier nesting, large domains) can be
+	// cancelled. A cancelled evaluation stops enumerating; the cause is in
+	// poller.Err.
+	poller *ctxpoll.Poller
 }
 
 // Options configures an Evaluator; the zero value enables all
@@ -218,10 +226,43 @@ func (e *Evaluator) term(t query.Term) (value.Value, bool) {
 	return e.vals[s], true
 }
 
+// WithContext arms the evaluator with a cancellation context, polled
+// periodically along the backtracking search. It returns the evaluator for
+// chaining. After a run, Err reports whether the context cut it short.
+func (e *Evaluator) WithContext(ctx context.Context) *Evaluator {
+	e.poller = ctxpoll.New(ctx)
+	return e
+}
+
+// Err returns the context error that interrupted the last run, or nil when
+// the run was completed (or never cancelled).
+func (e *Evaluator) Err() error {
+	if e.poller == nil {
+		return nil
+	}
+	return e.poller.Err()
+}
+
+// interrupted reports whether evaluation must stop.
+func (e *Evaluator) interrupted() bool {
+	return e.poller != nil && e.poller.Stop()
+}
+
 // Evaluate computes the full answer set Q(D) as a relation whose schema has
 // one attribute per head variable.
 func Evaluate(q *query.Query, db *relation.Database) *relation.Relation {
 	return New(q, db).Result()
+}
+
+// EvaluateContext computes Q(D) under a cancellation context; it returns
+// ctx's error (and no relation) when evaluation was interrupted.
+func EvaluateContext(ctx context.Context, q *query.Query, db *relation.Database) (*relation.Relation, error) {
+	e := New(q, db).WithContext(ctx)
+	res := e.Result()
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Result computes Q(D).
@@ -357,6 +398,9 @@ func (e *Evaluator) satisfyAtom(a *query.Atom, yield func() bool) bool {
 	var newly []int // slots bound by this atom, to unbind per tuple
 scan:
 	for _, t := range e.probe(a, rel) {
+		if e.interrupted() {
+			return false
+		}
 		newly = newly[:0]
 		ok := true
 		for i, arg := range a.Args {
@@ -474,6 +518,10 @@ func (e *Evaluator) bindFree(f query.Formula, yield func() bool) bool {
 		s := unbound[i]
 		e.bound[s] = true
 		for _, v := range e.domain {
+			if e.interrupted() {
+				e.bound[s] = false
+				return false
+			}
 			e.vals[s] = v
 			if !rec(i + 1) {
 				e.bound[s] = false

@@ -1,7 +1,9 @@
 package eval
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"repro/internal/query"
 	"repro/internal/query/parse"
@@ -278,5 +280,43 @@ func TestOrderConjunctsKeepsAll(t *testing.T) {
 	}
 	if _, ok := got[0].(*query.Atom); !ok {
 		t.Error("atom should be ordered first")
+	}
+}
+
+// TestContextCancelsEvaluation cancels an FO evaluation whose universal
+// quantifiers force repeated active-domain enumeration: the cross product
+// R × R × ∀-checks over a few hundred tuples is large enough that the
+// deadline fires mid-evaluation.
+func TestContextCancelsEvaluation(t *testing.T) {
+	r := relation.NewRelation(relation.NewSchema("R", "x", "y"))
+	for i := int64(0); i < 400; i++ {
+		r.Insert(relation.Ints(i, (i*7)%400))
+	}
+	db := relation.NewDatabase().Add(r)
+	q, err := parse.Query("Q(x, y, u, v) :- R(x, y), R(u, v), forall a (forall b (not R(a, b) or a >= 0))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := EvaluateContext(ctx, q, db); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation did not stop evaluation promptly")
+	}
+
+	// A background context evaluates to completion and matches Evaluate.
+	small, err := parse.Query("Q(x, y) :- R(x, y), x < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateContext(context.Background(), small, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Evaluate(small, db); res.Len() != want.Len() {
+		t.Errorf("context variant found %d answers, legacy %d", res.Len(), want.Len())
 	}
 }

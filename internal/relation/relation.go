@@ -132,6 +132,12 @@ type Relation struct {
 	schema Schema
 	tuples []Tuple
 	index  map[string]int
+
+	// onMutate, when set, is invoked after every successful Insert. The
+	// owning Database installs it so that tuple-level mutations advance the
+	// database generation counter; a relation belongs to at most one
+	// database at a time.
+	onMutate func()
 }
 
 // NewRelation creates an empty relation instance of the schema.
@@ -157,6 +163,9 @@ func (r *Relation) Insert(t Tuple) bool {
 	}
 	r.index[k] = len(r.tuples)
 	r.tuples = append(r.tuples, t.Clone())
+	if r.onMutate != nil {
+		r.onMutate()
+	}
 	return true
 }
 
@@ -216,6 +225,7 @@ func (r *Relation) String() string {
 type Database struct {
 	relations map[string]*Relation
 	order     []string
+	gen       uint64
 }
 
 // NewDatabase creates an empty database.
@@ -224,15 +234,26 @@ func NewDatabase() *Database {
 }
 
 // Add registers a relation instance. Re-adding a name replaces the instance
-// but keeps its position.
+// but keeps its position. Adding advances the database generation, and the
+// relation is hooked so that subsequent tuple inserts advance it too.
 func (d *Database) Add(r *Relation) *Database {
 	name := r.Schema().Name
 	if _, ok := d.relations[name]; !ok {
 		d.order = append(d.order, name)
 	}
 	d.relations[name] = r
+	r.onMutate = d.bump
+	d.bump()
 	return d
 }
+
+// Generation returns a counter that advances on every mutation of the
+// database — CreateTable-style Adds and tuple Inserts into registered
+// relations alike. Callers that cache derived state (materialized answer
+// sets, prepared plans) compare generations to detect staleness.
+func (d *Database) Generation() uint64 { return d.gen }
+
+func (d *Database) bump() { d.gen++ }
 
 // Relation returns the named relation, or nil.
 func (d *Database) Relation(name string) *Relation { return d.relations[name] }

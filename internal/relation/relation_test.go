@@ -249,3 +249,35 @@ func TestRelationOrderInsensitivityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDatabaseGeneration(t *testing.T) {
+	db := NewDatabase()
+	g0 := db.Generation()
+	r := NewRelation(NewSchema("R", "x"))
+	db.Add(r)
+	g1 := db.Generation()
+	if g1 == g0 {
+		t.Error("Add must advance the generation")
+	}
+	// Inserts through a registered relation advance it too.
+	r.Insert(Ints(1))
+	g2 := db.Generation()
+	if g2 == g1 {
+		t.Error("Insert into a registered relation must advance the generation")
+	}
+	// Duplicate inserts are no-ops and must not advance it.
+	r.Insert(Ints(1))
+	if db.Generation() != g2 {
+		t.Error("duplicate Insert must not advance the generation")
+	}
+	// A cloned database gets its own counter wired to its own relations.
+	c := db.Clone()
+	cg := c.Generation()
+	c.Relation("R").Insert(Ints(2))
+	if c.Generation() == cg {
+		t.Error("clone's relations must advance the clone's generation")
+	}
+	if db.Generation() != g2 {
+		t.Error("clone mutations must not advance the original's generation")
+	}
+}

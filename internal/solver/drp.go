@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"math/big"
 
@@ -27,16 +28,28 @@ type DRPResult struct {
 // a candidate for (Q, D, [Σ,] k); if it is not, the decision is trivially
 // false (rank is undefined), reported via the error.
 func DRPExact(in *core.Instance) (DRPResult, error) {
+	return DRPExactContext(context.Background(), in)
+}
+
+// DRPExactContext is DRPExact under a cancellation context; a cancelled run
+// returns ctx's error and an unreliable partial count.
+func DRPExactContext(ctx context.Context, in *core.Instance) (DRPResult, error) {
 	var res DRPResult
+	if _, err := in.AnswersContext(ctx); err != nil {
+		return res, err
+	}
 	if !in.IsCandidate(in.U) {
 		return res, errors.New("solver: U is not a candidate set for (Q, D, k)")
 	}
 	res.FU = in.Eval(in.U)
-	s := newSearch(in, res.FU, true, &res.Stats, func(sel []int, f float64) bool {
+	s := newSearch(ctx, in, res.FU, true, &res.Stats, func(sel []int, f float64) bool {
 		res.Better++
 		return res.Better < in.R // stop once rank(U) > r is certain
 	})
 	s.run()
+	if s.canceled {
+		return res, ctx.Err()
+	}
 	res.InTopR = res.Better < in.R
 	return res, nil
 }

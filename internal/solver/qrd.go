@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -29,8 +30,19 @@ type QRDResult struct {
 // bounds (Thm 5.1, 5.2) and works in every setting, including under
 // compatibility constraints (Cor 9.2).
 func QRDExact(in *core.Instance) QRDResult {
+	res, _ := QRDExactContext(context.Background(), in)
+	return res
+}
+
+// QRDExactContext is QRDExact under a cancellation context: both the
+// evaluation of Q(D) and the exponential subset search poll ctx and abort
+// with its error, leaving the result unreliable.
+func QRDExactContext(ctx context.Context, in *core.Instance) (QRDResult, error) {
 	var res QRDResult
-	s := newSearch(in, in.B, false, &res.Stats, func(sel []int, f float64) bool {
+	if _, err := in.AnswersContext(ctx); err != nil {
+		return res, err
+	}
+	s := newSearch(ctx, in, in.B, false, &res.Stats, func(sel []int, f float64) bool {
 		res.Exists = true
 		res.Value = f
 		res.Witness = make([]relation.Tuple, len(sel))
@@ -40,7 +52,10 @@ func QRDExact(in *core.Instance) QRDResult {
 		return false // stop at first witness
 	})
 	s.run()
-	return res
+	if s.canceled {
+		return res, ctx.Err()
+	}
+	return res, nil
 }
 
 // QRDMonoPTime decides QRD(LQ, Fmono) for a fixed query — the PTIME
@@ -133,9 +148,20 @@ func QRDRelevanceOnlyPTime(in *core.Instance) (QRDResult, error) {
 // incumbent bound. Returns Exists=false when no candidate set exists (e.g.
 // k > |Q(D)| or constraints unsatisfiable).
 func QRDBest(in *core.Instance) QRDResult {
+	res, _ := QRDBestContext(context.Background(), in)
+	return res
+}
+
+// QRDBestContext is QRDBest under a cancellation context. A cancelled run
+// returns ctx's error; the partial incumbent (if any) is in the result but
+// carries no optimality guarantee.
+func QRDBestContext(ctx context.Context, in *core.Instance) (QRDResult, error) {
 	var res QRDResult
+	if _, err := in.AnswersContext(ctx); err != nil {
+		return res, err
+	}
 	var s *search
-	s = newSearch(in, 0, false, &res.Stats, func(sel []int, f float64) bool {
+	s = newSearch(ctx, in, 0, false, &res.Stats, func(sel []int, f float64) bool {
 		if !res.Exists || f > res.Value {
 			res.Exists = true
 			res.Value = f
@@ -150,7 +176,10 @@ func QRDBest(in *core.Instance) QRDResult {
 		return true
 	})
 	s.run()
-	return res
+	if s.canceled {
+		return res, ctx.Err()
+	}
+	return res, nil
 }
 
 // sortedByScore returns indices ordered by descending score (stable, so

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/big"
@@ -22,14 +23,28 @@ type RDCResult struct {
 // the #·NP / #·PSPACE guess-and-verify counting of Thm 7.1/7.2 and works in
 // every setting including constraints.
 func RDCExact(in *core.Instance) RDCResult {
+	res, _ := RDCExactContext(context.Background(), in)
+	return res
+}
+
+// RDCExactContext is RDCExact under a cancellation context: counting has no
+// early exit, so this is the procedure that most needs interruption. A
+// cancelled run returns ctx's error with the partial count.
+func RDCExactContext(ctx context.Context, in *core.Instance) (RDCResult, error) {
 	res := RDCResult{Count: new(big.Int)}
+	if _, err := in.AnswersContext(ctx); err != nil {
+		return res, err
+	}
 	one := big.NewInt(1)
-	s := newSearch(in, in.B, false, &res.Stats, func(sel []int, f float64) bool {
+	s := newSearch(ctx, in, in.B, false, &res.Stats, func(sel []int, f float64) bool {
 		res.Count.Add(res.Count, one)
 		return true
 	})
 	s.run()
-	return res
+	if s.canceled {
+		return res, ctx.Err()
+	}
+	return res, nil
 }
 
 // RDCMaxMinRelevanceOnlyFP counts valid sets for FMM at λ=0 with a fixed

@@ -19,9 +19,11 @@
 package solver
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/ctxpoll"
 	"repro/internal/objective"
 	"repro/internal/relation"
 )
@@ -56,6 +58,12 @@ type search struct {
 	// exactly when every constraint is universal-only (violation-monotone).
 	pruneSigma bool
 
+	// poller is sampled along the walk so the exponential search is
+	// interruptible; canceled records that the walk was cut off (making
+	// the partial result unreliable).
+	poller   *ctxpoll.Poller
+	canceled bool
+
 	// Incremental state.
 	sel     []int
 	relSum  float64 // Σ δrel over selection
@@ -70,8 +78,9 @@ type search struct {
 	monoSuffix []float64 // monoSuffix[i] = sum of top (k) scores among answers[i:]... see build
 }
 
-func newSearch(in *core.Instance, cutoff float64, strict bool, stats *Stats, found func([]int, float64) bool) *search {
+func newSearch(ctx context.Context, in *core.Instance, cutoff float64, strict bool, stats *Stats, found func([]int, float64) bool) *search {
 	s := &search{
+		poller:  ctxpoll.New(ctx),
 		in:      in,
 		answers: in.Answers(),
 		k:       in.K,
@@ -88,6 +97,9 @@ func newSearch(in *core.Instance, cutoff float64, strict bool, stats *Stats, fou
 	switch o.Kind {
 	case objective.MaxSum, objective.MaxMin:
 		for i, t := range s.answers {
+			if s.interrupted() {
+				break
+			}
 			if r := o.Rel.Rel(t); r > s.maxRel {
 				s.maxRel = r
 			}
@@ -105,12 +117,21 @@ func newSearch(in *core.Instance, cutoff float64, strict bool, stats *Stats, fou
 
 // run walks the subset tree.
 func (s *search) run() {
-	if s.k < 0 || s.k > len(s.answers) {
+	if s.k < 0 || s.k > len(s.answers) || s.canceled {
 		return
 	}
 	s.sel = make([]int, 0, s.k)
 	s.recurse(0)
-	s.stats.Explored = true
+	s.stats.Explored = !s.canceled
+}
+
+// interrupted reports whether the search must stop. Once true it stays
+// true.
+func (s *search) interrupted() bool {
+	if s.poller.Stop() {
+		s.canceled = true
+	}
+	return s.canceled
 }
 
 // admits reports whether a complete set's score qualifies.
@@ -197,6 +218,9 @@ func topSum(xs []float64, r int) float64 {
 // the caller requested a stop.
 func (s *search) recurse(next int) bool {
 	s.stats.Nodes++
+	if s.interrupted() {
+		return false
+	}
 	if len(s.sel) == s.k {
 		return s.leaf()
 	}

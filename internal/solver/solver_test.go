@@ -1,10 +1,12 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"math/big"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/compat"
 	"repro/internal/core"
@@ -478,4 +480,81 @@ func TestValueHelperUnused(t *testing.T) {
 		t.Error("floatSlack must be positive")
 	}
 	_ = value.Int(0) // keep the import exercised alongside relation helpers
+}
+
+// TestContextCancelsExactSearch exercises the ctx plumbing of the subset
+// search directly: a flat 55-choose-12 enumeration (nothing prunes) must
+// stop shortly after the deadline with the context's error, for all three
+// exact procedures.
+func TestContextCancelsExactSearch(t *testing.T) {
+	xs := make([]int64, 55)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	in := identityInstance(xs, objective.New(objective.MaxSum, nil, nil, 0.5), 12, 0)
+
+	t.Run("RDCExactContext", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		res, err := RDCExactContext(ctx, in)
+		if err != context.DeadlineExceeded {
+			t.Fatalf("err = %v, want DeadlineExceeded", err)
+		}
+		if time.Since(start) > 5*time.Second {
+			t.Error("cancellation did not stop the search promptly")
+		}
+		if res.Stats.Explored {
+			t.Error("a cancelled search must not report Explored")
+		}
+	})
+	t.Run("QRDBestContext", func(t *testing.T) {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		if _, err := QRDBestContext(ctx, in); err != context.DeadlineExceeded {
+			t.Fatalf("err = %v, want DeadlineExceeded", err)
+		}
+		if time.Since(start) > 5*time.Second {
+			t.Error("cancellation did not stop the search promptly")
+		}
+	})
+	t.Run("DRPExactContext", func(t *testing.T) {
+		// Varying relevance: with a flat objective no set strictly beats
+		// F(U) and the strict bound prunes the whole tree at the root; an
+		// irregular δrel (with one large outlier inflating the optimistic
+		// bound) keeps the enumeration honest.
+		rel := objective.RelevanceFunc(func(t relation.Tuple) float64 {
+			x := t[0].AsInt()
+			if x == 54 {
+				return 1000
+			}
+			return 1 + float64(x%13)*0.001
+		})
+		drp := identityInstance(xs, objective.New(objective.MaxSum, rel, nil, 0.5), 12, 0)
+		drp.R = 1 << 60 // count (nearly) all better sets: no early stop
+		for i := 0; i < 12; i++ {
+			drp.U = append(drp.U, relation.Ints(int64(i)))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		if _, err := DRPExactContext(ctx, drp); err != context.DeadlineExceeded {
+			t.Fatalf("err = %v, want DeadlineExceeded", err)
+		}
+		if time.Since(start) > 5*time.Second {
+			t.Error("cancellation did not stop the search promptly")
+		}
+	})
+
+	// A background context never cancels and agrees with the legacy entry
+	// points on a small instance.
+	small := identityInstance(xs[:10], objective.New(objective.MaxSum, nil, nil, 0.5), 3, 0)
+	got, err := RDCExactContext(context.Background(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := RDCExact(small).Count; got.Count.Cmp(want) != 0 {
+		t.Errorf("context variant count %v != legacy %v", got.Count, want)
+	}
 }

@@ -1,0 +1,202 @@
+package diversification
+
+import (
+	"fmt"
+	"math"
+)
+
+// Objective identifies one of the paper's three objective-function families
+// (Section 3, after Gollapudi & Sharma): max-sum (FMS), max-min (FMM) and
+// mono-objective (Fmono). The zero value is MaxSum.
+type Objective int
+
+const (
+	// MaxSum is FMS: (k-1)(1-λ)·Σ δrel + 2λ·Σ pairwise δdis.
+	MaxSum Objective = iota
+	// MaxMin is FMM: (1-λ)·min δrel + λ·min pairwise δdis.
+	MaxMin
+	// Mono is Fmono: per-tuple relevance plus mean distance to the entire
+	// answer set Q(D) — the one objective whose value depends on all of
+	// Q(D), not just the selected set.
+	Mono
+)
+
+// String returns the conventional lowercase name ("max-sum", "max-min",
+// "mono").
+func (o Objective) String() string {
+	switch o {
+	case MaxSum:
+		return "max-sum"
+	case MaxMin:
+		return "max-min"
+	case Mono:
+		return "mono"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+func (o Objective) valid() bool { return o == MaxSum || o == MaxMin || o == Mono }
+
+// ParseObjective maps the textual objective names (including the paper's
+// FMS/FMM/Fmono abbreviations) to the typed enum; the empty string selects
+// the default MaxSum.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "max-sum", "FMS", "":
+		return MaxSum, nil
+	case "max-min", "FMM":
+		return MaxMin, nil
+	case "mono", "Fmono":
+		return Mono, nil
+	default:
+		return 0, fmt.Errorf("diversification: unknown objective %q", s)
+	}
+}
+
+// Algorithm selects the solving strategy. The zero value is Auto.
+type Algorithm int
+
+const (
+	// Auto picks for the instance: exact branch-and-bound search (pruned
+	// by admissible bounds, with the modular shortcut applying to Fmono).
+	Auto Algorithm = iota
+	// Exact forces the exact branch-and-bound search.
+	Exact
+	// Greedy runs the objective-matched polynomial heuristic (max-sum
+	// dispersion greedy, Gonzalez farthest-point, or exact top-k for the
+	// modular Fmono). No constraint support.
+	Greedy
+	// LocalSearch improves a greedy seed by single-swap hill climbing. No
+	// constraint support.
+	LocalSearch
+	// Online maintains an anytime selection while the query evaluates —
+	// the paper's embed-diversification-in-evaluation mode (Section 1).
+	// FMS/FMM only, no constraint support.
+	Online
+)
+
+// String returns the conventional lowercase name.
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case Exact:
+		return "exact"
+	case Greedy:
+		return "greedy"
+	case LocalSearch:
+		return "local-search"
+	case Online:
+		return "online"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+func (a Algorithm) valid() bool {
+	switch a {
+	case Auto, Exact, Greedy, LocalSearch, Online:
+		return true
+	default:
+		return false
+	}
+}
+
+// ParseAlgorithm maps the textual algorithm names to the typed enum; the
+// empty string selects Auto.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "auto", "":
+		return Auto, nil
+	case "exact":
+		return Exact, nil
+	case "greedy":
+		return Greedy, nil
+	case "local-search":
+		return LocalSearch, nil
+	case "online":
+		return Online, nil
+	default:
+		return 0, fmt.Errorf("diversification: unknown algorithm %q", s)
+	}
+}
+
+// settings is the resolved option state shared by Prepare and the per-call
+// overrides. The defaults are the paper's: constant relevance 1, zero
+// distance, λ = 0.5, objective FMS, automatic solver selection.
+type settings struct {
+	k           int
+	objective   Objective
+	algorithm   Algorithm
+	lambda      float64
+	relevance   func(Row) float64
+	distance    func(Row, Row) float64
+	constraints []string
+	bound       float64
+	rank        int
+}
+
+func defaultSettings() settings {
+	return settings{lambda: 0.5}
+}
+
+// validate rejects inconsistent settings with descriptive errors; it is the
+// single checkpoint for both Prepare-time and per-call option sets.
+func (s *settings) validate() error {
+	if s.k < 0 {
+		return fmt.Errorf("diversification: K must be non-negative, got %d", s.k)
+	}
+	if !s.objective.valid() {
+		return fmt.Errorf("diversification: unknown objective %s", s.objective)
+	}
+	if !s.algorithm.valid() {
+		return fmt.Errorf("diversification: unknown algorithm %s", s.algorithm)
+	}
+	if math.IsNaN(s.lambda) || s.lambda < 0 || s.lambda > 1 {
+		return fmt.Errorf("diversification: lambda must be in [0,1], got %v", s.lambda)
+	}
+	if s.rank < 0 {
+		return fmt.Errorf("diversification: rank must be non-negative, got %d", s.rank)
+	}
+	return nil
+}
+
+// An Option configures a prepared query at Prepare time or overrides its
+// bindings for a single solve call.
+type Option func(*settings)
+
+// WithK sets the selection size k.
+func WithK(k int) Option { return func(s *settings) { s.k = k } }
+
+// WithObjective selects the objective-function family F.
+func WithObjective(o Objective) Option { return func(s *settings) { s.objective = o } }
+
+// WithAlgorithm selects the solving strategy.
+func WithAlgorithm(a Algorithm) Option { return func(s *settings) { s.algorithm = a } }
+
+// WithLambda sets the relevance/diversity trade-off λ ∈ [0,1]. Unlike the
+// deprecated Request.Lambda/LambdaSet pair, WithLambda(0) means exactly
+// λ = 0 (pure relevance, the tractable Section 8 setting); omitting the
+// option keeps the default λ = 0.5.
+func WithLambda(lambda float64) Option { return func(s *settings) { s.lambda = lambda } }
+
+// WithRelevance sets δrel; nil restores the default constant 1.
+func WithRelevance(f func(Row) float64) Option { return func(s *settings) { s.relevance = f } }
+
+// WithDistance sets δdis; nil restores the default zero distance.
+func WithDistance(f func(Row, Row) float64) Option { return func(s *settings) { s.distance = f } }
+
+// WithConstraints sets the compatibility constraints (class Cm, Section 9),
+// replacing any previously configured set. Constraints given at Prepare
+// time are parsed and validated once; per-call constraint overrides are
+// compiled on that call.
+func WithConstraints(constraints ...string) Option {
+	return func(s *settings) { s.constraints = append([]string(nil), constraints...) }
+}
+
+// WithBound sets the objective bound B used by Decide and Count.
+func WithBound(b float64) Option { return func(s *settings) { s.bound = b } }
+
+// WithRank sets the rank threshold r used by InTopR.
+func WithRank(r int) Option { return func(s *settings) { s.rank = r } }

@@ -1,0 +1,513 @@
+package diversification
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"slices"
+	"sort"
+	"sync"
+
+	"repro/internal/approx"
+	"repro/internal/compat"
+	"repro/internal/core"
+	"repro/internal/objective"
+	"repro/internal/online"
+	"repro/internal/query"
+	"repro/internal/query/eval"
+	"repro/internal/query/parse"
+	"repro/internal/relation"
+	"repro/internal/solver"
+)
+
+// Prepared is a compiled diversification query: the query text has been
+// parsed, classified and validated against the engine's schema, the
+// objective and constraints bound, and the materialized answer set Q(D) is
+// cached across calls — re-evaluated only when the database generation
+// advances (Insert/CreateTable). Build work happens once in Prepare; the
+// per-call cost of Diversify/Decide/Count/InTopR/Rank is the solver alone.
+//
+// Per-call options override the Prepare-time bindings for that call only:
+//
+//	p, _ := e.Prepare(src, diversification.WithK(3))
+//	sel, _ := p.Diversify(ctx)                             // k = 3
+//	sel, _ = p.Diversify(ctx, diversification.WithK(5))    // k = 5, once
+//
+// A Prepared handle is safe for concurrent solves as long as the engine's
+// database is not being mutated concurrently.
+type Prepared struct {
+	eng    *Engine
+	src    string
+	q      *query.Query
+	schema relation.Schema
+	lang   query.Language
+	base   settings
+	sigma  *compat.Set // compiled Prepare-time constraints
+
+	mu        sync.Mutex
+	answers   []relation.Tuple
+	gen       uint64
+	haveCache bool
+}
+
+// Prepare compiles a query for repeated solving: it parses src, validates
+// it against the engine's schema, classifies its language, applies the
+// options and compiles any compatibility constraints. The returned handle
+// performs none of that work again.
+func (e *Engine) Prepare(src string, opts ...Option) (*Prepared, error) {
+	q, err := parse.Query(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := eval.Validate(q, e.db); err != nil {
+		return nil, err
+	}
+	s := defaultSettings()
+	for _, o := range opts {
+		o(&s)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	schema := relation.NewSchema(q.Name, q.Head...)
+	sigma, err := compileConstraints(s.constraints, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		eng:    e,
+		src:    src,
+		q:      q,
+		schema: schema,
+		lang:   q.Classify(),
+		base:   s,
+		sigma:  sigma,
+	}, nil
+}
+
+// MustPrepare is Prepare that panics on error.
+func (e *Engine) MustPrepare(src string, opts ...Option) *Prepared {
+	p, err := e.Prepare(src, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Source returns the query text the handle was prepared from.
+func (p *Prepared) Source() string { return p.src }
+
+// Language reports the minimal language class of the prepared query:
+// "identity", "CQ", "UCQ", "∃FO+" or "FO".
+func (p *Prepared) Language() string { return p.lang.String() }
+
+// compileConstraints parses and schema-validates Cm constraint sources.
+func compileConstraints(srcs []string, schema relation.Schema) (*compat.Set, error) {
+	if len(srcs) == 0 {
+		return nil, nil
+	}
+	set := compat.NewSet(8)
+	for _, src := range srcs {
+		c, err := compat.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Validate(schema); err != nil {
+			return nil, err
+		}
+		if err := set.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+// call merges per-call options over the Prepare-time settings and
+// re-validates the result.
+func (p *Prepared) call(opts []Option) (settings, error) {
+	s := p.base
+	for _, o := range opts {
+		o(&s)
+	}
+	if err := s.validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// sigmaFor returns the compiled constraint set for a call: the Prepare-time
+// compilation when the constraints are unchanged, a fresh compilation when
+// a per-call WithConstraints replaced them.
+func (p *Prepared) sigmaFor(s settings) (*compat.Set, error) {
+	if slices.Equal(s.constraints, p.base.constraints) {
+		return p.sigma, nil
+	}
+	return compileConstraints(s.constraints, p.schema)
+}
+
+// cachedAnswers returns the memoized answer set Q(D), re-evaluating it
+// (interruptibly, under ctx) if the database generation has advanced since
+// it was materialized.
+func (p *Prepared) cachedAnswers(ctx context.Context) ([]relation.Tuple, error) {
+	gen := p.eng.db.Generation()
+	p.mu.Lock()
+	if p.haveCache && p.gen == gen {
+		answers := p.answers
+		p.mu.Unlock()
+		return answers, nil
+	}
+	p.mu.Unlock()
+	// Evaluate outside the lock: the evaluation may be exponential, and a
+	// concurrent solve blocked on p.mu could not honour its own context.
+	// Two goroutines racing a cold cache may both evaluate; the first to
+	// finish fills the cache and the loser's result is discarded.
+	res, err := eval.EvaluateContext(ctx, p.q, p.eng.db)
+	if err != nil {
+		return nil, err
+	}
+	answers := res.Sorted()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.haveCache && p.gen == gen {
+		return p.answers, nil
+	}
+	p.answers = answers
+	p.gen = gen
+	p.haveCache = true
+	return answers, nil
+}
+
+// cacheWarm reports whether the memoized answer set is present and current.
+func (p *Prepared) cacheWarm() bool {
+	gen := p.eng.db.Generation()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.haveCache && p.gen == gen
+}
+
+// storeAnswers installs an already-materialized Q(D) (e.g. the pool an
+// exhausted online stream paid for) into the cache, provided the database
+// generation has not moved since gen was read. The tuples are re-sorted to
+// the canonical lexicographic order the solvers expect.
+func (p *Prepared) storeAnswers(ts []relation.Tuple, gen uint64) {
+	if p.eng.db.Generation() != gen {
+		return // the database moved underneath the stream: stale
+	}
+	p.mu.Lock()
+	if p.haveCache && p.gen == gen {
+		p.mu.Unlock()
+		return // already warm: skip the copy+sort entirely
+	}
+	p.mu.Unlock()
+	sorted := append([]relation.Tuple(nil), ts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Compare(sorted[j]) < 0 })
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.haveCache && p.gen == gen {
+		return
+	}
+	p.answers = sorted
+	p.gen = gen
+	p.haveCache = true
+}
+
+// objectiveFor builds the bound objective function for one call.
+func (p *Prepared) objectiveFor(s settings) *objective.Objective {
+	var kind objective.Kind
+	switch s.objective {
+	case MaxMin:
+		kind = objective.MaxMin
+	case Mono:
+		kind = objective.Mono
+	default:
+		kind = objective.MaxSum
+	}
+	var rel objective.Relevance
+	if s.relevance != nil {
+		f := s.relevance
+		rel = objective.RelevanceFunc(func(t relation.Tuple) float64 {
+			return f(Row{schema: p.schema, tuple: t})
+		})
+	}
+	var dis objective.Distance
+	if s.distance != nil {
+		f := s.distance
+		dis = objective.DistanceFunc(func(a, b relation.Tuple) float64 {
+			return f(Row{schema: p.schema, tuple: a}, Row{schema: p.schema, tuple: b})
+		})
+	}
+	return objective.New(kind, rel, dis, s.lambda)
+}
+
+// instance assembles a solver instance for one call. When materialize is
+// true the cached answer set is attached (filling the cache if cold); the
+// streaming Online procedures leave it unmaterialized because they drive
+// the evaluator directly (QRD may even terminate early) — they hand any
+// fully-streamed pool back through Result.Answers for the caller to cache.
+func (p *Prepared) instance(ctx context.Context, s settings, materialize bool) (*core.Instance, error) {
+	sigma, err := p.sigmaFor(s)
+	if err != nil {
+		return nil, err
+	}
+	in := &core.Instance{
+		Query: p.q,
+		DB:    p.eng.db,
+		Obj:   p.objectiveFor(s),
+		K:     s.k,
+		B:     s.bound,
+		R:     s.rank,
+		Sigma: sigma,
+	}
+	if materialize {
+		answers, err := p.cachedAnswers(ctx)
+		if err != nil {
+			return nil, err
+		}
+		in.SetAnswers(answers)
+	}
+	return in, nil
+}
+
+// errNoCandidate is the shared "no candidate set" failure of the selection
+// methods: fewer than k answers, or constraints unsatisfiable.
+var errNoCandidate = errors.New("diversification: no candidate set (too few answers or unsatisfiable constraints)")
+
+// Diversify finds a k-set maximizing the objective (the optimization form
+// of QRD). Auto and Exact run exact branch-and-bound; Greedy and
+// LocalSearch trade optimality for speed, as the paper's conclusion
+// prescribes for the intractable cells; Online maintains an anytime
+// selection while the query evaluates. ctx cancels the (potentially
+// exponential) exact search mid-flight.
+func (p *Prepared) Diversify(ctx context.Context, opts ...Option) (*Selection, error) {
+	s, err := p.call(opts)
+	if err != nil {
+		return nil, err
+	}
+	in, err := p.instance(ctx, s, s.algorithm != Online)
+	if err != nil {
+		return nil, err
+	}
+	switch s.algorithm {
+	case Auto, Exact:
+		res, err := solver.QRDBestContext(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Exists {
+			return nil, errNoCandidate
+		}
+		return newSelection(p.schema, res.Witness, res.Value, "exact"), nil
+	case Greedy:
+		if in.Sigma.Len() > 0 {
+			return nil, errors.New("diversification: greedy does not support constraints")
+		}
+		res, err := approx.GreedyContext(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Set) == 0 {
+			return nil, errNoCandidate
+		}
+		return newSelection(p.schema, res.Set, res.Value, "greedy"), nil
+	case LocalSearch:
+		if in.Sigma.Len() > 0 {
+			return nil, errors.New("diversification: local-search does not support constraints")
+		}
+		seed, err := approx.GreedyContext(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		if len(seed.Set) == 0 {
+			return nil, errNoCandidate
+		}
+		res, err := approx.LocalSearchSwapContext(ctx, in, seed.Set)
+		if err != nil {
+			return nil, err
+		}
+		return newSelection(p.schema, res.Set, res.Value, "local-search"), nil
+	case Online:
+		gen := p.eng.db.Generation()
+		// Collect the streamed pool only on a cold cache: online Diversify
+		// always consumes the full stream, so the materialized Q(D) is
+		// free to keep and lets later calls skip re-evaluation.
+		collect := !p.cacheWarm()
+		res, err := online.Diversify(ctx, in, online.Options{CollectAnswers: collect})
+		if err != nil {
+			return nil, err
+		}
+		if collect && res.Exhausted {
+			p.storeAnswers(res.Answers, gen)
+		}
+		if !res.Exists {
+			return nil, errNoCandidate
+		}
+		return newSelection(p.schema, res.Witness, res.Value, "online"), nil
+	default:
+		return nil, fmt.Errorf("diversification: unknown algorithm %s", s.algorithm)
+	}
+}
+
+// Decide answers QRD: does a k-subset of the query result with objective
+// value at least the bound exist (satisfying the constraints, if any)?
+//
+// The solver is chosen per the paper's complexity map: the PTIME modular
+// algorithm for Fmono without constraints (Theorem 5.4); otherwise, with a
+// cold answer-set cache, early-terminating online evaluation (Section 1);
+// and exact search on the cached answer set in the remaining cases. Errors
+// from an applicable solver are surfaced — only the online path's "this
+// setting does not stream" refusals (Fmono, constraints) fall through to
+// exact search.
+func (p *Prepared) Decide(ctx context.Context, opts ...Option) (bool, error) {
+	s, err := p.call(opts)
+	if err != nil {
+		return false, err
+	}
+	// The paper's PTIME algorithm when it applies.
+	if s.objective == Mono && len(s.constraints) == 0 {
+		in, err := p.instance(ctx, s, true)
+		if err != nil {
+			return false, err
+		}
+		res, err := solver.QRDMonoPTime(in)
+		if err == nil {
+			return res.Exists, nil
+		}
+	}
+	// With a cold cache, stream the evaluation and stop at the first valid
+	// set (early termination, Section 1). A warm cache makes streaming a
+	// re-evaluation, so exact search on the cached answers wins there.
+	if !p.cacheWarm() {
+		gen := p.eng.db.Generation()
+		in, err := p.instance(ctx, s, false)
+		if err != nil {
+			return false, err
+		}
+		res, err := online.QRD(ctx, in, online.Options{})
+		if err == nil {
+			if res.Exhausted {
+				// The stream materialized all of Q(D) anyway; keep it so
+				// the next call hits the warm-cache exact path instead of
+				// re-evaluating the query.
+				p.storeAnswers(res.Answers, gen)
+			}
+			return res.Exists, nil
+		}
+		// Only "online is inapplicable here" falls through to the exact
+		// solver; cancellation and any other genuine failure surfaces.
+		if !errors.Is(err, online.ErrMono) && !errors.Is(err, online.ErrConstrained) {
+			return false, err
+		}
+	}
+	in, err := p.instance(ctx, s, true)
+	if err != nil {
+		return false, err
+	}
+	res, err := solver.QRDExactContext(ctx, in)
+	if err != nil {
+		return false, err
+	}
+	return res.Exists, nil
+}
+
+// Count answers RDC: how many valid k-subsets reach the bound?
+func (p *Prepared) Count(ctx context.Context, opts ...Option) (*big.Int, error) {
+	s, err := p.call(opts)
+	if err != nil {
+		return nil, err
+	}
+	in, err := p.instance(ctx, s, true)
+	if err != nil {
+		return nil, err
+	}
+	res, err := solver.RDCExactContext(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	return res.Count, nil
+}
+
+// checkSet validates and converts a caller-provided candidate set: it must
+// have exactly k rows, each matching the query head arity, with values of
+// supported Go types.
+func (p *Prepared) checkSet(set [][]interface{}, k int) ([]relation.Tuple, error) {
+	if len(set) != k {
+		return nil, fmt.Errorf("diversification: candidate set has %d rows, want exactly K = %d", len(set), k)
+	}
+	arity := p.q.Arity()
+	out := make([]relation.Tuple, 0, len(set))
+	for i, rowVals := range set {
+		if len(rowVals) != arity {
+			return nil, fmt.Errorf("diversification: candidate row %d has %d values, want the query head arity %d", i, len(rowVals), arity)
+		}
+		t := make(relation.Tuple, len(rowVals))
+		for j, v := range rowVals {
+			cv, err := toValue(v)
+			if err != nil {
+				return nil, fmt.Errorf("diversification: candidate row %d, column %d: %w", i, j, err)
+			}
+			t[j] = cv
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// InTopR answers DRP: does the given set (specified by attribute values per
+// row, in schema order) rank among the top r candidate sets? The rank
+// threshold comes from WithRank.
+func (p *Prepared) InTopR(ctx context.Context, set [][]interface{}, opts ...Option) (bool, error) {
+	s, err := p.call(opts)
+	if err != nil {
+		return false, err
+	}
+	if s.rank < 1 {
+		return false, errors.New("diversification: Rank must be at least 1 (set it with WithRank)")
+	}
+	u, err := p.checkSet(set, s.k)
+	if err != nil {
+		return false, err
+	}
+	in, err := p.instance(ctx, s, true)
+	if err != nil {
+		return false, err
+	}
+	in.U = u
+	if in.Obj.Kind == objective.Mono && in.Sigma.Len() == 0 {
+		if res, err := solver.DRPMonoPTime(in); err == nil {
+			return res.InTopR, nil
+		}
+	}
+	res, err := solver.DRPExactContext(ctx, in)
+	if err != nil {
+		return false, err
+	}
+	return res.InTopR, nil
+}
+
+// Rank computes rank(U) exactly: 1 + the number of candidate k-sets scoring
+// strictly above F(U) (Section 4.1). It is the function-problem companion
+// of InTopR; expect exponential cost in the general setting (Theorem 6.1)
+// and polynomial cost for Fmono without constraints (Theorem 6.4 applies to
+// the decision; the exact rank is computed by exhaustive counting here).
+func (p *Prepared) Rank(ctx context.Context, set [][]interface{}, opts ...Option) (int, error) {
+	s, err := p.call(opts)
+	if err != nil {
+		return 0, err
+	}
+	s.rank = int(^uint(0) >> 1) // count all better sets
+	u, err := p.checkSet(set, s.k)
+	if err != nil {
+		return 0, err
+	}
+	in, err := p.instance(ctx, s, true)
+	if err != nil {
+		return 0, err
+	}
+	in.U = u
+	res, err := solver.DRPExactContext(ctx, in)
+	if err != nil {
+		return 0, err
+	}
+	return res.Better + 1, nil
+}

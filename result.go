@@ -1,0 +1,64 @@
+package diversification
+
+import (
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// Row is one query answer with named attribute access.
+type Row struct {
+	schema relation.Schema
+	tuple  relation.Tuple
+}
+
+// Get returns the named attribute's value as an interface (int64, float64,
+// string or bool), or nil when absent.
+func (r Row) Get(attr string) interface{} {
+	i := r.schema.AttrIndex(attr)
+	if i < 0 || i >= len(r.tuple) {
+		return nil
+	}
+	v := r.tuple[i]
+	switch v.Kind() {
+	case value.KindInt:
+		return v.AsInt()
+	case value.KindFloat:
+		return v.AsFloat()
+	case value.KindBool:
+		return v.AsBool()
+	default:
+		return v.AsString()
+	}
+}
+
+// String renders the row.
+func (r Row) String() string { return r.tuple.String() }
+
+// ResultSet is a materialized query answer.
+type ResultSet struct {
+	schema relation.Schema
+	rows   []relation.Tuple
+}
+
+// Len reports the number of answers.
+func (rs *ResultSet) Len() int { return len(rs.rows) }
+
+// Row returns the i-th answer.
+func (rs *ResultSet) Row(i int) Row { return Row{schema: rs.schema, tuple: rs.rows[i]} }
+
+// Selection is a chosen k-set with its objective value.
+type Selection struct {
+	Rows  []Row
+	Value float64
+	// Method names the algorithm that produced the selection.
+	Method string
+}
+
+// newSelection wraps solver-level tuples into the named-row Selection.
+func newSelection(schema relation.Schema, set []relation.Tuple, val float64, method string) *Selection {
+	sel := &Selection{Value: val, Method: method}
+	for _, t := range set {
+		sel.Rows = append(sel.Rows, Row{schema: schema, tuple: t})
+	}
+	return sel
+}
