@@ -503,6 +503,109 @@ func BenchmarkFacade_EndToEnd(b *testing.B) {
 	}
 }
 
+// scorePlaneInstance builds an identity-query instance over n tuples whose
+// δrel/δdis are table-backed — the workload where per-lookup Tuple.Key()
+// string building dominates and the interned score plane pays off most.
+func scorePlaneInstance(n, k int, kind objective.Kind, lambda float64) *core.Instance {
+	rng := rand.New(rand.NewSource(42))
+	in := workload.Points(rng, n, 2, 1<<20, kind, lambda, k)
+	answers := in.Answers()
+	tr := &objective.TableRelevance{Scores: map[string]float64{}, Default: 0.1}
+	td := objective.NewTableDistance(0.5)
+	for i, t := range answers {
+		tr.Set(t, rng.Float64())
+		for j := i + 1; j < len(answers); j++ {
+			td.Set(t, answers[j], rng.Float64())
+		}
+	}
+	in.Obj = objective.New(kind, tr, td, lambda)
+	in.SetAnswers(answers)
+	return in
+}
+
+// BenchmarkScorePlane tracks the interned score plane: build cost, the
+// solve-time gap with and without it, and the memoized fallback regime
+// above the materialization threshold. The plane/direct pairs are the
+// before/after numbers quoted in README's Performance section.
+func BenchmarkScorePlane(b *testing.B) {
+	b.Run("build-materialized-n1000", func(b *testing.B) {
+		in := scorePlaneInstance(1000, 8, objective.MaxSum, 0.5)
+		answers := in.Answers()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := objective.NewPlane(in.Obj, answers, objective.PlaneOptions{})
+			if !p.Materialize() {
+				b.Fatal("materialization refused")
+			}
+		}
+	})
+	b.Run("greedy-fms-n200", func(b *testing.B) {
+		for _, mode := range []string{"plane", "memo-fallback", "direct"} {
+			b.Run(mode, func(b *testing.B) {
+				in := scorePlaneInstance(200, 10, objective.MaxSum, 0.5)
+				switch mode {
+				case "plane":
+					in.Plane().Materialize()
+				case "memo-fallback":
+					// Too small for the n=200 matrix (~156 KiB), so the
+					// plane serves from the capped sharded cache.
+					in.PlaneMaxBytes = 64 << 10
+				case "direct":
+					in.PlaneOff = true
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if res := approx.GreedyMaxSum(in); len(res.Set) != 10 {
+						b.Fatal("greedy failed")
+					}
+				}
+			})
+		}
+	})
+	b.Run("exact-fms-n200-k3", func(b *testing.B) {
+		for _, mode := range []string{"plane", "direct"} {
+			b.Run(mode, func(b *testing.B) {
+				in := scorePlaneInstance(200, 3, objective.MaxSum, 0.5)
+				if mode == "direct" {
+					in.PlaneOff = true
+				} else {
+					in.Plane().Materialize()
+				}
+				best := solver.QRDBest(in)
+				in.B = best.Value + 1 // refutation: the search must prove it
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if res := solver.QRDExact(in); res.Exists {
+						b.Fatal("refutation instance admitted a witness")
+					}
+				}
+			})
+		}
+	})
+	b.Run("mono-ptime-n1000", func(b *testing.B) {
+		for _, mode := range []string{"plane", "direct"} {
+			b.Run(mode, func(b *testing.B) {
+				in := scorePlaneInstance(1000, 10, objective.Mono, 0.5)
+				in.B = 1
+				if mode == "direct" {
+					in.PlaneOff = true
+				} else {
+					in.Plane() // warm: row sums cache on first solve
+					if _, err := solver.QRDMonoPTime(in); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := solver.QRDMonoPTime(in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	})
+}
+
 // BenchmarkPreparedVsOneShot measures the prepared-query API against the
 // deprecated one-shot Request path on the same workload: Prepare performs
 // parse/classify/validate once and caches the materialized answer set

@@ -58,6 +58,11 @@ func GreedyMaxSumContext(ctx context.Context, in *core.Instance) (Result, error)
 		return res, nil
 	}
 	c := ctxpoll.New(ctx)
+	if p, err := in.PlaneContext(ctx); err != nil {
+		return res, err
+	} else if p != nil {
+		return greedyMaxSumPlane(c, in, p)
+	}
 	chosen := make([]relation.Tuple, 0, k)
 	used := make([]bool, len(answers))
 	for len(chosen) < k {
@@ -86,6 +91,61 @@ func GreedyMaxSumContext(ctx context.Context, in *core.Instance) (Result, error)
 	return res, nil
 }
 
+// greedyMaxSumPlane is the interned-ID variant of the max-sum greedy: it
+// maintains each candidate's running marginal gain, so a round is one O(n)
+// array scan plus an O(n) gain update against the newly chosen ID, instead
+// of the O(n·k) re-scoring of the interface path. Gains accumulate in
+// chosen order, matching MaxSumDelta bit-for-bit.
+func greedyMaxSumPlane(c *ctxpoll.Poller, in *core.Instance, p *objective.Plane) (Result, error) {
+	var res Result
+	o := in.Obj
+	n := p.Len()
+	k := in.K
+	gain := make([]float64, n)
+	for i := range gain {
+		gain[i] = float64(k-1) * (1 - o.Lambda) * p.Rel(i)
+	}
+	used := make([]bool, n)
+	ids := make([]int, 0, k)
+	for len(ids) < k {
+		bestIdx, bestGain := -1, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if c.Stop() {
+				return res, c.Err()
+			}
+			res.Steps++
+			if gain[i] > bestGain {
+				bestGain, bestIdx = gain[i], i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		used[bestIdx] = true
+		ids = append(ids, bestIdx)
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				gain[i] += o.Lambda * 2 * p.Dis(bestIdx, i)
+			}
+		}
+	}
+	res.Set = planeTuples(p, ids)
+	res.Value = o.EvalIDs(p, ids)
+	return res, nil
+}
+
+// planeTuples materializes the tuples interned as ids.
+func planeTuples(p *objective.Plane, ids []int) []relation.Tuple {
+	out := make([]relation.Tuple, len(ids))
+	for i, id := range ids {
+		out[i] = p.Tuple(id)
+	}
+	return out
+}
+
 // GreedyMaxMin selects k answers farthest-point style: seed with the most
 // relevant answer, then repeatedly add the answer maximizing
 // (1-λ)·δrel(t) + λ·min_{s∈chosen} δdis(t, s).
@@ -107,6 +167,11 @@ func GreedyMaxMinContext(ctx context.Context, in *core.Instance) (Result, error)
 	}
 	c := ctxpoll.New(ctx)
 	o := in.Obj
+	if p, err := in.PlaneContext(ctx); err != nil {
+		return res, err
+	} else if p != nil {
+		return greedyMaxMinPlane(c, in, p)
+	}
 	used := make([]bool, len(answers))
 	seed, seedRel := -1, math.Inf(-1)
 	for i, t := range answers {
@@ -149,6 +214,65 @@ func GreedyMaxMinContext(ctx context.Context, in *core.Instance) (Result, error)
 	return res, nil
 }
 
+// greedyMaxMinPlane is the interned-ID variant of the farthest-point
+// greedy: it maintains each candidate's running min-distance to the chosen
+// set, so a round is an O(n) scan plus an O(n) min update against the new
+// member instead of an O(n·k) rescan through the interfaces.
+func greedyMaxMinPlane(c *ctxpoll.Poller, in *core.Instance, p *objective.Plane) (Result, error) {
+	var res Result
+	o := in.Obj
+	n := p.Len()
+	k := in.K
+	used := make([]bool, n)
+	seed, seedRel := -1, math.Inf(-1)
+	for i := 0; i < n; i++ {
+		res.Steps++
+		if r := p.Rel(i); r > seedRel {
+			seedRel, seed = r, i
+		}
+	}
+	minDis := make([]float64, n)
+	for i := range minDis {
+		minDis[i] = math.Inf(1)
+	}
+	ids := make([]int, 0, k)
+	take := func(idx int) {
+		used[idx] = true
+		ids = append(ids, idx)
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				if d := p.Dis(idx, i); d < minDis[i] {
+					minDis[i] = d
+				}
+			}
+		}
+	}
+	take(seed)
+	for len(ids) < k {
+		bestIdx, bestScore := -1, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if c.Stop() {
+				return res, c.Err()
+			}
+			res.Steps++
+			score := (1-o.Lambda)*p.Rel(i) + o.Lambda*minDis[i]
+			if score > bestScore {
+				bestScore, bestIdx = score, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		take(bestIdx)
+	}
+	res.Set = planeTuples(p, ids)
+	res.Value = o.EvalIDs(p, ids)
+	return res, nil
+}
+
 // MMR is Maximal Marginal Relevance: identical selection loop to
 // GreedyMaxMin but seeded by pure relevance and scoring candidates with the
 // classic MMR formula. Kept separate because benchmarks compare both.
@@ -183,6 +307,13 @@ func LocalSearchSwapContext(ctx context.Context, in *core.Instance, seed []relat
 		return res, nil
 	}
 	c := ctxpoll.New(ctx)
+	if p, err := in.PlaneContext(ctx); err != nil {
+		return res, err
+	} else if p != nil {
+		if ids, ok := internSeed(in, seed); ok {
+			return localSearchSwapPlane(c, in, p, ids)
+		}
+	}
 	current := append([]relation.Tuple(nil), seed...)
 	chosenKeys := make(map[string]bool, len(current))
 	for _, t := range current {
@@ -226,6 +357,72 @@ func LocalSearchSwapContext(ctx context.Context, in *core.Instance, seed []relat
 	return res, nil
 }
 
+// internSeed maps a seed set onto answer IDs via the instance's memoized
+// key index; a seed tuple outside Q(D) (legal for the public API) reports
+// false, sending the caller down the direct-interface path.
+func internSeed(in *core.Instance, seed []relation.Tuple) ([]int, bool) {
+	idx := in.AnswerIndex()
+	ids := make([]int, len(seed))
+	for i, t := range seed {
+		id, ok := idx[t.Key()]
+		if !ok {
+			return nil, false
+		}
+		ids[i] = id
+	}
+	return ids, true
+}
+
+// localSearchSwapPlane is the interned-ID variant of the swap hill climb:
+// membership tests are a bool-slice load and every candidate evaluation is
+// EvalIDs over the plane instead of an Eval through the interfaces.
+func localSearchSwapPlane(c *ctxpoll.Poller, in *core.Instance, p *objective.Plane, seed []int) (Result, error) {
+	var res Result
+	o := in.Obj
+	n := p.Len()
+	current := append([]int(nil), seed...)
+	inSet := make([]bool, n)
+	for _, id := range current {
+		inSet[id] = true
+	}
+	cur := o.EvalIDs(p, current)
+	improved := true
+	for improved {
+		improved = false
+		bestVal := cur
+		bestI, bestJ := -1, -1
+		for i := range current {
+			for j := 0; j < n; j++ {
+				if inSet[j] {
+					continue
+				}
+				if c.Stop() {
+					res.Set = planeTuples(p, current)
+					res.Value = cur
+					return res, c.Err()
+				}
+				res.Steps++
+				old := current[i]
+				current[i] = j
+				if v := o.EvalIDs(p, current); v > bestVal {
+					bestVal, bestI, bestJ = v, i, j
+				}
+				current[i] = old
+			}
+		}
+		if bestI >= 0 {
+			inSet[current[bestI]] = false
+			current[bestI] = bestJ
+			inSet[bestJ] = true
+			cur = bestVal
+			improved = true
+		}
+	}
+	res.Set = planeTuples(p, current)
+	res.Value = cur
+	return res, nil
+}
+
 // Greedy picks the heuristic matched to the instance's objective kind:
 // GreedyMaxSum for FMS, GreedyMaxMin for FMM, and exact top-k scores for
 // Fmono (optimal thanks to modularity).
@@ -257,7 +454,16 @@ func monoTopK(ctx context.Context, in *core.Instance) (Result, error) {
 	if in.K <= 0 || in.K > len(answers) {
 		return res, nil
 	}
-	scores := in.Obj.MonoScores(answers)
+	var scores []float64
+	plane, err := in.PlaneContext(ctx)
+	if err != nil {
+		return res, err
+	}
+	if plane != nil {
+		scores = in.Obj.MonoScoresPlane(plane)
+	} else {
+		scores = in.Obj.MonoScores(answers)
+	}
 	type pair struct {
 		idx   int
 		score float64
@@ -278,11 +484,17 @@ func monoTopK(ctx context.Context, in *core.Instance) (Result, error) {
 		ps[i], ps[best] = ps[best], ps[i]
 	}
 	set := make([]relation.Tuple, in.K)
+	ids := make([]int, in.K)
 	for i := 0; i < in.K; i++ {
 		set[i] = answers[ps[i].idx]
+		ids[i] = ps[i].idx
 	}
 	res.Set = set
-	res.Value = in.Eval(set)
+	if plane != nil {
+		res.Value = in.Obj.EvalIDs(plane, ids)
+	} else {
+		res.Value = in.Eval(set)
+	}
 	return res, nil
 }
 

@@ -60,8 +60,19 @@ type Instance struct {
 	// the unconstrained problems of Sections 5-8.
 	Sigma *compat.Set
 
+	// PlaneOff disables the interned score plane: solvers fall back to
+	// scoring through the Relevance/Distance interfaces directly. Used by
+	// differential tests and the before/after benchmarks.
+	PlaneOff bool
+	// PlaneMaxBytes caps the plane's materialized distance matrix; 0 means
+	// the objective package default. Above the cap, distances are served
+	// from the plane's sharded memoizing cache instead.
+	PlaneMaxBytes int64
+
 	answers     []relation.Tuple // memoized Q(D)
 	haveAnswers bool             // distinguishes an empty memo from no memo
+	plane       *objective.Plane // memoized score plane over answers
+	answerIndex map[string]int   // memoized Tuple.Key() -> answers index
 }
 
 // Answers computes (and memoizes) the answer set Q(D) in a deterministic
@@ -99,6 +110,8 @@ func (in *Instance) AnswersContext(ctx context.Context) ([]relation.Tuple, error
 func (in *Instance) SetAnswers(ts []relation.Tuple) {
 	in.answers = ts
 	in.haveAnswers = true
+	in.plane = nil
+	in.answerIndex = nil
 }
 
 // ResetAnswers discards the memoized answer set so the next Answers call
@@ -106,6 +119,62 @@ func (in *Instance) SetAnswers(ts []relation.Tuple) {
 func (in *Instance) ResetAnswers() {
 	in.answers = nil
 	in.haveAnswers = false
+	in.plane = nil
+	in.answerIndex = nil
+}
+
+// Plane returns the interned score plane over Answers(), building it lazily
+// on first use (the one-shot path; Prepared handles inject a cached plane
+// via SetPlane instead). Returns nil when PlaneOff disables it.
+func (in *Instance) Plane() *objective.Plane {
+	p, _ := in.PlaneContext(context.Background())
+	return p
+}
+
+// PlaneContext is Plane under a cancellation context: both the answer-set
+// evaluation and the plane's relevance fill poll ctx. The instance-level
+// plane is built unmaterialized — distances memoize on demand — so
+// relevance-only consumers stay O(n); the exact search materializes the
+// matrix itself when the memory guard allows.
+func (in *Instance) PlaneContext(ctx context.Context) (*objective.Plane, error) {
+	if in.PlaneOff || in.Obj == nil {
+		return nil, nil
+	}
+	if in.plane != nil {
+		return in.plane, nil
+	}
+	answers, err := in.AnswersContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	p, err := objective.NewPlaneContext(ctx, in.Obj, answers, objective.PlaneOptions{MaxMatrixBytes: in.PlaneMaxBytes})
+	if err != nil {
+		return nil, err
+	}
+	in.plane = p
+	return p, nil
+}
+
+// SetPlane installs an externally built (e.g. Prepared-cached or streaming)
+// score plane. The plane's interned answers must be Answers() in the same
+// order; callers installing both use SetAnswers first, since SetAnswers
+// invalidates the plane memo.
+func (in *Instance) SetPlane(p *objective.Plane) { in.plane = p }
+
+// AnswerIndex returns the memoized Tuple.Key() -> index map over Answers(),
+// built on first use and invalidated by SetAnswers/ResetAnswers. IsCandidate
+// and the heuristics' seed interning use it instead of rebuilding the map
+// per call.
+func (in *Instance) AnswerIndex() map[string]int {
+	if in.answerIndex == nil {
+		answers := in.Answers()
+		idx := make(map[string]int, len(answers))
+		for i, t := range answers {
+			idx[t.Key()] = i
+		}
+		in.answerIndex = idx
+	}
+	return in.answerIndex
 }
 
 // ResultSchema is the schema RQ of the query result: one attribute per head
@@ -143,12 +212,9 @@ func (in *Instance) IsCandidate(u []relation.Tuple) bool {
 		}
 		seen[k] = true
 	}
-	idx := make(map[string]bool, len(in.Answers()))
-	for _, t := range in.Answers() {
-		idx[t.Key()] = true
-	}
+	idx := in.AnswerIndex()
 	for _, t := range u {
-		if !idx[t.Key()] {
+		if _, ok := idx[t.Key()]; !ok {
 			return false
 		}
 	}

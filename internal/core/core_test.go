@@ -69,6 +69,59 @@ func TestAnswersMemoization(t *testing.T) {
 	}
 }
 
+func TestAnswerIndexMemoization(t *testing.T) {
+	in := pointsInstance(t, 2, 1, 2, 3)
+	idx := in.AnswerIndex()
+	if len(idx) != 3 {
+		t.Fatalf("index over %d answers, want 3", len(idx))
+	}
+	if got := in.AnswerIndex(); len(got) != 3 {
+		t.Fatal("second AnswerIndex call broken")
+	}
+	// Repeated IsCandidate calls must reuse the same map, not rebuild it.
+	a := in.Answers()
+	for i := 0; i < 3; i++ {
+		if !in.IsCandidate([]relation.Tuple{a[0], a[1]}) {
+			t.Fatal("candidate rejected")
+		}
+	}
+	// SetAnswers invalidates the index (and the plane memo) so candidacy
+	// follows the new answer set.
+	outside := relation.Tuple{value.Int(42)}
+	in.SetAnswers([]relation.Tuple{a[0], outside})
+	if !in.IsCandidate([]relation.Tuple{a[0], outside}) {
+		t.Error("index not rebuilt after SetAnswers")
+	}
+	if in.IsCandidate([]relation.Tuple{a[0], a[1]}) {
+		t.Error("stale index: old answer accepted after SetAnswers")
+	}
+	in.ResetAnswers()
+	if !in.IsCandidate([]relation.Tuple{a[0], a[1]}) {
+		t.Error("index not rebuilt after ResetAnswers")
+	}
+}
+
+func TestPlaneMemoizedAndInvalidated(t *testing.T) {
+	in := pointsInstance(t, 2, 1, 2, 3)
+	p1 := in.Plane()
+	if p1 == nil || p1.Len() != 3 {
+		t.Fatalf("plane = %v", p1)
+	}
+	if in.Plane() != p1 {
+		t.Error("plane rebuilt although answers did not change")
+	}
+	in.SetAnswers(in.Answers()[:2])
+	p2 := in.Plane()
+	if p2 == p1 || p2.Len() != 2 {
+		t.Error("plane not invalidated by SetAnswers")
+	}
+	in.PlaneOff = true
+	in.ResetAnswers()
+	if in.Plane() != nil {
+		t.Error("PlaneOff must disable the plane")
+	}
+}
+
 func TestIsCandidateSemantics(t *testing.T) {
 	in := pointsInstance(t, 2, 1, 2, 3)
 	a := in.Answers()

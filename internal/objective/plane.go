@@ -1,0 +1,549 @@
+// The interned score plane: answer tuples are interned into dense int IDs
+// at prepare time, the relevance vector δrel is precomputed per ID, and the
+// symmetric pairwise distance matrix δdis is either materialized as a packed
+// triangular []float64 (filled in parallel across GOMAXPROCS workers) or —
+// above a memory-guard threshold — served from a sharded memoizing cache.
+// Every solver then runs on IDs and contiguous float loads instead of
+// interface dispatch plus Tuple.Key() string hashing per lookup: the same
+// compute-shared-subexpressions-once discipline that factorised databases
+// (Bakibayev et al., FDB) apply to query plans, applied here to scoring.
+//
+// The plane assumes the paper's contract for δdis: symmetric with a zero
+// diagonal. Pair values are evaluated once in canonical (lower ID, higher
+// ID) argument order; an asymmetric distance function would be observed in
+// canonical order only.
+package objective
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ctxpoll"
+	"repro/internal/relation"
+)
+
+// DefaultMaxMatrixBytes is the default memory guard for the materialized
+// distance matrix: planes whose packed triangle would exceed it fall back to
+// the sharded memoizing cache. 64 MiB holds n ≈ 4096 answers.
+const DefaultMaxMatrixBytes = 64 << 20
+
+// memoShards is the number of lock shards in the fallback cache; a power of
+// two so the hash can mask.
+const memoShards = 64
+
+// PlaneOptions tune plane construction.
+type PlaneOptions struct {
+	// MaxMatrixBytes caps the packed triangular matrix; 0 means
+	// DefaultMaxMatrixBytes. Materialize refuses (and the plane stays on
+	// the memoizing cache) when n(n-1)/2 float64 cells would exceed it.
+	MaxMatrixBytes int64
+	// Streaming builds an appendable plane for online procedures: IDs are
+	// assigned in arrival order via Append, distances are always served
+	// from the memoizing cache, and Materialize is a no-op.
+	Streaming bool
+}
+
+// Plane is the interned score plane over one answer set. It holds only the
+// λ-independent score data (relevance vector, pairwise distances, cached
+// row sums), so a single plane serves solves under any Kind and λ as long
+// as the δrel/δdis functions are unchanged; Objective.EvalIDs and friends
+// combine it with the per-call Kind and λ.
+//
+// A plane is safe for concurrent readers (including concurrent lazy
+// materialization and memo fills); Append is single-writer.
+type Plane struct {
+	answers []relation.Tuple
+	rel     []float64
+	maxRel  float64
+	keys    []string // precomputed Tuple.Key()s when a Keyed impl is present
+
+	relFn     Relevance
+	disFn     Distance
+	keyedRel  KeyedRelevance // non-nil when relFn accepts precomputed keys
+	keyedDis  KeyedDistance  // non-nil when disFn accepts precomputed keys
+	maxBytes  int64
+	streaming bool
+
+	triReady atomic.Bool
+	tri      []float64 // packed lower triangle, index(i<j) = j(j-1)/2 + i
+
+	shards []memoShard
+	// memoCap bounds the fallback cache to roughly the same byte budget as
+	// the matrix guard (entries are ~16 bytes of key+value before map
+	// overhead); once reached, further pairs are recomputed instead of
+	// stored, so the memoized regime — including streaming planes, which
+	// never materialize — cannot grow without bound.
+	memoCap   int64
+	memoCount atomic.Int64
+
+	mu         sync.Mutex // guards materialization and the lazy scalars below
+	haveMaxDis bool
+	maxDis     float64
+	maxDisN    int // the n maxDis was computed at (streaming planes grow)
+	rowSums    []float64
+}
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[uint64]float64
+}
+
+// NewPlane builds a plane over answers. Distances are not computed yet:
+// materialization (or memoization on demand) happens on first use, so
+// relevance-only consumers pay O(n) and nothing more.
+func NewPlane(o *Objective, answers []relation.Tuple, opts PlaneOptions) *Plane {
+	p, _ := NewPlaneContext(context.Background(), o, answers, opts)
+	return p
+}
+
+// NewPlaneContext is NewPlane under a cancellation context (the O(n)
+// relevance fill polls it).
+func NewPlaneContext(ctx context.Context, o *Objective, answers []relation.Tuple, opts PlaneOptions) (*Plane, error) {
+	maxBytes := opts.MaxMatrixBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxMatrixBytes
+	}
+	p := &Plane{
+		answers:   answers,
+		relFn:     o.Rel,
+		disFn:     o.Dis,
+		maxBytes:  maxBytes,
+		memoCap:   maxBytes / 16,
+		streaming: opts.Streaming,
+		shards:    make([]memoShard, memoShards),
+	}
+	if kr, ok := o.Rel.(KeyedRelevance); ok {
+		p.keyedRel = kr
+	}
+	if kd, ok := o.Dis.(KeyedDistance); ok {
+		p.keyedDis = kd
+	}
+	poll := ctxpoll.New(ctx)
+	if p.keyedRel != nil || p.keyedDis != nil {
+		p.keys = make([]string, len(answers))
+		for i, t := range answers {
+			if poll.Stop() {
+				return nil, poll.Err()
+			}
+			p.keys[i] = t.Key()
+		}
+	}
+	p.rel = make([]float64, len(answers))
+	for i := range answers {
+		if poll.Stop() {
+			return nil, poll.Err()
+		}
+		r := p.rawRel(i)
+		p.rel[i] = r
+		if r > p.maxRel {
+			p.maxRel = r
+		}
+	}
+	return p, nil
+}
+
+// Len reports the number of interned answers.
+func (p *Plane) Len() int { return len(p.answers) }
+
+// Tuple returns the answer tuple interned as id.
+func (p *Plane) Tuple(id int) relation.Tuple { return p.answers[id] }
+
+// Answers returns the interned answer slice in ID order (shared; do not
+// mutate).
+func (p *Plane) Answers() []relation.Tuple { return p.answers }
+
+// Rel returns δrel of the answer interned as id.
+func (p *Plane) Rel(id int) float64 { return p.rel[id] }
+
+// MaxRel returns max δrel over the interned answers (0 when empty, matching
+// the solvers' optimistic-bound seed).
+func (p *Plane) MaxRel() float64 { return p.maxRel }
+
+// Materialized reports whether the packed distance matrix is filled.
+func (p *Plane) Materialized() bool { return p.triReady.Load() }
+
+// rawRel evaluates δrel for id through the keyed fast path when available.
+func (p *Plane) rawRel(id int) float64 {
+	if p.keyedRel != nil {
+		return p.keyedRel.RelKey(p.keys[id])
+	}
+	return p.relFn.Rel(p.answers[id])
+}
+
+// rawDis evaluates δdis for i < j in canonical argument order, through the
+// keyed fast path when available. It does not consult or fill any cache.
+func (p *Plane) rawDis(i, j int) float64 {
+	if p.keyedDis != nil {
+		return p.keyedDis.DisKeys(p.keys[i], p.keys[j])
+	}
+	return p.disFn.Dis(p.answers[i], p.answers[j])
+}
+
+// triIndex packs the lower triangle row-by-row: cell (i, j) with i < j lives
+// at j(j-1)/2 + i. The packing is independent of n, so streaming planes
+// could grow it row-by-row.
+func triIndex(i, j int) int { return j*(j-1)/2 + i }
+
+// Dis returns δdis between the answers interned as i and j: a contiguous
+// float load when materialized, a memoized evaluation otherwise, and 0 on
+// the diagonal.
+func (p *Plane) Dis(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	if p.triReady.Load() {
+		return p.tri[triIndex(i, j)]
+	}
+	return p.memoDis(i, j)
+}
+
+// memoDis serves a pair from the sharded cache, computing and storing it on
+// a miss. The user function runs outside the shard lock (it may be slow); a
+// racing duplicate computation stores the same deterministic value.
+func (p *Plane) memoDis(i, j int) float64 {
+	key := uint64(i)<<32 | uint64(j)
+	s := &p.shards[(key*0x9E3779B97F4A7C15)>>(64-6)]
+	s.mu.Lock()
+	if d, ok := s.m[key]; ok {
+		s.mu.Unlock()
+		return d
+	}
+	s.mu.Unlock()
+	d := p.rawDis(i, j)
+	// The count may overshoot the cap slightly under concurrent misses;
+	// it is a memory guard, not an exact quota.
+	if p.memoCount.Load() < p.memoCap {
+		p.memoCount.Add(1)
+		s.mu.Lock()
+		if s.m == nil {
+			s.m = make(map[uint64]float64)
+		}
+		s.m[key] = d
+		s.mu.Unlock()
+	}
+	return d
+}
+
+// Materialize is MaterializeContext under context.Background.
+func (p *Plane) Materialize() bool {
+	ok, _ := p.MaterializeContext(context.Background())
+	return ok
+}
+
+// MaterializeContext fills the packed triangular distance matrix in
+// parallel across GOMAXPROCS workers, unless the plane is streaming or the
+// matrix would exceed the memory guard (in which case it reports false and
+// the plane keeps serving from the memoizing cache). It is idempotent and
+// safe under concurrent readers: until the fill completes, Dis keeps
+// answering from the cache.
+func (p *Plane) MaterializeContext(ctx context.Context) (bool, error) {
+	if p.streaming {
+		return false, nil
+	}
+	n := len(p.answers)
+	pairs := n * (n - 1) / 2
+	if int64(pairs)*8 > p.maxBytes {
+		return false, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.triReady.Load() {
+		return true, nil
+	}
+	tri := make([]float64, pairs)
+	maxDis, err := p.fillParallel(ctx, tri)
+	if err != nil {
+		return false, err
+	}
+	p.tri = tri
+	p.maxDis, p.haveMaxDis, p.maxDisN = maxDis, true, n
+	p.triReady.Store(true)
+	return true, nil
+}
+
+// fillParallel computes every (i < j) cell of tri, striping whole rows
+// across workers via an atomic row counter, and returns the maximum cell.
+// Each cell is a pure function of its pair, so the result is deterministic
+// regardless of scheduling; the max merge is order-independent.
+func (p *Plane) fillParallel(ctx context.Context, tri []float64) (float64, error) {
+	n := len(p.answers)
+	if n < 2 {
+		return 0, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n-1 {
+		workers = n - 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	const rowChunk = 8
+	var next atomic.Int64
+	next.Store(1) // row j ranges over [1, n)
+	maxes := make([]float64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			poll := ctxpoll.New(ctx)
+			localMax := 0.0
+			for {
+				lo := int(next.Add(rowChunk)) - rowChunk
+				if lo >= n {
+					break
+				}
+				hi := lo + rowChunk
+				if hi > n {
+					hi = n
+				}
+				for j := lo; j < hi; j++ {
+					if poll.Stop() {
+						errs[w] = poll.Err()
+						return
+					}
+					off := j * (j - 1) / 2
+					for i := 0; i < j; i++ {
+						d := p.rawDis(i, j)
+						tri[off+i] = d
+						if d > localMax {
+							localMax = d
+						}
+					}
+				}
+			}
+			maxes[w] = localMax
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	maxDis := 0.0
+	for _, m := range maxes {
+		if m > maxDis {
+			maxDis = m
+		}
+	}
+	return maxDis, nil
+}
+
+// MaxDis is MaxDisContext under context.Background.
+func (p *Plane) MaxDis() float64 {
+	v, _ := p.MaxDisContext(context.Background())
+	return v
+}
+
+// MaxDisContext returns max pairwise δdis over the interned answers (0 when
+// fewer than two). It materializes the matrix when the guard allows — the
+// scan pays for every pair anyway — and otherwise scans without storing, so
+// the memory guard holds even for this O(n²) pass.
+func (p *Plane) MaxDisContext(ctx context.Context) (float64, error) {
+	n := len(p.answers)
+	p.mu.Lock()
+	if p.haveMaxDis && p.maxDisN == n {
+		v := p.maxDis
+		p.mu.Unlock()
+		return v, nil
+	}
+	p.mu.Unlock()
+	if ok, err := p.MaterializeContext(ctx); err != nil {
+		return 0, err
+	} else if ok {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.maxDis, nil
+	}
+	// Memoized regime: scan through Dis so the pairs this pass pays for
+	// warm the cache (bounded by memoCap) for the search walk that follows.
+	poll := ctxpoll.New(ctx)
+	maxDis := 0.0
+	for j := 1; j < n; j++ {
+		if poll.Stop() {
+			return 0, poll.Err()
+		}
+		for i := 0; i < j; i++ {
+			if d := p.Dis(i, j); d > maxDis {
+				maxDis = d
+			}
+		}
+	}
+	p.mu.Lock()
+	p.maxDis, p.haveMaxDis, p.maxDisN = maxDis, true, n
+	p.mu.Unlock()
+	return maxDis, nil
+}
+
+// RowSums returns, for each id, Σ over all answers of δdis(id, ·) — the
+// shared subexpression of every Fmono score — accumulated in ascending ID
+// order for reproducible floating point. The result is cached; in the
+// memoized regime the scan computes pairs directly without storing them, so
+// the memory guard holds.
+func (p *Plane) RowSums() []float64 {
+	n := len(p.answers)
+	p.mu.Lock()
+	if p.rowSums != nil && len(p.rowSums) == n {
+		sums := p.rowSums
+		p.mu.Unlock()
+		return sums
+	}
+	p.mu.Unlock()
+	p.MaterializeContext(context.Background())
+	dis := p.Dis
+	if !p.triReady.Load() {
+		dis = func(i, j int) float64 {
+			if i == j {
+				return 0
+			}
+			if i > j {
+				i, j = j, i
+			}
+			return p.rawDis(i, j)
+		}
+	}
+	sums := make([]float64, n)
+	for i := 0; i < n; i++ {
+		g := 0.0
+		for j := 0; j < n; j++ {
+			if j != i {
+				g += dis(i, j)
+			}
+		}
+		sums[i] = g
+	}
+	p.mu.Lock()
+	if p.rowSums == nil || len(p.rowSums) != n {
+		p.rowSums = sums
+	} else {
+		sums = p.rowSums
+	}
+	p.mu.Unlock()
+	return sums
+}
+
+// Append interns a new answer on a streaming plane, returning its ID.
+// Distances to it are memoized on first use, so an append is O(1) beyond
+// its relevance evaluation. Single-writer: the streaming procedures append
+// from the evaluation goroutine only.
+func (p *Plane) Append(t relation.Tuple) int {
+	if !p.streaming {
+		panic("objective: Append on a non-streaming plane")
+	}
+	id := len(p.answers)
+	p.answers = append(p.answers, t)
+	if p.keys != nil {
+		p.keys = append(p.keys, t.Key())
+	}
+	p.rel = append(p.rel, 0)
+	r := p.rawRel(id)
+	p.rel[id] = r
+	if r > p.maxRel {
+		p.maxRel = r
+	}
+	return id
+}
+
+// EvalIDs computes F(U) for a candidate set given by plane IDs, mirroring
+// Eval's accumulation order exactly so the two paths agree to the last bit
+// (for symmetric δdis with a zero diagonal, per the paper's contract).
+func (o *Objective) EvalIDs(p *Plane, ids []int) float64 {
+	switch o.Kind {
+	case MaxSum:
+		k := len(ids)
+		if k == 0 {
+			return 0
+		}
+		relSum := 0.0
+		for _, id := range ids {
+			relSum += p.rel[id]
+		}
+		disSum := 0.0
+		for a := range ids {
+			for b := a + 1; b < len(ids); b++ {
+				disSum += p.Dis(ids[a], ids[b])
+			}
+		}
+		return float64(k-1)*(1-o.Lambda)*relSum + o.Lambda*2*disSum
+	case MaxMin:
+		if len(ids) == 0 {
+			return 0
+		}
+		minRel := infPos()
+		for _, id := range ids {
+			if r := p.rel[id]; r < minRel {
+				minRel = r
+			}
+		}
+		minDis := 0.0
+		if len(ids) >= 2 {
+			minDis = infPos()
+			for a := range ids {
+				for b := a + 1; b < len(ids); b++ {
+					if d := p.Dis(ids[a], ids[b]); d < minDis {
+						minDis = d
+					}
+				}
+			}
+		}
+		return (1-o.Lambda)*minRel + o.Lambda*minDis
+	case Mono:
+		n := p.Len()
+		var sums []float64
+		if n > 1 && o.Lambda != 0 {
+			sums = p.RowSums()
+		}
+		sum := 0.0
+		for _, id := range ids {
+			sum += (1 - o.Lambda) * p.rel[id]
+			if sums != nil {
+				sum += o.Lambda / float64(n-1) * sums[id]
+			}
+		}
+		return sum
+	default:
+		return 0
+	}
+}
+
+// MonoScoresPlane is MonoScores on the interned plane: v(t) per answer from
+// the precomputed relevance vector and cached distance row sums. After the
+// first call the per-solve cost drops from O(n²) interface calls to O(n)
+// float arithmetic.
+func (o *Objective) MonoScoresPlane(p *Plane) []float64 {
+	n := p.Len()
+	var sums []float64
+	if n > 1 && o.Lambda != 0 {
+		sums = p.RowSums()
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := (1 - o.Lambda) * p.rel[i]
+		if sums != nil {
+			v += o.Lambda / float64(n-1) * sums[i]
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// MaxSumDeltaIDs is MaxSumDelta on plane IDs: the FMS gain of adding cand
+// to the chosen IDs at target size k, accumulated in chosen order to match
+// the tuple path bit-for-bit.
+func (o *Objective) MaxSumDeltaIDs(p *Plane, chosen []int, cand, k int) float64 {
+	d := float64(k-1) * (1 - o.Lambda) * p.rel[cand]
+	for _, id := range chosen {
+		d += o.Lambda * 2 * p.Dis(id, cand)
+	}
+	return d
+}
+
+func infPos() float64 { return math.Inf(1) }

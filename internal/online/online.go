@@ -22,6 +22,7 @@ package online
 import (
 	"context"
 	"errors"
+	"math"
 
 	"repro/internal/approx"
 	"repro/internal/core"
@@ -91,7 +92,8 @@ func supported(in *core.Instance) error {
 // poolInstance wraps the streamed prefix as an instance whose Answers()
 // are exactly the pool, so the pool can be handed to the offline solvers.
 func poolInstance(in *core.Instance, pool []relation.Tuple) *core.Instance {
-	shadow := &core.Instance{Query: in.Query, DB: in.DB, Obj: in.Obj, K: in.K, B: in.B}
+	shadow := &core.Instance{Query: in.Query, DB: in.DB, Obj: in.Obj, K: in.K, B: in.B,
+		PlaneOff: in.PlaneOff, PlaneMaxBytes: in.PlaneMaxBytes}
 	shadow.SetAnswers(pool)
 	return shadow
 }
@@ -115,17 +117,38 @@ func QRD(ctx context.Context, in *core.Instance, opts Options) (Result, error) {
 
 	var res Result
 	var pool []relation.Tuple
+	// The streamed prefix is interned into a growing (streaming) score
+	// plane: relevance is computed once per arrival and pairwise distances
+	// memoize across probes, so repeated greedy probes touch each pair at
+	// most once over the whole stream. The closing exact search reuses the
+	// same memo.
+	var splane *objective.Plane
+	shadow := poolInstance(in, nil)
+	if !in.PlaneOff {
+		splane = objective.NewPlane(in.Obj, nil, objective.PlaneOptions{
+			Streaming:      true,
+			MaxMatrixBytes: in.PlaneMaxBytes, // bounds the distance memo
+		})
+	}
 	sinceCheck := 0
 	ev := eval.New(in.Query, in.DB).WithContext(ctx)
 	ev.Stream(func(t relation.Tuple) bool {
-		pool = append(pool, t.Clone())
+		t = t.Clone()
+		pool = append(pool, t)
+		if splane != nil {
+			splane.Append(t)
+		}
 		res.Seen++
 		sinceCheck++
 		if len(pool) < in.K || sinceCheck < interval {
 			return true
 		}
 		sinceCheck = 0
-		probe, err := approx.GreedyContext(ctx, poolInstance(in, pool))
+		shadow.SetAnswers(pool)
+		if splane != nil {
+			shadow.SetPlane(splane)
+		}
+		probe, err := approx.GreedyContext(ctx, shadow)
 		if err != nil {
 			return false
 		}
@@ -151,10 +174,15 @@ func QRD(ctx context.Context, in *core.Instance, opts Options) (Result, error) {
 		return res, nil
 	}
 
-	// No early witness: the pool now holds all of Q(D); decide exactly.
+	// No early witness: the pool now holds all of Q(D); decide exactly,
+	// reusing the streamed plane's interned scores and distance memo.
 	res.Exhausted = true
 	res.Answers = pool
-	exact, err := solver.QRDExactContext(ctx, poolInstance(in, pool))
+	shadow.SetAnswers(pool)
+	if splane != nil {
+		shadow.SetPlane(splane)
+	}
+	exact, err := solver.QRDExactContext(ctx, shadow)
 	if err != nil {
 		return Result{Seen: res.Seen, Exhausted: true}, err
 	}
@@ -181,6 +209,15 @@ func Diversify(ctx context.Context, in *core.Instance, opts Options) (Result, er
 
 	var res Result
 	var set, pool []relation.Tuple
+	// The anytime set is scored through a windowed cache of size O(k²):
+	// relevance per member and member-pair distances are computed once on
+	// arrival/commit, so each swap evaluation is pure float arithmetic
+	// instead of re-scoring the set through the interfaces. Memory stays
+	// O(k²) — the package's reason to exist is not materializing Q(D).
+	var w *swapScorer
+	if !in.PlaneOff {
+		w = newSwapScorer(in.Obj, in.K)
+	}
 	ev := eval.New(in.Query, in.DB).WithContext(ctx)
 	ev.Stream(func(t relation.Tuple) bool {
 		res.Seen++
@@ -190,20 +227,38 @@ func Diversify(ctx context.Context, in *core.Instance, opts Options) (Result, er
 		}
 		if len(set) < in.K {
 			set = append(set, t)
+			if w != nil {
+				w.addMember(t)
+			}
 			return true
 		}
-		cur := in.Obj.Eval(set, nil)
+		var cur float64
+		if w != nil {
+			w.setCandidate(t)
+			cur = w.eval(-1)
+		} else {
+			cur = in.Obj.Eval(set, nil)
+		}
 		bestIdx, bestVal := -1, cur
 		for i := range set {
-			old := set[i]
-			set[i] = t
-			if v := in.Obj.Eval(set, nil); v > bestVal {
+			var v float64
+			if w != nil {
+				v = w.eval(i)
+			} else {
+				old := set[i]
+				set[i] = t
+				v = in.Obj.Eval(set, nil)
+				set[i] = old
+			}
+			if v > bestVal {
 				bestIdx, bestVal = i, v
 			}
-			set[i] = old
 		}
 		if bestIdx >= 0 {
 			set[bestIdx] = t
+			if w != nil {
+				w.commitSwap(bestIdx)
+			}
 		}
 		return true
 	})
@@ -225,6 +280,138 @@ func Diversify(ctx context.Context, in *core.Instance, opts Options) (Result, er
 	}
 	res.Exists = true
 	res.Witness = set
-	res.Value = in.Obj.Eval(set, nil)
+	if w != nil {
+		res.Value = w.eval(-1)
+	} else {
+		res.Value = in.Obj.Eval(set, nil)
+	}
 	return res, nil
+}
+
+// swapScorer caches the relevance vector and pairwise distance matrix of
+// the current anytime set plus one candidate, mirroring Objective.Eval's
+// accumulation order exactly so its values agree with the interface path to
+// the last bit (for symmetric δdis, per the paper's contract). All state is
+// O(k²) regardless of stream length.
+type swapScorer struct {
+	o       *objective.Objective
+	members []relation.Tuple
+	rel     []float64
+	dis     [][]float64 // symmetric, zero diagonal, members × members
+
+	cand    relation.Tuple
+	candRel float64
+	candDis []float64 // candidate ↔ each member
+}
+
+func newSwapScorer(o *objective.Objective, k int) *swapScorer {
+	return &swapScorer{
+		o:       o,
+		members: make([]relation.Tuple, 0, k),
+		rel:     make([]float64, 0, k),
+		candDis: make([]float64, 0, k),
+	}
+}
+
+// addMember appends a tuple during the fill phase (|set| < k).
+func (w *swapScorer) addMember(t relation.Tuple) {
+	row := make([]float64, 0, cap(w.rel))
+	for i, m := range w.members {
+		d := w.o.Dis.Dis(m, t)
+		row = append(row, d)
+		w.dis[i] = append(w.dis[i], d)
+	}
+	row = append(row, 0)
+	w.dis = append(w.dis, row)
+	w.members = append(w.members, t)
+	w.rel = append(w.rel, w.o.Rel.Rel(t))
+	w.candDis = append(w.candDis, 0)
+}
+
+// setCandidate scores a newly arrived tuple against every member.
+func (w *swapScorer) setCandidate(t relation.Tuple) {
+	w.cand = t
+	w.candRel = w.o.Rel.Rel(t)
+	for i, m := range w.members {
+		w.candDis[i] = w.o.Dis.Dis(m, t)
+	}
+}
+
+// eval computes F of the current set with the member at position replace
+// substituted by the candidate (replace < 0 evaluates the set as-is),
+// mirroring Eval's loop order.
+func (w *swapScorer) eval(replace int) float64 {
+	k := len(w.members)
+	relAt := func(i int) float64 {
+		if i == replace {
+			return w.candRel
+		}
+		return w.rel[i]
+	}
+	disAt := func(a, b int) float64 {
+		if a == replace {
+			return w.candDis[b]
+		}
+		if b == replace {
+			return w.candDis[a]
+		}
+		return w.dis[a][b]
+	}
+	switch w.o.Kind {
+	case objective.MaxSum:
+		if k == 0 {
+			return 0
+		}
+		relSum := 0.0
+		for i := 0; i < k; i++ {
+			relSum += relAt(i)
+		}
+		disSum := 0.0
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				disSum += disAt(i, j)
+			}
+		}
+		return float64(k-1)*(1-w.o.Lambda)*relSum + w.o.Lambda*2*disSum
+	case objective.MaxMin:
+		if k == 0 {
+			return 0
+		}
+		minRel := math.Inf(1)
+		for i := 0; i < k; i++ {
+			if r := relAt(i); r < minRel {
+				minRel = r
+			}
+		}
+		minDis := 0.0
+		if k >= 2 {
+			minDis = math.Inf(1)
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					if d := disAt(i, j); d < minDis {
+						minDis = d
+					}
+				}
+			}
+		}
+		return (1-w.o.Lambda)*minRel + w.o.Lambda*minDis
+	default:
+		// Mono is rejected by supported(); unreachable.
+		return 0
+	}
+}
+
+// commitSwap installs the candidate as member i.
+func (w *swapScorer) commitSwap(i int) {
+	w.members[i] = w.cand
+	w.rel[i] = w.candRel
+	for j := range w.members {
+		if j != i {
+			w.dis[i][j] = w.candDis[j]
+			w.dis[j][i] = w.candDis[j]
+		}
+	}
+	w.dis[i][i] = 0
+	w.candDis[i] = 0
+	w.cand = nil
 }

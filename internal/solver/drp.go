@@ -77,7 +77,7 @@ func DRPMonoPTime(in *core.Instance) (DRPResult, error) {
 	answers := in.Answers()
 	res.Stats.Answers = len(answers)
 	res.FU = in.Eval(in.U)
-	ranked := subset.NewRanked(in.Obj.MonoScores(answers), in.K)
+	ranked := subset.NewRanked(monoScores(in), in.K)
 	for res.Better < in.R {
 		_, sum, ok := ranked.Next()
 		if !ok {
@@ -128,10 +128,10 @@ func DRPRelevanceOnlyPTime(in *core.Instance) (DRPResult, error) {
 	case objective.Mono:
 		return DRPMonoPTime(in)
 	case objective.MaxSum:
-		scores := make([]float64, len(answers))
-		for i, t := range answers {
-			// (k-1)(1-0)·δrel per tuple: FMS is modular at λ=0.
-			scores[i] = float64(in.K-1) * in.Obj.Rel.Rel(t)
+		// (k-1)(1-0)·δrel per tuple: FMS is modular at λ=0.
+		scores := relScores(in)
+		for i := range scores {
+			scores[i] = float64(in.K-1) * scores[i]
 		}
 		ranked := subset.NewRanked(scores, in.K)
 		for res.Better < in.R {
@@ -149,8 +149,8 @@ func DRPRelevanceOnlyPTime(in *core.Instance) (DRPResult, error) {
 		return res, nil
 	case objective.MaxMin:
 		cnt := 0
-		for _, t := range answers {
-			if in.Obj.Rel.Rel(t) > res.FU {
+		for _, r := range relScores(in) {
+			if r > res.FU {
 				cnt++
 			}
 		}

@@ -76,7 +76,7 @@ func QRDMonoPTime(in *core.Instance) (QRDResult, error) {
 	if len(answers) < in.K {
 		return res, nil
 	}
-	scores := in.Obj.MonoScores(answers)
+	scores := monoScores(in)
 	order := sortedByScore(scores)
 	sum := 0.0
 	witness := make([]relation.Tuple, 0, in.K)
@@ -117,10 +117,7 @@ func QRDRelevanceOnlyPTime(in *core.Instance) (QRDResult, error) {
 	if len(answers) < in.K {
 		return res, nil
 	}
-	rels := make([]float64, len(answers))
-	for i, t := range answers {
-		rels[i] = in.Obj.Rel.Rel(t)
-	}
+	rels := relScores(in)
 	order := sortedByScore(rels)
 	witness := make([]relation.Tuple, in.K)
 	sum := 0.0

@@ -58,11 +58,10 @@ func RDCMaxMinRelevanceOnlyFP(in *core.Instance) (RDCResult, error) {
 	if in.Sigma.Len() > 0 {
 		return res, ErrConstrained
 	}
-	answers := in.Answers()
-	res.Stats.Answers = len(answers)
+	res.Stats.Answers = len(in.Answers())
 	cnt := 0
-	for _, t := range answers {
-		if in.Obj.Rel.Rel(t) >= in.B {
+	for _, r := range relScores(in) {
+		if r >= in.B {
 			cnt++
 		}
 	}
@@ -97,12 +96,11 @@ func RDCModularDP(in *core.Instance, scale float64) (RDCResult, error) {
 	var scores []float64
 	switch {
 	case in.Obj.Kind == objective.Mono:
-		scores = in.Obj.MonoScores(in.Answers())
+		scores = monoScores(in)
 	case in.Obj.Kind == objective.MaxSum && in.Obj.Lambda == 0:
-		answers := in.Answers()
-		scores = make([]float64, len(answers))
-		for i, t := range answers {
-			scores[i] = float64(in.K-1) * in.Obj.Rel.Rel(t)
+		scores = relScores(in)
+		for i := range scores {
+			scores[i] = float64(in.K-1) * scores[i]
 		}
 	default:
 		return res, errors.New("solver: RDCModularDP requires a modular objective (Fmono, or FMS at λ=0)")

@@ -54,6 +54,13 @@ type search struct {
 	found   func(sel []int, f float64) bool
 	stats   *Stats
 
+	// plane is the interned score plane: relevance and pairwise distances
+	// as array loads on answer IDs instead of interface calls on tuples.
+	// Nil when the instance disables it, in which case the search scores
+	// through the Relevance/Distance interfaces directly (the pre-plane
+	// path, kept for differential testing and benchmarking).
+	plane *objective.Plane
+
 	// pruneSigma enables constraint pruning on partial selections: sound
 	// exactly when every constraint is universal-only (violation-monotone).
 	pruneSigma bool
@@ -94,8 +101,27 @@ func newSearch(ctx context.Context, in *core.Instance, cutoff float64, strict bo
 	s.stats.Answers = len(s.answers)
 	s.pruneSigma = in.Sigma.Len() > 0 && in.Sigma.ForallOnly()
 	o := in.Obj
+	plane, err := in.PlaneContext(ctx)
+	if err != nil {
+		s.canceled = true
+		return s
+	}
+	s.plane = plane
 	switch o.Kind {
 	case objective.MaxSum, objective.MaxMin:
+		if plane != nil {
+			// The plane materializes the distance matrix here (when the
+			// memory guard allows) and hands back the max as a byproduct;
+			// the walk then reads distances as contiguous float loads.
+			s.maxRel = plane.MaxRel()
+			md, err := plane.MaxDisContext(ctx)
+			if err != nil {
+				s.canceled = true
+				return s
+			}
+			s.maxDis = md
+			break
+		}
 		for i, t := range s.answers {
 			if s.interrupted() {
 				break
@@ -110,7 +136,11 @@ func newSearch(ctx context.Context, in *core.Instance, cutoff float64, strict bo
 			}
 		}
 	case objective.Mono:
-		s.monoScores = o.MonoScores(s.answers)
+		if plane != nil {
+			s.monoScores = o.MonoScoresPlane(plane)
+		} else {
+			s.monoScores = o.MonoScores(s.answers)
+		}
 	}
 	return s
 }
@@ -257,18 +287,27 @@ type savedState struct {
 func (s *search) push(i int) savedState {
 	saved := savedState{s.relSum, s.pairSum, s.minRel, s.minDis}
 	o := s.in.Obj
-	t := s.answers[i]
 	switch o.Kind {
 	case objective.Mono:
 		s.relSum += s.monoScores[i]
 	default:
-		r := o.Rel.Rel(t)
+		var r float64
+		if s.plane != nil {
+			r = s.plane.Rel(i)
+		} else {
+			r = o.Rel.Rel(s.answers[i])
+		}
 		s.relSum += r
 		if r < s.minRel {
 			s.minRel = r
 		}
 		for _, j := range s.sel {
-			d := o.Dis.Dis(s.answers[j], t)
+			var d float64
+			if s.plane != nil {
+				d = s.plane.Dis(j, i)
+			} else {
+				d = o.Dis.Dis(s.answers[j], s.answers[i])
+			}
 			s.pairSum += d
 			if d < s.minDis {
 				s.minDis = d
@@ -323,6 +362,34 @@ func (s *search) value() float64 {
 	default:
 		return 0
 	}
+}
+
+// monoScores returns the per-answer Fmono scores, served from the interned
+// score plane when the instance has one (precomputed relevance vector plus
+// cached distance row sums) and recomputed through the interfaces otherwise.
+func monoScores(in *core.Instance) []float64 {
+	if p := in.Plane(); p != nil {
+		return in.Obj.MonoScoresPlane(p)
+	}
+	return in.Obj.MonoScores(in.Answers())
+}
+
+// relScores returns δrel per answer, from the plane's precomputed vector
+// when available.
+func relScores(in *core.Instance) []float64 {
+	if p := in.Plane(); p != nil {
+		out := make([]float64, p.Len())
+		for i := range out {
+			out[i] = p.Rel(i)
+		}
+		return out
+	}
+	answers := in.Answers()
+	out := make([]float64, len(answers))
+	for i, t := range answers {
+		out[i] = in.Obj.Rel.Rel(t)
+	}
+	return out
 }
 
 // tuples materializes the selected tuples.

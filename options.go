@@ -126,19 +126,33 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 // overrides. The defaults are the paper's: constant relevance 1, zero
 // distance, λ = 0.5, objective FMS, automatic solver selection.
 type settings struct {
-	k           int
-	objective   Objective
-	algorithm   Algorithm
-	lambda      float64
-	relevance   func(Row) float64
-	distance    func(Row, Row) float64
-	constraints []string
-	bound       float64
-	rank        int
+	k             int
+	objective     Objective
+	algorithm     Algorithm
+	lambda        float64
+	relevance     func(Row) float64
+	distance      func(Row, Row) float64
+	constraints   []string
+	bound         float64
+	rank          int
+	scorePlane    bool
+	planeMaxBytes int64
+
+	// dirty records which scoring bindings a per-call option replaced;
+	// Prepared.call clears it before applying the call's options, so a set
+	// bit means "this call overrides the prepared δrel/δdis" and the cached
+	// score plane (whose values bake those functions in) must not be used.
+	dirty uint8
 }
 
+const (
+	dirtyRelevance uint8 = 1 << iota
+	dirtyDistance
+	dirtyPlaneLimit
+)
+
 func defaultSettings() settings {
-	return settings{lambda: 0.5}
+	return settings{lambda: 0.5, scorePlane: true}
 }
 
 // validate rejects inconsistent settings with descriptive errors; it is the
@@ -158,6 +172,9 @@ func (s *settings) validate() error {
 	}
 	if s.rank < 0 {
 		return fmt.Errorf("diversification: rank must be non-negative, got %d", s.rank)
+	}
+	if s.planeMaxBytes < 0 {
+		return fmt.Errorf("diversification: plane memory limit must be non-negative, got %d", s.planeMaxBytes)
 	}
 	return nil
 }
@@ -182,10 +199,39 @@ func WithAlgorithm(a Algorithm) Option { return func(s *settings) { s.algorithm 
 func WithLambda(lambda float64) Option { return func(s *settings) { s.lambda = lambda } }
 
 // WithRelevance sets δrel; nil restores the default constant 1.
-func WithRelevance(f func(Row) float64) Option { return func(s *settings) { s.relevance = f } }
+func WithRelevance(f func(Row) float64) Option {
+	return func(s *settings) {
+		s.relevance = f
+		s.dirty |= dirtyRelevance
+	}
+}
 
 // WithDistance sets δdis; nil restores the default zero distance.
-func WithDistance(f func(Row, Row) float64) Option { return func(s *settings) { s.distance = f } }
+func WithDistance(f func(Row, Row) float64) Option {
+	return func(s *settings) {
+		s.distance = f
+		s.dirty |= dirtyDistance
+	}
+}
+
+// WithScorePlane toggles the interned score plane (on by default): the
+// precomputed relevance vector and pairwise distance matrix that every
+// solver runs on. Turning it off forces scoring through the δrel/δdis
+// interfaces per lookup — useful only for debugging and for measuring the
+// plane's own speedup.
+func WithScorePlane(on bool) Option { return func(s *settings) { s.scorePlane = on } }
+
+// WithPlaneMemoryLimit caps the score plane's materialized distance matrix
+// in bytes. Answer sets whose n(n-1)/2 pairwise entries would exceed the
+// limit keep the precomputed relevance vector but serve distances from a
+// sharded memoizing cache instead of a full matrix. Zero restores the
+// default (64 MiB, n ≈ 4096).
+func WithPlaneMemoryLimit(bytes int64) Option {
+	return func(s *settings) {
+		s.planeMaxBytes = bytes
+		s.dirty |= dirtyPlaneLimit
+	}
+}
 
 // WithConstraints sets the compatibility constraints (class Cm, Section 9),
 // replacing any previously configured set. Constraints given at Prepare

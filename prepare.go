@@ -49,6 +49,14 @@ type Prepared struct {
 	answers   []relation.Tuple
 	gen       uint64
 	haveCache bool
+
+	// plane is the interned score plane over the cached answer set: dense
+	// IDs, precomputed δrel vector and (memory-guard permitting) the
+	// materialized pairwise δdis matrix, shared by every solve until the
+	// database generation advances. It bakes in the Prepare-time δrel/δdis
+	// bindings, so calls overriding them per-call bypass it.
+	plane    *objective.Plane
+	planeGen uint64
 }
 
 // Prepare compiles a query for repeated solving: it parses src, validates
@@ -124,9 +132,11 @@ func compileConstraints(srcs []string, schema relation.Schema) (*compat.Set, err
 }
 
 // call merges per-call options over the Prepare-time settings and
-// re-validates the result.
+// re-validates the result. The dirty mask is cleared first so it records
+// exactly the scoring bindings this call overrides.
 func (p *Prepared) call(opts []Option) (settings, error) {
 	s := p.base
+	s.dirty = 0
 	for _, o := range opts {
 		o(&s)
 	}
@@ -146,16 +156,20 @@ func (p *Prepared) sigmaFor(s settings) (*compat.Set, error) {
 	return compileConstraints(s.constraints, p.schema)
 }
 
-// cachedAnswers returns the memoized answer set Q(D), re-evaluating it
-// (interruptibly, under ctx) if the database generation has advanced since
-// it was materialized.
-func (p *Prepared) cachedAnswers(ctx context.Context) ([]relation.Tuple, error) {
+// cachedAnswers returns the memoized answer set Q(D) together with the
+// database generation it corresponds to, re-evaluating it (interruptibly,
+// under ctx) if the generation has advanced since it was materialized. The
+// returned generation is the one the answers were evaluated at — derived
+// state (the score plane) must be keyed on it, not on a fresh Generation()
+// read, or a concurrent mutation could pair stale answers with a new
+// generation.
+func (p *Prepared) cachedAnswers(ctx context.Context) ([]relation.Tuple, uint64, error) {
 	gen := p.eng.db.Generation()
 	p.mu.Lock()
 	if p.haveCache && p.gen == gen {
 		answers := p.answers
 		p.mu.Unlock()
-		return answers, nil
+		return answers, gen, nil
 	}
 	p.mu.Unlock()
 	// Evaluate outside the lock: the evaluation may be exponential, and a
@@ -164,18 +178,18 @@ func (p *Prepared) cachedAnswers(ctx context.Context) ([]relation.Tuple, error) 
 	// finish fills the cache and the loser's result is discarded.
 	res, err := eval.EvaluateContext(ctx, p.q, p.eng.db)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	answers := res.Sorted()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.haveCache && p.gen == gen {
-		return p.answers, nil
+		return p.answers, p.gen, nil
 	}
 	p.answers = answers
 	p.gen = gen
 	p.haveCache = true
-	return answers, nil
+	return answers, gen, nil
 }
 
 // cacheWarm reports whether the memoized answer set is present and current.
@@ -259,14 +273,67 @@ func (p *Prepared) instance(ctx context.Context, s settings, materialize bool) (
 		R:     s.rank,
 		Sigma: sigma,
 	}
+	in.PlaneMaxBytes = s.planeMaxBytes
+	if !s.scorePlane {
+		in.PlaneOff = true
+	}
 	if materialize {
-		answers, err := p.cachedAnswers(ctx)
+		answers, gen, err := p.cachedAnswers(ctx)
 		if err != nil {
 			return nil, err
 		}
 		in.SetAnswers(answers)
+		// Attach the handle-cached score plane when this call's scoring
+		// bindings are the prepared ones; a per-call WithRelevance/
+		// WithDistance/WithPlaneMemoryLimit gets a fresh per-instance plane
+		// lazily instead, so it never observes scores baked from the wrong
+		// functions (or a matrix sized under the wrong memory limit).
+		if s.scorePlane && s.dirty&(dirtyRelevance|dirtyDistance|dirtyPlaneLimit) == 0 {
+			pl, err := p.cachedPlane(ctx, in.Obj, s.planeMaxBytes, answers, gen)
+			if err != nil {
+				return nil, err
+			}
+			if pl != nil {
+				in.SetPlane(pl)
+			}
+		}
 	}
 	return in, nil
+}
+
+// cachedPlane returns the handle's score plane for the cached answer set
+// evaluated at generation gen, building and materializing it on first use
+// and rebuilding it after the database generation advances. Like
+// cachedAnswers, the (possibly quadratic) build runs outside the lock; a
+// racing loser's plane is discarded, and a plane built over answers whose
+// generation has since moved on is returned for this call but never cached.
+func (p *Prepared) cachedPlane(ctx context.Context, o *objective.Objective, maxBytes int64, answers []relation.Tuple, gen uint64) (*objective.Plane, error) {
+	p.mu.Lock()
+	if p.plane != nil && p.planeGen == gen {
+		pl := p.plane
+		p.mu.Unlock()
+		return pl, nil
+	}
+	p.mu.Unlock()
+	pl, err := objective.NewPlaneContext(ctx, o, answers, objective.PlaneOptions{MaxMatrixBytes: maxBytes})
+	if err != nil {
+		return nil, err
+	}
+	// Materialize eagerly: a Prepared handle exists to be solved against
+	// many times, so the O(n²) fill (parallel, memory-guarded) is paid once
+	// here rather than per solve.
+	if _, err := pl.MaterializeContext(ctx); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.plane != nil && p.planeGen == gen {
+		return p.plane, nil
+	}
+	if p.haveCache && p.gen == gen {
+		p.plane, p.planeGen = pl, gen
+	}
+	return pl, nil
 }
 
 // errNoCandidate is the shared "no candidate set" failure of the selection
