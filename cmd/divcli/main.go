@@ -24,6 +24,10 @@
 //	-algorithm A        auto | exact | greedy | local-search | online
 //	-count B            instead of selecting, count the k-sets with F >= B
 //	-timeout D          abort long-running (exponential) solves after D, e.g. 30s
+//	-parallel N         exact-search workers (0 = all cores, 1 = sequential);
+//	                    results are byte-identical to the sequential search
+//	-batch SPEC         solve an extra variant concurrently over the shared
+//	                    plane (repeatable), e.g. -batch k=4,lambda=0.8,objective=max-min
 //	-explain            print the query's language class and the answer set
 package main
 
@@ -32,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro"
@@ -50,6 +55,7 @@ func main() {
 	var (
 		loads       multiFlag
 		constraints multiFlag
+		batches     multiFlag
 		demo        = flag.Bool("demo", false, "use the built-in gift-shop database")
 		querySrc    = flag.String("query", "", "query in rule syntax")
 		k           = flag.Int("k", 3, "number of results to select")
@@ -60,10 +66,12 @@ func main() {
 		algName     = flag.String("algorithm", "auto", "auto | exact | greedy | local-search | online")
 		countBound  = flag.Float64("count", -1, "count valid k-sets with F >= bound instead of selecting")
 		timeout     = flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit)")
+		parallel    = flag.Int("parallel", 1, "exact-search workers (0 = all cores, 1 = sequential)")
 		explain     = flag.Bool("explain", false, "print language class and the full answer set")
 	)
 	flag.Var(&loads, "load", "relation to load, as name=file.tsv (repeatable)")
 	flag.Var(&constraints, "constraint", "compatibility constraint in Cm syntax (repeatable)")
+	flag.Var(&batches, "batch", "extra variant to solve concurrently, as k=N,lambda=X,objective=F,algorithm=A (repeatable)")
 	flag.Parse()
 
 	e := diversification.NewEngine()
@@ -131,6 +139,14 @@ func main() {
 		diversification.WithAlgorithm(algorithm),
 		diversification.WithConstraints(constraints...),
 	}
+	// Only pass the option when -parallel was given explicitly: the library
+	// defaults DiversifyBatch's pool to GOMAXPROCS when the option is
+	// absent, and an unconditional WithParallelism(1) would serialize -batch.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			opts = append(opts, diversification.WithParallelism(*parallel))
+		}
+	})
 	if *relAttr != "" {
 		attr := *relAttr
 		opts = append(opts, diversification.WithRelevance(func(r diversification.Row) float64 {
@@ -161,6 +177,11 @@ func main() {
 		return
 	}
 
+	if len(batches) > 0 {
+		runBatch(ctx, p, batches, *k, *lambda, objective, algorithm)
+		return
+	}
+
 	sel, err := p.Diversify(ctx)
 	if err != nil {
 		fatalf("diversify: %v", err)
@@ -169,6 +190,88 @@ func main() {
 	for _, r := range sel.Rows {
 		fmt.Printf("  %s\n", r)
 	}
+}
+
+// runBatch solves the base variant plus every -batch spec concurrently over
+// the shared score plane and prints each selection in spec order.
+func runBatch(ctx context.Context, p *diversification.Prepared, specs []string, k int, lambda float64, obj diversification.Objective, alg diversification.Algorithm) {
+	labels := []string{fmt.Sprintf("base (k=%d, lambda=%g, %s, %s)", k, lambda, obj, alg)}
+	items := []diversification.BatchItem{{}}
+	for _, spec := range specs {
+		opts, err := parseBatchSpec(spec)
+		if err != nil {
+			fatalf("bad -batch %q: %v", spec, err)
+		}
+		labels = append(labels, spec)
+		items = append(items, diversification.BatchItem{Opts: opts})
+	}
+	results, err := p.DiversifyBatch(ctx, items)
+	if err != nil {
+		fatalf("batch: %v", err)
+	}
+	failed := false
+	for i, res := range results {
+		fmt.Printf("[%s]\n", labels[i])
+		if res.Err != nil {
+			failed = true
+			fmt.Printf("  error: %v\n", res.Err)
+			continue
+		}
+		fmt.Printf("  selected %d of the answers (%s, F = %.4f):\n", len(res.Selection.Rows), res.Selection.Method, res.Selection.Value)
+		for _, r := range res.Selection.Rows {
+			fmt.Printf("    %s\n", r)
+		}
+	}
+	if failed {
+		// Scripts checking the exit status must see failed variants, just
+		// as the same solve failing without -batch exits 1.
+		os.Exit(1)
+	}
+}
+
+// parseBatchSpec turns "k=4,lambda=0.8,objective=max-min,algorithm=exact"
+// into per-item options.
+func parseBatchSpec(spec string) ([]diversification.Option, error) {
+	var opts []diversification.Option
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("field %q is not key=value", field)
+		}
+		switch key {
+		case "k":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("k: %v", err)
+			}
+			opts = append(opts, diversification.WithK(n))
+		case "lambda":
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("lambda: %v", err)
+			}
+			opts = append(opts, diversification.WithLambda(x))
+		case "objective":
+			o, err := diversification.ParseObjective(val)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, diversification.WithObjective(o))
+		case "algorithm":
+			a, err := diversification.ParseAlgorithm(val)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, diversification.WithAlgorithm(a))
+		default:
+			return nil, fmt.Errorf("unknown field %q (want k, lambda, objective or algorithm)", key)
+		}
+	}
+	return opts, nil
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -1,0 +1,69 @@
+package diversification_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	diversification "repro"
+)
+
+// ExamplePrepared_DiversifyBatch sweeps the relevance/diversity trade-off λ
+// in one batch call: the query is prepared once, the answer set and its
+// score plane are materialized once, and the variants solve concurrently on
+// a worker pool. results[i] always corresponds to items[i] and is identical
+// to what a standalone Diversify call with the same options would return.
+func ExamplePrepared_DiversifyBatch() {
+	e := diversification.NewEngine()
+	e.MustCreateTable("items", "id", "category", "price")
+	rows := []struct {
+		id       int
+		category string
+		price    int
+	}{
+		{1, "book", 12}, {2, "book", 18}, {3, "toy", 25},
+		{4, "toy", 22}, {5, "jewelry", 48}, {6, "jewelry", 31},
+		{7, "fashion", 27}, {8, "artsy", 20}, {9, "artsy", 45},
+	}
+	for _, r := range rows {
+		e.MustInsert("items", r.id, r.category, r.price)
+	}
+
+	p := e.MustPrepare(
+		"Q(id, category, price) :- items(id, category, price), price <= 50",
+		diversification.WithK(3),
+		diversification.WithAlgorithm(diversification.Exact),
+		diversification.WithRelevance(func(r diversification.Row) float64 {
+			return float64(50 - r.Get("price").(int64))
+		}),
+		diversification.WithDistance(func(a, b diversification.Row) float64 {
+			if a.Get("category") == b.Get("category") {
+				return 0
+			}
+			return 1
+		}),
+	)
+
+	lambdas := []float64{0, 0.5, 1}
+	items := make([]diversification.BatchItem, len(lambdas))
+	for i, lambda := range lambdas {
+		items[i] = diversification.BatchItem{Opts: []diversification.Option{
+			diversification.WithLambda(lambda),
+		}}
+	}
+	results, err := p.DiversifyBatch(context.Background(), items)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			fmt.Printf("λ=%.1f: %v\n", lambdas[i], res.Err)
+			continue
+		}
+		fmt.Printf("λ=%.1f: F = %.1f, %d rows\n", lambdas[i], res.Selection.Value, len(res.Selection.Rows))
+	}
+	// Output:
+	// λ=0.0: F = 200.0, 3 rows
+	// λ=0.5: F = 102.0, 3 rows
+	// λ=1.0: F = 6.0, 3 rows
+}

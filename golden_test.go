@@ -1,0 +1,77 @@
+package diversification
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden regenerates the checked-in golden outputs:
+//
+//	go test -run TestExamplesGolden -update .
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden/*.txt from the examples' current output")
+
+// exampleNames lists every program under examples/; the test fails if a new
+// example is added without a golden file (run with -update to create it).
+func exampleNames(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no examples found")
+	}
+	return names
+}
+
+// TestExamplesGolden runs every examples/ program and diffs its output
+// against the checked-in golden transcript. The examples double as
+// end-to-end regression tests this way: any change to the solvers, the
+// prepared-query layer or the printed formats that alters what a user sees
+// shows up as a golden diff — intended changes are recorded with -update.
+func TestExamplesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run per example")
+	}
+	for _, name := range exampleNames(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			cmd.Env = os.Environ()
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout, cmd.Stderr = &stdout, &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("go run ./examples/%s: %v\nstderr:\n%s", name, err, stderr.String())
+			}
+			golden := filepath.Join("testdata", "golden", name+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file %s (run `go test -run TestExamplesGolden -update .`): %v", golden, err)
+			}
+			if !bytes.Equal(want, stdout.Bytes()) {
+				t.Errorf("output of examples/%s diverged from %s\n--- want ---\n%s\n--- got ---\n%s",
+					name, golden, want, stdout.Bytes())
+			}
+		})
+	}
+}

@@ -60,6 +60,17 @@ type Instance struct {
 	// the unconstrained problems of Sections 5-8.
 	Sigma *compat.Set
 
+	// Parallelism is the worker count for the exact branch-and-bound
+	// search: values above 1 split the search tree into frames solved by
+	// that many goroutines against a shared atomic incumbent bound. 0 and 1
+	// run the sequential walk. The parallel search returns byte-identical
+	// results to the sequential one; only Stats differ.
+	Parallelism int
+	// ParallelDepth is the tree depth at which the parallel search splits
+	// the selection prefixes into frames; 0 picks a depth automatically
+	// from |Q(D)| and the worker count.
+	ParallelDepth int
+
 	// PlaneOff disables the interned score plane: solvers fall back to
 	// scoring through the Relevance/Distance interfaces directly. Used by
 	// differential tests and the before/after benchmarks.

@@ -42,6 +42,9 @@ func QRDExactContext(ctx context.Context, in *core.Instance) (QRDResult, error) 
 	if _, err := in.AnswersContext(ctx); err != nil {
 		return res, err
 	}
+	if w := parallelism(in); w > 1 {
+		return qrdExactParallel(ctx, in, w)
+	}
 	s := newSearch(ctx, in, in.B, false, &res.Stats, func(sel []int, f float64) bool {
 		res.Exists = true
 		res.Value = f
@@ -156,6 +159,9 @@ func QRDBestContext(ctx context.Context, in *core.Instance) (QRDResult, error) {
 	var res QRDResult
 	if _, err := in.AnswersContext(ctx); err != nil {
 		return res, err
+	}
+	if w := parallelism(in); w > 1 {
+		return qrdBestParallel(ctx, in, w)
 	}
 	var s *search
 	s = newSearch(ctx, in, 0, false, &res.Stats, func(sel []int, f float64) bool {

@@ -29,13 +29,18 @@ import (
 )
 
 // Stats reports work done by a solver run, used by the bench harness to
-// expose the exponential/polynomial gap empirically.
+// expose the exponential/polynomial gap empirically. For parallel runs,
+// Nodes/Leaves/Pruned aggregate over every worker frame; the totals differ
+// from a sequential run of the same instance (the shared incumbent prunes
+// differently) even though the returned sets and scores are identical.
 type Stats struct {
 	Nodes    int // search-tree nodes visited (partial sets)
 	Leaves   int // complete candidate sets evaluated
 	Pruned   int // subtrees cut by the admissible bound
 	Answers  int // |Q(D)|
 	Explored bool
+	Frames   int  // parallel search frames (0: sequential walk)
+	Warm     bool // pruning bound warm-started from a heuristic incumbent
 }
 
 // search enumerates k-subsets of the instance's answers in index order,
@@ -70,6 +75,19 @@ type search struct {
 	// the partial result unreliable).
 	poller   *ctxpoll.Poller
 	canceled bool
+
+	// sharedBest, when non-nil, is the global incumbent bound of a parallel
+	// best-set search: every worker frame prunes (and admits) against
+	// max(cutoff, sharedBest), so a bound raised by one worker cuts the
+	// others' subtrees too. It only ever rises, and it never exceeds the
+	// true optimum, so pruning stays admissible.
+	sharedBest *atomicMax
+
+	// abandon, when non-nil, reports that this frame's result can no longer
+	// influence the merged outcome (an earlier frame already holds the
+	// witness, or a capped count is saturated); the walk stops without
+	// marking cancellation.
+	abandon func() bool
 
 	// Incremental state.
 	sel     []int
@@ -164,12 +182,24 @@ func (s *search) interrupted() bool {
 	return s.canceled
 }
 
+// cut returns the effective score threshold: the static cutoff, raised to
+// the shared incumbent in a parallel best-set search.
+func (s *search) cut() float64 {
+	c := s.cutoff
+	if s.sharedBest != nil {
+		if g := s.sharedBest.Load(); g > c {
+			c = g
+		}
+	}
+	return c
+}
+
 // admits reports whether a complete set's score qualifies.
 func (s *search) admits(f float64) bool {
 	if s.strict {
-		return f > s.cutoff
+		return f > s.cut()
 	}
-	return f >= s.cutoff
+	return f >= s.cut()
 }
 
 // bound returns an admissible (never under-estimating) upper bound on the
@@ -251,6 +281,9 @@ func (s *search) recurse(next int) bool {
 	if s.interrupted() {
 		return false
 	}
+	if s.abandon != nil && s.abandon() {
+		return false
+	}
 	if len(s.sel) == s.k {
 		return s.leaf()
 	}
@@ -258,7 +291,7 @@ func (s *search) recurse(next int) bool {
 	if len(s.answers)-next < s.k-len(s.sel) {
 		return true
 	}
-	if ub := s.bound(next); s.strict && ub <= s.cutoff || !s.strict && ub < s.cutoff {
+	if c := s.cut(); s.prunes(next, c) {
 		s.stats.Pruned++
 		return true
 	}
@@ -278,6 +311,24 @@ func (s *search) recurse(next int) bool {
 		}
 	}
 	return true
+}
+
+// prunes reports whether the subtree rooted at the current partial selection
+// (drawing from answers[next:]) cannot contain a qualifying set at threshold
+// c. The comparison allows a magnitude-relative slack: bound accumulates its
+// sums in a different order than the leaf evaluation, so a subtree whose
+// best completion ties the threshold exactly may see its upper bound round
+// one ulp below it. That matters once thresholds can equal achievable leaf
+// values bit-for-bit — the warm-started incumbent of the parallel search —
+// and the sequential walk uses the same rule so the two paths prune (and
+// therefore report) identically.
+func (s *search) prunes(next int, c float64) bool {
+	ub := s.bound(next)
+	c -= floatSlack(c)
+	if s.strict {
+		return ub <= c
+	}
+	return ub < c
 }
 
 type savedState struct {
@@ -390,6 +441,24 @@ func relScores(in *core.Instance) []float64 {
 		out[i] = in.Obj.Rel.Rel(t)
 	}
 	return out
+}
+
+// valueAt computes the exact leaf value the walk would report for the
+// ascending selection ids, by replaying the incremental pushes in walk
+// order on a scratch copy. The result is bit-identical to the score the
+// search assigns that leaf, which is what makes it a sound warm-start
+// pruning bound: the true optimum can never fall below an achievable leaf
+// value.
+func (s *search) valueAt(ids []int) float64 {
+	fs := *s
+	fs.stats = &Stats{}
+	fs.sel = make([]int, 0, len(ids))
+	fs.relSum, fs.pairSum = 0, 0
+	fs.minRel, fs.minDis = math.Inf(1), math.Inf(1)
+	for _, id := range ids {
+		fs.push(id)
+	}
+	return fs.value()
 }
 
 // tuples materializes the selected tuples.

@@ -3,6 +3,7 @@ package diversification
 import (
 	"fmt"
 	"math"
+	"runtime"
 )
 
 // Objective identifies one of the paper's three objective-function families
@@ -137,6 +138,8 @@ type settings struct {
 	rank          int
 	scorePlane    bool
 	planeMaxBytes int64
+	parallelism   int  // solver workers; 0 = GOMAXPROCS, 1 = sequential
+	parallelSet   bool // WithParallelism given (0 means auto, not default)
 
 	// dirty records which scoring bindings a per-call option replaced;
 	// Prepared.call clears it before applying the call's options, so a set
@@ -176,7 +179,23 @@ func (s *settings) validate() error {
 	if s.planeMaxBytes < 0 {
 		return fmt.Errorf("diversification: plane memory limit must be non-negative, got %d", s.planeMaxBytes)
 	}
+	if s.parallelism < 0 {
+		return fmt.Errorf("diversification: parallelism must be non-negative, got %d", s.parallelism)
+	}
 	return nil
+}
+
+// workers resolves the effective solver worker count: the explicit
+// WithParallelism value, GOMAXPROCS for WithParallelism(0), and 1
+// (sequential) when the option was never given.
+func (s *settings) workers() int {
+	if !s.parallelSet {
+		return 1
+	}
+	if s.parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.parallelism
 }
 
 // An Option configures a prepared query at Prepare time or overrides its
@@ -230,6 +249,24 @@ func WithPlaneMemoryLimit(bytes int64) Option {
 	return func(s *settings) {
 		s.planeMaxBytes = bytes
 		s.dirty |= dirtyPlaneLimit
+	}
+}
+
+// WithParallelism sets the worker count for the exact branch-and-bound
+// search: n > 1 splits the search tree into prefix frames solved by n
+// goroutines pruning against a shared atomic incumbent bound that is
+// warm-started from the greedy heuristics, n = 1 keeps the sequential walk,
+// and n = 0 uses GOMAXPROCS. The parallel search is deterministic: it
+// returns byte-identical sets and scores to the sequential path — only the
+// visited-node statistics differ run to run.
+//
+// With the score plane disabled (WithScorePlane(false)), parallel solves
+// call the δrel/δdis functions from multiple goroutines; custom scoring
+// functions must then be safe for concurrent use.
+func WithParallelism(n int) Option {
+	return func(s *settings) {
+		s.parallelism = n
+		s.parallelSet = true
 	}
 }
 

@@ -274,6 +274,7 @@ func (p *Prepared) instance(ctx context.Context, s settings, materialize bool) (
 		Sigma: sigma,
 	}
 	in.PlaneMaxBytes = s.planeMaxBytes
+	in.Parallelism = s.workers()
 	if !s.scorePlane {
 		in.PlaneOff = true
 	}
