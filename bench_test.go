@@ -759,3 +759,66 @@ func BenchmarkDiversifyBatch(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkIncrementalRefresh measures the PR 4 tentpole: bringing a
+// Prepared handle's caches current after a single-tuple insert, with the
+// change journal (delta evaluation + plane extension) against the
+// rebuild-on-every-mutation path it replaced (WithIncrementalRefresh(false):
+// full re-evaluation plus an O(n²) plane refill — the cost every mutation
+// paid before the journal existed). Each iteration inserts one fresh point
+// and refreshes; the delta path re-scores only the n pairs touching the new
+// tuple.
+func BenchmarkIncrementalRefresh(b *testing.B) {
+	for _, n := range []int{200, 400} {
+		for _, mode := range []string{"delta", "rebuild"} {
+			b.Run(fmt.Sprintf("n%d/%s", n, mode), func(b *testing.B) {
+				e := NewEngine()
+				e.MustCreateTable("P", "c0", "c1")
+				rng := rand.New(rand.NewSource(42))
+				seen := map[[2]int64]bool{}
+				fresh := func() [2]int64 {
+					for {
+						pt := [2]int64{rng.Int63n(1 << 20), rng.Int63n(1 << 20)}
+						if !seen[pt] {
+							seen[pt] = true
+							return pt
+						}
+					}
+				}
+				for i := 0; i < n; i++ {
+					pt := fresh()
+					e.MustInsert("P", pt[0], pt[1])
+				}
+				opts := []Option{
+					WithK(5), WithObjective(MaxSum), WithLambda(0.5), WithAlgorithm(Greedy),
+					WithRelevance(func(r Row) float64 { return float64(r.Get("c0").(int64)) / (1 << 20) }),
+					WithDistance(func(x, y Row) float64 {
+						dx := float64(x.Get("c0").(int64) - y.Get("c0").(int64))
+						dy := float64(x.Get("c1").(int64) - y.Get("c1").(int64))
+						return math.Sqrt(dx*dx + dy*dy)
+					}),
+				}
+				if mode == "rebuild" {
+					opts = append(opts, WithIncrementalRefresh(false))
+				}
+				p := e.MustPrepare("Q(c0, c1) :- P(c0, c1)", opts...)
+				ctx := context.Background()
+				if _, err := p.Refresh(ctx); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pt := fresh()
+					e.MustInsert("P", pt[0], pt[1])
+					info, err := p.Refresh(ctx)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if info.Mode != mode {
+						b.Fatalf("refresh mode = %q, want %q", info.Mode, mode)
+					}
+				}
+			})
+		}
+	}
+}

@@ -23,6 +23,12 @@
 //	-constraint C       compatibility constraint in Cm syntax (repeatable)
 //	-algorithm A        auto | exact | greedy | local-search | online
 //	-count B            instead of selecting, count the k-sets with F >= B
+//	-updates file.tsv   replay an update stream (divgen -stream) between
+//	                    solves: each line inserts (or, with a leading "-" on
+//	                    the relation name, deletes) a tuple; "--" re-solves.
+//	                    The prepared handle refreshes incrementally where
+//	                    the query allows, and each checkpoint reports the
+//	                    refresh mode (delta vs rebuild) and the delta size
 //	-timeout D          abort long-running (exponential) solves after D, e.g. 30s
 //	-parallel N         exact-search workers (0 = all cores, 1 = sequential);
 //	                    results are byte-identical to the sequential search
@@ -65,6 +71,7 @@ func main() {
 		disAttr     = flag.String("distance-attr", "", "attribute whose inequality is the distance")
 		algName     = flag.String("algorithm", "auto", "auto | exact | greedy | local-search | online")
 		countBound  = flag.Float64("count", -1, "count valid k-sets with F >= bound instead of selecting")
+		updates     = flag.String("updates", "", "replay an update stream between solves (see divgen -stream)")
 		timeout     = flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit)")
 		parallel    = flag.Int("parallel", 1, "exact-search workers (0 = all cores, 1 = sequential)")
 		explain     = flag.Bool("explain", false, "print language class and the full answer set")
@@ -182,6 +189,11 @@ func main() {
 		return
 	}
 
+	if *updates != "" {
+		runUpdates(ctx, e, p, *updates)
+		return
+	}
+
 	sel, err := p.Diversify(ctx)
 	if err != nil {
 		fatalf("diversify: %v", err)
@@ -189,6 +201,76 @@ func main() {
 	fmt.Printf("selected %d of the answers (%s, F = %.4f):\n", len(sel.Rows), sel.Method, sel.Value)
 	for _, r := range sel.Rows {
 		fmt.Printf("  %s\n", r)
+	}
+}
+
+// runUpdates replays an update stream against the engine, re-solving the
+// prepared query at every checkpoint. The handle's caches are maintained
+// incrementally by the relation change journal when the query allows it;
+// each checkpoint line reports which path the refresh took.
+func runUpdates(ctx context.Context, e *diversification.Engine, p *diversification.Prepared, file string) {
+	f, err := os.Open(file)
+	if err != nil {
+		fatalf("updates: %v", err)
+	}
+	stream, err := tsvio.ReadUpdates(f)
+	f.Close()
+	if err != nil {
+		fatalf("updates: %v", err)
+	}
+	solve := func(label string) {
+		info, err := p.Refresh(ctx)
+		if err != nil {
+			fatalf("%s: refresh: %v", label, err)
+		}
+		fmt.Printf("[%s] refresh=%s added=%d removed=%d answers=%d\n",
+			label, info.Mode, info.Added, info.Removed, info.Answers)
+		sel, err := p.Diversify(ctx)
+		if err != nil {
+			fatalf("%s: diversify: %v", label, err)
+		}
+		fmt.Printf("  selected %d of the answers (%s, F = %.4f):\n", len(sel.Rows), sel.Method, sel.Value)
+		for _, r := range sel.Rows {
+			fmt.Printf("    %s\n", r)
+		}
+	}
+	solve("base")
+	batch, applied := 0, 0
+	apply := func(u tsvio.Update) {
+		vals := make([]interface{}, len(u.Tuple))
+		for i, v := range u.Tuple {
+			vals[i] = v
+		}
+		if u.Delete {
+			ok, err := e.Delete(u.Rel, vals...)
+			if err != nil {
+				fatalf("updates: delete %s%s: %v", u.Rel, u.Tuple, err)
+			}
+			if !ok {
+				// A delete of an absent tuple means the stream does not
+				// match the loaded base data; fail loudly rather than
+				// replay a silently wrong transcript.
+				fatalf("updates: delete %s%s: tuple not present (stream/base mismatch?)", u.Rel, u.Tuple)
+			}
+		} else if err := e.Insert(u.Rel, vals...); err != nil {
+			fatalf("updates: insert %s%s: %v", u.Rel, u.Tuple, err)
+		}
+		applied++
+	}
+	for _, u := range stream {
+		if u.Checkpoint {
+			batch++
+			fmt.Printf("applied %d updates\n", applied)
+			solve(fmt.Sprintf("batch %d", batch))
+			applied = 0
+			continue
+		}
+		apply(u)
+	}
+	if applied > 0 {
+		batch++
+		fmt.Printf("applied %d updates\n", applied)
+		solve(fmt.Sprintf("batch %d", batch))
 	}
 }
 

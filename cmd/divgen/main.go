@@ -4,10 +4,16 @@
 // for dispersion-style diversification, and clustered points where diverse
 // and relevant selections disagree.
 //
+// With -stream N it also emits a dynamic workload: updates.tsv holds N
+// timed inserts (a solve checkpoint every -stream-batch of them) that
+// divcli -updates replays between solves, exercising the incremental
+// refresh path.
+//
 // Usage:
 //
 //	divgen -workload gift -catalog 100 -history 300 -dir ./data
 //	divgen -workload points -n 200 -dim 3 -side 1000 -dir ./data
+//	divgen -workload points -n 200 -stream 50 -stream-batch 10 -dir ./data
 //	divgen -workload clustered -clusters 5 -per 40 -dir ./data
 package main
 
@@ -36,17 +42,28 @@ func main() {
 		clusters = flag.Int("clusters", 5, "clustered: cluster count")
 		per      = flag.Int("per", 40, "clustered: points per cluster")
 		spread   = flag.Int64("spread", 25, "clustered: intra-cluster spread")
+		stream   = flag.Int("stream", 0, "gift/points: also emit updates.tsv with this many timed inserts")
+		streamB  = flag.Int("stream-batch", 1, "inserts per solve checkpoint in the update stream")
 	)
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
 	var db *relation.Database
+	var updates []tsvio.Update
 	switch *kind {
 	case "gift":
-		db = workload.GiftShop(rng, *nCatalog, *nHistory)
+		if *stream > 0 {
+			db, updates = workload.DynamicGift(rng, *nCatalog, *nHistory, *stream, *streamB)
+		} else {
+			db = workload.GiftShop(rng, *nCatalog, *nHistory)
+		}
 	case "points":
-		in := workload.Points(rng, *n, *dim, *side, 0, 0.5, 1)
-		db = in.DB
+		if *stream > 0 {
+			db, updates = workload.DynamicPoints(rng, *n, *stream, *streamB, *dim, *side)
+		} else {
+			in := workload.Points(rng, *n, *dim, *side, 0, 0.5, 1)
+			db = in.DB
+		}
 	case "clustered":
 		in := workload.Clustered(rng, *clusters, *per, *side, *spread, 0, 0.5, 1)
 		db = in.DB
@@ -67,6 +84,30 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d rows)\n", path, db.Relation(name).Len())
 	}
+	if len(updates) > 0 {
+		path := filepath.Join(*dir, "updates.tsv")
+		if err := writeUpdates(path, updates); err != nil {
+			fmt.Fprintf(os.Stderr, "divgen: %v\n", err)
+			os.Exit(1)
+		}
+		checkpoints := 0
+		for _, u := range updates {
+			if u.Checkpoint {
+				checkpoints++
+			}
+		}
+		fmt.Printf("wrote %s (%d inserts, %d checkpoints)\n", path, len(updates)-checkpoints, checkpoints)
+	}
+}
+
+// writeUpdates emits the update stream in divcli's -updates format.
+func writeUpdates(path string, updates []tsvio.Update) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tsvio.WriteUpdates(f, updates)
 }
 
 // writeTSV emits the relation with a header line of attribute names.

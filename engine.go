@@ -77,6 +77,37 @@ func (e *Engine) MustInsert(table string, values ...interface{}) {
 	}
 }
 
+// Delete removes a row, reporting whether it was present. A removed row
+// advances the database generation and is recorded in the change journal,
+// so Prepared handles maintain their caches incrementally where the query
+// allows it.
+func (e *Engine) Delete(table string, values ...interface{}) (bool, error) {
+	r := e.db.Relation(table)
+	if r == nil {
+		return false, fmt.Errorf("diversification: no table %q", table)
+	}
+	if len(values) != r.Schema().Arity() {
+		return false, fmt.Errorf("diversification: table %q expects %d values, got %d",
+			table, r.Schema().Arity(), len(values))
+	}
+	t := make(relation.Tuple, len(values))
+	for i, v := range values {
+		cv, err := toValue(v)
+		if err != nil {
+			return false, err
+		}
+		t[i] = cv
+	}
+	return r.Delete(t), nil
+}
+
+// SetJournalBound caps the database's change journal at n entries (values
+// <= 0 restore the default of relation.DefaultJournalBound). The journal
+// keeps incremental refresh memory O(bound): when more mutations accumulate
+// between refreshes than the bound retains, stale Prepared handles fall
+// back to a full rebuild instead of a delta.
+func (e *Engine) SetJournalBound(n int) { e.db.SetJournalBound(n) }
+
 func toValue(v interface{}) (value.Value, error) {
 	switch x := v.(type) {
 	case int:

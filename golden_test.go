@@ -75,3 +75,42 @@ func TestExamplesGolden(t *testing.T) {
 		})
 	}
 }
+
+// TestUpdatesReplayGolden runs divcli in -updates replay mode over the
+// checked-in dynamic points workload and diffs the transcript against the
+// golden file: an end-to-end regression for the incremental refresh path —
+// the per-checkpoint refresh modes and delta sizes are part of the
+// transcript, so a silent fall-back to full rebuilds fails the test just
+// as a wrong selection does.
+func TestUpdatesReplayGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	cmd := exec.Command("go", "run", "./cmd/divcli",
+		"-load", "P=testdata/updates/P.tsv",
+		"-query", "Q(c0, c1) :- P(c0, c1), c0 <= 400",
+		"-k", "3", "-objective", "max-sum", "-lambda", "0.7",
+		"-relevance-attr", "c0", "-distance-attr", "c1",
+		"-updates", "testdata/updates/updates.tsv")
+	cmd.Env = os.Environ()
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("divcli -updates: %v\nstderr:\n%s", err, stderr.String())
+	}
+	golden := filepath.Join("testdata", "golden", "updates-replay.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run `go test -run TestUpdatesReplayGolden -update .`): %v", golden, err)
+	}
+	if !bytes.Equal(want, stdout.Bytes()) {
+		t.Errorf("updates replay diverged from %s\n--- want ---\n%s\n--- got ---\n%s",
+			golden, want, stdout.Bytes())
+	}
+}

@@ -11,7 +11,9 @@ import (
 	"repro/internal/objective"
 	"repro/internal/online"
 	"repro/internal/query"
+	"repro/internal/query/eval"
 	"repro/internal/reduction"
+	"repro/internal/relation"
 	"repro/internal/sat"
 	"repro/internal/solver"
 	"repro/internal/workload"
@@ -429,7 +431,131 @@ func Catalog() []*Experiment {
 		},
 	})
 
+	// ---- Ablation: incremental refresh vs rebuild-on-mutation ----
+
+	// A warm cache (sorted answers + materialized plane) absorbing a burst
+	// of single-tuple inserts: the incremental path patches the answer set
+	// via the change journal and extends the plane (only pairs touching a
+	// new tuple evaluate δdis), the rebuild path re-evaluates and refills
+	// from scratch after every insert — the pre-journal behavior. Work
+	// counts δdis evaluations, the dominant cost, so the O(n·updates) vs
+	// O(n²·updates) gap shows machine-independently.
+	const refreshUpdates = 8
+	exps = append(exps, &Experiment{
+		ID:      "ablation/refresh-incremental",
+		Table:   "ablation",
+		Setting: core.Setting{Problem: core.QRD, Language: query.Identity, Objective: objective.MaxSum, Data: true},
+		Sizes:   []int{200, 400, 800, 1600},
+		Run: func(n int) Measurement {
+			db, q, o, cd := refreshWorkload(n)
+			ctx := context.Background()
+			answers := eval.Evaluate(q, db).Sorted()
+			plane := objective.NewPlane(o, answers, objective.PlaneOptions{})
+			plane.Materialize()
+			cd.calls = 0
+			start := time.Now()
+			gen := db.Generation()
+			rng := rand.New(rand.NewSource(99))
+			for u := 0; u < refreshUpdates; u++ {
+				insertFreshPoint(db, rng)
+				changes, ok := db.ChangesSince(gen)
+				if !ok {
+					panic("bench: journal must cover a single insert")
+				}
+				d, ok, err := eval.Delta(ctx, q, db, changes, answers)
+				if err != nil || !ok {
+					panic(fmt.Sprintf("bench: delta refused: %v", err))
+				}
+				answers = mergeSorted(answers, d.Added)
+				var err2 error
+				plane, err2 = plane.Extend(ctx, d.Added)
+				if err2 != nil {
+					panic(err2)
+				}
+				gen = db.Generation()
+			}
+			return Measurement{Secs: time.Since(start).Seconds(), Work: float64(cd.calls)}
+		},
+	})
+	exps = append(exps, &Experiment{
+		ID:      "ablation/refresh-rebuild",
+		Table:   "ablation",
+		Setting: core.Setting{Problem: core.QRD, Language: query.Identity, Objective: objective.MaxSum, Data: true},
+		Sizes:   []int{200, 400, 800, 1600},
+		Run: func(n int) Measurement {
+			db, q, o, cd := refreshWorkload(n)
+			eval.Evaluate(q, db) // warm, as the incremental arm is
+			cd.calls = 0
+			start := time.Now()
+			rng := rand.New(rand.NewSource(99))
+			for u := 0; u < refreshUpdates; u++ {
+				insertFreshPoint(db, rng)
+				answers := eval.Evaluate(q, db).Sorted()
+				plane := objective.NewPlane(o, answers, objective.PlaneOptions{})
+				plane.Materialize()
+			}
+			return Measurement{Secs: time.Since(start).Seconds(), Work: float64(cd.calls)}
+		},
+	})
+
 	return exps
+}
+
+// countingDistance wraps a Distance counting evaluations, the work unit of
+// the refresh ablation.
+type countingDistance struct {
+	inner objective.Distance
+	calls int
+}
+
+func (c *countingDistance) Dis(s, t relation.Tuple) float64 {
+	c.calls++
+	return c.inner.Dis(s, t)
+}
+
+// refreshWorkload builds the dynamic-points refresh ablation's pieces: a
+// points database, its identity query, and an FMS objective whose distance
+// evaluations are counted.
+func refreshWorkload(n int) (*relation.Database, *query.Query, *objective.Objective, *countingDistance) {
+	rng := rand.New(rand.NewSource(int64(n)))
+	in := workload.Points(rng, n, 2, 1<<20, objective.MaxSum, 0.5, 8)
+	cd := &countingDistance{inner: objective.EuclideanDistance()}
+	o := objective.New(objective.MaxSum, objective.AttrRelevance(0, 1.0/(1<<20)), cd, 0.5)
+	return in.DB, in.Query, o, cd
+}
+
+// insertFreshPoint inserts one previously absent 2-D point.
+func insertFreshPoint(db *relation.Database, rng *rand.Rand) {
+	rel := db.Relation("P")
+	for {
+		t := relation.Ints(rng.Int63n(1<<20), rng.Int63n(1<<20))
+		if rel.Insert(t) {
+			return
+		}
+	}
+}
+
+// mergeSorted merges a sorted delta into a sorted answer slice.
+func mergeSorted(answers, added []relation.Tuple) []relation.Tuple {
+	if len(added) == 0 {
+		return answers
+	}
+	out := make([]relation.Tuple, 0, len(answers)+len(added))
+	i, j := 0, 0
+	for i < len(answers) || j < len(added) {
+		switch {
+		case i >= len(answers):
+			out = append(out, added[j])
+			j++
+		case j >= len(added) || answers[i].Compare(added[j]) < 0:
+			out = append(out, answers[i])
+			i++
+		default:
+			out = append(out, added[j])
+			j++
+		}
+	}
+	return out
 }
 
 // deepFOInstance builds a QRD instance whose FO query carries an

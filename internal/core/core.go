@@ -172,6 +172,15 @@ func (in *Instance) PlaneContext(ctx context.Context) (*objective.Plane, error) 
 // invalidates the plane memo.
 func (in *Instance) SetPlane(p *objective.Plane) { in.plane = p }
 
+// SetAnswerIndex installs an externally maintained Tuple.Key() -> index map
+// over Answers() — the incrementally updated index a Prepared handle keeps
+// alongside its cached answer set, injected so per-call instances skip the
+// O(n) rebuild. Callers installing answers, plane and index use SetAnswers
+// first (it invalidates both memos), then SetPlane/SetAnswerIndex. The map
+// must index exactly Answers() in order; it is shared, and solvers only
+// read it.
+func (in *Instance) SetAnswerIndex(idx map[string]int) { in.answerIndex = idx }
+
 // AnswerIndex returns the memoized Tuple.Key() -> index map over Answers(),
 // built on first use and invalidated by SetAnswers/ResetAnswers. IsCandidate
 // and the heuristics' seed interning use it instead of rebuilding the map

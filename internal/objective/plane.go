@@ -430,14 +430,11 @@ func (p *Plane) RowSums() []float64 {
 	return sums
 }
 
-// Append interns a new answer on a streaming plane, returning its ID.
-// Distances to it are memoized on first use, so an append is O(1) beyond
-// its relevance evaluation. Single-writer: the streaming procedures append
-// from the evaluation goroutine only.
-func (p *Plane) Append(t relation.Tuple) int {
-	if !p.streaming {
-		panic("objective: Append on a non-streaming plane")
-	}
+// appendAnswer interns one more answer — the shared growth step behind the
+// streaming Append and the incremental Extend/Rebase: the tuple (and its
+// precomputed key, when a Keyed scorer is present) joins the ID space, its
+// relevance is evaluated once, and the running max is maintained.
+func (p *Plane) appendAnswer(t relation.Tuple) int {
 	id := len(p.answers)
 	p.answers = append(p.answers, t)
 	if p.keys != nil {
@@ -450,6 +447,205 @@ func (p *Plane) Append(t relation.Tuple) int {
 		p.maxRel = r
 	}
 	return id
+}
+
+// appendCopied interns the answer src interned as oldID, carrying its
+// already-evaluated relevance (and key) over instead of recomputing them.
+func (p *Plane) appendCopied(src *Plane, oldID int) int {
+	id := len(p.answers)
+	p.answers = append(p.answers, src.answers[oldID])
+	if p.keys != nil {
+		p.keys = append(p.keys, src.keys[oldID])
+	}
+	r := src.rel[oldID]
+	p.rel = append(p.rel, r)
+	if r > p.maxRel {
+		p.maxRel = r
+	}
+	return id
+}
+
+// Append interns a new answer on a streaming plane, returning its ID.
+// Distances to it are memoized on first use, so an append is O(1) beyond
+// its relevance evaluation. Single-writer: the streaming procedures append
+// from the evaluation goroutine only.
+func (p *Plane) Append(t relation.Tuple) int {
+	if !p.streaming {
+		panic("objective: Append on a non-streaming plane")
+	}
+	return p.appendAnswer(t)
+}
+
+// Extend returns a new plane over the old answers plus added (which must be
+// sorted ascending by Tuple.Compare and disjoint from the old answers, as
+// the old answers themselves must be sorted). See Rebase.
+func (p *Plane) Extend(ctx context.Context, added []relation.Tuple) (*Plane, error) {
+	return p.Rebase(ctx, added, nil)
+}
+
+// Retire returns a new plane with the given interned IDs tombstoned out of
+// the answer set. See Rebase.
+func (p *Plane) Retire(ctx context.Context, retired []int) (*Plane, error) {
+	return p.Rebase(ctx, nil, retired)
+}
+
+// Rebase builds the plane for an incrementally maintained answer set: the
+// current answers minus the retired IDs, merged with the added tuples in
+// canonical order. Score state is carried over instead of recomputed —
+// relevance values and keys are copied for surviving IDs, and when the
+// distance matrix is materialized every surviving pair is a float copy, so
+// only the O(n·|added|) pairs touching a new tuple evaluate δdis. In the
+// memoized regime nothing is precomputed, exactly as on a cold build; the
+// cache entries of surviving pairs are carried across under their new IDs.
+//
+// The result is bit-identical to a plane built from scratch over the new
+// answer set: δrel/δdis are pure per-pair functions, so copied values equal
+// recomputed ones, and the derived scalars (maxRel, maxDis) are rescanned.
+// The receiver is left untouched and remains valid — in-flight solves keep
+// reading the old plane while the caller swaps the new one in.
+//
+// Contract: the plane is non-streaming, its answers are sorted ascending by
+// Tuple.Compare, and added is sorted and disjoint from the surviving
+// answers. Retired IDs must be valid; duplicates are tolerated.
+func (p *Plane) Rebase(ctx context.Context, added []relation.Tuple, retired []int) (*Plane, error) {
+	if p.streaming {
+		panic("objective: Rebase on a streaming plane")
+	}
+	n := len(p.answers)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	dead := 0
+	for _, id := range retired {
+		if alive[id] {
+			alive[id] = false
+			dead++
+		}
+	}
+	m := n - dead + len(added)
+	q := &Plane{
+		answers:  make([]relation.Tuple, 0, m),
+		rel:      make([]float64, 0, m),
+		relFn:    p.relFn,
+		disFn:    p.disFn,
+		keyedRel: p.keyedRel,
+		keyedDis: p.keyedDis,
+		maxBytes: p.maxBytes,
+		memoCap:  p.memoCap,
+		shards:   make([]memoShard, memoShards),
+	}
+	if p.keys != nil {
+		q.keys = make([]string, 0, m)
+	}
+	// Merge surviving old IDs with the added tuples in ascending order,
+	// recording each new ID's provenance (old ID, or -1 for added).
+	poll := ctxpoll.New(ctx)
+	fromOld := make([]int, 0, m)
+	i, j := 0, 0
+	for i < n || j < len(added) {
+		if poll.Stop() {
+			return nil, poll.Err()
+		}
+		for i < n && !alive[i] {
+			i++
+		}
+		if i >= n && j >= len(added) {
+			break // only tombstones remained
+		}
+		switch {
+		case i >= n:
+			q.appendAnswer(added[j])
+			fromOld = append(fromOld, -1)
+			j++
+		case j >= len(added) || p.answers[i].Compare(added[j]) < 0:
+			q.appendCopied(p, i)
+			fromOld = append(fromOld, i)
+			i++
+		default:
+			q.appendAnswer(added[j])
+			fromOld = append(fromOld, -1)
+			j++
+		}
+	}
+	// The retire path can lower the max relevance: rescan so the bound
+	// matches a cold build exactly.
+	if dead > 0 {
+		q.maxRel = 0
+		for _, r := range q.rel {
+			if r > q.maxRel {
+				q.maxRel = r
+			}
+		}
+	}
+	pairs := m * (m - 1) / 2
+	if p.triReady.Load() && int64(pairs)*8 <= q.maxBytes {
+		// Materialized regime: copy surviving pairs, evaluate pairs that
+		// touch an added tuple, and track the running max like the cold
+		// fill does.
+		tri := make([]float64, pairs)
+		maxDis := 0.0
+		for b := 1; b < m; b++ {
+			if poll.Stop() {
+				return nil, poll.Err()
+			}
+			off := b * (b - 1) / 2
+			ob := fromOld[b]
+			for a := 0; a < b; a++ {
+				var d float64
+				if oa := fromOld[a]; oa >= 0 && ob >= 0 {
+					d = p.tri[triIndex(oa, ob)]
+				} else {
+					d = q.rawDis(a, b)
+				}
+				tri[off+a] = d
+				if d > maxDis {
+					maxDis = d
+				}
+			}
+		}
+		q.tri = tri
+		q.maxDis, q.haveMaxDis, q.maxDisN = maxDis, true, m
+		q.triReady.Store(true)
+		return q, nil
+	}
+	// Memoized regime (or the grown matrix no longer fits the guard):
+	// distances stay on demand. Carry cached pairs of surviving IDs across
+	// under their new IDs so the warmth survives the rebase.
+	if !p.triReady.Load() {
+		old2new := make([]int, n)
+		for k := range old2new {
+			old2new[k] = -1
+		}
+		for newID, oldID := range fromOld {
+			if oldID >= 0 {
+				old2new[oldID] = newID
+			}
+		}
+		for s := range p.shards {
+			shard := &p.shards[s]
+			shard.mu.Lock()
+			for key, d := range shard.m {
+				oi, oj := int(key>>32), int(key&0xffffffff)
+				ni, nj := old2new[oi], old2new[oj]
+				if ni < 0 || nj < 0 {
+					continue
+				}
+				if ni > nj {
+					ni, nj = nj, ni
+				}
+				nkey := uint64(ni)<<32 | uint64(nj)
+				ns := &q.shards[(nkey*0x9E3779B97F4A7C15)>>(64-6)]
+				if ns.m == nil {
+					ns.m = make(map[uint64]float64)
+				}
+				ns.m[nkey] = d
+				q.memoCount.Add(1)
+			}
+			shard.mu.Unlock()
+		}
+	}
+	return q, nil
 }
 
 // EvalIDs computes F(U) for a candidate set given by plane IDs, mirroring

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/approx"
 	"repro/internal/core"
+	"repro/internal/ctxpoll"
 	"repro/internal/objective"
 	"repro/internal/query/eval"
 	"repro/internal/relation"
@@ -69,6 +70,15 @@ type Options struct {
 	// (QRD ignores the flag — it must pool answers anyway for its exact
 	// fallback, so its Result.Answers is always set when Exhausted.)
 	CollectAnswers bool
+	// Pool, when HavePool is set, replays a previously captured arrival
+	// order instead of evaluating the query: mutation-driven refreshes and
+	// evaluation-driven streams then share one consumption path. The
+	// evaluator is deterministic, so replaying the pool captured from an
+	// exhausted stream at the same database generation is byte-identical
+	// to re-streaming — minus the evaluation cost. The pool must hold
+	// distinct tuples (a captured stream already deduplicates).
+	Pool     []relation.Tuple
+	HavePool bool
 }
 
 func (o Options) interval() int {
@@ -96,6 +106,57 @@ func poolInstance(in *core.Instance, pool []relation.Tuple) *core.Instance {
 		PlaneOff: in.PlaneOff, PlaneMaxBytes: in.PlaneMaxBytes}
 	shadow.SetAnswers(pool)
 	return shadow
+}
+
+// A feed delivers distinct answer tuples to yield in arrival order until
+// yield declines or the source is exhausted, returning the error that cut
+// the run short (nil on a clean finish, early stop included). The two
+// sources — live query evaluation and a replayed pool — share every
+// consumer this way: QRD's witness probing and Diversify's anytime swaps
+// run identically whether tuples arrive from the evaluator or from a
+// mutation-driven refresh replaying cached state.
+type feed func(yield func(relation.Tuple) bool) error
+
+// evalFeed streams the instance's query evaluation under ctx. Tuples are
+// cloned out of the evaluator's binding array, so consumers may retain
+// them.
+func evalFeed(ctx context.Context, in *core.Instance) feed {
+	return func(yield func(relation.Tuple) bool) error {
+		ev := eval.New(in.Query, in.DB).WithContext(ctx)
+		ev.Stream(func(t relation.Tuple) bool { return yield(t.Clone()) })
+		if err := ev.Err(); err != nil {
+			return err
+		}
+		// Small answer sets can finish streaming before the evaluator's
+		// throttled poll ever fires; honour the cancellation regardless so
+		// the contract does not depend on |Q(D)|.
+		return ctx.Err()
+	}
+}
+
+// replayFeed replays a captured pool in its recorded arrival order.
+func replayFeed(ctx context.Context, pool []relation.Tuple) feed {
+	return func(yield func(relation.Tuple) bool) error {
+		poll := ctxpoll.New(ctx)
+		for _, t := range pool {
+			if poll.Stop() {
+				return poll.Err()
+			}
+			if !yield(t) {
+				return nil
+			}
+		}
+		return ctx.Err()
+	}
+}
+
+// source picks the feed for one call: the replayed pool when the caller
+// supplied one, the live evaluation otherwise.
+func source(ctx context.Context, in *core.Instance, opts Options) feed {
+	if opts.HavePool {
+		return replayFeed(ctx, opts.Pool)
+	}
+	return evalFeed(ctx, in)
 }
 
 // QRD decides whether a valid set for (Q, D, k, F, B) exists, stopping
@@ -131,9 +192,7 @@ func QRD(ctx context.Context, in *core.Instance, opts Options) (Result, error) {
 		})
 	}
 	sinceCheck := 0
-	ev := eval.New(in.Query, in.DB).WithContext(ctx)
-	ev.Stream(func(t relation.Tuple) bool {
-		t = t.Clone()
+	err := source(ctx, in, opts)(func(t relation.Tuple) bool {
 		pool = append(pool, t)
 		if splane != nil {
 			splane.Append(t)
@@ -159,15 +218,12 @@ func QRD(ctx context.Context, in *core.Instance, opts Options) (Result, error) {
 				res.Exists = true
 				res.Witness = probe.Set
 				res.Value = v
-				return false // stop the evaluator: early termination
+				return false // stop the feed: early termination
 			}
 		}
 		return true
 	})
-	if err := ev.Err(); err != nil {
-		return Result{Seen: res.Seen}, err
-	}
-	if err := ctx.Err(); err != nil {
+	if err != nil {
 		return Result{Seen: res.Seen}, err
 	}
 	if res.Exists {
@@ -218,10 +274,8 @@ func Diversify(ctx context.Context, in *core.Instance, opts Options) (Result, er
 	if !in.PlaneOff {
 		w = newSwapScorer(in.Obj, in.K)
 	}
-	ev := eval.New(in.Query, in.DB).WithContext(ctx)
-	ev.Stream(func(t relation.Tuple) bool {
+	err := source(ctx, in, opts)(func(t relation.Tuple) bool {
 		res.Seen++
-		t = t.Clone()
 		if opts.CollectAnswers {
 			pool = append(pool, t)
 		}
@@ -262,13 +316,7 @@ func Diversify(ctx context.Context, in *core.Instance, opts Options) (Result, er
 		}
 		return true
 	})
-	if err := ev.Err(); err != nil {
-		return Result{Seen: res.Seen}, err
-	}
-	if err := ctx.Err(); err != nil {
-		// Small answer sets can finish streaming before the evaluator's
-		// throttled poll ever fires; honour the cancellation regardless so
-		// the contract does not depend on |Q(D)|.
+	if err != nil {
 		return Result{Seen: res.Seen}, err
 	}
 	res.Exhausted = true

@@ -183,3 +183,49 @@ func TestQRDRandomizedAgreement(t *testing.T) {
 		}
 	}
 }
+
+// TestPoolReplayMatchesStreaming proves a captured pool replayed through
+// Options.Pool is byte-identical to re-streaming the evaluation: same
+// verdict, witness, value and Seen count for both procedures.
+func TestPoolReplayMatchesStreaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, kind := range []objective.Kind{objective.MaxSum, objective.MaxMin} {
+		in := workload.Points(rng, 30, 2, 100, kind, 0.7, 4)
+		in.B = 1 // unreachable enough to exhaust for MaxMin, reachable for MaxSum
+
+		streamed, err := Diversify(context.Background(), in, Options{CollectAnswers: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !streamed.Exhausted || streamed.Answers == nil {
+			t.Fatal("Diversify must exhaust and collect the pool")
+		}
+		replayed, err := Diversify(context.Background(), in, Options{Pool: streamed.Answers, HavePool: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replayed.Seen != streamed.Seen || replayed.Value != streamed.Value {
+			t.Errorf("%v replay: Seen/Value = %d/%v, streamed %d/%v",
+				kind, replayed.Seen, replayed.Value, streamed.Seen, streamed.Value)
+		}
+		for i := range streamed.Witness {
+			if !replayed.Witness[i].Equal(streamed.Witness[i]) {
+				t.Errorf("%v replay witness %d = %v, streamed %v", kind, i, replayed.Witness[i], streamed.Witness[i])
+			}
+		}
+
+		// QRD through the same pool agrees too.
+		qs, err := QRD(context.Background(), in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qr, err := QRD(context.Background(), in, Options{Pool: streamed.Answers, HavePool: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qr.Exists != qs.Exists || qr.Seen != qs.Seen || qr.Value != qs.Value {
+			t.Errorf("%v QRD replay = {%v %d %v}, streamed {%v %d %v}",
+				kind, qr.Exists, qr.Seen, qr.Value, qs.Exists, qs.Seen, qs.Value)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// Delta evaluation: given the answer set Q(D) materialized at some database
+// generation and the journal of tuple-level changes since, compute the
+// added/removed answer tuples without re-evaluating the query from scratch.
+//
+// The incremental path applies to the monotone registered-relation case:
+// positive queries (no negation or universal quantification — Identity, CQ,
+// UCQ, ∃FO+) that are additionally range-safe, meaning every variable is
+// bound by a relation atom so the active-domain fallback never determines
+// an answer. For such queries the result is independent of the active
+// domain beyond the tuples themselves, inserting base tuples can only add
+// answers, and deleting base tuples can only remove them. Added answers
+// come from seminaive evaluation — every new derivation must pass through
+// at least one inserted tuple, so binding each query atom over a changed
+// relation to each inserted tuple and satisfying the rest of the body
+// enumerates all of them. Removed answers come from re-checking membership
+// of the cached answers, which deletes can only have invalidated.
+//
+// Everything else — non-monotone queries, domain-dependent comparisons,
+// structural changes — reports "not applicable" and the caller falls back
+// to full re-evaluation.
+package eval
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// DeltaCapable reports whether q's answer set can be maintained
+// incrementally from tuple-level change journals. It holds when the query
+// is positive (no Not/ForAll anywhere) and range-safe: every variable is
+// guaranteed a binding from a relation atom, in every disjunct and under
+// every quantifier, so no answer depends on active-domain enumeration. The
+// check is static — evaluate it once per prepared query.
+func DeltaCapable(q *query.Query) bool {
+	bound, ok := rangeSafe(q.Body)
+	if !ok {
+		return false
+	}
+	for _, v := range query.FreeVars(q.Body) {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeSafe returns the set of variables guaranteed to be bound by relation
+// atoms whenever the formula yields an assignment, and whether the formula
+// is positive and never resorts to active-domain enumeration for a variable
+// that could influence the result.
+func rangeSafe(f query.Formula) (map[string]bool, bool) {
+	switch n := f.(type) {
+	case *query.Atom:
+		bound := make(map[string]bool, len(n.Args))
+		for _, a := range n.Args {
+			if a.IsVar() {
+				bound[a.Name] = true
+			}
+		}
+		return bound, true
+	case *query.Cmp:
+		// Binds nothing itself; its variables must be covered by sibling
+		// atoms, which the enclosing scope's free-variable check enforces.
+		return map[string]bool{}, true
+	case *query.And:
+		bound := make(map[string]bool)
+		for _, g := range n.Fs {
+			gb, ok := rangeSafe(g)
+			if !ok {
+				return nil, false
+			}
+			for v := range gb {
+				bound[v] = true
+			}
+		}
+		// Every free variable of the conjunction — including those of Cmp
+		// conjuncts — must be atom-bound by some conjunct.
+		for _, v := range query.FreeVars(n) {
+			if !bound[v] {
+				return nil, false
+			}
+		}
+		return bound, true
+	case *query.Or:
+		// Each disjunct must bind every free variable of the disjunction:
+		// a variable one branch leaves to the domain makes the result
+		// domain-dependent.
+		free := query.FreeVars(n)
+		var bound map[string]bool
+		for _, g := range n.Fs {
+			gb, ok := rangeSafe(g)
+			if !ok {
+				return nil, false
+			}
+			for _, v := range free {
+				if !gb[v] {
+					return nil, false
+				}
+			}
+			if bound == nil {
+				bound = make(map[string]bool, len(free))
+				for _, v := range free {
+					bound[v] = true
+				}
+			}
+		}
+		if bound == nil {
+			bound = map[string]bool{}
+		}
+		return bound, true
+	case *query.Exists:
+		inner, ok := rangeSafe(n.F)
+		if !ok {
+			return nil, false
+		}
+		for _, v := range n.Vars {
+			if !inner[v] {
+				return nil, false
+			}
+		}
+		bound := make(map[string]bool, len(inner))
+		for v := range inner {
+			bound[v] = true
+		}
+		for _, v := range n.Vars {
+			delete(bound, v)
+		}
+		return bound, true
+	default:
+		// Not, ForAll, or an unknown node: not monotone.
+		return nil, false
+	}
+}
+
+// DeltaResult is the answer-set delta computed by Delta: tuples that joined
+// Q(D) and cached tuples that left it. Added is sorted lexicographically
+// and disjoint from old; Removed preserves old's order.
+type DeltaResult struct {
+	Added   []relation.Tuple
+	Removed []relation.Tuple
+	// Rechecked counts membership re-verifications performed for deletes,
+	// for cost accounting.
+	Rechecked int
+}
+
+// Delta computes the delta of Q(D) across the journaled changes, given the
+// answer set old materialized before them. It reports ok = false — and does
+// no work — when the incremental path does not apply: the query is not
+// DeltaCapable, or a change touches a relation in a way the seminaive step
+// cannot handle. On ok, applying the delta to old yields exactly the
+// current Q(D): old − Removed + Added (Added sorted, disjoint from old).
+//
+// Cost: O(Σ per-insert restricted evaluations) for inserts — each binds one
+// atom to the inserted tuple and joins the rest of the body, so selective
+// queries pay far less than a full re-evaluation — plus, only when deletes
+// touch a relation the query mentions, one membership re-check per cached
+// answer.
+func Delta(ctx context.Context, q *query.Query, db *relation.Database, changes []relation.Change, old []relation.Tuple) (DeltaResult, bool, error) {
+	var res DeltaResult
+	if !DeltaCapable(q) {
+		return res, false, nil
+	}
+	atomsByRel := collectAtoms(q.Body)
+	// Partition the journal. Inserts into relations the query never
+	// mentions cannot create answers (range-safety makes the result
+	// domain-independent), and deletes there cannot remove any.
+	var inserts []relation.Change
+	deletes := false
+	for _, c := range changes {
+		if len(atomsByRel[c.Rel]) == 0 {
+			continue
+		}
+		switch c.Op {
+		case relation.OpInsert:
+			inserts = append(inserts, c)
+		case relation.OpDelete:
+			deletes = true
+		default:
+			return res, false, nil
+		}
+	}
+
+	e := New(q, db).WithContext(ctx)
+
+	// Removals: deletes can only shrink a monotone answer set, and any
+	// cached answer may have lost its last derivation — re-verify each.
+	removedKeys := map[string]bool{}
+	if deletes {
+		for _, t := range old {
+			res.Rechecked++
+			if !e.Member(t) {
+				if err := e.Err(); err != nil {
+					return DeltaResult{}, false, err
+				}
+				res.Removed = append(res.Removed, t)
+				removedKeys[t.Key()] = true
+			}
+		}
+		if err := e.Err(); err != nil {
+			return DeltaResult{}, false, err
+		}
+	}
+
+	// Additions: seminaive step. Any answer new since the watermark has a
+	// derivation through at least one inserted tuple; force each atom over
+	// the tuple's relation to that tuple and enumerate the rest.
+	if len(inserts) > 0 {
+		oldKeys := make(map[string]bool, len(old))
+		for _, t := range old {
+			oldKeys[t.Key()] = true
+		}
+		seen := map[string]bool{}
+		for _, c := range inserts {
+			for _, a := range atomsByRel[c.Rel] {
+				ok := e.bindAtom(a, c.Tuple, func(t relation.Tuple) bool {
+					k := t.Key()
+					if seen[k] || (oldKeys[k] && !removedKeys[k]) {
+						return true
+					}
+					seen[k] = true
+					res.Added = append(res.Added, t.Clone())
+					return true
+				})
+				if !ok {
+					if err := e.Err(); err != nil {
+						return DeltaResult{}, false, err
+					}
+				}
+			}
+		}
+		sort.Slice(res.Added, func(i, j int) bool { return res.Added[i].Compare(res.Added[j]) < 0 })
+	}
+	return res, true, nil
+}
+
+// collectAtoms groups the body's relation atoms by relation name.
+func collectAtoms(f query.Formula) map[string][]*query.Atom {
+	out := make(map[string][]*query.Atom)
+	var walk func(query.Formula)
+	walk = func(f query.Formula) {
+		switch n := f.(type) {
+		case *query.Atom:
+			out[n.Rel] = append(out[n.Rel], n)
+		case *query.And:
+			for _, g := range n.Fs {
+				walk(g)
+			}
+		case *query.Or:
+			for _, g := range n.Fs {
+				walk(g)
+			}
+		case *query.Not:
+			walk(n.F)
+		case *query.Exists:
+			walk(n.F)
+		case *query.ForAll:
+			walk(n.F)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// bindAtom pre-binds atom a's variable arguments to tuple t's fields and
+// enumerates satisfying assignments of the whole query body under that
+// restriction, emitting the head tuple of each. Constant or already-bound
+// arguments that mismatch t make the restriction unsatisfiable (no
+// derivation routes t through a) and emit nothing. Variables quantified
+// above a are shadowed inside their quantifier, so the restriction may
+// under-constrain there — the enumeration then yields a superset of the
+// derivations through (a, t), which is sound: every yield satisfies the
+// body. It reports whether enumeration ran to completion.
+func (e *Evaluator) bindAtom(a *query.Atom, t relation.Tuple, emit func(relation.Tuple) bool) bool {
+	if len(a.Args) != len(t) {
+		return true
+	}
+	slots := e.argSlotsOf(a)
+	var newly []int
+	defer func() {
+		for _, s := range newly {
+			e.bound[s] = false
+		}
+	}()
+	for i, arg := range a.Args {
+		s := slots[i]
+		if s < 0 {
+			if !value.Equal(arg.Value, t[i]) {
+				return true
+			}
+			continue
+		}
+		if e.bound[s] {
+			if !value.Equal(e.vals[s], t[i]) {
+				return true
+			}
+			continue
+		}
+		e.vals[s] = t[i]
+		e.bound[s] = true
+		newly = append(newly, s)
+	}
+	return e.satisfy(e.q.Body, func() bool {
+		return emit(e.headTuple())
+	})
+}

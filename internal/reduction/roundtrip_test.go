@@ -1,0 +1,227 @@
+package reduction
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sat"
+	"repro/internal/solver"
+)
+
+// cnf builds a CNF from clause literal triples.
+func cnf(clauses ...[3]int) *sat.CNF {
+	cs := make([]sat.Clause, len(clauses))
+	for i, c := range clauses {
+		cs[i] = sat.Clause{c[0], c[1], c[2]}
+	}
+	return sat.NewCNF(cs...)
+}
+
+// TestThreeSATRoundTripTable drives a table of formulas with known
+// satisfiability through both Theorem 5.1 gadgets and asserts the
+// reduction round-trips: φ is satisfiable iff the constructed QRD instance
+// has a valid set, for FMS and FMM alike, and the RDC gadget's model count
+// matches #SAT exactly (Theorem 7.4 parsimony).
+func TestThreeSATRoundTripTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		f      *sat.CNF
+		sat    bool
+		models int64
+	}{
+		{"single-clause", cnf([3]int{1, 2, 3}), true, 7},
+		{"unit-propagation", cnf([3]int{1, 1, 1}, [3]int{-1, 2, 2}, [3]int{-2, -1, 3}), true, 1},
+		{"contradiction", cnf([3]int{1, 1, 1}, [3]int{-1, -1, -1}), false, 0},
+		{"xor-chain", cnf([3]int{1, 2, 2}, [3]int{-1, -2, -2}, [3]int{2, 3, 3}, [3]int{-2, -3, -3}), true, 2},
+		{"all-assignments", cnf([3]int{1, -1, 2}), true, 4},
+		{"pigeonhole-ish", cnf(
+			[3]int{1, 2, 2}, [3]int{-1, -2, -2},
+			[3]int{1, -2, -2}, [3]int{-1, 2, 2}), false, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.f.Satisfiable(); got != c.sat {
+				t.Fatalf("test-case sanity: Satisfiable = %v, want %v", got, c.sat)
+			}
+			if got := c.f.CountModels(); got != c.models {
+				t.Fatalf("test-case sanity: CountModels = %d, want %d", got, c.models)
+			}
+			qrdSum := ThreeSATToQRDMaxSum(c.f)
+			if got := solver.QRDExact(qrdSum).Exists; got != c.sat {
+				t.Errorf("QRD(FMS) round-trip = %v, want %v", got, c.sat)
+			}
+			// The FMM variant scores the min over pairwise distances, so
+			// its bound B = 1 presupposes at least one pair: the Theorem
+			// 5.1 gadget requires l >= 2 clauses (FMS's B = l(l-1) is
+			// degenerate-but-correct at l = 1, FMM's is not).
+			if len(c.f.Clauses) >= 2 {
+				qrdMin := ThreeSATToQRDMaxMin(c.f)
+				if got := solver.QRDExact(qrdMin).Exists; got != c.sat {
+					t.Errorf("QRD(FMM) round-trip = %v, want %v", got, c.sat)
+				}
+			}
+			for _, maxMin := range []bool{false, true} {
+				if maxMin && len(c.f.Clauses) < 2 {
+					continue
+				}
+				rdc := SATToRDCCount(c.f, maxMin)
+				got := solver.RDCExact(rdc).Count
+				if got.Cmp(big.NewInt(c.models)) != 0 {
+					t.Errorf("RDC(maxMin=%v) count = %v, want %d (parsimonious)", maxMin, got, c.models)
+				}
+			}
+		})
+	}
+}
+
+// TestCoThreeSATDRPRoundTripTable asserts the Theorem 6.1 gadgets decide
+// co-3SAT: U ranks in the top r iff φ is unsatisfiable.
+func TestCoThreeSATDRPRoundTripTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		f     *sat.CNF
+		unsat bool
+	}{
+		{"sat-two-clauses", cnf([3]int{1, 2, 3}, [3]int{-1, -2, 3}), false},
+		{"unsat-pair", cnf([3]int{1, 1, 1}, [3]int{-1, -1, -1}), true},
+		{"unsat-xor-square", cnf(
+			[3]int{1, 2, 2}, [3]int{-1, -2, -2},
+			[3]int{1, -2, -2}, [3]int{-1, 2, 2}), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			inSum, err := CoThreeSATToDRPMaxSum(c.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := solver.DRPExact(inSum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.InTopR != c.unsat {
+				t.Errorf("DRP(FMS) round-trip = %v, want %v", res.InTopR, c.unsat)
+			}
+			inMin, err := CoThreeSATToDRPMaxMin(c.f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err = solver.DRPExact(inMin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.InTopR != c.unsat {
+				t.Errorf("DRP(FMM) round-trip = %v, want %v", res.InTopR, c.unsat)
+			}
+		})
+	}
+}
+
+// TestSubsetSumRoundTripTable drives a table of subset-sum instances
+// through the Lemma 7.6 + Theorem 7.5 chain: #SSP brute force, the
+// parsimonious SSP→SSPk padding, and the two-call RDC Turing reduction all
+// agree.
+func TestSubsetSumRoundTripTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []int64
+		l       int
+		d       int64
+		count   int64 // #L-subsets summing exactly to d
+	}{
+		{"empty-target-zero", nil, 0, 0, 1},
+		{"pair-sum", []int64{1, 2, 3, 4}, 2, 5, 2},        // {1,4}, {2,3}
+		{"no-solution", []int64{2, 4, 6}, 2, 7, 0},        // odd target, even sums
+		{"all-equal", []int64{5, 5, 5, 5}, 3, 15, 4},      // C(4,3)
+		{"with-negatives", []int64{-3, 3, 1, 2}, 2, 0, 1}, // {-3,3}
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := SSPkInstance{Weights: bigs(c.weights), L: c.l, D: big.NewInt(c.d)}
+			want := big.NewInt(c.count)
+			if got := CountSSPk(in); got.Cmp(want) != 0 {
+				t.Fatalf("test-case sanity: CountSSPk = %v, want %v", got, want)
+			}
+			got, err := CountSSPkViaRDC(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cmp(want) != 0 {
+				t.Errorf("RDC Turing reduction = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func bigs(xs []int64) []*big.Int {
+	out := make([]*big.Int, len(xs))
+	for i, x := range xs {
+		out[i] = big.NewInt(x)
+	}
+	return out
+}
+
+// TestSSPPaddingParsimonyProperty checks Lemma 7.6 on random instances:
+// #SSP of the original equals #SSPk of the padded instance at the padded
+// cardinality, for every cardinality cut.
+func TestSSPPaddingParsimonyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		ws := make([]int64, n)
+		for i := range ws {
+			ws[i] = int64(rng.Intn(12))
+		}
+		d := int64(rng.Intn(20))
+		ssp := SSPInstance{Weights: ws, D: d}
+		padded := SSPToSSPk(ssp)
+		if got, want := CountSSPk(padded), CountSSP(ssp); got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: padded #SSPk = %v, original #SSP = %v", trial, got, want)
+		}
+	}
+}
+
+// TestSSPkWeightRangeGuard pins the reduction's refusal of weights beyond
+// exact float64 range.
+func TestSSPkWeightRangeGuard(t *testing.T) {
+	huge := new(big.Int).Lsh(big.NewInt(1), 80)
+	if _, err := SSPkToRDCMono(SSPkInstance{Weights: []*big.Int{huge}, L: 1, D: big.NewInt(0)}); err == nil {
+		t.Error("weight beyond int64 must be refused")
+	}
+	if _, err := SSPkToRDCMono(SSPkInstance{Weights: []*big.Int{big.NewInt(1)}, L: 1, D: huge}); err == nil {
+		t.Error("target beyond int64 must be refused")
+	}
+}
+
+// TestBoolTupleBitsRoundTrip pins the gadget encoding helpers against each
+// other.
+func TestBoolTupleBitsRoundTrip(t *testing.T) {
+	for _, bs := range [][]bool{{}, {true}, {false}, {true, false, true, true}} {
+		got := bits(boolTuple(bs))
+		if len(got) != len(bs) {
+			t.Fatalf("round-trip length %d, want %d", len(got), len(bs))
+		}
+		for i := range bs {
+			if got[i] != bs[i] {
+				t.Errorf("bit %d = %v, want %v", i, got[i], bs[i])
+			}
+		}
+	}
+}
+
+// TestRandom3SATReductionAgreement cross-checks the QRD gadgets against
+// the DPLL solver on random formulas — the property form of the table
+// test.
+func TestRandom3SATReductionAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		f := sat.Random3SAT(rng, 3+rng.Intn(3), 3+rng.Intn(5))
+		want := f.Satisfiable()
+		if got := solver.QRDExact(ThreeSATToQRDMaxSum(f)).Exists; got != want {
+			t.Fatalf("trial %d: FMS gadget = %v, DPLL = %v for %s", trial, got, want, f)
+		}
+		if got := solver.QRDExact(ThreeSATToQRDMaxMin(f)).Exists; got != want {
+			t.Fatalf("trial %d: FMM gadget = %v, DPLL = %v for %s", trial, got, want, f)
+		}
+	}
+}

@@ -133,11 +133,12 @@ type Relation struct {
 	tuples []Tuple
 	index  map[string]int
 
-	// onMutate, when set, is invoked after every successful Insert. The
-	// owning Database installs it so that tuple-level mutations advance the
-	// database generation counter; a relation belongs to at most one
+	// onMutate, when set, is invoked after every successful Insert or
+	// Delete with the stored tuple. The owning Database installs it so that
+	// tuple-level mutations advance the database generation counter and are
+	// recorded in its change journal; a relation belongs to at most one
 	// database at a time.
-	onMutate func()
+	onMutate func(op Op, t Tuple)
 }
 
 // NewRelation creates an empty relation instance of the schema.
@@ -162,9 +163,33 @@ func (r *Relation) Insert(t Tuple) bool {
 		return false
 	}
 	r.index[k] = len(r.tuples)
-	r.tuples = append(r.tuples, t.Clone())
+	stored := t.Clone()
+	r.tuples = append(r.tuples, stored)
 	if r.onMutate != nil {
-		r.onMutate()
+		r.onMutate(OpInsert, stored)
+	}
+	return true
+}
+
+// Delete removes a tuple, reporting whether it was present. Later tuples
+// keep their relative (insertion) order; removal from the middle is O(n)
+// because the position index of every following tuple shifts down.
+func (r *Relation) Delete(t Tuple) bool {
+	k := t.Key()
+	pos, ok := r.index[k]
+	if !ok {
+		return false
+	}
+	stored := r.tuples[pos]
+	delete(r.index, k)
+	copy(r.tuples[pos:], r.tuples[pos+1:])
+	r.tuples[len(r.tuples)-1] = nil
+	r.tuples = r.tuples[:len(r.tuples)-1]
+	for i := pos; i < len(r.tuples); i++ {
+		r.index[r.tuples[i].Key()] = i
+	}
+	if r.onMutate != nil {
+		r.onMutate(OpDelete, stored)
 	}
 	return true
 }
@@ -226,6 +251,7 @@ type Database struct {
 	relations map[string]*Relation
 	order     []string
 	gen       uint64
+	log       journal
 }
 
 // NewDatabase creates an empty database.
@@ -234,26 +260,37 @@ func NewDatabase() *Database {
 }
 
 // Add registers a relation instance. Re-adding a name replaces the instance
-// but keeps its position. Adding advances the database generation, and the
-// relation is hooked so that subsequent tuple inserts advance it too.
+// but keeps its position. Adding advances the database generation and — as
+// a structural change the journal cannot express tuple-by-tuple (the
+// relation may arrive pre-populated) — truncates the change journal, so
+// every consumer with an older watermark rebuilds. The relation is hooked
+// so that subsequent tuple inserts and deletes are journaled.
 func (d *Database) Add(r *Relation) *Database {
 	name := r.Schema().Name
 	if _, ok := d.relations[name]; !ok {
 		d.order = append(d.order, name)
 	}
 	d.relations[name] = r
-	r.onMutate = d.bump
-	d.bump()
+	r.onMutate = func(op Op, t Tuple) { d.record(op, name, t) }
+	d.gen++
+	d.log.truncate(d.gen)
 	return d
 }
 
 // Generation returns a counter that advances on every mutation of the
-// database — CreateTable-style Adds and tuple Inserts into registered
+// database — CreateTable-style Adds and tuple Inserts/Deletes on registered
 // relations alike. Callers that cache derived state (materialized answer
-// sets, prepared plans) compare generations to detect staleness.
+// sets, prepared plans) compare generations to detect staleness, and ask
+// ChangesSince for the delta between their watermark and the present.
 func (d *Database) Generation() uint64 { return d.gen }
 
-func (d *Database) bump() { d.gen++ }
+// record advances the generation for one tuple-level mutation and journals
+// it, keeping the invariant that every generation step above the journal
+// floor has exactly one entry.
+func (d *Database) record(op Op, rel string, t Tuple) {
+	d.gen++
+	d.log.record(Change{Gen: d.gen, Op: op, Rel: rel, Tuple: t})
+}
 
 // Relation returns the named relation, or nil.
 func (d *Database) Relation(name string) *Relation { return d.relations[name] }

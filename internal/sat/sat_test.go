@@ -288,3 +288,66 @@ func TestSolveBruteAgreementProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestQuantifierString(t *testing.T) {
+	if Exists.String() != "∃" || ForAll.String() != "∀" {
+		t.Errorf("quantifier rendering: ∃=%q ∀=%q", Exists.String(), ForAll.String())
+	}
+}
+
+// TestSolveTable pins DPLL on a table of formulas with known satisfiability
+// and, where satisfiable, verifies the returned assignment actually models
+// the formula (a round-trip through Eval rather than trusting the flag).
+func TestSolveTable(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *CNF
+		sat  bool
+	}{
+		{"empty", NewCNF(), true},
+		{"unit", NewCNF(Clause{1}), true},
+		{"unit-conflict", NewCNF(Clause{1}, Clause{-1}), false},
+		{"chain-implication", NewCNF(Clause{1}, Clause{-1, 2}, Clause{-2, 3}, Clause{-3, 4}), true},
+		{"horn-unsat", NewCNF(Clause{1}, Clause{2}, Clause{-1, -2}), false},
+		{"two-of-three", NewCNF(Clause{1, 2}, Clause{-1, 3}, Clause{-2, -3}), true},
+		{"full-cube-blocked", NewCNF(
+			Clause{1, 2}, Clause{1, -2}, Clause{-1, 2}, Clause{-1, -2}), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a, ok := c.f.Solve()
+			if ok != c.sat {
+				t.Fatalf("Solve = %v, want %v", ok, c.sat)
+			}
+			if ok && !c.f.Eval(a) {
+				t.Errorf("Solve's assignment %v does not satisfy %s", a, c.f)
+			}
+			if got := c.f.CountModels() > 0; got != c.sat {
+				t.Errorf("CountModels positivity = %v, want %v", got, c.sat)
+			}
+		})
+	}
+}
+
+// TestCountProjectedTable pins projected counting on hand-checkable cases.
+func TestCountProjectedTable(t *testing.T) {
+	// f = (x1 ∨ x2): 3 models over {x1,x2}.
+	f := NewCNF(Clause{1, 2})
+	cases := []struct {
+		name    string
+		project []int
+		want    int64
+	}{
+		{"onto-x1", []int{1}, 2},      // x1=0 (x2=1 extends), x1=1
+		{"onto-x2", []int{2}, 2},      // symmetric
+		{"onto-both", []int{1, 2}, 3}, // full model count
+		{"onto-none", []int{}, 1},     // satisfiable: one empty projection
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := f.CountProjected(c.project); got != c.want {
+				t.Errorf("CountProjected(%v) = %d, want %d", c.project, got, c.want)
+			}
+		})
+	}
+}

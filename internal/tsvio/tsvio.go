@@ -95,3 +95,88 @@ func Write(w io.Writer, r *relation.Relation) error {
 	}
 	return nil
 }
+
+// Update is one event of a dynamic workload's update stream: a tuple
+// inserted into or deleted from a named relation, or a checkpoint at which
+// a replaying consumer re-solves. The textual form is one event per line:
+//
+//	R<TAB>v1<TAB>v2...      insert (v1, v2, ...) into R
+//	-R<TAB>v1<TAB>v2...     delete (v1, v2, ...) from R
+//	--                      checkpoint (blank lines work too)
+//	# ...                   comment
+type Update struct {
+	Checkpoint bool
+	Delete     bool
+	Rel        string
+	Tuple      relation.Tuple
+}
+
+// ReadUpdates parses an update stream. Consecutive checkpoints collapse to
+// one, and a trailing checkpoint is implied by the consumer, not required
+// in the file.
+func ReadUpdates(r io.Reader) ([]Update, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Update
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r\n")
+		if strings.HasPrefix(text, "#") {
+			continue
+		}
+		if text == "" || text == "--" {
+			if len(out) > 0 && !out[len(out)-1].Checkpoint {
+				out = append(out, Update{Checkpoint: true})
+			}
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("tsvio: updates:%d: want relation<TAB>values..., got %q", line, text)
+		}
+		u := Update{Rel: fields[0]}
+		if strings.HasPrefix(u.Rel, "-") {
+			u.Delete = true
+			u.Rel = u.Rel[1:]
+		}
+		if u.Rel == "" {
+			return nil, fmt.Errorf("tsvio: updates:%d: empty relation name", line)
+		}
+		u.Tuple = make(relation.Tuple, len(fields)-1)
+		for i, f := range fields[1:] {
+			u.Tuple[i] = ParseField(f)
+		}
+		out = append(out, u)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tsvio: updates: %v", err)
+	}
+	return out, nil
+}
+
+// WriteUpdates emits an update stream in the textual form ReadUpdates
+// parses.
+func WriteUpdates(w io.Writer, updates []Update) error {
+	for _, u := range updates {
+		if u.Checkpoint {
+			if _, err := fmt.Fprintln(w, "--"); err != nil {
+				return err
+			}
+			continue
+		}
+		rel := u.Rel
+		if u.Delete {
+			rel = "-" + rel
+		}
+		fields := make([]string, 0, len(u.Tuple)+1)
+		fields = append(fields, rel)
+		for _, v := range u.Tuple {
+			fields = append(fields, v.AsString())
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -153,3 +153,64 @@ func TestWriteDeterministic(t *testing.T) {
 		t.Errorf("not in canonical order:\n%s", a.String())
 	}
 }
+
+func TestUpdatesRoundTrip(t *testing.T) {
+	updates := []Update{
+		{Rel: "R", Tuple: relation.Ints(1, 2)},
+		{Rel: "R", Tuple: relation.Ints(3, 4)},
+		{Checkpoint: true},
+		{Delete: true, Rel: "R", Tuple: relation.Ints(1, 2)},
+		{Rel: "S", Tuple: relation.Tuple{value.Str("x"), value.Float(1.5), value.Bool(true)}},
+		{Checkpoint: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteUpdates(&buf, updates); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadUpdates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(updates) {
+		t.Fatalf("round-trip length %d, want %d\n%s", len(got), len(updates), buf.String())
+	}
+	for i, u := range updates {
+		g := got[i]
+		if g.Checkpoint != u.Checkpoint || g.Delete != u.Delete || g.Rel != u.Rel {
+			t.Errorf("update %d = %+v, want %+v", i, g, u)
+			continue
+		}
+		if !u.Checkpoint && !g.Tuple.Equal(u.Tuple) {
+			t.Errorf("update %d tuple = %v, want %v", i, g.Tuple, u.Tuple)
+		}
+	}
+}
+
+func TestReadUpdatesSyntax(t *testing.T) {
+	// Comments and blank-line checkpoints; consecutive checkpoints collapse.
+	in := "# a comment\nR\t1\n\n\n--\nR\t2\n"
+	got, err := ReadUpdates(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		cp  bool
+		val int64
+	}{{false, 1}, {true, 0}, {false, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d updates, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i].Checkpoint != w.cp {
+			t.Errorf("update %d checkpoint = %v, want %v", i, got[i].Checkpoint, w.cp)
+		}
+		if !w.cp && got[i].Tuple[0].AsInt() != w.val {
+			t.Errorf("update %d value = %v, want %d", i, got[i].Tuple[0], w.val)
+		}
+	}
+	for _, bad := range []string{"R\n", "-\t1\n"} {
+		if _, err := ReadUpdates(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadUpdates(%q) should fail", bad)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/query/parse"
 	"repro/internal/relation"
+	"repro/internal/tsvio"
 	"repro/internal/value"
 )
 
@@ -180,6 +181,83 @@ func Points(rng *rand.Rand, n, dim int, side int64, kind objective.Kind, lambda 
 			objective.EuclideanDistance(), lambda),
 		K: k,
 	}
+}
+
+// DynamicPoints builds a dynamic variant of the Points workload: the base
+// database plus a timed stream of nStream fresh point inserts, a solve
+// checkpoint after every batch. Replaying the stream between solves (divcli
+// -updates) exercises the incremental refresh path end to end; the
+// rebuild-vs-incremental benchmarks replay it with and without the change
+// journal. Points are unique across base and stream, so every insert is a
+// real mutation; when the side^dim domain cannot supply nStream fresh
+// points the stream is truncated rather than drawn forever.
+func DynamicPoints(rng *rand.Rand, nBase, nStream, batch, dim int, side int64) (*relation.Database, []tsvio.Update) {
+	in := Points(rng, nBase, dim, side, 0, 0.5, 1)
+	db := in.DB
+	rel := db.Relation("P")
+	seen := make(map[string]bool, nBase+nStream)
+	for _, t := range rel.Tuples() {
+		seen[t.Key()] = true
+	}
+	if batch <= 0 {
+		batch = 1
+	}
+	// Clamp the stream to the fresh points the finite domain still holds:
+	// side^dim total, minus the base set (computed with an overflow guard —
+	// once the capacity exceeds what we need, the exact value is moot).
+	capacity := int64(1)
+	for i := 0; i < dim && capacity <= int64(nBase+nStream); i++ {
+		capacity *= side
+	}
+	if free := capacity - int64(len(seen)); capacity <= int64(nBase+nStream) && int64(nStream) > free {
+		nStream = int(free)
+		if nStream < 0 {
+			nStream = 0
+		}
+	}
+	var updates []tsvio.Update
+	inBatch, emitted := 0, 0
+	for emitted < nStream {
+		t := make(relation.Tuple, dim)
+		for i := range t {
+			t[i] = value.Int(rng.Int63n(side))
+		}
+		if seen[t.Key()] {
+			continue
+		}
+		seen[t.Key()] = true
+		updates = append(updates, tsvio.Update{Rel: "P", Tuple: t})
+		emitted++
+		if inBatch++; inBatch == batch {
+			updates = append(updates, tsvio.Update{Checkpoint: true})
+			inBatch = 0
+		}
+	}
+	return db, updates
+}
+
+// DynamicGift builds a dynamic gift-shop workload: the Example 1.1 base
+// database plus a stream of fresh catalog items arriving in batches.
+func DynamicGift(rng *rand.Rand, nCatalog, nHistory, nStream, batch int) (*relation.Database, []tsvio.Update) {
+	db := GiftShop(rng, nCatalog, nHistory)
+	if batch <= 0 {
+		batch = 1
+	}
+	var updates []tsvio.Update
+	inBatch := 0
+	for i := 0; i < nStream; i++ {
+		updates = append(updates, tsvio.Update{Rel: "catalog", Tuple: relation.Tuple{
+			value.Str(fmt.Sprintf("item%03d", nCatalog+i)),
+			value.Str(giftTypes[rng.Intn(len(giftTypes))]),
+			value.Int(int64(5 + rng.Intn(95))),
+			value.Int(int64(rng.Intn(20))),
+		}})
+		if inBatch++; inBatch == batch {
+			updates = append(updates, tsvio.Update{Checkpoint: true})
+			inBatch = 0
+		}
+	}
+	return db, updates
 }
 
 // Clustered builds an identity-query instance whose points form c clusters

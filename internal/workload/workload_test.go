@@ -171,3 +171,73 @@ func TestTeamRoster(t *testing.T) {
 		}
 	}
 }
+
+func TestDynamicPointsStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db, updates := DynamicPoints(rng, 50, 12, 4, 2, 300)
+	rel := db.Relation("P")
+	if rel.Len() != 50 {
+		t.Fatalf("base relation has %d rows, want 50", rel.Len())
+	}
+	inserts, checkpoints := 0, 0
+	for _, u := range updates {
+		if u.Checkpoint {
+			checkpoints++
+			continue
+		}
+		if u.Delete || u.Rel != "P" || len(u.Tuple) != 2 {
+			t.Fatalf("unexpected update %+v", u)
+		}
+		if rel.Contains(u.Tuple) {
+			t.Errorf("stream tuple %v already in the base set", u.Tuple)
+		}
+		if !rel.Insert(u.Tuple) {
+			t.Errorf("stream tuple %v repeated within the stream", u.Tuple)
+		}
+		inserts++
+	}
+	if inserts != 12 || checkpoints != 3 {
+		t.Errorf("stream has %d inserts / %d checkpoints, want 12 / 3", inserts, checkpoints)
+	}
+}
+
+func TestDynamicGiftStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db, updates := DynamicGift(rng, 20, 40, 6, 2)
+	cat := db.Relation("catalog")
+	if cat.Len() != 20 {
+		t.Fatalf("base catalog has %d rows, want 20", cat.Len())
+	}
+	inserts := 0
+	for _, u := range updates {
+		if u.Checkpoint {
+			continue
+		}
+		if u.Rel != "catalog" || len(u.Tuple) != cat.Schema().Arity() {
+			t.Fatalf("unexpected update %+v", u)
+		}
+		if !cat.Insert(u.Tuple) {
+			t.Errorf("stream item %v collides with the catalog", u.Tuple)
+		}
+		inserts++
+	}
+	if inserts != 6 {
+		t.Errorf("stream has %d inserts, want 6", inserts)
+	}
+}
+
+func TestDynamicPointsExhaustedDomain(t *testing.T) {
+	// side^dim = 4 total points; base takes 2, so at most 2 fresh stream
+	// inserts exist — the generator must truncate, not spin forever.
+	rng := rand.New(rand.NewSource(1))
+	_, updates := DynamicPoints(rng, 2, 10, 1, 1, 4)
+	inserts := 0
+	for _, u := range updates {
+		if !u.Checkpoint {
+			inserts++
+		}
+	}
+	if inserts > 2 {
+		t.Errorf("exhausted domain produced %d inserts, want <= 2", inserts)
+	}
+}

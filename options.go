@@ -140,6 +140,7 @@ type settings struct {
 	planeMaxBytes int64
 	parallelism   int  // solver workers; 0 = GOMAXPROCS, 1 = sequential
 	parallelSet   bool // WithParallelism given (0 means auto, not default)
+	incremental   bool // maintain caches from the change journal (default on)
 
 	// dirty records which scoring bindings a per-call option replaced;
 	// Prepared.call clears it before applying the call's options, so a set
@@ -155,7 +156,7 @@ const (
 )
 
 func defaultSettings() settings {
-	return settings{lambda: 0.5, scorePlane: true}
+	return settings{lambda: 0.5, scorePlane: true, incremental: true}
 }
 
 // validate rejects inconsistent settings with descriptive errors; it is the
@@ -268,6 +269,18 @@ func WithParallelism(n int) Option {
 		s.parallelism = n
 		s.parallelSet = true
 	}
+}
+
+// WithIncrementalRefresh toggles incremental cache maintenance (on by
+// default): after database mutations, a Prepared handle consults the
+// relation change journal and — for delta-maintainable queries — applies
+// the answer-set delta and extends/retires the score plane instead of
+// rebuilding both from scratch. Turning it off forces the rebuild-on-
+// every-mutation behavior; useful for differential testing and for
+// measuring the incremental path's own speedup. A Prepare-time option:
+// per-call overrides do not affect how the shared cache is maintained.
+func WithIncrementalRefresh(on bool) Option {
+	return func(s *settings) { s.incremental = on }
 }
 
 // WithConstraints sets the compatibility constraints (class Cm, Section 9),

@@ -359,7 +359,7 @@ func TestPreparedPlaneCacheAndInvalidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.mu.Lock()
-	pl1 := p.plane
+	pl1 := p.snap.plane
 	p.mu.Unlock()
 	if pl1 == nil {
 		t.Fatal("no plane cached after first solve")
@@ -371,7 +371,7 @@ func TestPreparedPlaneCacheAndInvalidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.mu.Lock()
-	pl2 := p.plane
+	pl2 := p.snap.plane
 	p.mu.Unlock()
 	if pl2 != pl1 {
 		t.Fatal("plane rebuilt although the generation did not advance")
@@ -382,7 +382,7 @@ func TestPreparedPlaneCacheAndInvalidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.mu.Lock()
-	pl3 := p.plane
+	pl3 := p.snap.plane
 	p.mu.Unlock()
 	if pl3 == pl1 {
 		t.Fatal("plane not invalidated by a database mutation")

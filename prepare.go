@@ -24,9 +24,14 @@ import (
 // Prepared is a compiled diversification query: the query text has been
 // parsed, classified and validated against the engine's schema, the
 // objective and constraints bound, and the materialized answer set Q(D) is
-// cached across calls — re-evaluated only when the database generation
-// advances (Insert/CreateTable). Build work happens once in Prepare; the
-// per-call cost of Diversify/Decide/Count/InTopR/Rank is the solver alone.
+// cached across calls. When the database mutates, the cache is brought up
+// to date incrementally where possible — the relation change journal yields
+// the answer-set delta, the score plane is extended/retired instead of
+// rebuilt, and the answer index is maintained alongside — falling back to
+// a full rebuild when the journal was compacted, the query is not
+// delta-maintainable, or WithIncrementalRefresh(false) disabled the path.
+// Build work happens once in Prepare; the per-call cost of
+// Diversify/Decide/Count/InTopR/Rank is the solver alone.
 //
 // Per-call options override the Prepare-time bindings for that call only:
 //
@@ -45,19 +50,57 @@ type Prepared struct {
 	base   settings
 	sigma  *compat.Set // compiled Prepare-time constraints
 
-	mu        sync.Mutex
-	answers   []relation.Tuple
-	gen       uint64
-	haveCache bool
+	// deltaOK records, once at Prepare time, whether the query's answer
+	// set can be maintained incrementally from the change journal
+	// (positive and range-safe; see eval.DeltaCapable).
+	deltaOK bool
 
-	// plane is the interned score plane over the cached answer set: dense
-	// IDs, precomputed δrel vector and (memory-guard permitting) the
-	// materialized pairwise δdis matrix, shared by every solve until the
-	// database generation advances. It bakes in the Prepare-time δrel/δdis
-	// bindings, so calls overriding them per-call bypass it.
-	plane    *objective.Plane
-	planeGen uint64
+	// mu guards snap. All derived state lives in one immutable snapshot
+	// swapped atomically, so a reader can never pair answers from one
+	// generation with a plane or index from another — the TOCTOU window of
+	// the old per-field generation dance. snap.plane and snap.streamPool
+	// are the two lazily attached fields; both transition nil → non-nil
+	// exactly once, under mu.
+	mu   sync.Mutex
+	snap *snapshot
 }
+
+// snapshot is one consistent view of the state derived from the database at
+// a single generation: the canonically sorted answer set, its key index,
+// the interned score plane (attached lazily, under the handle's lock) and
+// the stream-order pool an exhausted online evaluation produced (ditto).
+// Snapshots are immutable apart from those two monotonic attachments;
+// refreshing publishes a new snapshot rather than mutating the old one, so
+// in-flight solves keep a coherent view.
+type snapshot struct {
+	gen     uint64
+	answers []relation.Tuple
+	index   map[string]int // Tuple.Key() -> answers position
+
+	// plane bakes in the Prepare-time δrel/δdis bindings; calls overriding
+	// them per-call bypass it. Guarded by Prepared.mu.
+	plane *objective.Plane
+	// streamPool is Q(D) in evaluation-stream order, kept when an online
+	// procedure exhausted the stream at this generation: replaying it is
+	// byte-identical to re-streaming the (deterministic) evaluator and
+	// skips the query evaluation entirely. Guarded by Prepared.mu.
+	streamPool []relation.Tuple
+}
+
+// indexAnswers builds the key index over a sorted answer slice.
+func indexAnswers(answers []relation.Tuple) map[string]int {
+	idx := make(map[string]int, len(answers))
+	for i, t := range answers {
+		idx[t.Key()] = i
+	}
+	return idx
+}
+
+// maxRefreshAttempts bounds the evaluate-verify-retry loop of snapshotAt
+// when the database is mutated concurrently with a refresh (which the
+// engine contract already forbids); on exhaustion the freshest result is
+// returned uncached.
+const maxRefreshAttempts = 4
 
 // Prepare compiles a query for repeated solving: it parses src, validates
 // it against the engine's schema, classifies its language, applies the
@@ -84,13 +127,14 @@ func (e *Engine) Prepare(src string, opts ...Option) (*Prepared, error) {
 		return nil, err
 	}
 	return &Prepared{
-		eng:    e,
-		src:    src,
-		q:      q,
-		schema: schema,
-		lang:   q.Classify(),
-		base:   s,
-		sigma:  sigma,
+		eng:     e,
+		src:     src,
+		q:       q,
+		schema:  schema,
+		lang:    q.Classify(),
+		base:    s,
+		sigma:   sigma,
+		deltaOK: eval.DeltaCapable(q),
 	}, nil
 }
 
@@ -156,74 +200,267 @@ func (p *Prepared) sigmaFor(s settings) (*compat.Set, error) {
 	return compileConstraints(s.constraints, p.schema)
 }
 
-// cachedAnswers returns the memoized answer set Q(D) together with the
-// database generation it corresponds to, re-evaluating it (interruptibly,
-// under ctx) if the generation has advanced since it was materialized. The
-// returned generation is the one the answers were evaluated at — derived
-// state (the score plane) must be keyed on it, not on a fresh Generation()
-// read, or a concurrent mutation could pair stale answers with a new
-// generation.
-func (p *Prepared) cachedAnswers(ctx context.Context) ([]relation.Tuple, uint64, error) {
+// RefreshInfo reports how a snapshot was brought up to date.
+type RefreshInfo struct {
+	// Mode is "warm" (nothing to do), "delta" (journal applied
+	// incrementally) or "rebuild" (full re-evaluation).
+	Mode string
+	// Added and Removed count the answer tuples the delta touched (zero
+	// for warm and rebuild modes).
+	Added, Removed int
+	// Rechecked counts per-answer membership re-verifications the delta
+	// performed for deletes.
+	Rechecked int
+	// Answers is |Q(D)| after the refresh.
+	Answers int
+}
+
+// Refresh brings the handle's cached state up to date with the database:
+// if the change journal still covers the handle's watermark and the query
+// is delta-maintainable, the answer-set delta is applied and the score
+// plane extended/retired in place of a rebuild; otherwise the answer set is
+// re-evaluated from scratch. The score plane for the Prepare-time bindings
+// is (re)built and materialized eagerly, so the next solve pays for the
+// solver alone. Refresh is also implicit: every solve lazily revalidates
+// through the same path — calling Refresh explicitly just moves the cost to
+// a time of the caller's choosing and reports what happened.
+func (p *Prepared) Refresh(ctx context.Context) (RefreshInfo, error) {
+	snap, info, err := p.snapshotAt(ctx)
+	if err != nil {
+		return info, err
+	}
+	// Online solves never read the shared plane (they stream through
+	// their own), so skip the O(n²) materialization for those handles.
+	if p.base.scorePlane && p.base.algorithm != Online {
+		s := p.base
+		s.dirty = 0
+		if _, err := p.planeFor(ctx, snap, &s); err != nil {
+			return info, err
+		}
+	}
+	info.Answers = len(snap.answers)
+	return info, nil
+}
+
+// current returns the published snapshot if it matches the database
+// generation, else nil.
+func (p *Prepared) current() *snapshot {
 	gen := p.eng.db.Generation()
 	p.mu.Lock()
-	if p.haveCache && p.gen == gen {
-		answers := p.answers
-		p.mu.Unlock()
-		return answers, gen, nil
+	defer p.mu.Unlock()
+	if p.snap != nil && p.snap.gen == gen {
+		return p.snap
 	}
-	p.mu.Unlock()
-	// Evaluate outside the lock: the evaluation may be exponential, and a
-	// concurrent solve blocked on p.mu could not honour its own context.
-	// Two goroutines racing a cold cache may both evaluate; the first to
-	// finish fills the cache and the loser's result is discarded.
+	return nil
+}
+
+// cacheWarm reports whether a snapshot for the current database generation
+// is published.
+func (p *Prepared) cacheWarm() bool { return p.current() != nil }
+
+// snapshotFor returns a snapshot of the derived state consistent with the
+// current database generation, refreshing (incrementally when possible)
+// if the published one is stale.
+func (p *Prepared) snapshotFor(ctx context.Context) (*snapshot, error) {
+	snap, _, err := p.snapshotAt(ctx)
+	return snap, err
+}
+
+// snapshotAt is snapshotFor plus the refresh mode report. The (possibly
+// exponential) evaluation and the (possibly quadratic) plane rebase run
+// outside the lock; the generation is re-read afterwards and the work
+// retried if a mutation interleaved, so a published snapshot is always
+// internally consistent — answers, index and plane from one generation.
+func (p *Prepared) snapshotAt(ctx context.Context) (*snapshot, RefreshInfo, error) {
+	var last *snapshot
+	for attempt := 0; attempt < maxRefreshAttempts; attempt++ {
+		gen := p.eng.db.Generation()
+		p.mu.Lock()
+		old := p.snap
+		p.mu.Unlock()
+		if old != nil && old.gen == gen {
+			return old, RefreshInfo{Mode: "warm", Answers: len(old.answers)}, nil
+		}
+		snap, info, err := p.buildSnapshot(ctx, old, gen)
+		if err != nil {
+			return nil, info, err
+		}
+		last = snap
+		if p.eng.db.Generation() != gen {
+			continue // a mutation interleaved: the work may be torn, retry
+		}
+		p.mu.Lock()
+		if p.snap == nil || p.snap.gen < gen {
+			p.snap = snap
+		} else {
+			snap = p.snap // a racing refresh published first
+		}
+		p.mu.Unlock()
+		return snap, info, nil
+	}
+	// The database is being mutated continuously (which the engine
+	// contract forbids during solves): hand back the freshest result
+	// without caching it.
+	return last, RefreshInfo{Mode: "rebuild", Answers: len(last.answers)}, nil
+}
+
+// buildSnapshot computes the derived state for generation gen, applying
+// the journal delta to old when the incremental path applies and falling
+// back to full re-evaluation otherwise.
+func (p *Prepared) buildSnapshot(ctx context.Context, old *snapshot, gen uint64) (*snapshot, RefreshInfo, error) {
+	if old != nil && p.deltaOK && p.base.incremental {
+		if changes, ok := p.eng.db.ChangesSince(old.gen); ok {
+			d, ok, err := eval.Delta(ctx, p.q, p.eng.db, changes, old.answers)
+			if err != nil {
+				return nil, RefreshInfo{}, err
+			}
+			if ok {
+				snap, err := p.applyDelta(ctx, old, d, gen)
+				if err != nil {
+					return nil, RefreshInfo{}, err
+				}
+				return snap, RefreshInfo{
+					Mode:      "delta",
+					Added:     len(d.Added),
+					Removed:   len(d.Removed),
+					Rechecked: d.Rechecked,
+					Answers:   len(snap.answers),
+				}, nil
+			}
+		}
+	}
 	res, err := eval.EvaluateContext(ctx, p.q, p.eng.db)
 	if err != nil {
-		return nil, 0, err
+		return nil, RefreshInfo{}, err
 	}
 	answers := res.Sorted()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.haveCache && p.gen == gen {
-		return p.answers, p.gen, nil
+	return &snapshot{gen: gen, answers: answers, index: indexAnswers(answers)},
+		RefreshInfo{Mode: "rebuild", Answers: len(answers)}, nil
+}
+
+// applyDelta merges an answer-set delta into a new snapshot: removed
+// tuples drop out, added tuples merge in canonical order, the key index is
+// maintained during the merge, and the score plane — when the old snapshot
+// had built one — is rebased (surviving scores copied, only delta pairs
+// evaluated) instead of rebuilt.
+func (p *Prepared) applyDelta(ctx context.Context, old *snapshot, d eval.DeltaResult, gen uint64) (*snapshot, error) {
+	removedIDs := make([]int, 0, len(d.Removed))
+	dead := make(map[int]bool, len(d.Removed))
+	for _, t := range d.Removed {
+		if id, ok := old.index[t.Key()]; ok {
+			removedIDs = append(removedIDs, id)
+			dead[id] = true
+		}
 	}
-	p.answers = answers
-	p.gen = gen
-	p.haveCache = true
-	return answers, gen, nil
-}
-
-// cacheWarm reports whether the memoized answer set is present and current.
-func (p *Prepared) cacheWarm() bool {
-	gen := p.eng.db.Generation()
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.haveCache && p.gen == gen
+	oldPlane := old.plane
+	p.mu.Unlock()
+	var merged []relation.Tuple
+	var pl *objective.Plane
+	if oldPlane != nil {
+		var err error
+		pl, err = oldPlane.Rebase(ctx, d.Added, removedIDs)
+		if err != nil {
+			return nil, err
+		}
+		// Plane IDs must index the snapshot's answers exactly; taking the
+		// rebased plane's own interned order makes that invariant
+		// structural instead of relying on two merges staying in lockstep.
+		merged = pl.Answers()
+	} else {
+		merged = mergeAnswers(old.answers, d.Added, dead)
+	}
+	return &snapshot{gen: gen, answers: merged, index: indexAnswers(merged), plane: pl}, nil
 }
 
-// storeAnswers installs an already-materialized Q(D) (e.g. the pool an
-// exhausted online stream paid for) into the cache, provided the database
-// generation has not moved since gen was read. The tuples are re-sorted to
-// the canonical lexicographic order the solvers expect.
-func (p *Prepared) storeAnswers(ts []relation.Tuple, gen uint64) {
+// mergeAnswers merges the sorted delta additions into the sorted answers,
+// skipping tombstoned positions. It must order exactly as Plane.Rebase's
+// provenance merge does — applyDelta uses it only when no plane exists to
+// inherit the order from, but a later planeFor build over its output must
+// still agree with what a rebase would have produced.
+func mergeAnswers(answers []relation.Tuple, added []relation.Tuple, dead map[int]bool) []relation.Tuple {
+	merged := make([]relation.Tuple, 0, len(answers)+len(added))
+	i, j := 0, 0
+	for i < len(answers) || j < len(added) {
+		for i < len(answers) && dead[i] {
+			i++
+		}
+		if i >= len(answers) && j >= len(added) {
+			break // only tombstones remained
+		}
+		switch {
+		case i >= len(answers):
+			merged = append(merged, added[j])
+			j++
+		case j >= len(added) || answers[i].Compare(added[j]) < 0:
+			merged = append(merged, answers[i])
+			i++
+		default:
+			merged = append(merged, added[j])
+			j++
+		}
+	}
+	return merged
+}
+
+// storePool installs the stream-order pool an exhausted online evaluation
+// produced at generation gen: as the current snapshot's streamPool when one
+// is already published for gen, or as a fresh snapshot otherwise — the
+// stream already paid for Q(D), so later calls skip re-evaluation. Dropped
+// silently when the database has moved on.
+func (p *Prepared) storePool(pool []relation.Tuple, gen uint64) {
 	if p.eng.db.Generation() != gen {
 		return // the database moved underneath the stream: stale
 	}
 	p.mu.Lock()
-	if p.haveCache && p.gen == gen {
+	if p.snap != nil && p.snap.gen == gen {
+		if p.snap.streamPool == nil {
+			p.snap.streamPool = pool
+		}
 		p.mu.Unlock()
-		return // already warm: skip the copy+sort entirely
-	}
-	p.mu.Unlock()
-	sorted := append([]relation.Tuple(nil), ts...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Compare(sorted[j]) < 0 })
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.haveCache && p.gen == gen {
 		return
 	}
-	p.answers = sorted
-	p.gen = gen
-	p.haveCache = true
+	p.mu.Unlock()
+	sorted := append([]relation.Tuple(nil), pool...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Compare(sorted[j]) < 0 })
+	snap := &snapshot{gen: gen, answers: sorted, index: indexAnswers(sorted), streamPool: pool}
+	if p.eng.db.Generation() != gen {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.snap == nil || p.snap.gen < gen {
+		p.snap = snap
+	}
+}
+
+// refreshableDelta reports whether the handle holds a stale snapshot the
+// change journal can patch incrementally — in which case re-evaluating the
+// query from scratch (streaming or otherwise) would waste it.
+func (p *Prepared) refreshableDelta() bool {
+	if !p.deltaOK || !p.base.incremental {
+		return false
+	}
+	p.mu.Lock()
+	old := p.snap
+	p.mu.Unlock()
+	if old == nil {
+		return false
+	}
+	_, ok := p.eng.db.ChangesSince(old.gen)
+	return ok
+}
+
+// pooled returns the stream-order pool for the current generation, if an
+// online evaluation captured one.
+func (p *Prepared) pooled() []relation.Tuple {
+	gen := p.eng.db.Generation()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.snap != nil && p.snap.gen == gen {
+		return p.snap.streamPool
+	}
+	return nil
 }
 
 // objectiveFor builds the bound objective function for one call.
@@ -279,18 +516,19 @@ func (p *Prepared) instance(ctx context.Context, s settings, materialize bool) (
 		in.PlaneOff = true
 	}
 	if materialize {
-		answers, gen, err := p.cachedAnswers(ctx)
+		snap, err := p.snapshotFor(ctx)
 		if err != nil {
 			return nil, err
 		}
-		in.SetAnswers(answers)
+		in.SetAnswers(snap.answers)
+		in.SetAnswerIndex(snap.index)
 		// Attach the handle-cached score plane when this call's scoring
 		// bindings are the prepared ones; a per-call WithRelevance/
 		// WithDistance/WithPlaneMemoryLimit gets a fresh per-instance plane
 		// lazily instead, so it never observes scores baked from the wrong
 		// functions (or a matrix sized under the wrong memory limit).
 		if s.scorePlane && s.dirty&(dirtyRelevance|dirtyDistance|dirtyPlaneLimit) == 0 {
-			pl, err := p.cachedPlane(ctx, in.Obj, s.planeMaxBytes, answers, gen)
+			pl, err := p.planeFor(ctx, snap, &s)
 			if err != nil {
 				return nil, err
 			}
@@ -302,21 +540,19 @@ func (p *Prepared) instance(ctx context.Context, s settings, materialize bool) (
 	return in, nil
 }
 
-// cachedPlane returns the handle's score plane for the cached answer set
-// evaluated at generation gen, building and materializing it on first use
-// and rebuilding it after the database generation advances. Like
-// cachedAnswers, the (possibly quadratic) build runs outside the lock; a
-// racing loser's plane is discarded, and a plane built over answers whose
-// generation has since moved on is returned for this call but never cached.
-func (p *Prepared) cachedPlane(ctx context.Context, o *objective.Objective, maxBytes int64, answers []relation.Tuple, gen uint64) (*objective.Plane, error) {
+// planeFor returns the snapshot's score plane, building and materializing
+// it on first use. The (possibly quadratic) build runs outside the lock; a
+// plane is a pure function of the snapshot's answers, so a racing loser's
+// identical plane is simply discarded. Delta refreshes pre-attach a rebased
+// plane, making this a lock-and-load.
+func (p *Prepared) planeFor(ctx context.Context, snap *snapshot, s *settings) (*objective.Plane, error) {
 	p.mu.Lock()
-	if p.plane != nil && p.planeGen == gen {
-		pl := p.plane
-		p.mu.Unlock()
+	pl := snap.plane
+	p.mu.Unlock()
+	if pl != nil {
 		return pl, nil
 	}
-	p.mu.Unlock()
-	pl, err := objective.NewPlaneContext(ctx, o, answers, objective.PlaneOptions{MaxMatrixBytes: maxBytes})
+	pl, err := objective.NewPlaneContext(ctx, p.objectiveFor(*s), snap.answers, objective.PlaneOptions{MaxMatrixBytes: s.planeMaxBytes})
 	if err != nil {
 		return nil, err
 	}
@@ -328,13 +564,10 @@ func (p *Prepared) cachedPlane(ctx context.Context, o *objective.Objective, maxB
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.plane != nil && p.planeGen == gen {
-		return p.plane, nil
+	if snap.plane == nil {
+		snap.plane = pl
 	}
-	if p.haveCache && p.gen == gen {
-		p.plane, p.planeGen = pl, gen
-	}
-	return pl, nil
+	return snap.plane, nil
 }
 
 // errNoCandidate is the shared "no candidate set" failure of the selection
@@ -396,16 +629,22 @@ func (p *Prepared) Diversify(ctx context.Context, opts ...Option) (*Selection, e
 		return newSelection(p.schema, res.Set, res.Value, "local-search"), nil
 	case Online:
 		gen := p.eng.db.Generation()
-		// Collect the streamed pool only on a cold cache: online Diversify
-		// always consumes the full stream, so the materialized Q(D) is
-		// free to keep and lets later calls skip re-evaluation.
-		collect := !p.cacheWarm()
-		res, err := online.Diversify(ctx, in, online.Options{CollectAnswers: collect})
+		// Replay a captured stream-order pool when one exists for this
+		// generation: the (deterministic) evaluator would produce the same
+		// arrival order, so the anytime selection is byte-identical and the
+		// query evaluation is skipped.
+		pool := p.pooled()
+		// Collect the streamed pool whenever none is captured yet: online
+		// Diversify always consumes the full stream, so the materialized
+		// Q(D) — and its arrival order, which future online calls replay —
+		// is free to keep.
+		collect := pool == nil
+		res, err := online.Diversify(ctx, in, online.Options{CollectAnswers: collect, Pool: pool, HavePool: pool != nil})
 		if err != nil {
 			return nil, err
 		}
 		if collect && res.Exhausted {
-			p.storeAnswers(res.Answers, gen)
+			p.storePool(res.Answers, gen)
 		}
 		if !res.Exists {
 			return nil, errNoCandidate
@@ -444,8 +683,10 @@ func (p *Prepared) Decide(ctx context.Context, opts ...Option) (bool, error) {
 	}
 	// With a cold cache, stream the evaluation and stop at the first valid
 	// set (early termination, Section 1). A warm cache makes streaming a
-	// re-evaluation, so exact search on the cached answers wins there.
-	if !p.cacheWarm() {
+	// re-evaluation — and a stale cache the journal can patch costs only
+	// the delta to warm up — so exact search on the cached answers wins in
+	// both of those cases.
+	if p.current() == nil && !p.refreshableDelta() {
 		gen := p.eng.db.Generation()
 		in, err := p.instance(ctx, s, false)
 		if err != nil {
@@ -457,7 +698,7 @@ func (p *Prepared) Decide(ctx context.Context, opts ...Option) (bool, error) {
 				// The stream materialized all of Q(D) anyway; keep it so
 				// the next call hits the warm-cache exact path instead of
 				// re-evaluating the query.
-				p.storeAnswers(res.Answers, gen)
+				p.storePool(res.Answers, gen)
 			}
 			return res.Exists, nil
 		}
