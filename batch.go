@@ -25,10 +25,13 @@ type BatchResult struct {
 // DiversifyBatch solves many variants of the prepared query concurrently
 // over one shared answer set and score plane: the cached Q(D) (and its
 // interned relevance/distance plane) is materialized once, then the items
-// are distributed across a worker pool. results[i] always corresponds to
-// items[i], regardless of scheduling, and each item's outcome is identical
-// to a standalone Diversify(ctx, items[i].Opts...) call — the concurrency
-// changes wall-clock, not answers.
+// are distributed across a worker pool. Every item routes through the same
+// Request → Plan → Execute pipeline as a standalone call, so results[i]
+// always corresponds to items[i], regardless of scheduling, and each item's
+// outcome is identical to a standalone Diversify(ctx, items[i].Opts...)
+// call — the concurrency changes wall-clock, not answers. In particular an
+// item overriding WithRelevance/WithDistance/WithPlaneMemoryLimit bypasses
+// the shared plane exactly as a single call does.
 //
 // The pool size is the handle's WithParallelism setting when given
 // (WithParallelism(0) and the default both mean GOMAXPROCS here). Item
@@ -45,13 +48,14 @@ func (p *Prepared) DiversifyBatch(ctx context.Context, items []BatchItem) ([]Bat
 	}
 	// Warm the shared answer-set and plane caches once, so the concurrent
 	// item solves share one plane instead of racing to build duplicates.
-	// The dirty mask is cleared as Prepared.call would: Prepare-time
-	// WithRelevance/WithDistance bindings ARE the prepared scorers the
-	// cached plane is built from, not per-call overrides.
+	// This is the same snapshot + eager-plane acquisition Refresh performs
+	// for the Prepare-time bindings; items whose options override the
+	// scoring bindings plan their own per-instance plane regardless.
 	if p.base.algorithm != Online {
-		warm := p.base
-		warm.dirty = 0
-		if _, err := p.instance(ctx, warm, true); err != nil {
+		p.eng.mu.RLock()
+		_, err := p.refresh(ctx)
+		p.eng.mu.RUnlock()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -79,8 +83,12 @@ func (p *Prepared) DiversifyBatch(ctx context.Context, items []BatchItem) ([]Bat
 				// inheriting a Prepare-time WithParallelism(n) here would
 				// oversubscribe n×n.
 				opts := append([]Option{WithParallelism(1)}, items[i].Opts...)
-				sel, err := p.Diversify(ctx, opts...)
-				results[i] = BatchResult{Selection: sel, Err: err}
+				resp, err := p.Do(ctx, Request{Problem: ProblemDiversify, Options: opts})
+				if err != nil {
+					results[i] = BatchResult{Err: err}
+					continue
+				}
+				results[i] = BatchResult{Selection: resp.Selection}
 			}
 		}()
 	}

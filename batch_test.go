@@ -153,6 +153,63 @@ func TestDiversifyBatchMatchesIndividual(t *testing.T) {
 	}
 }
 
+// TestDiversifyBatchScoringOverrides is the regression for the shared-plane
+// bypass on the batch path: an item carrying per-call WithRelevance/
+// WithDistance overrides must score through those functions — not the
+// shared plane the warm-up just built from the prepared bindings — and
+// agree bit-for-bit with a standalone Diversify under the same overrides,
+// both before and after the shared plane exists.
+func TestDiversifyBatchScoringOverrides(t *testing.T) {
+	e := batchEngine(t, 20)
+	ctx := context.Background()
+	p := e.MustPrepare(batchQuery, append(scoringOpts(), WithK(3))...)
+
+	// Overriding scorers chosen to disagree hard with the prepared ones,
+	// so any leak of the shared plane's baked-in values changes the answer.
+	flippedRel := WithRelevance(func(r Row) float64 {
+		return math.Abs(float64(r.Get("price").(int64)) - 30)
+	})
+	priceDis := WithDistance(func(a, b Row) float64 {
+		return math.Abs(float64(a.Get("price").(int64)) - float64(b.Get("price").(int64)))
+	})
+	items := []BatchItem{
+		{},                           // prepared bindings: uses the shared plane
+		{Opts: []Option{flippedRel}}, // relevance override
+		{Opts: []Option{priceDis}},   // distance override
+		{Opts: []Option{flippedRel, priceDis, WithLambda(0.3)}},
+		{Opts: []Option{WithPlaneMemoryLimit(64)}}, // memo-regime override
+	}
+	// Compare twice: against a handle whose plane is cold (fresh prepare)
+	// and then again over the now-warm shared plane, so both plane states
+	// feed the same per-item bypass decision.
+	for _, label := range []string{"cold", "warm"} {
+		results, err := p.DiversifyBatch(ctx, items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, item := range items {
+			single, err := p.Diversify(ctx, item.Opts...)
+			if err != nil {
+				t.Fatalf("%s pass item %d: %v", label, i, err)
+			}
+			if results[i].Err != nil {
+				t.Fatalf("%s pass item %d batch error: %v", label, i, results[i].Err)
+			}
+			got, want := results[i].Selection, single
+			if math.Float64bits(got.Value) != math.Float64bits(want.Value) {
+				t.Errorf("%s pass item %d: batch value bits %x != single %x",
+					label, i, math.Float64bits(got.Value), math.Float64bits(want.Value))
+			}
+			gs, ws := selectionItems(got), selectionItems(want)
+			for j := range ws {
+				if gs[j] != ws[j] {
+					t.Errorf("%s pass item %d: batch rows %v != single %v", label, i, gs, ws)
+				}
+			}
+		}
+	}
+}
+
 // TestDiversifyBatchItemErrors: per-item failures land in their slot and do
 // not poison the rest of the batch.
 func TestDiversifyBatchItemErrors(t *testing.T) {

@@ -484,22 +484,24 @@ func BenchmarkFacade_EndToEnd(b *testing.B) {
 	for i := 0; i < 40; i++ {
 		e.MustInsert("items", i, cats[rng.Intn(len(cats))], rng.Intn(100))
 	}
-	req := Request{
-		Query:     "Q(id, cat, price) :- items(id, cat, price), price < 80",
-		K:         4,
-		Objective: "max-sum",
-		Lambda:    0.6,
-		Distance: func(a, c Row) float64 {
+	opts := []Option{
+		WithK(4), WithObjective(MaxSum), WithLambda(0.6), WithAlgorithm(Greedy),
+		WithDistance(func(a, c Row) float64 {
 			if a.Get("cat") == c.Get("cat") {
 				return 0
 			}
 			return 1
-		},
-		Algorithm: "greedy",
+		}),
 	}
+	const src = "Q(id, cat, price) :- items(id, cat, price), price < 80"
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Diversify(req); err != nil {
+		p, err := e.Prepare(src, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Diversify(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -646,13 +648,18 @@ func BenchmarkPreparedVsOneShot(b *testing.B) {
 		}
 	})
 	b.Run("oneshot", func(b *testing.B) {
-		req := Request{
-			Query: src, K: 3, Objective: "max-sum", Lambda: 0.5,
-			Algorithm: "greedy", Relevance: relevance, Distance: distance,
-		}
+		// The one-shot shape: re-prepare (parse, validate, classify) and
+		// re-materialize on every call, the cost Prepare amortizes away.
+		ctx := context.Background()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := e.Diversify(req); err != nil {
+			p, err := e.Prepare(src,
+				WithK(3), WithObjective(MaxSum), WithLambda(0.5),
+				WithAlgorithm(Greedy), WithRelevance(relevance), WithDistance(distance))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Diversify(ctx); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -46,9 +46,8 @@ import (
 	"strings"
 
 	"repro"
-	"repro/internal/relation"
+	"repro/internal/load"
 	"repro/internal/tsvio"
-	"repro/internal/value"
 )
 
 // multiFlag collects repeatable string flags.
@@ -84,7 +83,7 @@ func main() {
 	e := diversification.NewEngine()
 	switch {
 	case *demo:
-		loadDemo(e)
+		load.Demo(e)
 		if *querySrc == "" {
 			*querySrc = "Q(item, type, price) :- catalog(item, type, price, s), price <= 40"
 		}
@@ -94,7 +93,7 @@ func main() {
 			if !ok {
 				fatalf("bad -load %q: want name=file.tsv", spec)
 			}
-			if err := loadTSV(e, name, file); err != nil {
+			if err := load.TSV(e, name, file); err != nil {
 				fatalf("loading %s: %v", spec, err)
 			}
 		}
@@ -155,19 +154,10 @@ func main() {
 		}
 	})
 	if *relAttr != "" {
-		attr := *relAttr
-		opts = append(opts, diversification.WithRelevance(func(r diversification.Row) float64 {
-			return asFloat(r.Get(attr))
-		}))
+		opts = append(opts, diversification.WithRelevance(diversification.AttrRelevance(*relAttr)))
 	}
 	if *disAttr != "" {
-		attr := *disAttr
-		opts = append(opts, diversification.WithDistance(func(a, b diversification.Row) float64 {
-			if a.Get(attr) == b.Get(attr) {
-				return 0
-			}
-			return 1
-		}))
+		opts = append(opts, diversification.WithDistance(diversification.AttrDistance(*disAttr)))
 	}
 
 	p, err := e.Prepare(*querySrc, opts...)
@@ -359,84 +349,4 @@ func parseBatchSpec(spec string) ([]diversification.Option, error) {
 func fatalf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "divcli: "+format+"\n", args...)
 	os.Exit(1)
-}
-
-func asFloat(v interface{}) float64 {
-	switch x := v.(type) {
-	case int64:
-		return float64(x)
-	case float64:
-		return x
-	case bool:
-		if x {
-			return 1
-		}
-		return 0
-	default:
-		return 0
-	}
-}
-
-// loadTSV reads a relation from a tab-separated file whose first line names
-// the attributes and installs it into the engine.
-func loadTSV(e *diversification.Engine, name, file string) error {
-	f, err := os.Open(file)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	rel, err := tsvio.Read(name, f)
-	if err != nil {
-		return err
-	}
-	if err := e.CreateTable(name, rel.Schema().Attrs...); err != nil {
-		return err
-	}
-	for _, t := range rel.Sorted() {
-		if err := e.Insert(name, tupleArgs(t)...); err != nil {
-			return fmt.Errorf("%s: %v", file, err)
-		}
-	}
-	return nil
-}
-
-// tupleArgs converts a tuple to the facade's interface{} row form.
-func tupleArgs(t relation.Tuple) []interface{} {
-	args := make([]interface{}, len(t))
-	for i, v := range t {
-		switch v.Kind() {
-		case value.KindInt:
-			args[i] = v.AsInt()
-		case value.KindFloat:
-			args[i] = v.AsFloat()
-		case value.KindBool:
-			args[i] = v.AsBool()
-		default:
-			args[i] = v.AsString()
-		}
-	}
-	return args
-}
-
-// loadDemo installs the Example 1.1 gift-shop catalog.
-func loadDemo(e *diversification.Engine) {
-	e.MustCreateTable("catalog", "item", "type", "price", "inStock")
-	rows := []struct {
-		item, typ    string
-		price, stock int
-	}{
-		{"silver ring", "jewelry", 28, 2},
-		{"adventure novel", "book", 22, 9},
-		{"jigsaw puzzle", "toy", 25, 4},
-		{"silk scarf", "fashion", 30, 1},
-		{"acrylic paints", "artsy", 21, 7},
-		{"stunt kite", "toy", 38, 3},
-		{"charm bracelet", "jewelry", 35, 5},
-		{"science kit", "educational", 27, 6},
-		{"poetry anthology", "book", 18, 8},
-		{"board game", "toy", 32, 2},
-	}
-	for _, r := range rows {
-		e.MustInsert("catalog", r.item, r.typ, r.price, r.stock)
-	}
 }

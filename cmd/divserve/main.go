@@ -1,0 +1,173 @@
+// Command divserve serves diversified queries over JSON/HTTP: it loads
+// relations, registers named prepared statements, and exposes the
+// diversification service's wire protocol with bounded admission.
+//
+// Usage:
+//
+//	divserve -load catalog=catalog.tsv \
+//	         -stmt 'cheap=Q(item, type, price) :- catalog(item, type, price, s), price <= 30' \
+//	         -k 3 -objective max-sum -lambda 0.7 -distance-attr type \
+//	         -addr :8080
+//
+//	divserve -demo -addr :8080     # built-in gift-shop catalog, statement "gifts"
+//
+// Routes:
+//
+//	POST /v1/query/{name}    run a query request against a statement
+//	POST /v1/refresh/{name}  refresh a statement's caches
+//	GET  /healthz            liveness
+//	GET  /metrics            service counters
+//
+// Flags:
+//
+//	-addr HOST:PORT     listen address (default :8080)
+//	-load name=file     load a relation from TSV (repeatable)
+//	-demo               use the built-in gift-shop database and statement
+//	-stmt name=query    register a prepared statement (repeatable); the
+//	                    scoring flags below become its prepared bindings
+//	-k N                selection size bound to every statement
+//	-objective F        max-sum | max-min | mono
+//	-lambda X           relevance/diversity trade-off in [0,1]
+//	-algorithm A        auto | exact | greedy | local-search | online
+//	-relevance-attr A   numeric attribute used as δrel
+//	-distance-attr A    attribute whose inequality defines δdis
+//	-constraint C       compatibility constraint in Cm syntax (repeatable)
+//	-parallel N         exact-search workers per request (0 = all cores)
+//	-max-concurrent N   execution slots (0 = GOMAXPROCS)
+//	-max-queue N        admission queue bound (0 = 4×slots, -1 = none)
+//	-timeout D          default per-request deadline, e.g. 5s (0 = none)
+//	-warm               refresh every statement before serving
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	diversification "repro"
+	"repro/httpapi"
+	"repro/internal/load"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var (
+		loads       multiFlag
+		stmts       multiFlag
+		constraints multiFlag
+		addr        = flag.String("addr", ":8080", "listen address")
+		demo        = flag.Bool("demo", false, "use the built-in gift-shop database and statement")
+		k           = flag.Int("k", 3, "number of results to select")
+		objName     = flag.String("objective", "max-sum", "max-sum | max-min | mono")
+		lambda      = flag.Float64("lambda", 0.5, "trade-off λ in [0,1]")
+		algName     = flag.String("algorithm", "auto", "auto | exact | greedy | local-search | online")
+		relAttr     = flag.String("relevance-attr", "", "numeric attribute used as relevance")
+		disAttr     = flag.String("distance-attr", "", "attribute whose inequality is the distance")
+		parallel    = flag.Int("parallel", 1, "exact-search workers per request (0 = all cores)")
+		maxConc     = flag.Int("max-concurrent", 0, "execution slots (0 = GOMAXPROCS)")
+		maxQueue    = flag.Int("max-queue", 0, "admission queue bound (0 = 4×slots, -1 = none)")
+		timeout     = flag.Duration("timeout", 0, "default per-request deadline (0 = none)")
+		warm        = flag.Bool("warm", false, "refresh every statement before serving")
+	)
+	flag.Var(&loads, "load", "relation to load, as name=file.tsv (repeatable)")
+	flag.Var(&stmts, "stmt", "statement to register, as name=query (repeatable)")
+	flag.Var(&constraints, "constraint", "compatibility constraint in Cm syntax (repeatable)")
+	flag.Parse()
+
+	e := diversification.NewEngine()
+	switch {
+	case *demo:
+		load.Demo(e)
+		if len(stmts) == 0 {
+			stmts = append(stmts, "gifts=Q(item, type, price) :- catalog(item, type, price, s), price <= 40")
+			*relAttr, *disAttr, *lambda = "price", "type", 0.7
+		}
+	case len(loads) > 0:
+		for _, spec := range loads {
+			name, file, ok := strings.Cut(spec, "=")
+			if !ok {
+				fatalf("bad -load %q: want name=file.tsv", spec)
+			}
+			if err := load.TSV(e, name, file); err != nil {
+				fatalf("loading %s: %v", spec, err)
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "divserve: need -demo or at least one -load name=file.tsv")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(stmts) == 0 {
+		fatalf("need at least one -stmt name=query")
+	}
+
+	objective, err := diversification.ParseObjective(*objName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	algorithm, err := diversification.ParseAlgorithm(*algName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts := []diversification.Option{
+		diversification.WithK(*k),
+		diversification.WithObjective(objective),
+		diversification.WithLambda(*lambda),
+		diversification.WithAlgorithm(algorithm),
+		diversification.WithConstraints(constraints...),
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			opts = append(opts, diversification.WithParallelism(*parallel))
+		}
+	})
+	if *relAttr != "" {
+		opts = append(opts, diversification.WithRelevance(diversification.AttrRelevance(*relAttr)))
+	}
+	if *disAttr != "" {
+		opts = append(opts, diversification.WithDistance(diversification.AttrDistance(*disAttr)))
+	}
+
+	svc := diversification.NewService(e, diversification.ServiceConfig{
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *timeout,
+	})
+	for _, spec := range stmts {
+		name, src, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatalf("bad -stmt %q: want name=query", spec)
+		}
+		if err := svc.Register(name, src, opts...); err != nil {
+			fatalf("registering %q: %v", name, err)
+		}
+		log.Printf("registered statement %q: %s", name, src)
+	}
+	if *warm {
+		for _, name := range svc.Statements() {
+			info, err := svc.Refresh(context.Background(), name)
+			if err != nil {
+				fatalf("warming %q: %v", name, err)
+			}
+			log.Printf("warmed %q: %d answers (%s)", name, info.Answers, info.Mode)
+		}
+	}
+
+	log.Printf("divserve listening on %s (%d statements)", *addr, len(svc.Statements()))
+	if err := http.ListenAndServe(*addr, httpapi.NewHandler(svc)); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "divserve: "+format+"\n", args...)
+	os.Exit(1)
+}

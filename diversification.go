@@ -20,7 +20,7 @@
 // two phases: Engine.Prepare parses, classifies and validates the query
 // once, binds the objective with typed options, and returns a Prepared
 // handle whose solve methods reuse a cached materialized answer set across
-// calls (invalidated automatically when the database changes):
+// calls (maintained incrementally when the database changes):
 //
 //	e := diversification.NewEngine()
 //	e.MustCreateTable("items", "id", "category", "price")
@@ -40,174 +40,40 @@
 // cancellation aborts them mid-search, as well as aborting a long-running
 // query evaluation itself.
 //
+// # The request pipeline
+//
+// Underneath the five typed methods sits one execution path: each call
+// compiles into a Request (problem kind, per-request overrides, candidate
+// set), a plan stage resolves settings, constraints, snapshot and score
+// plane exactly once and records what it chose, and a single execute
+// dispatches to the exact, greedy or online solvers and assembles a
+// unified Response (selection, boolean, count, rank, solver stats, refresh
+// info, timing). The pipeline is public: Prepared.Do answers a Request
+// directly, and Prepared.Plan exposes the resolution for observability —
+// Plan.Explain reports the chosen route, snapshot generation and plane
+// regime before anything runs:
+//
+//	resp, err := p.Do(ctx, diversification.Request{
+//	    Problem: diversification.ProblemDecide,
+//	    Options: []diversification.Option{diversification.WithBound(2)},
+//	})
+//	// resp.Exists, resp.Stats, resp.Refresh, resp.Explain ...
+//
 // Solvers are selected per the paper's complexity map: exact
 // branch-and-bound in the general (intractable) settings, the paper's
 // polynomial algorithms in the tractable cells (mono-objective, λ=0,
 // constant k), and greedy/local-search heuristics when asked. Compatibility
 // constraints in the paper's class Cm restrict feasible sets (Section 9).
 //
-// # Deprecated one-shot API
+// # Serving
 //
-// The Request struct and the Engine.Diversify/Decide/Count/InTopR/Rank
-// methods taking it are retained as thin shims over Prepare; they re-parse,
-// re-validate and re-evaluate the query on every call and use stringly
-// typed objective/algorithm fields. New code should use Prepare and the
-// typed options.
+// Service wraps an Engine for network-style serving: a named statement
+// registry (Register compiles a query once under a name), per-request
+// deadlines, and a bounded admission semaphore whose queue depth is
+// exported through Metrics. The repro/httpapi package puts a JSON-over-HTTP
+// facade (and a Go client) on top; cmd/divserve is the ready-made binary.
+//
+// The deprecated one-shot Request API of earlier versions (stringly typed
+// fields, re-parsing every call) has been removed; Request now names the
+// pipeline's typed per-request form above.
 package diversification
-
-import (
-	"context"
-	"math/big"
-)
-
-// Request describes a one-shot diversification task. Query, K and Objective
-// are required; the zero values of the rest select the paper's defaults
-// (constant relevance 1, zero distance, λ = 0.5, exact solving).
-//
-// Deprecated: use Engine.Prepare with the typed Objective/Algorithm enums
-// and functional options (WithK, WithLambda, ...). Prepare performs the
-// parse/classify/validate work once and caches the materialized answer set
-// across calls; each Request-based call repeats all of it.
-//
-// One validation is stricter than the original one-shot API: Lambda outside
-// [0,1] (or NaN), which previously flowed unchecked into the objective and
-// produced meaningless scores, is now rejected with an error.
-type Request struct {
-	// Query in the textual rule syntax, e.g.
-	// "Q(x, y) :- R(x, z), S(z, y), x < 5".
-	Query string
-	// K is the number of results to select.
-	K int
-	// Objective is "max-sum" (FMS), "max-min" (FMM) or "mono" (Fmono).
-	Objective string
-	// Lambda balances relevance (0) against diversity (1); an untouched
-	// zero-value Request means 0.5. Set LambdaSet to force 0. (The typed
-	// API has no such hack: WithLambda(0) means λ = 0.)
-	Lambda    float64
-	LambdaSet bool
-	// Relevance is δrel; nil means constant 1.
-	Relevance func(Row) float64
-	// Distance is δdis; nil means zero distance.
-	Distance func(Row, Row) float64
-	// Constraints are compatibility constraints in the Cm syntax, e.g.
-	// `forall t (t.id = "CS450" -> exists p (p.id = "CS220"))`.
-	Constraints []string
-	// Bound is the B threshold for Decide and Count.
-	Bound float64
-	// Rank is the r threshold for InTopR.
-	Rank int
-	// Algorithm selects the solver: "auto" (default), "exact", "greedy",
-	// "local-search", or "online".
-	Algorithm string
-}
-
-// options lowers the stringly-typed Request onto the typed option API.
-// withAlgorithm controls whether Request.Algorithm is parsed: only the
-// Diversify shim consults it, and the old API ignored (rather than
-// rejected) a bogus Algorithm on the other methods — the shims preserve
-// that.
-func (r Request) options(withAlgorithm bool) ([]Option, error) {
-	obj, err := ParseObjective(r.Objective)
-	if err != nil {
-		return nil, err
-	}
-	opts := []Option{
-		WithK(r.K),
-		WithObjective(obj),
-		WithBound(r.Bound),
-	}
-	if withAlgorithm {
-		alg, err := ParseAlgorithm(r.Algorithm)
-		if err != nil {
-			return nil, err
-		}
-		opts = append(opts, WithAlgorithm(alg))
-	}
-	if r.LambdaSet || r.Lambda != 0 {
-		opts = append(opts, WithLambda(r.Lambda))
-	}
-	if r.Relevance != nil {
-		opts = append(opts, WithRelevance(r.Relevance))
-	}
-	if r.Distance != nil {
-		opts = append(opts, WithDistance(r.Distance))
-	}
-	if len(r.Constraints) > 0 {
-		opts = append(opts, WithConstraints(r.Constraints...))
-	}
-	// Only a meaningful rank is forwarded: the old API ignored Rank on
-	// every method but InTopR (which rejects rank < 1 itself), so a
-	// negative Rank must not fail the methods that never read it.
-	if r.Rank > 0 {
-		opts = append(opts, WithRank(r.Rank))
-	}
-	return opts, nil
-}
-
-// prepare compiles the one-shot request into a Prepared handle.
-func (e *Engine) prepare(req Request, withAlgorithm bool) (*Prepared, error) {
-	opts, err := req.options(withAlgorithm)
-	if err != nil {
-		return nil, err
-	}
-	return e.Prepare(req.Query, opts...)
-}
-
-// Diversify finds a k-set maximizing the objective (the optimization form
-// of QRD).
-//
-// Deprecated: use Engine.Prepare followed by Prepared.Diversify.
-func (e *Engine) Diversify(req Request) (*Selection, error) {
-	p, err := e.prepare(req, true)
-	if err != nil {
-		return nil, err
-	}
-	return p.Diversify(context.Background())
-}
-
-// Decide answers QRD: does a k-subset of the query result with objective
-// value at least Bound exist (satisfying the constraints, if any)?
-//
-// Deprecated: use Engine.Prepare followed by Prepared.Decide.
-func (e *Engine) Decide(req Request) (bool, error) {
-	p, err := e.prepare(req, false)
-	if err != nil {
-		return false, err
-	}
-	return p.Decide(context.Background())
-}
-
-// Count answers RDC: how many valid k-subsets reach Bound?
-//
-// Deprecated: use Engine.Prepare followed by Prepared.Count.
-func (e *Engine) Count(req Request) (*big.Int, error) {
-	p, err := e.prepare(req, false)
-	if err != nil {
-		return nil, err
-	}
-	return p.Count(context.Background())
-}
-
-// InTopR answers DRP: does the given set (specified by attribute values per
-// row, in schema order) rank among the top Rank candidate sets?
-//
-// Deprecated: use Engine.Prepare followed by Prepared.InTopR.
-func (e *Engine) InTopR(req Request, set [][]interface{}) (bool, error) {
-	p, err := e.prepare(req, false)
-	if err != nil {
-		return false, err
-	}
-	return p.InTopR(context.Background(), set)
-}
-
-// Rank computes rank(U) exactly: 1 + the number of candidate k-sets scoring
-// strictly above F(U) (Section 4.1).
-//
-// Deprecated: use Engine.Prepare followed by Prepared.Rank.
-func (e *Engine) Rank(req Request, set [][]interface{}) (int, error) {
-	p, err := e.prepare(req, false)
-	if err != nil {
-		return 0, err
-	}
-	return p.Rank(context.Background(), set)
-}

@@ -1,6 +1,8 @@
 package diversification
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/big"
 	"strings"
@@ -71,6 +73,44 @@ func TestEngineTableLifecycle(t *testing.T) {
 	}
 }
 
+func TestEngineDeleteValidation(t *testing.T) {
+	e := giftEngine(t)
+	if _, err := e.Delete("missing", 1); err == nil {
+		t.Error("delete from missing table should fail")
+	}
+	if _, err := e.Delete("catalog", "ring"); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := e.Delete("catalog", struct{}{}, "jewelry", 28, 2); err == nil {
+		t.Error("unsupported type should fail")
+	}
+	if ok, err := e.Delete("catalog", "ghost", "jewelry", 1, 1); err != nil || ok {
+		t.Errorf("absent tuple: ok=%v err=%v, want false,nil", ok, err)
+	}
+	if ok, err := e.Delete("catalog", "ring", "jewelry", 28, 2); err != nil || !ok {
+		t.Errorf("present tuple: ok=%v err=%v, want true,nil", ok, err)
+	}
+}
+
+func TestMustHelpersPanic(t *testing.T) {
+	e := NewEngine()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("MustCreateTable", func() { e.MustCreateTable("t") })
+	mustPanic("MustInsert", func() { e.MustInsert("missing", 1) })
+	mustPanic("MustPrepare", func() { e.MustPrepare("not a query") })
+	if _, err := ClassifyQuery("not a query"); err == nil {
+		t.Error("ClassifyQuery should surface parse errors")
+	}
+}
+
 func TestEngineQuery(t *testing.T) {
 	e := giftEngine(t)
 	rs, err := e.Query("Q(item, price) :- catalog(item, t, price, s), price <= 30")
@@ -119,13 +159,10 @@ func TestLanguageClassification(t *testing.T) {
 
 func TestDiversifyExact(t *testing.T) {
 	e := giftEngine(t)
-	sel, err := e.Diversify(Request{
-		Query:     "Q(item, type, price) :- catalog(item, type, price, s), price <= 30",
-		K:         3,
-		Objective: "max-sum",
-		Lambda:    1,
-		Distance:  typeDistance,
-	})
+	sel, err := e.MustPrepare(
+		"Q(item, type, price) :- catalog(item, type, price, s), price <= 30",
+		WithK(3), WithObjective(MaxSum), WithLambda(1), WithDistance(typeDistance),
+	).Diversify(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,30 +182,22 @@ func TestDiversifyExact(t *testing.T) {
 
 func TestDiversifyGreedyAndLocalSearch(t *testing.T) {
 	e := giftEngine(t)
-	base := Request{
-		Query:     "Q(item, type, price) :- catalog(item, type, price, s)",
-		K:         3,
-		Objective: "max-sum",
-		Lambda:    0.5,
-		Relevance: priceRelevance,
-		Distance:  typeDistance,
-	}
-	exact, err := e.Diversify(base)
+	ctx := context.Background()
+	p := e.MustPrepare("Q(item, type, price) :- catalog(item, type, price, s)",
+		WithK(3), WithObjective(MaxSum), WithLambda(0.5),
+		WithRelevance(priceRelevance), WithDistance(typeDistance))
+	exact, err := p.Diversify(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := base
-	g.Algorithm = "greedy"
-	greedy, err := e.Diversify(g)
+	greedy, err := p.Diversify(ctx, WithAlgorithm(Greedy))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if greedy.Value > exact.Value+1e-9 {
 		t.Errorf("greedy %v beat exact %v", greedy.Value, exact.Value)
 	}
-	ls := base
-	ls.Algorithm = "local-search"
-	improved, err := e.Diversify(ls)
+	improved, err := p.Diversify(ctx, WithAlgorithm(LocalSearch))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,21 +208,15 @@ func TestDiversifyGreedyAndLocalSearch(t *testing.T) {
 
 func TestDiversifyOnline(t *testing.T) {
 	e := giftEngine(t)
-	base := Request{
-		Query:     "Q(item, type, price) :- catalog(item, type, price, s)",
-		K:         3,
-		Objective: "max-sum",
-		Lambda:    0.5,
-		Relevance: priceRelevance,
-		Distance:  typeDistance,
-	}
-	exact, err := e.Diversify(base)
+	ctx := context.Background()
+	p := e.MustPrepare("Q(item, type, price) :- catalog(item, type, price, s)",
+		WithK(3), WithObjective(MaxSum), WithLambda(0.5),
+		WithRelevance(priceRelevance), WithDistance(typeDistance))
+	exact, err := p.Diversify(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	on := base
-	on.Algorithm = "online"
-	sel, err := e.Diversify(on)
+	sel, err := p.Diversify(ctx, WithAlgorithm(Online))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,86 +227,79 @@ func TestDiversifyOnline(t *testing.T) {
 		t.Errorf("online %v beat exact %v", sel.Value, exact.Value)
 	}
 	// Online rejects mono (needs all of Q(D)) — surfaced as an error.
-	mono := on
-	mono.Objective = "mono"
-	if _, err := e.Diversify(mono); err == nil {
+	if _, err := p.Diversify(ctx, WithAlgorithm(Online), WithObjective(Mono)); err == nil {
 		t.Error("online with mono should be refused")
 	}
 }
 
 func TestDiversifyErrors(t *testing.T) {
 	e := giftEngine(t)
-	if _, err := e.Diversify(Request{Query: "bad", K: 1}); err == nil {
+	ctx := context.Background()
+	if _, err := e.Prepare("bad", WithK(1)); err == nil {
 		t.Error("bad query should fail")
 	}
-	if _, err := e.Diversify(Request{Query: "Q(i) :- catalog(i, t, p, s)", K: 100}); err == nil {
-		t.Error("k too large should fail")
+	p := e.MustPrepare("Q(i) :- catalog(i, t, p, s)", WithK(1))
+	if _, err := p.Diversify(ctx, WithK(100)); !errors.Is(err, ErrNoCandidate) {
+		t.Errorf("k too large returned %v, want ErrNoCandidate", err)
 	}
-	if _, err := e.Diversify(Request{Query: "Q(i) :- catalog(i, t, p, s)", K: -1}); err == nil {
-		t.Error("negative k should fail")
+	var argErr *ArgError
+	if _, err := p.Diversify(ctx, WithK(-1)); !errors.As(err, &argErr) || argErr.Field != "k" {
+		t.Errorf("negative k returned %v, want ArgError on \"k\"", err)
 	}
-	if _, err := e.Diversify(Request{Query: "Q(i) :- catalog(i, t, p, s)", K: 1, Objective: "nope"}); err == nil {
-		t.Error("unknown objective should fail")
+	if _, err := p.Diversify(ctx, WithObjective(Objective(9))); !errors.As(err, &argErr) || argErr.Field != "objective" {
+		t.Errorf("unknown objective returned %v, want ArgError on \"objective\"", err)
 	}
-	if _, err := e.Diversify(Request{Query: "Q(i) :- catalog(i, t, p, s)", K: 1, Algorithm: "nope"}); err == nil {
-		t.Error("unknown algorithm should fail")
+	if _, err := p.Diversify(ctx, WithAlgorithm(Algorithm(9))); !errors.As(err, &argErr) || argErr.Field != "algorithm" {
+		t.Errorf("unknown algorithm returned %v, want ArgError on \"algorithm\"", err)
 	}
 }
 
 func TestDecideRespectsBound(t *testing.T) {
 	e := giftEngine(t)
-	req := Request{
-		Query:     "Q(item, type, price) :- catalog(item, type, price, s)",
-		K:         2,
-		Objective: "max-min",
-		Lambda:    1,
-		Distance:  typeDistance,
-		Bound:     1, // two items of different types exist
-	}
-	ok, err := e.Decide(req)
+	ctx := context.Background()
+	p := e.MustPrepare("Q(item, type, price) :- catalog(item, type, price, s)",
+		WithK(2), WithObjective(MaxMin), WithLambda(1), WithDistance(typeDistance))
+	bound := 1.0
+	resp, err := p.Do(ctx, Request{Problem: ProblemDecide, Bound: &bound})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !ok {
+	if !resp.Decided() {
 		t.Error("bound 1 should be reachable")
 	}
-	req.Bound = 5
-	ok, err = e.Decide(req)
+	bound = 5
+	resp, err = p.Do(ctx, Request{Problem: ProblemDecide, Bound: &bound})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok {
+	if resp.Decided() {
 		t.Error("bound 5 should be unreachable (distances are 0/1)")
 	}
 }
 
 func TestDecideMonoUsesPTimePath(t *testing.T) {
 	e := giftEngine(t)
-	req := Request{
-		Query:     "Q(item, type, price) :- catalog(item, type, price, s)",
-		K:         3,
-		Objective: "mono",
-		LambdaSet: true, // λ = 0: pure relevance
-		Relevance: priceRelevance,
-		Bound:     60,
-	}
-	ok, err := e.Decide(req)
+	ctx := context.Background()
+	p := e.MustPrepare("Q(item, type, price) :- catalog(item, type, price, s)",
+		WithK(3), WithObjective(Mono), WithLambda(0), // λ = 0: pure relevance
+		WithRelevance(priceRelevance), WithBound(60))
+	resp, err := p.Do(ctx, Request{Problem: ProblemDecide})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !ok {
+	if !resp.Decided() {
 		t.Error("three items near price 25 should reach 60")
+	}
+	if resp.Route != "mono-ptime" {
+		t.Errorf("mono decide routed through %q, want mono-ptime", resp.Route)
 	}
 }
 
 func TestCount(t *testing.T) {
 	e := giftEngine(t)
 	// All 2-subsets of the 6 items with B=0: C(6,2) = 15.
-	n, err := e.Count(Request{
-		Query:     "Q(item) :- catalog(item, t, p, s)",
-		K:         2,
-		Objective: "max-sum",
-	})
+	n, err := e.MustPrepare("Q(item) :- catalog(item, t, p, s)",
+		WithK(2), WithObjective(MaxSum)).Count(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,12 +311,9 @@ func TestCount(t *testing.T) {
 func TestCountWithConstraints(t *testing.T) {
 	e := giftEngine(t)
 	// Pairs containing the ring only: 5.
-	n, err := e.Count(Request{
-		Query:       "Q(item) :- catalog(item, t, p, s)",
-		K:           2,
-		Objective:   "max-sum",
-		Constraints: []string{`exists s (s.item = "ring")`},
-	})
+	n, err := e.MustPrepare("Q(item) :- catalog(item, t, p, s)",
+		WithK(2), WithObjective(MaxSum),
+		WithConstraints(`exists s (s.item = "ring")`)).Count(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,90 +324,75 @@ func TestCountWithConstraints(t *testing.T) {
 
 func TestConstraintErrors(t *testing.T) {
 	e := giftEngine(t)
-	base := Request{Query: "Q(item) :- catalog(item, t, p, s)", K: 1, Objective: "max-sum"}
-	bad := base
-	bad.Constraints = []string{"((("}
-	if _, err := e.Count(bad); err == nil {
+	ctx := context.Background()
+	const src = "Q(item) :- catalog(item, t, p, s)"
+	if _, err := e.Prepare(src, WithK(1), WithConstraints("(((")); err == nil {
 		t.Error("unparsable constraint should fail")
 	}
-	badAttr := base
-	badAttr.Constraints = []string{`exists s (s.nope = 1)`}
-	if _, err := e.Count(badAttr); err == nil {
+	if _, err := e.Prepare(src, WithK(1), WithConstraints(`exists s (s.nope = 1)`)); err == nil {
 		t.Error("unknown attribute should fail validation")
 	}
-	greedyReq := base
-	greedyReq.Constraints = []string{`exists s (s.item = "ring")`}
-	greedyReq.Algorithm = "greedy"
-	if _, err := e.Diversify(greedyReq); err == nil {
+	p := e.MustPrepare(src, WithK(1), WithConstraints(`exists s (s.item = "ring")`))
+	if _, err := p.Diversify(ctx, WithAlgorithm(Greedy)); err == nil {
 		t.Error("greedy with constraints should be refused")
 	}
 }
 
 func TestInTopR(t *testing.T) {
 	e := giftEngine(t)
-	req := Request{
-		Query:     "Q(item, price) :- catalog(item, price0, price, s)",
-		K:         2,
-		Objective: "mono",
-		LambdaSet: true,
-		Relevance: func(r Row) float64 { return float64(r.Get("price").(int64)) },
-		Rank:      1,
-	}
+	ctx := context.Background()
+	p := e.MustPrepare("Q(item, price) :- catalog(item, price0, price, s)",
+		WithK(2), WithObjective(Mono), WithLambda(0),
+		WithRelevance(func(r Row) float64 { return float64(r.Get("price").(int64)) }),
+		WithRank(1))
 	// Top pair by price sum: kite(55) + scarf(30).
-	ok, err := e.InTopR(req, [][]interface{}{{"kite", 55}, {"scarf", 30}})
+	ok, err := p.InTopR(ctx, [][]interface{}{{"kite", 55}, {"scarf", 30}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ok {
 		t.Error("highest-price pair should be rank 1")
 	}
-	ok, err = e.InTopR(req, [][]interface{}{{"paints", 21}, {"novel", 22}})
+	ok, err = p.InTopR(ctx, [][]interface{}{{"paints", 21}, {"novel", 22}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ok {
 		t.Error("lowest-price pair should not be rank 1")
 	}
-	if _, err := e.InTopR(req, [][]interface{}{{"kite", 55}}); err == nil {
+	if _, err := p.InTopR(ctx, [][]interface{}{{"kite", 55}}); err == nil {
 		t.Error("wrong-size set should fail")
 	}
-	bad := req
-	bad.Rank = 0
-	if _, err := e.InTopR(bad, nil); err == nil {
+	if _, err := p.InTopR(ctx, nil, WithRank(0)); err == nil {
 		t.Error("rank 0 should fail")
 	}
 }
 
 func TestRankExact(t *testing.T) {
 	e := giftEngine(t)
-	req := Request{
-		Query:     "Q(item, price) :- catalog(item, price0, price, s)",
-		K:         2,
-		Objective: "mono",
-		LambdaSet: true,
-		Relevance: func(r Row) float64 { return float64(r.Get("price").(int64)) },
-	}
+	ctx := context.Background()
+	p := e.MustPrepare("Q(item, price) :- catalog(item, price0, price, s)",
+		WithK(2), WithObjective(Mono), WithLambda(0),
+		WithRelevance(func(r Row) float64 { return float64(r.Get("price").(int64)) }))
 	// Top pair by price sum is rank 1; the bottom pair is rank C(6,2) = 15.
-	rank, err := e.Rank(req, [][]interface{}{{"kite", 55}, {"scarf", 30}})
+	rank, err := p.Rank(ctx, [][]interface{}{{"kite", 55}, {"scarf", 30}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rank != 1 {
 		t.Errorf("best pair ranks %d, want 1", rank)
 	}
-	rank, err = e.Rank(req, [][]interface{}{{"paints", 21}, {"novel", 22}})
+	rank, err = p.Rank(ctx, [][]interface{}{{"paints", 21}, {"novel", 22}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rank != 15 {
 		t.Errorf("worst pair ranks %d, want 15", rank)
 	}
-	if _, err := e.Rank(req, [][]interface{}{{"kite", 55}}); err == nil {
+	if _, err := p.Rank(ctx, [][]interface{}{{"kite", 55}}); err == nil {
 		t.Error("wrong-size set should fail")
 	}
-	bad := req
-	bad.Query = "broken"
-	if _, err := e.Rank(bad, nil); err == nil {
+	if _, err := e.Prepare("broken", WithK(2)); err == nil {
 		t.Error("bad query should fail")
 	}
 }
@@ -403,12 +401,10 @@ func TestLambdaDefaultsToHalf(t *testing.T) {
 	e := giftEngine(t)
 	// With the default λ = 0.5 both relevance and diversity matter; with a
 	// degenerate distance, FMS should still track relevance.
-	sel, err := e.Diversify(Request{
-		Query:     "Q(item, price) :- catalog(item, t, price, s)",
-		K:         1,
-		Objective: "max-sum",
-		Relevance: func(r Row) float64 { return float64(r.Get("price").(int64)) },
-	})
+	sel, err := e.MustPrepare("Q(item, price) :- catalog(item, t, price, s)",
+		WithK(1), WithObjective(MaxSum),
+		WithRelevance(func(r Row) float64 { return float64(r.Get("price").(int64)) }),
+	).Diversify(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/query/eval"
 	"repro/internal/query/parse"
@@ -14,11 +15,19 @@ import (
 // Engine owns a database, compiles queries into Prepared handles, and
 // evaluates diversification requests against it.
 //
-// The engine is not safe for concurrent mutation; once the schema and data
-// are loaded, any number of goroutines may solve against shared Prepared
-// handles concurrently.
+// The engine is safe for concurrent use: mutations (CreateTable, Insert,
+// Delete) take the engine's write lock and every solve, refresh and query
+// evaluation runs under its read lock, so a mutation waits for in-flight
+// solves and a solve never observes a half-applied mutation. Long exact
+// searches therefore delay mutations; cancel them via their context if
+// write latency matters more than the answer.
 type Engine struct {
 	db *relation.Database
+
+	// mu serializes database mutation against the read paths (solves,
+	// refreshes, Query). The relation layer itself is unsynchronized; this
+	// lock is what makes a service serving concurrent traffic sound.
+	mu sync.RWMutex
 }
 
 // NewEngine creates an engine with an empty database.
@@ -32,6 +41,8 @@ func (e *Engine) CreateTable(name string, attrs ...string) error {
 	if len(attrs) == 0 {
 		return errors.New("diversification: table needs at least one attribute")
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.db.Relation(name) != nil {
 		return fmt.Errorf("diversification: table %q already exists", name)
 	}
@@ -50,6 +61,8 @@ func (e *Engine) MustCreateTable(name string, attrs ...string) {
 // row advances the database generation, invalidating every Prepared
 // handle's cached answer set.
 func (e *Engine) Insert(table string, values ...interface{}) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	r := e.db.Relation(table)
 	if r == nil {
 		return fmt.Errorf("diversification: no table %q", table)
@@ -82,6 +95,8 @@ func (e *Engine) MustInsert(table string, values ...interface{}) {
 // so Prepared handles maintain their caches incrementally where the query
 // allows it.
 func (e *Engine) Delete(table string, values ...interface{}) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	r := e.db.Relation(table)
 	if r == nil {
 		return false, fmt.Errorf("diversification: no table %q", table)
@@ -106,7 +121,11 @@ func (e *Engine) Delete(table string, values ...interface{}) (bool, error) {
 // keeps incremental refresh memory O(bound): when more mutations accumulate
 // between refreshes than the bound retains, stale Prepared handles fall
 // back to a full rebuild instead of a delta.
-func (e *Engine) SetJournalBound(n int) { e.db.SetJournalBound(n) }
+func (e *Engine) SetJournalBound(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.db.SetJournalBound(n)
+}
 
 func toValue(v interface{}) (value.Value, error) {
 	switch x := v.(type) {
@@ -140,6 +159,8 @@ func (e *Engine) QueryContext(ctx context.Context, src string) (*ResultSet, erro
 	if err != nil {
 		return nil, err
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	if err := eval.Validate(q, e.db); err != nil {
 		return nil, err
 	}

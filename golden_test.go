@@ -3,10 +3,17 @@ package diversification
 import (
 	"bytes"
 	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
+	"time"
 )
 
 // updateGolden regenerates the checked-in golden outputs:
@@ -112,5 +119,117 @@ func TestUpdatesReplayGolden(t *testing.T) {
 	if !bytes.Equal(want, stdout.Bytes()) {
 		t.Errorf("updates replay diverged from %s\n--- want ---\n%s\n--- got ---\n%s",
 			golden, want, stdout.Bytes())
+	}
+}
+
+// elapsedRE scrubs the only non-deterministic field of the wire protocol
+// from the serve transcript.
+var elapsedRE = regexp.MustCompile(`"elapsed_ns":[0-9]+`)
+
+// TestServeGolden runs the divserve binary against its built-in demo
+// database and replays the README's curl transcript over real HTTP,
+// diffing the (elapsed-scrubbed) responses against the golden file. Any
+// change to the wire protocol — routes, field names, status codes, the
+// plan explanation — shows up as a golden diff.
+func TestServeGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run and a TCP listener")
+	}
+	// Reserve a port, free it, and hand it to divserve: a small window of
+	// race, but deterministic enough for a test that retries its probe.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	// Build the real binary and exec it directly: `go run` would interpose
+	// a parent process whose death leaves the server holding the pipe.
+	bin := filepath.Join(t.TempDir(), "divserve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/divserve")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building divserve: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-demo", "-addr", addr)
+	cmd.Env = os.Environ()
+	var serverLog bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &serverLog, &serverLog
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("divserve never became healthy: %v\nserver log:\n%s", err, serverLog.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The transcript: the same requests the README documents with curl.
+	steps := []struct {
+		method, path, body string
+	}{
+		{"GET", "/healthz", ""},
+		{"POST", "/v1/query/gifts", `{"problem":"diversify","explain":true}`},
+		{"POST", "/v1/query/gifts", `{"problem":"decide","bound":40}`},
+		// A negative decide answer must still carry its field on the wire:
+		// "exists":false, not an absent key.
+		{"POST", "/v1/query/gifts", `{"problem":"decide","bound":1000}`},
+		{"POST", "/v1/query/gifts", `{"problem":"count","bound":40}`},
+		{"POST", "/v1/refresh/gifts", ""},
+		{"POST", "/v1/query/nope", `{}`},
+		{"POST", "/v1/query/gifts", `{"k":-1}`},
+		{"GET", "/metrics", ""},
+	}
+	var transcript strings.Builder
+	for _, s := range steps {
+		fmt.Fprintf(&transcript, "$ %s %s %s\n", s.method, s.path, s.body)
+		var resp *http.Response
+		var err error
+		if s.method == "GET" {
+			resp, err = client.Get(base + s.path)
+		} else {
+			resp, err = client.Post(base+s.path, "application/json", strings.NewReader(s.body))
+		}
+		if err != nil {
+			t.Fatalf("%s %s: %v", s.method, s.path, err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := elapsedRE.ReplaceAllString(strings.TrimSpace(string(raw)), `"elapsed_ns":0`)
+		fmt.Fprintf(&transcript, "%d %s\n", resp.StatusCode, body)
+	}
+
+	golden := filepath.Join("testdata", "golden", "serve.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(transcript.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run `go test -run TestServeGolden -update .`): %v", golden, err)
+	}
+	if string(want) != transcript.String() {
+		t.Errorf("serve transcript diverged from %s\n--- want ---\n%s\n--- got ---\n%s",
+			golden, want, transcript.String())
 	}
 }

@@ -1,0 +1,124 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	diversification "repro"
+)
+
+// StatusError is a non-2xx response from the server, carrying the decoded
+// error body when one was present.
+type StatusError struct {
+	Code int
+	Body ErrorBody
+}
+
+// Error renders "httpapi: 400 Bad Request: diversification: invalid k: ...".
+func (e *StatusError) Error() string {
+	msg := e.Body.Error
+	if msg == "" {
+		msg = "(no error body)"
+	}
+	return fmt.Sprintf("httpapi: %d %s: %s", e.Code, http.StatusText(e.Code), msg)
+}
+
+// Client talks the diversification wire protocol to a divserve instance.
+// The zero HTTPClient means http.DefaultClient; BaseURL is the server
+// root, e.g. "http://127.0.0.1:8080".
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out (unless
+// out is nil). Non-2xx statuses decode into a StatusError.
+func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
+	var reader io.Reader
+	if body != nil {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reader = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimSuffix(c.BaseURL, "/")+path, reader)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	// Responses are not bounded the way request bodies are (a wide
+	// selection or an explain report can be large); cap defensively but
+	// detect the cut instead of handing a truncated document to the JSON
+	// decoder.
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+	if err != nil {
+		return err
+	}
+	if len(raw) > maxResponseBytes {
+		return fmt.Errorf("httpapi: response exceeds %d bytes", maxResponseBytes)
+	}
+	if resp.StatusCode/100 != 2 {
+		serr := &StatusError{Code: resp.StatusCode}
+		_ = json.Unmarshal(raw, &serr.Body)
+		return serr
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Query runs a QueryRequest against the named statement.
+func (c *Client) Query(ctx context.Context, name string, qr QueryRequest) (*diversification.Response, error) {
+	var resp diversification.Response
+	if err := c.do(ctx, http.MethodPost, "/v1/query/"+name, qr, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Refresh brings the named statement's caches up to date.
+func (c *Client) Refresh(ctx context.Context, name string) (diversification.RefreshInfo, error) {
+	var info diversification.RefreshInfo
+	err := c.do(ctx, http.MethodPost, "/v1/refresh/"+name, nil, &info)
+	return info, err
+}
+
+// Metrics fetches the service counters.
+func (c *Client) Metrics(ctx context.Context) (diversification.Metrics, error) {
+	var m diversification.Metrics
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}
+
+// Healthz reports whether the server answers its liveness probe.
+func (c *Client) Healthz(ctx context.Context) error {
+	var h HealthBody
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return err
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("httpapi: health status %q", h.Status)
+	}
+	return nil
+}

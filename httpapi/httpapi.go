@@ -1,0 +1,158 @@
+// Package httpapi is the JSON-over-HTTP facade of the diversification
+// service: the wire request/response types, an http.Handler serving them
+// from a diversification.Service, and a small Go client. The protocol is
+// four routes:
+//
+//	POST /v1/query/{name}    run a Request against a registered statement
+//	POST /v1/refresh/{name}  bring a statement's caches up to date
+//	GET  /healthz            liveness
+//	GET  /metrics            service counters (admission queue, traffic)
+//
+// Responses are the library's own JSON forms (diversification.Response,
+// RefreshInfo, Metrics). Errors are {"error": ..., "field": ...} with the
+// status mapping: invalid arguments 400, unknown statement 404, no
+// candidate set 422, admission queue full 429, deadline exceeded 504,
+// anything else 500.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+
+	diversification "repro"
+)
+
+// QueryRequest is the wire form of one query against a named statement.
+// Pointer fields are per-request overrides: absent means "use the
+// statement's prepared binding", mirroring diversification.Request.
+type QueryRequest struct {
+	// Problem is "diversify" (default), "decide", "count", "in-top-r" or
+	// "rank".
+	Problem string `json:"problem,omitempty"`
+
+	K         *int     `json:"k,omitempty"`
+	Lambda    *float64 `json:"lambda,omitempty"`
+	Objective *string  `json:"objective,omitempty"` // "max-sum" | "max-min" | "mono"
+	Algorithm *string  `json:"algorithm,omitempty"` // "auto" | "exact" | "greedy" | "local-search" | "online"
+	Bound     *float64 `json:"bound,omitempty"`
+	Rank      *int     `json:"rank,omitempty"`
+
+	// Set is the candidate set for in-top-r and rank: rows of attribute
+	// values in schema order.
+	Set [][]interface{} `json:"set,omitempty"`
+
+	// RelevanceAttr names a numeric attribute used as δrel for this
+	// request; DistanceAttr names an attribute whose inequality defines a
+	// 0/1 δdis. They are the wire stand-ins for the in-process
+	// WithRelevance/WithDistance closures and, like them, bypass the
+	// statement's shared score plane.
+	RelevanceAttr string `json:"relevance_attr,omitempty"`
+	DistanceAttr  string `json:"distance_attr,omitempty"`
+
+	// Constraints replace the statement's compatibility constraints (Cm
+	// syntax) for this request.
+	Constraints []string `json:"constraints,omitempty"`
+
+	// TimeoutMillis bounds this request (queue wait + solve); 0 defers to
+	// the server's default deadline.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+
+	// Explain asks the response to include the plan's human-readable
+	// resolution report. Off by default — it is per-request allocation and
+	// payload most callers never read.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// ToRequest lowers the wire form onto the library's typed Request.
+func (qr QueryRequest) ToRequest() (diversification.Request, error) {
+	var req diversification.Request
+	problem, err := diversification.ParseProblem(qr.Problem)
+	if err != nil {
+		return req, err
+	}
+	req.Problem = problem
+	req.K = qr.K
+	req.Lambda = qr.Lambda
+	req.Bound = qr.Bound
+	req.Rank = qr.Rank
+	if qr.Objective != nil {
+		obj, err := diversification.ParseObjective(*qr.Objective)
+		if err != nil {
+			return req, err
+		}
+		req.Objective = &obj
+	}
+	if qr.Algorithm != nil {
+		alg, err := diversification.ParseAlgorithm(*qr.Algorithm)
+		if err != nil {
+			return req, err
+		}
+		req.Algorithm = &alg
+	}
+	if qr.Set != nil {
+		set, err := decodeSet(qr.Set)
+		if err != nil {
+			return req, err
+		}
+		req.Set = set
+	}
+	if qr.RelevanceAttr != "" {
+		req.Options = append(req.Options, diversification.WithRelevance(diversification.AttrRelevance(qr.RelevanceAttr)))
+	}
+	if qr.DistanceAttr != "" {
+		req.Options = append(req.Options, diversification.WithDistance(diversification.AttrDistance(qr.DistanceAttr)))
+	}
+	if qr.Constraints != nil {
+		req.Options = append(req.Options, diversification.WithConstraints(qr.Constraints...))
+	}
+	req.Explain = qr.Explain
+	return req, nil
+}
+
+// decodeSet normalizes JSON-decoded candidate rows: json.Number values
+// (the handler decodes bodies with UseNumber) go through the library's
+// shared int/float boundary rule, so integer attributes compare equal to
+// the integers stored in the database. Failures are typed ArgErrors on
+// the "set" field — they are user input, and must map to 400, not 500.
+func decodeSet(set [][]interface{}) ([][]interface{}, error) {
+	out := make([][]interface{}, len(set))
+	for i, row := range set {
+		out[i] = make([]interface{}, len(row))
+		for j, v := range row {
+			switch x := v.(type) {
+			case json.Number:
+				n, err := diversification.JSONNumberValue(x)
+				if err != nil {
+					return nil, &diversification.ArgError{Field: "set", Reason: fmt.Sprintf("row %d column %d: %v", i, j, err)}
+				}
+				out[i][j] = n
+			case float64:
+				// A body decoded without UseNumber: recover integers that
+				// survived the float round trip exactly.
+				if f := x; f == float64(int64(f)) {
+					out[i][j] = int64(f)
+				} else {
+					out[i][j] = f
+				}
+			case string, bool, int64:
+				out[i][j] = x
+			default:
+				return nil, &diversification.ArgError{Field: "set", Reason: fmt.Sprintf("row %d column %d: unsupported value %v (want a scalar)", i, j, v)}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ErrorBody is the wire form of a failed request.
+type ErrorBody struct {
+	Error string `json:"error"`
+	// Field names the invalid argument when the failure was a typed
+	// ArgError; empty otherwise.
+	Field string `json:"field,omitempty"`
+}
+
+// HealthBody is the wire form of GET /healthz.
+type HealthBody struct {
+	Status string `json:"status"`
+}

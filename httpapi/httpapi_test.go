@@ -1,0 +1,302 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/big"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	diversification "repro"
+)
+
+// testService builds a service over a small catalog with one registered
+// statement: k=3, FMS, λ=0.7, price relevance, type distance.
+func testService(t testing.TB) *diversification.Service {
+	t.Helper()
+	e := diversification.NewEngine()
+	e.MustCreateTable("catalog", "item", "type", "price")
+	rows := []struct {
+		item, typ string
+		price     int
+	}{
+		{"ring", "jewelry", 28},
+		{"novel", "book", 22},
+		{"puzzle", "toy", 25},
+		{"scarf", "fashion", 30},
+		{"paints", "artsy", 21},
+		{"kite", "toy", 38},
+	}
+	for _, r := range rows {
+		e.MustInsert("catalog", r.item, r.typ, r.price)
+	}
+	svc := diversification.NewService(e, diversification.ServiceConfig{})
+	err := svc.Register("catalog", "Q(item, type, price) :- catalog(item, type, price)",
+		diversification.WithK(3),
+		diversification.WithObjective(diversification.MaxSum),
+		diversification.WithLambda(0.7),
+		diversification.WithRelevance(func(r diversification.Row) float64 {
+			return float64(r.Get("price").(int64))
+		}),
+		diversification.WithDistance(func(a, b diversification.Row) float64 {
+			if a.Get("type") == b.Get("type") {
+				return 0
+			}
+			return 1
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func testClient(t testing.TB) (*Client, *diversification.Service) {
+	t.Helper()
+	svc := testService(t)
+	srv := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(srv.Close)
+	return &Client{BaseURL: srv.URL, HTTPClient: srv.Client()}, svc
+}
+
+func TestEndToEndQuery(t *testing.T) {
+	client, _ := testClient(t)
+	ctx := context.Background()
+
+	if err := client.Healthz(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := client.Query(ctx, "catalog", QueryRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Selection == nil || len(resp.Selection.Rows) != 3 {
+		t.Fatalf("diversify response malformed: %+v", resp)
+	}
+	if resp.Route == "" || resp.Generation == 0 {
+		t.Errorf("response lost its plan metadata: route=%q gen=%d", resp.Route, resp.Generation)
+	}
+	if resp.Explain != "" {
+		t.Error("explain must be opt-in")
+	}
+
+	// Opting in carries the plan report across the wire.
+	resp, err = client.Query(ctx, "catalog", QueryRequest{Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Explain, "route:     exact") {
+		t.Errorf("explain=true response lacks the plan report: %q", resp.Explain)
+	}
+
+	// Decide with a typed override.
+	bound := 1.0
+	resp, err = client.Query(ctx, "catalog", QueryRequest{Problem: "decide", Bound: &bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Decided() {
+		t.Error("bound 1 should be reachable")
+	}
+
+	// Count: C(6,3) = 20 at bound 0.
+	k := 3
+	resp, err = client.Query(ctx, "catalog", QueryRequest{Problem: "count", K: &k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count.Cmp(big.NewInt(20)) != 0 {
+		t.Errorf("count = %v, want 20", resp.Count)
+	}
+
+	// In-top-r with a candidate set: integers must survive the JSON trip
+	// and match the stored int64 attributes.
+	k2, rank := 2, 1
+	resp, err = client.Query(ctx, "catalog", QueryRequest{
+		Problem: "in-top-r", K: &k2, Rank: &rank,
+		Set: [][]interface{}{{"kite", "toy", 38}, {"scarf", "fashion", 30}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Refresh and metrics round out the protocol.
+	info, err := client.Refresh(ctx, "catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode != "warm" {
+		t.Errorf("refresh after queries = %q, want warm", info.Mode)
+	}
+	m, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Statements != 1 || m.Requests == 0 {
+		t.Errorf("metrics: %+v", m)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	client, _ := testClient(t)
+	ctx := context.Background()
+
+	cases := []struct {
+		name      string
+		stmt      string
+		req       QueryRequest
+		wantCode  int
+		wantField string
+	}{
+		{"unknown statement", "missing", QueryRequest{}, http.StatusNotFound, ""},
+		{"bad problem", "catalog", QueryRequest{Problem: "nope"}, http.StatusBadRequest, "problem"},
+		{"bad objective", "catalog", QueryRequest{Objective: strPtr("nope")}, http.StatusBadRequest, "objective"},
+		{"bad algorithm", "catalog", QueryRequest{Algorithm: strPtr("nope")}, http.StatusBadRequest, "algorithm"},
+		{"negative k", "catalog", QueryRequest{K: intPtr(-1)}, http.StatusBadRequest, "k"},
+		{"k too large", "catalog", QueryRequest{K: intPtr(100)}, http.StatusUnprocessableEntity, ""},
+		{"bad set", "catalog", QueryRequest{Problem: "rank", Set: [][]interface{}{{"only", "one", 1}}}, http.StatusBadRequest, "set"},
+		// Unsupported set values are user input: 400 with the field, never
+		// a 500 from the decode layer.
+		{"null set value", "catalog", QueryRequest{Problem: "rank", Set: [][]interface{}{{nil, nil, nil}, {nil, nil, nil}, {nil, nil, nil}}}, http.StatusBadRequest, "set"},
+	}
+	for _, tc := range cases {
+		_, err := client.Query(ctx, tc.stmt, tc.req)
+		var serr *StatusError
+		if !errors.As(err, &serr) {
+			t.Errorf("%s: got %v, want StatusError", tc.name, err)
+			continue
+		}
+		if serr.Code != tc.wantCode {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, serr.Code, tc.wantCode, serr.Body.Error)
+		}
+		if serr.Body.Field != tc.wantField {
+			t.Errorf("%s: field %q, want %q", tc.name, serr.Body.Field, tc.wantField)
+		}
+	}
+
+	if _, err := client.Refresh(ctx, "missing"); err == nil {
+		t.Error("refresh of unknown statement should fail")
+	}
+}
+
+func TestWriteErrorStatuses(t *testing.T) {
+	// The mappings not reachable deterministically over a live server.
+	cases := []struct {
+		err  error
+		code int
+	}{
+		{diversification.ErrOverloaded, http.StatusTooManyRequests},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, http.StatusGatewayTimeout},
+		{errors.New("boom"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		writeError(rec, tc.err)
+		if rec.Code != tc.code {
+			t.Errorf("writeError(%v) = %d, want %d", tc.err, rec.Code, tc.code)
+		}
+		if !strings.Contains(rec.Body.String(), "error") {
+			t.Errorf("writeError(%v) body %q lacks an error field", tc.err, rec.Body.String())
+		}
+	}
+}
+
+func TestPerRequestTimeout(t *testing.T) {
+	client, _ := testClient(t)
+	// A 0ms wire timeout is "no override"; an (unrealistically) tiny one
+	// must come back as a gateway-timeout class error.
+	_, err := client.Query(context.Background(), "catalog", QueryRequest{TimeoutMillis: -1})
+	if err != nil {
+		t.Errorf("non-positive timeout must be ignored: %v", err)
+	}
+	start := time.Now()
+	_, err = client.Query(context.Background(), "catalog", QueryRequest{TimeoutMillis: 1, Problem: "count", K: intPtr(3)})
+	var serr *StatusError
+	if err != nil && (!errors.As(err, &serr) || serr.Code != http.StatusGatewayTimeout) {
+		t.Errorf("tiny timeout returned %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("timeout did not bound the request")
+	}
+}
+
+func TestHandlerRejectsMalformedBody(t *testing.T) {
+	svc := testService(t)
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/query/catalog", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body returned %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/query/catalog", "application/json", strings.NewReader(`{"unknown_field":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field returned %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestWireScoringAttrs(t *testing.T) {
+	// relevance_attr/distance_attr build per-request scorers that bypass
+	// the statement's shared plane; the solve must still succeed and
+	// reflect the overridden scoring.
+	client, _ := testClient(t)
+	k := 1
+	resp, err := client.Query(context.Background(), "catalog", QueryRequest{
+		K: &k, RelevanceAttr: "price", DistanceAttr: "type",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Selection.Rows[0].Get("item"); got != "kite" {
+		t.Errorf("price relevance should pick the kite, got %v", got)
+	}
+}
+
+func TestStatusErrorRendering(t *testing.T) {
+	withBody := &StatusError{Code: 400, Body: ErrorBody{Error: "diversification: invalid k: nope", Field: "k"}}
+	if got := withBody.Error(); !strings.Contains(got, "400") || !strings.Contains(got, "invalid k") {
+		t.Errorf("Error() = %q", got)
+	}
+	empty := &StatusError{Code: 502}
+	if got := empty.Error(); !strings.Contains(got, "no error body") {
+		t.Errorf("empty-body Error() = %q", got)
+	}
+}
+
+func TestDecodeSetValueKinds(t *testing.T) {
+	set, err := decodeSet([][]interface{}{{
+		json.Number("42"), json.Number("2.5"), json.Number("1e3"),
+		float64(7), float64(7.5), "s", true, int64(3),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []interface{}{int64(42), 2.5, 1000.0, int64(7), 7.5, "s", true, int64(3)}
+	for i, w := range want {
+		if set[0][i] != w {
+			t.Errorf("value %d decoded to %T %v, want %T %v", i, set[0][i], set[0][i], w, w)
+		}
+	}
+	if _, err := decodeSet([][]interface{}{{struct{}{}}}); err == nil {
+		t.Error("unsupported value should fail")
+	}
+	if _, err := decodeSet([][]interface{}{{json.Number("zz")}}); err == nil {
+		t.Error("malformed number should fail")
+	}
+}
+
+func strPtr(s string) *string { return &s }
+func intPtr(i int) *int       { return &i }

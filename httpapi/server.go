@@ -1,0 +1,122 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	diversification "repro"
+)
+
+// maxBodyBytes bounds a request body: queries are small control messages,
+// and a facade serving public traffic must not buffer arbitrary input.
+const maxBodyBytes = 1 << 20
+
+// maxResponseBytes bounds what the client buffers of a response — far
+// looser than the request bound, since selections and explain reports
+// have no small-message guarantee.
+const maxResponseBytes = 64 << 20
+
+// NewHandler serves the diversification wire protocol from svc. Routing
+// uses the standard library mux only, so the facade composes under any
+// outer middleware stack.
+func NewHandler(svc *diversification.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, HealthBody{Status: "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Metrics())
+	})
+	mux.HandleFunc("POST /v1/query/{name}", func(w http.ResponseWriter, r *http.Request) {
+		var qr QueryRequest
+		if !readJSON(w, r, &qr) {
+			return
+		}
+		req, err := qr.ToRequest()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		ctx, cancel := requestContext(r.Context(), qr.TimeoutMillis)
+		defer cancel()
+		resp, err := svc.Do(ctx, r.PathValue("name"), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/refresh/{name}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := svc.Refresh(r.Context(), r.PathValue("name"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	return mux
+}
+
+// requestContext applies the wire-level per-request timeout, if any.
+func requestContext(ctx context.Context, timeoutMillis int64) (context.Context, context.CancelFunc) {
+	if timeoutMillis <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, time.Duration(timeoutMillis)*time.Millisecond)
+}
+
+// readJSON decodes the request body into dst (empty bodies decode as the
+// zero value, so a bare POST runs the statement's prepared bindings).
+// Numbers decode as json.Number so candidate-set integers stay integers.
+func readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "reading body: " + err.Error()})
+		return false
+	}
+	if len(body) == 0 {
+		return true
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.UseNumber()
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "decoding request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// writeError maps a service/library error onto the wire: typed argument
+// errors and their field to 400, unknown statements to 404, "no candidate
+// set" to 422, admission rejection to 429, deadlines to 504, everything
+// else to 500.
+func writeError(w http.ResponseWriter, err error) {
+	var argErr *diversification.ArgError
+	switch {
+	case errors.As(err, &argErr):
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: err.Error(), Field: argErr.Field})
+	case errors.Is(err, diversification.ErrUnknownStatement):
+		writeJSON(w, http.StatusNotFound, ErrorBody{Error: err.Error()})
+	case errors.Is(err, diversification.ErrNoCandidate):
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorBody{Error: err.Error()})
+	case errors.Is(err, diversification.ErrOverloaded):
+		writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusGatewayTimeout, ErrorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, ErrorBody{Error: err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}

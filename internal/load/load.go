@@ -1,0 +1,80 @@
+// Package load installs data into an engine for the command-line tools:
+// TSV relations and the built-in gift-shop demo catalog. It is the single
+// definition both divcli and divserve share, so the demo data pinned by
+// the example golden transcripts and the serve golden transcript cannot
+// silently diverge.
+package load
+
+import (
+	"fmt"
+	"os"
+
+	diversification "repro"
+	"repro/internal/relation"
+	"repro/internal/tsvio"
+	"repro/internal/value"
+)
+
+// TSV reads a relation from a tab-separated file whose first line names
+// the attributes and installs it into the engine.
+func TSV(e *diversification.Engine, name, file string) error {
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rel, err := tsvio.Read(name, f)
+	if err != nil {
+		return err
+	}
+	if err := e.CreateTable(name, rel.Schema().Attrs...); err != nil {
+		return err
+	}
+	for _, t := range rel.Sorted() {
+		if err := e.Insert(name, tupleArgs(t)...); err != nil {
+			return fmt.Errorf("%s: %v", file, err)
+		}
+	}
+	return nil
+}
+
+// tupleArgs converts a tuple to the facade's interface{} row form.
+func tupleArgs(t relation.Tuple) []interface{} {
+	args := make([]interface{}, len(t))
+	for i, v := range t {
+		switch v.Kind() {
+		case value.KindInt:
+			args[i] = v.AsInt()
+		case value.KindFloat:
+			args[i] = v.AsFloat()
+		case value.KindBool:
+			args[i] = v.AsBool()
+		default:
+			args[i] = v.AsString()
+		}
+	}
+	return args
+}
+
+// Demo installs the Example 1.1 gift-shop catalog.
+func Demo(e *diversification.Engine) {
+	e.MustCreateTable("catalog", "item", "type", "price", "inStock")
+	rows := []struct {
+		item, typ    string
+		price, stock int
+	}{
+		{"silver ring", "jewelry", 28, 2},
+		{"adventure novel", "book", 22, 9},
+		{"jigsaw puzzle", "toy", 25, 4},
+		{"silk scarf", "fashion", 30, 1},
+		{"acrylic paints", "artsy", 21, 7},
+		{"stunt kite", "toy", 38, 3},
+		{"charm bracelet", "jewelry", 35, 5},
+		{"science kit", "educational", 27, 6},
+		{"poetry anthology", "book", 18, 8},
+		{"board game", "toy", 32, 2},
+	}
+	for _, r := range rows {
+		e.MustInsert("catalog", r.item, r.typ, r.price, r.stock)
+	}
+}

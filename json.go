@@ -1,0 +1,135 @@
+package diversification
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// MarshalJSON renders the row as a JSON object of attribute→value pairs in
+// schema order, e.g. {"item":"ring","price":28}. The ordering is part of
+// the wire contract: a decoder reading keys in document order recovers the
+// schema, which is what UnmarshalJSON does.
+func (r Row) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, attr := range r.schema.Attrs {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		name, err := json.Marshal(attr)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(name)
+		buf.WriteByte(':')
+		if i >= len(r.tuple) {
+			buf.WriteString("null")
+			continue
+		}
+		val, err := json.Marshal(r.Get(attr))
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(val)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalJSON rebuilds a row from its attribute→value object form,
+// reading keys in document order so the reconstructed schema preserves the
+// attribute order MarshalJSON wrote. Numbers without a fraction or
+// exponent decode as integers, so an int/float round trip is exact.
+func (r *Row) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return fmt.Errorf("diversification: row JSON must be an object, got %v", tok)
+	}
+	var attrs []string
+	var tuple relation.Tuple
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		key, ok := keyTok.(string)
+		if !ok {
+			return fmt.Errorf("diversification: row JSON key is %v, want a string", keyTok)
+		}
+		valTok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		v, err := tokenValue(valTok)
+		if err != nil {
+			return fmt.Errorf("diversification: row attribute %q: %w", key, err)
+		}
+		attrs = append(attrs, key)
+		tuple = append(tuple, v)
+	}
+	if _, err := dec.Token(); err != nil { // consume the closing '}'
+		return err
+	}
+	r.schema = relation.NewSchema("", attrs...)
+	r.tuple = tuple
+	return nil
+}
+
+// JSONNumberValue converts a json.Number to the Go value the engine
+// stores: int64 when the literal has no fraction or exponent (and fits),
+// float64 otherwise. It is the single definition of the wire's int/float
+// boundary — candidate-set integers must compare equal to the integers in
+// the database, so every decoder (Row JSON, the HTTP request set) shares
+// this rule.
+func JSONNumberValue(n json.Number) (interface{}, error) {
+	if !strings.ContainsAny(n.String(), ".eE") {
+		if i, err := n.Int64(); err == nil {
+			return i, nil
+		}
+	}
+	return n.Float64()
+}
+
+// tokenValue converts one decoded JSON scalar into a relation value.
+func tokenValue(tok json.Token) (value.Value, error) {
+	switch x := tok.(type) {
+	case json.Number:
+		v, err := JSONNumberValue(x)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if i, ok := v.(int64); ok {
+			return value.Int(i), nil
+		}
+		return value.Float(v.(float64)), nil
+	case string:
+		return value.Str(x), nil
+	case bool:
+		return value.Bool(x), nil
+	case nil:
+		return value.Value{}, fmt.Errorf("null is not a supported attribute value")
+	default:
+		return value.Value{}, fmt.Errorf("unsupported JSON value %v (want a scalar)", tok)
+	}
+}
+
+// Values returns the row's attribute values in schema order, in the
+// interface form Engine.Insert and Request.Set accept — the bridge from a
+// decoded Selection back into candidate-set arguments.
+func (r Row) Values() []interface{} {
+	out := make([]interface{}, 0, len(r.schema.Attrs))
+	for _, attr := range r.schema.Attrs {
+		out = append(out, r.Get(attr))
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package diversification
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"math/big"
+	"strings"
+	"testing"
+)
+
+// TestRowJSONRoundTrip: a row marshals as an ordered attribute→value
+// object and unmarshals back to the same bytes, preserving value kinds
+// (int stays int, float stays float).
+func TestRowJSONRoundTrip(t *testing.T) {
+	e := NewEngine()
+	e.MustCreateTable("m", "name", "count", "score", "ok")
+	e.MustInsert("m", "alpha", 42, 2.5, true)
+	rs, err := e.Query("Q(name, count, score, ok) :- m(name, count, score, ok)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rs.Row(0)
+	first, err := json.Marshal(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"name":"alpha","count":42,"score":2.5,"ok":true}`
+	if string(first) != want {
+		t.Errorf("row JSON = %s, want %s", first, want)
+	}
+	var back Row
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Get("count"); got != int64(42) {
+		t.Errorf("count round-tripped to %T %v, want int64 42", got, got)
+	}
+	if got := back.Get("score"); got != 2.5 {
+		t.Errorf("score round-tripped to %T %v, want float64 2.5", got, got)
+	}
+	second, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("round trip not stable: %s vs %s", first, second)
+	}
+	// Values() exposes the row in candidate-set form.
+	vals := back.Values()
+	if len(vals) != 4 || vals[0] != "alpha" || vals[1] != int64(42) {
+		t.Errorf("Values() = %v", vals)
+	}
+}
+
+func TestRowJSONRejectsMalformed(t *testing.T) {
+	var r Row
+	for _, bad := range []string{`[1,2]`, `{"a":null}`, `{"a":{"nested":1}}`, `{"a":`} {
+		if err := json.Unmarshal([]byte(bad), &r); err == nil {
+			t.Errorf("unmarshal of %s should fail", bad)
+		}
+	}
+}
+
+// TestSelectionJSONRoundTrip: a real solver selection survives the wire
+// with its exact float value.
+func TestSelectionJSONRoundTrip(t *testing.T) {
+	e := giftEngine(t)
+	sel, err := e.MustPrepare("Q(item, type, price) :- catalog(item, type, price, s)",
+		WithK(3), WithObjective(MaxSum), WithLambda(0.5),
+		WithRelevance(priceRelevance), WithDistance(typeDistance),
+	).Diversify(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"rows"`, `"value"`, `"method"`} {
+		if !strings.Contains(string(raw), field) {
+			t.Errorf("selection JSON %s lacks %s", raw, field)
+		}
+	}
+	var back Selection
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(back.Value) != math.Float64bits(sel.Value) {
+		t.Errorf("value drifted across the wire: %x vs %x",
+			math.Float64bits(back.Value), math.Float64bits(sel.Value))
+	}
+	if back.Method != sel.Method || len(back.Rows) != len(sel.Rows) {
+		t.Errorf("selection shape drifted: %+v", back)
+	}
+	for i := range back.Rows {
+		if back.Rows[i].Get("item") != sel.Rows[i].Get("item") {
+			t.Errorf("row %d drifted: %v vs %v", i, back.Rows[i], sel.Rows[i])
+		}
+	}
+}
+
+func TestRefreshInfoAndStatsJSONRoundTrip(t *testing.T) {
+	info := RefreshInfo{Mode: "delta", Added: 3, Removed: 1, Rechecked: 2, Answers: 40}
+	raw, err := json.Marshal(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"mode":"delta","added":3,"removed":1,"rechecked":2,"answers":40}`; string(raw) != want {
+		t.Errorf("RefreshInfo JSON = %s, want %s", raw, want)
+	}
+	var infoBack RefreshInfo
+	if err := json.Unmarshal(raw, &infoBack); err != nil {
+		t.Fatal(err)
+	}
+	if infoBack != info {
+		t.Errorf("RefreshInfo round trip: %+v != %+v", infoBack, info)
+	}
+
+	st := Stats{Nodes: 10, Leaves: 4, Pruned: 2, Answers: 9, Explored: true, Frames: 3, Warm: true, Steps: 7, Seen: 5, Exhausted: true}
+	raw, err = json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stBack Stats
+	if err := json.Unmarshal(raw, &stBack); err != nil {
+		t.Fatal(err)
+	}
+	if stBack != st {
+		t.Errorf("Stats round trip: %+v != %+v", stBack, st)
+	}
+	// omitempty keeps zero-valued solver families off the wire.
+	raw, err = json.Marshal(Stats{Seen: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"seen":5}`; string(raw) != want {
+		t.Errorf("sparse stats JSON = %s, want %s", raw, want)
+	}
+}
+
+// TestResponseJSONRoundTrip covers the full response envelope, including
+// the textual problem enum and a big.Int count.
+func TestResponseJSONRoundTrip(t *testing.T) {
+	e := giftEngine(t)
+	ctx := context.Background()
+	p := e.MustPrepare("Q(item) :- catalog(item, t, p, s)", WithK(2))
+	resp, err := p.Do(ctx, Request{Problem: ProblemCount})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"problem":"count"`) {
+		t.Errorf("response JSON lacks the textual problem: %s", raw)
+	}
+	var back Response
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Problem != ProblemCount {
+		t.Errorf("problem round-tripped to %v", back.Problem)
+	}
+	if back.Count.Cmp(big.NewInt(15)) != 0 {
+		t.Errorf("count round-tripped to %v, want 15", back.Count)
+	}
+	if back.Generation != resp.Generation || back.Route != resp.Route {
+		t.Errorf("envelope drifted: %+v vs %+v", back, resp)
+	}
+	// The request side round-trips too (pointer overrides survive).
+	k, bound := 4, 1.5
+	reqRaw, err := json.Marshal(Request{Problem: ProblemDecide, K: &k, Bound: &bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqBack Request
+	if err := json.Unmarshal(reqRaw, &reqBack); err != nil {
+		t.Fatal(err)
+	}
+	if reqBack.Problem != ProblemDecide || *reqBack.K != 4 || *reqBack.Bound != 1.5 {
+		t.Errorf("request round trip: %+v", reqBack)
+	}
+	if err := json.Unmarshal([]byte(`{"problem":"nope"}`), &reqBack); err == nil {
+		t.Error("unknown problem name should fail to unmarshal")
+	}
+}

@@ -51,7 +51,7 @@ func ParseObjective(s string) (Objective, error) {
 	case "mono", "Fmono":
 		return Mono, nil
 	default:
-		return 0, fmt.Errorf("diversification: unknown objective %q", s)
+		return 0, argErrorf("objective", "unknown objective %q", s)
 	}
 }
 
@@ -119,8 +119,32 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	case "online":
 		return Online, nil
 	default:
-		return 0, fmt.Errorf("diversification: unknown algorithm %q", s)
+		return 0, argErrorf("algorithm", "unknown algorithm %q", s)
 	}
+}
+
+// ArgError reports an invalid caller-supplied argument: which field was at
+// fault and why. Every validation failure of the option set, the request
+// compiler and the candidate-set checks wraps into one, so serving layers
+// can tell user errors (map to HTTP 400) from internal failures (500) with
+// a single errors.As test.
+type ArgError struct {
+	// Field names the offending argument in its user-facing spelling:
+	// "k", "lambda", "objective", "algorithm", "rank", "bound", "set",
+	// "problem", "parallelism", "plane-memory-limit".
+	Field string
+	// Reason says what was wrong with it, including the rejected value.
+	Reason string
+}
+
+// Error renders "diversification: invalid <field>: <reason>".
+func (e *ArgError) Error() string {
+	return fmt.Sprintf("diversification: invalid %s: %s", e.Field, e.Reason)
+}
+
+// argErrorf builds an ArgError with a formatted reason.
+func argErrorf(field, format string, args ...interface{}) *ArgError {
+	return &ArgError{Field: field, Reason: fmt.Sprintf(format, args...)}
 }
 
 // settings is the resolved option state shared by Prepare and the per-call
@@ -159,29 +183,30 @@ func defaultSettings() settings {
 	return settings{lambda: 0.5, scorePlane: true, incremental: true}
 }
 
-// validate rejects inconsistent settings with descriptive errors; it is the
-// single checkpoint for both Prepare-time and per-call option sets.
+// validate rejects inconsistent settings with typed ArgErrors; it is the
+// single checkpoint for both Prepare-time and per-call option sets, so a
+// serving layer can classify any failure it produces as a user error.
 func (s *settings) validate() error {
 	if s.k < 0 {
-		return fmt.Errorf("diversification: K must be non-negative, got %d", s.k)
+		return argErrorf("k", "must be non-negative, got %d", s.k)
 	}
 	if !s.objective.valid() {
-		return fmt.Errorf("diversification: unknown objective %s", s.objective)
+		return argErrorf("objective", "unknown objective %s", s.objective)
 	}
 	if !s.algorithm.valid() {
-		return fmt.Errorf("diversification: unknown algorithm %s", s.algorithm)
+		return argErrorf("algorithm", "unknown algorithm %s", s.algorithm)
 	}
 	if math.IsNaN(s.lambda) || s.lambda < 0 || s.lambda > 1 {
-		return fmt.Errorf("diversification: lambda must be in [0,1], got %v", s.lambda)
+		return argErrorf("lambda", "must be in [0,1], got %v", s.lambda)
 	}
 	if s.rank < 0 {
-		return fmt.Errorf("diversification: rank must be non-negative, got %d", s.rank)
+		return argErrorf("rank", "must be non-negative, got %d", s.rank)
 	}
 	if s.planeMaxBytes < 0 {
-		return fmt.Errorf("diversification: plane memory limit must be non-negative, got %d", s.planeMaxBytes)
+		return argErrorf("plane-memory-limit", "must be non-negative, got %d", s.planeMaxBytes)
 	}
 	if s.parallelism < 0 {
-		return fmt.Errorf("diversification: parallelism must be non-negative, got %d", s.parallelism)
+		return argErrorf("parallelism", "must be non-negative, got %d", s.parallelism)
 	}
 	return nil
 }
@@ -281,6 +306,41 @@ func WithParallelism(n int) Option {
 // per-call overrides do not affect how the shared cache is maintained.
 func WithIncrementalRefresh(on bool) Option {
 	return func(s *settings) { s.incremental = on }
+}
+
+// AttrRelevance returns a δrel that reads the named attribute as a
+// number: ints and floats coerce to float64, booleans to 0/1, anything
+// else (including a missing attribute) to 0. It is the one definition of
+// attribute-based relevance shared by the CLIs and the wire protocol's
+// relevance_attr field.
+func AttrRelevance(attr string) func(Row) float64 {
+	return func(r Row) float64 {
+		switch x := r.Get(attr).(type) {
+		case int64:
+			return float64(x)
+		case float64:
+			return x
+		case bool:
+			if x {
+				return 1
+			}
+			return 0
+		default:
+			return 0
+		}
+	}
+}
+
+// AttrDistance returns the 0/1 δdis on the named attribute's inequality —
+// rows agreeing on the attribute are distance 0, all others 1. Shared by
+// the CLIs and the wire protocol's distance_attr field.
+func AttrDistance(attr string) func(Row, Row) float64 {
+	return func(a, b Row) float64 {
+		if a.Get(attr) == b.Get(attr) {
+			return 0
+		}
+		return 1
+	}
 }
 
 // WithConstraints sets the compatibility constraints (class Cm, Section 9),

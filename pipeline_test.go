@@ -1,0 +1,179 @@
+package diversification
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPlanExplain pins the observable plan resolution for each problem
+// kind and plane regime: the route, snapshot and plane lines Explain
+// reports are the fields operators alert on.
+func TestPlanExplain(t *testing.T) {
+	e := giftEngine(t)
+	ctx := context.Background()
+	p := e.MustPrepare("Q(item, type, price) :- catalog(item, type, price, s)",
+		WithK(2), WithObjective(MaxSum), WithLambda(0.6),
+		WithRelevance(priceRelevance), WithDistance(typeDistance))
+
+	pl, err := p.Plan(ctx, Request{Problem: ProblemDiversify})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Route() != "exact" {
+		t.Errorf("Route() = %q, want exact", pl.Route())
+	}
+	explain := pl.Explain()
+	for _, want := range []string{
+		"problem:   diversify",
+		"language:  CQ",
+		"objective: max-sum (λ=0.6, k=2)",
+		"route:     exact",
+		"sigma:     0 constraints",
+		"snapshot:  generation",
+		"plane:     shared, materialized matrix",
+		"workers:   1",
+	} {
+		if !strings.Contains(explain, want) {
+			t.Errorf("Explain() lacks %q:\n%s", want, explain)
+		}
+	}
+
+	// Executing the plan answers against its pinned snapshot — twice, with
+	// identical results.
+	r1, err := pl.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := pl.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(r1.Selection.Value) != math.Float64bits(r2.Selection.Value) {
+		t.Error("re-executing a plan changed the answer")
+	}
+	if r1.Generation != r2.Generation {
+		t.Error("re-executing a plan changed the generation")
+	}
+
+	// A streaming route plans without a snapshot.
+	online := Online
+	pl, err = p.Plan(ctx, Request{Problem: ProblemDiversify, Algorithm: &online})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explain = pl.Explain()
+	if !strings.Contains(explain, "route:     online") || !strings.Contains(explain, "snapshot:  none (streaming route)") {
+		t.Errorf("online Explain() malformed:\n%s", explain)
+	}
+
+	// A per-request scoring override bypasses the shared plane and says so.
+	pl, err = p.Plan(ctx, Request{Problem: ProblemDiversify, Options: []Option{
+		WithRelevance(func(r Row) float64 { return 1 }),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pl.Explain(), "plane:     per-request") {
+		t.Errorf("override Explain() lacks the bypass note:\n%s", pl.Explain())
+	}
+
+	// WithScorePlane(false) is reported as off.
+	pl, err = p.Plan(ctx, Request{Problem: ProblemDiversify, Options: []Option{WithScorePlane(false)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pl.Explain(), "plane:     off") {
+		t.Errorf("plane-off Explain() lacks the off note:\n%s", pl.Explain())
+	}
+
+	// Decide on a warm cache routes exact; the bound line is present.
+	bound := 2.0
+	pl, err = p.Plan(ctx, Request{Problem: ProblemDecide, Bound: &bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explain = pl.Explain()
+	if !strings.Contains(explain, "bound:     F >= 2") || !strings.Contains(explain, "route:     exact") {
+		t.Errorf("decide Explain() malformed:\n%s", explain)
+	}
+
+	// In-top-r and rank report their candidate set size.
+	rank := 1
+	set := [][]interface{}{{"kite", "toy", 55}, {"scarf", "fashion", 30}}
+	pl, err = p.Plan(ctx, Request{Problem: ProblemInTopR, Rank: &rank, Set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pl.Explain(), "rank:      r = 1, |set| = 2") {
+		t.Errorf("in-top-r Explain() malformed:\n%s", pl.Explain())
+	}
+	pl, err = p.Plan(ctx, Request{Problem: ProblemRank, Set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pl.Explain(), "rank:      exact, |set| = 2") {
+		t.Errorf("rank Explain() malformed:\n%s", pl.Explain())
+	}
+	resp, err := pl.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rank < 1 {
+		t.Errorf("rank = %d, want >= 1", resp.Rank)
+	}
+}
+
+// TestPlanDecideColdStreams pins the cold-cache decide route: a fresh
+// handle plans the streaming solver with an exact fallback, and the
+// response reports the stream's own statistics.
+func TestPlanDecideColdStreams(t *testing.T) {
+	e := giftEngine(t)
+	ctx := context.Background()
+	p := e.MustPrepare("Q(item, type, price) :- catalog(item, type, price, s)",
+		WithK(2), WithObjective(MaxSum), WithLambda(1), WithDistance(typeDistance))
+	bound := 1.0
+	pl, err := p.Plan(ctx, Request{Problem: ProblemDecide, Bound: &bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Route() != "online-stream" {
+		t.Fatalf("cold decide routed %q, want online-stream", pl.Route())
+	}
+	if !strings.Contains(pl.Explain(), "fallback: exact") {
+		t.Errorf("cold decide Explain() lacks the fallback:\n%s", pl.Explain())
+	}
+	resp, err := pl.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Decided() {
+		t.Error("bound 1 should be reachable")
+	}
+	if resp.Route != "online-stream" || resp.Stats.Seen == 0 {
+		t.Errorf("streamed decide response malformed: route=%q stats=%+v", resp.Route, resp.Stats)
+	}
+
+	// Mono decide routes through the PTIME shortcut.
+	mono := Mono
+	lambda0 := 0.0
+	resp, err = p.Do(ctx, Request{Problem: ProblemDecide, Objective: &mono, Lambda: &lambda0, Bound: &bound,
+		Options: []Option{WithRelevance(priceRelevance)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Route != "mono-ptime" {
+		t.Errorf("mono decide routed %q, want mono-ptime", resp.Route)
+	}
+}
+
+// TestServiceEngineAccessor keeps the embedding path honest: mutations go
+// through the same engine the service fronts.
+func TestServiceEngineAccessor(t *testing.T) {
+	e := giftEngine(t)
+	svc := NewService(e, ServiceConfig{})
+	if svc.Engine() != e {
+		t.Error("Engine() must return the fronted engine")
+	}
+}

@@ -2,23 +2,17 @@ package diversification
 
 import (
 	"context"
-	"errors"
-	"fmt"
 	"math/big"
 	"slices"
 	"sort"
 	"sync"
 
-	"repro/internal/approx"
 	"repro/internal/compat"
-	"repro/internal/core"
 	"repro/internal/objective"
-	"repro/internal/online"
 	"repro/internal/query"
 	"repro/internal/query/eval"
 	"repro/internal/query/parse"
 	"repro/internal/relation"
-	"repro/internal/solver"
 )
 
 // Prepared is a compiled diversification query: the query text has been
@@ -39,8 +33,10 @@ import (
 //	sel, _ := p.Diversify(ctx)                             // k = 3
 //	sel, _ = p.Diversify(ctx, diversification.WithK(5))    // k = 5, once
 //
-// A Prepared handle is safe for concurrent solves as long as the engine's
-// database is not being mutated concurrently.
+// A Prepared handle is safe for concurrent use: any number of goroutines
+// may solve against it, and engine mutations (Insert/Delete/CreateTable)
+// serialize against in-flight solves behind the engine's read-write lock,
+// so every response pairs answers, index and plane from one generation.
 type Prepared struct {
 	eng    *Engine
 	src    string
@@ -111,7 +107,10 @@ func (e *Engine) Prepare(src string, opts ...Option) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := eval.Validate(q, e.db); err != nil {
+	e.mu.RLock()
+	err = eval.Validate(q, e.db)
+	e.mu.RUnlock()
+	if err != nil {
 		return nil, err
 	}
 	s := defaultSettings()
@@ -200,19 +199,21 @@ func (p *Prepared) sigmaFor(s settings) (*compat.Set, error) {
 	return compileConstraints(s.constraints, p.schema)
 }
 
-// RefreshInfo reports how a snapshot was brought up to date.
+// RefreshInfo reports how a snapshot was brought up to date. It marshals
+// to JSON with stable field names for the wire protocol.
 type RefreshInfo struct {
 	// Mode is "warm" (nothing to do), "delta" (journal applied
 	// incrementally) or "rebuild" (full re-evaluation).
-	Mode string
+	Mode string `json:"mode,omitempty"`
 	// Added and Removed count the answer tuples the delta touched (zero
 	// for warm and rebuild modes).
-	Added, Removed int
+	Added   int `json:"added,omitempty"`
+	Removed int `json:"removed,omitempty"`
 	// Rechecked counts per-answer membership re-verifications the delta
 	// performed for deletes.
-	Rechecked int
+	Rechecked int `json:"rechecked,omitempty"`
 	// Answers is |Q(D)| after the refresh.
-	Answers int
+	Answers int `json:"answers,omitempty"`
 }
 
 // Refresh brings the handle's cached state up to date with the database:
@@ -225,6 +226,14 @@ type RefreshInfo struct {
 // through the same path — calling Refresh explicitly just moves the cost to
 // a time of the caller's choosing and reports what happened.
 func (p *Prepared) Refresh(ctx context.Context) (RefreshInfo, error) {
+	p.eng.mu.RLock()
+	defer p.eng.mu.RUnlock()
+	return p.refresh(ctx)
+}
+
+// refresh is Refresh under an already-held engine read lock: the
+// snapshot-acquisition and eager-plane work shared with the batch warm-up.
+func (p *Prepared) refresh(ctx context.Context) (RefreshInfo, error) {
 	snap, info, err := p.snapshotAt(ctx)
 	if err != nil {
 		return info, err
@@ -491,55 +500,6 @@ func (p *Prepared) objectiveFor(s settings) *objective.Objective {
 	return objective.New(kind, rel, dis, s.lambda)
 }
 
-// instance assembles a solver instance for one call. When materialize is
-// true the cached answer set is attached (filling the cache if cold); the
-// streaming Online procedures leave it unmaterialized because they drive
-// the evaluator directly (QRD may even terminate early) — they hand any
-// fully-streamed pool back through Result.Answers for the caller to cache.
-func (p *Prepared) instance(ctx context.Context, s settings, materialize bool) (*core.Instance, error) {
-	sigma, err := p.sigmaFor(s)
-	if err != nil {
-		return nil, err
-	}
-	in := &core.Instance{
-		Query: p.q,
-		DB:    p.eng.db,
-		Obj:   p.objectiveFor(s),
-		K:     s.k,
-		B:     s.bound,
-		R:     s.rank,
-		Sigma: sigma,
-	}
-	in.PlaneMaxBytes = s.planeMaxBytes
-	in.Parallelism = s.workers()
-	if !s.scorePlane {
-		in.PlaneOff = true
-	}
-	if materialize {
-		snap, err := p.snapshotFor(ctx)
-		if err != nil {
-			return nil, err
-		}
-		in.SetAnswers(snap.answers)
-		in.SetAnswerIndex(snap.index)
-		// Attach the handle-cached score plane when this call's scoring
-		// bindings are the prepared ones; a per-call WithRelevance/
-		// WithDistance/WithPlaneMemoryLimit gets a fresh per-instance plane
-		// lazily instead, so it never observes scores baked from the wrong
-		// functions (or a matrix sized under the wrong memory limit).
-		if s.scorePlane && s.dirty&(dirtyRelevance|dirtyDistance|dirtyPlaneLimit) == 0 {
-			pl, err := p.planeFor(ctx, snap, &s)
-			if err != nil {
-				return nil, err
-			}
-			if pl != nil {
-				in.SetPlane(pl)
-			}
-		}
-	}
-	return in, nil
-}
-
 // planeFor returns the snapshot's score plane, building and materializing
 // it on first use. The (possibly quadratic) build runs outside the lock; a
 // plane is a pure function of the snapshot's answers, so a racing loser's
@@ -570,9 +530,38 @@ func (p *Prepared) planeFor(ctx context.Context, snap *snapshot, s *settings) (*
 	return snap.plane, nil
 }
 
-// errNoCandidate is the shared "no candidate set" failure of the selection
-// methods: fewer than k answers, or constraints unsatisfiable.
-var errNoCandidate = errors.New("diversification: no candidate set (too few answers or unsatisfiable constraints)")
+// checkSet validates and converts a caller-provided candidate set: it must
+// have exactly k rows, each matching the query head arity, with values of
+// supported Go types. Failures are typed ArgErrors on the "set" field, so
+// serving layers classify them as user errors.
+func (p *Prepared) checkSet(set [][]interface{}, k int) ([]relation.Tuple, error) {
+	if len(set) != k {
+		return nil, argErrorf("set", "candidate set has %d rows, want exactly k = %d", len(set), k)
+	}
+	arity := p.q.Arity()
+	out := make([]relation.Tuple, 0, len(set))
+	for i, rowVals := range set {
+		if len(rowVals) != arity {
+			return nil, argErrorf("set", "candidate row %d has %d values, want the query head arity %d", i, len(rowVals), arity)
+		}
+		t := make(relation.Tuple, len(rowVals))
+		for j, v := range rowVals {
+			cv, err := toValue(v)
+			if err != nil {
+				return nil, argErrorf("set", "candidate row %d, column %d: %v", i, j, err)
+			}
+			t[j] = cv
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// The five problem-specific methods are thin shims over the unified
+// Request → Plan → Execute pipeline (Do): each compiles its arguments into
+// a Request and unwraps the matching Response field. They are retained as
+// the convenient typed surface; Do is the single audited execution path
+// underneath all of them.
 
 // Diversify finds a k-set maximizing the objective (the optimization form
 // of QRD). Auto and Exact run exact branch-and-bound; Greedy and
@@ -581,78 +570,11 @@ var errNoCandidate = errors.New("diversification: no candidate set (too few answ
 // selection while the query evaluates. ctx cancels the (potentially
 // exponential) exact search mid-flight.
 func (p *Prepared) Diversify(ctx context.Context, opts ...Option) (*Selection, error) {
-	s, err := p.call(opts)
+	resp, err := p.Do(ctx, Request{Problem: ProblemDiversify, Options: opts})
 	if err != nil {
 		return nil, err
 	}
-	in, err := p.instance(ctx, s, s.algorithm != Online)
-	if err != nil {
-		return nil, err
-	}
-	switch s.algorithm {
-	case Auto, Exact:
-		res, err := solver.QRDBestContext(ctx, in)
-		if err != nil {
-			return nil, err
-		}
-		if !res.Exists {
-			return nil, errNoCandidate
-		}
-		return newSelection(p.schema, res.Witness, res.Value, "exact"), nil
-	case Greedy:
-		if in.Sigma.Len() > 0 {
-			return nil, errors.New("diversification: greedy does not support constraints")
-		}
-		res, err := approx.GreedyContext(ctx, in)
-		if err != nil {
-			return nil, err
-		}
-		if len(res.Set) == 0 {
-			return nil, errNoCandidate
-		}
-		return newSelection(p.schema, res.Set, res.Value, "greedy"), nil
-	case LocalSearch:
-		if in.Sigma.Len() > 0 {
-			return nil, errors.New("diversification: local-search does not support constraints")
-		}
-		seed, err := approx.GreedyContext(ctx, in)
-		if err != nil {
-			return nil, err
-		}
-		if len(seed.Set) == 0 {
-			return nil, errNoCandidate
-		}
-		res, err := approx.LocalSearchSwapContext(ctx, in, seed.Set)
-		if err != nil {
-			return nil, err
-		}
-		return newSelection(p.schema, res.Set, res.Value, "local-search"), nil
-	case Online:
-		gen := p.eng.db.Generation()
-		// Replay a captured stream-order pool when one exists for this
-		// generation: the (deterministic) evaluator would produce the same
-		// arrival order, so the anytime selection is byte-identical and the
-		// query evaluation is skipped.
-		pool := p.pooled()
-		// Collect the streamed pool whenever none is captured yet: online
-		// Diversify always consumes the full stream, so the materialized
-		// Q(D) — and its arrival order, which future online calls replay —
-		// is free to keep.
-		collect := pool == nil
-		res, err := online.Diversify(ctx, in, online.Options{CollectAnswers: collect, Pool: pool, HavePool: pool != nil})
-		if err != nil {
-			return nil, err
-		}
-		if collect && res.Exhausted {
-			p.storePool(res.Answers, gen)
-		}
-		if !res.Exists {
-			return nil, errNoCandidate
-		}
-		return newSelection(p.schema, res.Witness, res.Value, "online"), nil
-	default:
-		return nil, fmt.Errorf("diversification: unknown algorithm %s", s.algorithm)
-	}
+	return resp.Selection, nil
 }
 
 // Decide answers QRD: does a k-subset of the query result with objective
@@ -666,132 +588,31 @@ func (p *Prepared) Diversify(ctx context.Context, opts ...Option) (*Selection, e
 // setting does not stream" refusals (Fmono, constraints) fall through to
 // exact search.
 func (p *Prepared) Decide(ctx context.Context, opts ...Option) (bool, error) {
-	s, err := p.call(opts)
+	resp, err := p.Do(ctx, Request{Problem: ProblemDecide, Options: opts})
 	if err != nil {
 		return false, err
 	}
-	// The paper's PTIME algorithm when it applies.
-	if s.objective == Mono && len(s.constraints) == 0 {
-		in, err := p.instance(ctx, s, true)
-		if err != nil {
-			return false, err
-		}
-		res, err := solver.QRDMonoPTime(in)
-		if err == nil {
-			return res.Exists, nil
-		}
-	}
-	// With a cold cache, stream the evaluation and stop at the first valid
-	// set (early termination, Section 1). A warm cache makes streaming a
-	// re-evaluation — and a stale cache the journal can patch costs only
-	// the delta to warm up — so exact search on the cached answers wins in
-	// both of those cases.
-	if p.current() == nil && !p.refreshableDelta() {
-		gen := p.eng.db.Generation()
-		in, err := p.instance(ctx, s, false)
-		if err != nil {
-			return false, err
-		}
-		res, err := online.QRD(ctx, in, online.Options{})
-		if err == nil {
-			if res.Exhausted {
-				// The stream materialized all of Q(D) anyway; keep it so
-				// the next call hits the warm-cache exact path instead of
-				// re-evaluating the query.
-				p.storePool(res.Answers, gen)
-			}
-			return res.Exists, nil
-		}
-		// Only "online is inapplicable here" falls through to the exact
-		// solver; cancellation and any other genuine failure surfaces.
-		if !errors.Is(err, online.ErrMono) && !errors.Is(err, online.ErrConstrained) {
-			return false, err
-		}
-	}
-	in, err := p.instance(ctx, s, true)
-	if err != nil {
-		return false, err
-	}
-	res, err := solver.QRDExactContext(ctx, in)
-	if err != nil {
-		return false, err
-	}
-	return res.Exists, nil
+	return resp.Decided(), nil
 }
 
 // Count answers RDC: how many valid k-subsets reach the bound?
 func (p *Prepared) Count(ctx context.Context, opts ...Option) (*big.Int, error) {
-	s, err := p.call(opts)
+	resp, err := p.Do(ctx, Request{Problem: ProblemCount, Options: opts})
 	if err != nil {
 		return nil, err
 	}
-	in, err := p.instance(ctx, s, true)
-	if err != nil {
-		return nil, err
-	}
-	res, err := solver.RDCExactContext(ctx, in)
-	if err != nil {
-		return nil, err
-	}
-	return res.Count, nil
-}
-
-// checkSet validates and converts a caller-provided candidate set: it must
-// have exactly k rows, each matching the query head arity, with values of
-// supported Go types.
-func (p *Prepared) checkSet(set [][]interface{}, k int) ([]relation.Tuple, error) {
-	if len(set) != k {
-		return nil, fmt.Errorf("diversification: candidate set has %d rows, want exactly K = %d", len(set), k)
-	}
-	arity := p.q.Arity()
-	out := make([]relation.Tuple, 0, len(set))
-	for i, rowVals := range set {
-		if len(rowVals) != arity {
-			return nil, fmt.Errorf("diversification: candidate row %d has %d values, want the query head arity %d", i, len(rowVals), arity)
-		}
-		t := make(relation.Tuple, len(rowVals))
-		for j, v := range rowVals {
-			cv, err := toValue(v)
-			if err != nil {
-				return nil, fmt.Errorf("diversification: candidate row %d, column %d: %w", i, j, err)
-			}
-			t[j] = cv
-		}
-		out = append(out, t)
-	}
-	return out, nil
+	return resp.Count, nil
 }
 
 // InTopR answers DRP: does the given set (specified by attribute values per
 // row, in schema order) rank among the top r candidate sets? The rank
 // threshold comes from WithRank.
 func (p *Prepared) InTopR(ctx context.Context, set [][]interface{}, opts ...Option) (bool, error) {
-	s, err := p.call(opts)
+	resp, err := p.Do(ctx, Request{Problem: ProblemInTopR, Set: set, Options: opts})
 	if err != nil {
 		return false, err
 	}
-	if s.rank < 1 {
-		return false, errors.New("diversification: Rank must be at least 1 (set it with WithRank)")
-	}
-	u, err := p.checkSet(set, s.k)
-	if err != nil {
-		return false, err
-	}
-	in, err := p.instance(ctx, s, true)
-	if err != nil {
-		return false, err
-	}
-	in.U = u
-	if in.Obj.Kind == objective.Mono && in.Sigma.Len() == 0 {
-		if res, err := solver.DRPMonoPTime(in); err == nil {
-			return res.InTopR, nil
-		}
-	}
-	res, err := solver.DRPExactContext(ctx, in)
-	if err != nil {
-		return false, err
-	}
-	return res.InTopR, nil
+	return resp.TopR(), nil
 }
 
 // Rank computes rank(U) exactly: 1 + the number of candidate k-sets scoring
@@ -800,23 +621,9 @@ func (p *Prepared) InTopR(ctx context.Context, set [][]interface{}, opts ...Opti
 // and polynomial cost for Fmono without constraints (Theorem 6.4 applies to
 // the decision; the exact rank is computed by exhaustive counting here).
 func (p *Prepared) Rank(ctx context.Context, set [][]interface{}, opts ...Option) (int, error) {
-	s, err := p.call(opts)
+	resp, err := p.Do(ctx, Request{Problem: ProblemRank, Set: set, Options: opts})
 	if err != nil {
 		return 0, err
 	}
-	s.rank = int(^uint(0) >> 1) // count all better sets
-	u, err := p.checkSet(set, s.k)
-	if err != nil {
-		return 0, err
-	}
-	in, err := p.instance(ctx, s, true)
-	if err != nil {
-		return 0, err
-	}
-	in.U = u
-	res, err := solver.DRPExactContext(ctx, in)
-	if err != nil {
-		return 0, err
-	}
-	return res.Better + 1, nil
+	return resp.Rank, nil
 }

@@ -62,20 +62,16 @@ func TestPreparedMatchesOneShot(t *testing.T) {
 		t.Errorf("Source() = %q", p.Source())
 	}
 
-	oneShot, err := e.Diversify(Request{
-		Query:     src,
-		K:         3,
-		Objective: "max-sum",
-		Lambda:    0.5,
-		Relevance: priceRelevance,
-		Distance:  typeDistance,
-	})
+	oneShot, err := e.MustPrepare(src,
+		WithK(3), WithObjective(MaxSum), WithLambda(0.5),
+		WithRelevance(priceRelevance), WithDistance(typeDistance),
+	).Diversify(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	// Repeated prepared solves must agree with each other and with the
-	// deprecated one-shot path.
+	// Repeated prepared solves must agree with each other and with a
+	// freshly prepared handle solved once (the one-shot shape).
 	var first *Selection
 	for i := 0; i < 3; i++ {
 		sel, err := p.Diversify(ctx)
@@ -109,10 +105,10 @@ func TestPreparedMatchesOneShot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	oc, err := e.Count(Request{
-		Query: src, K: 3, Objective: "max-sum", Lambda: 0.5,
-		Relevance: priceRelevance, Distance: typeDistance, Bound: oneShot.Value,
-	})
+	oc, err := e.MustPrepare(src,
+		WithK(3), WithObjective(MaxSum), WithLambda(0.5),
+		WithRelevance(priceRelevance), WithDistance(typeDistance),
+	).Count(ctx, WithBound(oneShot.Value))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,11 +294,14 @@ func TestPreparedSetValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Wrong row count: 1 row for k = 2.
+	// Wrong row count: 1 row for k = 2, surfaced as a typed ArgError.
+	var argErr *ArgError
 	if _, err := p.InTopR(ctx, [][]interface{}{{"kite", 55}}); err == nil {
 		t.Error("wrong-size set should fail")
-	} else if !strings.Contains(err.Error(), "want exactly K") {
+	} else if !strings.Contains(err.Error(), "want exactly k") {
 		t.Errorf("unhelpful row-count error: %v", err)
+	} else if !errors.As(err, &argErr) || argErr.Field != "set" {
+		t.Errorf("row-count error is not an ArgError on \"set\": %v", err)
 	}
 	// Wrong arity: 3 values against a 2-ary head.
 	if _, err := p.InTopR(ctx, [][]interface{}{{"kite", 55, 1}, {"scarf", 30}}); err == nil {
@@ -473,27 +472,62 @@ func TestCancelOnlineDiversifySmallSet(t *testing.T) {
 	}
 }
 
-func TestRequestShimAlgorithmCompat(t *testing.T) {
-	// The old API only consulted Request.Algorithm in Diversify; the other
-	// methods ignored even a bogus value. The shims preserve that.
+func TestRequestTypedOverrides(t *testing.T) {
+	// The Request's typed pointer fields override the Prepare-time
+	// bindings exactly as the matching functional options do, and Options
+	// wins when both are given (it is applied last).
 	e := preparedEngine(t)
-	req := Request{Query: "Q(item) :- catalog(item, t, p, s)", K: 2, Algorithm: "bogus"}
-	if _, err := e.Count(req); err != nil {
-		t.Errorf("Count must ignore Request.Algorithm, got %v", err)
+	ctx := context.Background()
+	p, err := e.Prepare("Q(item, type, price) :- catalog(item, type, price, s)",
+		WithK(2), WithObjective(MaxSum), WithLambda(1), WithDistance(typeDistance))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := e.Decide(req); err != nil {
-		t.Errorf("Decide must ignore Request.Algorithm, got %v", err)
+	k3, lambda0, mono := 3, 0.0, Mono
+	viaOptions, err := p.Diversify(ctx, WithK(k3))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := e.Diversify(req); err == nil {
-		t.Error("Diversify must reject an unknown Request.Algorithm")
+	viaTyped, err := p.Do(ctx, Request{Problem: ProblemDiversify, K: &k3})
+	if err != nil {
+		t.Fatal(err)
 	}
-	// A negative Rank was ignored by every old method except InTopR.
-	neg := Request{Query: "Q(item) :- catalog(item, t, p, s)", K: 2, Rank: -1}
-	if _, err := e.Count(neg); err != nil {
-		t.Errorf("Count must ignore a negative Request.Rank, got %v", err)
+	if a, b := selectionItems(viaOptions), selectionItems(viaTyped.Selection); strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Errorf("typed K override selected %v, option form %v", b, a)
 	}
-	if _, err := e.InTopR(neg, [][]interface{}{{"ring"}, {"kite"}}); err == nil {
-		t.Error("InTopR must still reject a non-positive rank")
+	// Options is applied after the typed fields, so it wins on conflict.
+	resp, err := p.Do(ctx, Request{
+		Problem:   ProblemDiversify,
+		Lambda:    &lambda0,
+		Objective: &mono,
+		Options:   []Option{WithObjective(MaxSum), WithLambda(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.Diversify(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Selection.Value != base.Value {
+		t.Errorf("Options should override typed fields: got %v, want %v", resp.Selection.Value, base.Value)
+	}
+}
+
+func TestRequestProblemValidation(t *testing.T) {
+	e := preparedEngine(t)
+	ctx := context.Background()
+	p := e.MustPrepare("Q(item) :- catalog(item, t, p, s)", WithK(2))
+	var argErr *ArgError
+	if _, err := p.Do(ctx, Request{Problem: ProblemKind(99)}); !errors.As(err, &argErr) || argErr.Field != "problem" {
+		t.Errorf("unknown problem returned %v, want ArgError on \"problem\"", err)
+	}
+	// A negative rank only matters to the problems that read it.
+	if _, err := p.Count(ctx); err != nil {
+		t.Errorf("Count must not consult rank, got %v", err)
+	}
+	if _, err := p.InTopR(ctx, [][]interface{}{{"ring"}, {"kite"}}); !errors.As(err, &argErr) || argErr.Field != "rank" {
+		t.Errorf("InTopR without a rank returned %v, want ArgError on \"rank\"", err)
 	}
 }
 

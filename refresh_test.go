@@ -173,18 +173,16 @@ func TestRefreshStatsIdentical(t *testing.T) {
 	}
 	cold := e.MustPrepare(refreshQuery, opts...)
 
-	s := warm.base
-	s.dirty = 0
-	warmIn, err := warm.instance(ctx, s, true)
+	warmPl, err := warm.Plan(ctx, Request{Problem: ProblemDiversify})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cs := cold.base
-	cs.dirty = 0
-	coldIn, err := cold.instance(ctx, cs, true)
+	warmIn := warmPl.newInstance()
+	coldPl, err := cold.Plan(ctx, Request{Problem: ProblemDiversify})
 	if err != nil {
 		t.Fatal(err)
 	}
+	coldIn := coldPl.newInstance()
 	wres, err := solver.QRDBestContext(ctx, warmIn)
 	if err != nil {
 		t.Fatal(err)

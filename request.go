@@ -1,0 +1,160 @@
+package diversification
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ProblemKind identifies which of the paper's decision/optimization
+// problems a Request asks for. The zero value is ProblemDiversify.
+type ProblemKind int
+
+const (
+	// ProblemDiversify finds a best k-set under the objective (the
+	// optimization form of QRD); the Response carries a Selection.
+	ProblemDiversify ProblemKind = iota
+	// ProblemDecide answers QRD: does a k-set with F >= Bound exist? The
+	// Response carries Exists.
+	ProblemDecide
+	// ProblemCount answers RDC: how many valid k-sets reach Bound? The
+	// Response carries Count.
+	ProblemCount
+	// ProblemInTopR answers DRP for the Request's Set: does it rank among
+	// the top r candidate sets? The Response carries InTopR.
+	ProblemInTopR
+	// ProblemRank computes rank(Set) exactly; the Response carries Rank.
+	ProblemRank
+)
+
+// String returns the conventional lowercase name ("diversify", "decide",
+// "count", "in-top-r", "rank").
+func (k ProblemKind) String() string {
+	switch k {
+	case ProblemDiversify:
+		return "diversify"
+	case ProblemDecide:
+		return "decide"
+	case ProblemCount:
+		return "count"
+	case ProblemInTopR:
+		return "in-top-r"
+	case ProblemRank:
+		return "rank"
+	default:
+		return fmt.Sprintf("ProblemKind(%d)", int(k))
+	}
+}
+
+func (k ProblemKind) valid() bool {
+	switch k {
+	case ProblemDiversify, ProblemDecide, ProblemCount, ProblemInTopR, ProblemRank:
+		return true
+	default:
+		return false
+	}
+}
+
+// ParseProblem maps the textual problem names to the typed enum; the empty
+// string selects the default ProblemDiversify.
+func ParseProblem(s string) (ProblemKind, error) {
+	switch s {
+	case "diversify", "":
+		return ProblemDiversify, nil
+	case "decide":
+		return ProblemDecide, nil
+	case "count":
+		return ProblemCount, nil
+	case "in-top-r", "intopr":
+		return ProblemInTopR, nil
+	case "rank":
+		return ProblemRank, nil
+	default:
+		return 0, argErrorf("problem", "unknown problem %q", s)
+	}
+}
+
+// MarshalJSON renders the problem as its textual name.
+func (k ProblemKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON parses the textual problem name.
+func (k *ProblemKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	p, err := ParseProblem(s)
+	if err != nil {
+		return err
+	}
+	*k = p
+	return nil
+}
+
+// Request is one diversification task against a Prepared statement,
+// expressed uniformly for all five problems: every public solve method
+// compiles into a Request, the plan stage resolves it against the
+// Prepare-time bindings exactly once, and one execute dispatches it. The
+// typed fields are overrides — a nil pointer leaves the Prepare-time
+// binding in place — so a Request round-trips through JSON (which is how
+// the network facade carries it) without an is-set sidecar per field.
+//
+// Go callers composing requests in code usually skip the pointers and put
+// functional options in Options; the two forms merge, typed fields first:
+//
+//	resp, err := p.Do(ctx, diversification.Request{
+//	    Problem: diversification.ProblemDecide,
+//	    Options: []diversification.Option{diversification.WithBound(2)},
+//	})
+type Request struct {
+	// Problem selects which question to answer. Defaults to diversify.
+	Problem ProblemKind `json:"problem"`
+
+	// Typed per-request overrides of the Prepare-time bindings; nil means
+	// "use the prepared value".
+	K         *int       `json:"k,omitempty"`
+	Lambda    *float64   `json:"lambda,omitempty"`
+	Objective *Objective `json:"objective,omitempty"`
+	Algorithm *Algorithm `json:"algorithm,omitempty"`
+	Bound     *float64   `json:"bound,omitempty"`
+	Rank      *int       `json:"rank,omitempty"`
+
+	// Set is the candidate set assessed by ProblemInTopR and ProblemRank:
+	// one row per tuple, attribute values in schema order.
+	Set [][]interface{} `json:"set,omitempty"`
+
+	// Explain asks the Response to carry the plan's human-readable
+	// resolution report (Response.Explain). Off by default: the report is
+	// allocation per request, and Prepared.Plan exposes the same
+	// information on demand.
+	Explain bool `json:"explain,omitempty"`
+
+	// Options carries further per-request overrides (relevance, distance,
+	// constraints, parallelism, ...) in the functional-option form. They
+	// are applied after the typed fields, so an Option wins on conflict.
+	Options []Option `json:"-"`
+}
+
+// callOptions lowers the Request's typed overrides and Options into the
+// single option slice the plan stage merges over the Prepare-time settings.
+func (r Request) callOptions() []Option {
+	opts := make([]Option, 0, 6+len(r.Options))
+	if r.K != nil {
+		opts = append(opts, WithK(*r.K))
+	}
+	if r.Lambda != nil {
+		opts = append(opts, WithLambda(*r.Lambda))
+	}
+	if r.Objective != nil {
+		opts = append(opts, WithObjective(*r.Objective))
+	}
+	if r.Algorithm != nil {
+		opts = append(opts, WithAlgorithm(*r.Algorithm))
+	}
+	if r.Bound != nil {
+		opts = append(opts, WithBound(*r.Bound))
+	}
+	if r.Rank != nil {
+		opts = append(opts, WithRank(*r.Rank))
+	}
+	return append(opts, r.Options...)
+}

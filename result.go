@@ -46,12 +46,15 @@ func (rs *ResultSet) Len() int { return len(rs.rows) }
 // Row returns the i-th answer.
 func (rs *ResultSet) Row(i int) Row { return Row{schema: rs.schema, tuple: rs.rows[i]} }
 
-// Selection is a chosen k-set with its objective value.
+// Selection is a chosen k-set with its objective value. It marshals to
+// JSON with stable field names ("rows", "value", "method") and
+// round-trips: each row serializes as an attribute→value object in schema
+// order.
 type Selection struct {
-	Rows  []Row
-	Value float64
+	Rows  []Row   `json:"rows"`
+	Value float64 `json:"value"`
 	// Method names the algorithm that produced the selection.
-	Method string
+	Method string `json:"method,omitempty"`
 }
 
 // newSelection wraps solver-level tuples into the named-row Selection.

@@ -1,0 +1,266 @@
+package diversification
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrUnknownStatement is returned by Service calls naming a statement that
+// was never registered (or was deregistered). Serving layers map it to a
+// not-found status.
+var ErrUnknownStatement = errors.New("diversification: unknown statement")
+
+// ErrOverloaded is returned when the admission queue is full: the
+// concurrency limit is saturated and MaxQueue requests are already
+// waiting. Serving layers map it to a retryable too-many-requests status —
+// shedding load at the door is what keeps tail latency bounded for the
+// requests that do get in.
+var ErrOverloaded = errors.New("diversification: service overloaded (admission queue full)")
+
+// ServiceConfig tunes a Service.
+type ServiceConfig struct {
+	// MaxConcurrent bounds how many requests execute simultaneously; 0
+	// means GOMAXPROCS. Solves are CPU-bound, so admitting more than the
+	// core count only adds contention.
+	MaxConcurrent int
+	// MaxQueue bounds how many admitted-but-waiting requests may queue for
+	// an execution slot before new arrivals are rejected with
+	// ErrOverloaded; 0 means 4×MaxConcurrent. Negative disables queueing
+	// (full slots reject immediately).
+	MaxQueue int
+	// DefaultTimeout is applied to requests whose context carries no
+	// deadline of its own; 0 leaves them unbounded. The deadline covers
+	// queue wait plus execution, so a request cannot consume a slot
+	// longer than the caller is still listening.
+	DefaultTimeout time.Duration
+}
+
+// Metrics is a point-in-time snapshot of the service counters, exported
+// with stable JSON field names for the wire protocol.
+type Metrics struct {
+	Statements int   `json:"statements"`
+	Requests   int64 `json:"requests"`    // admitted calls, including refreshes
+	Failures   int64 `json:"failures"`    // calls that returned an error
+	Rejected   int64 `json:"rejected"`    // shed by the admission queue
+	InFlight   int64 `json:"in_flight"`   // currently executing
+	QueueDepth int64 `json:"queue_depth"` // currently waiting for a slot
+	QueuePeak  int64 `json:"queue_peak"`  // high-water mark of QueueDepth
+}
+
+// Service is the serving facade over one Engine: a named statement
+// registry (prepare once under a name, query it forever), per-request
+// deadlines, and a bounded admission semaphore so a traffic burst degrades
+// into fast rejections instead of a convoy. It is the layer cmd/divserve
+// exposes over HTTP; embedders can use it directly for the same admission
+// discipline in-process.
+//
+// A Service is safe for concurrent use, including concurrently with
+// Engine mutations: every query runs under the engine's read lock via the
+// Prepared pipeline.
+type Service struct {
+	eng *Engine
+	cfg ServiceConfig
+
+	mu    sync.RWMutex
+	stmts map[string]*Prepared
+
+	sem chan struct{}
+
+	requests atomic.Int64
+	failures atomic.Int64
+	rejected atomic.Int64
+	inFlight atomic.Int64
+	queued   atomic.Int64
+	peak     atomic.Int64
+}
+
+// NewService wraps an engine in a serving facade. Zero-value config fields
+// take the documented defaults.
+func NewService(e *Engine, cfg ServiceConfig) *Service {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4 * cfg.MaxConcurrent
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	return &Service{
+		eng:   e,
+		cfg:   cfg,
+		stmts: make(map[string]*Prepared),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+}
+
+// Engine returns the engine the service fronts; mutations go through it.
+func (s *Service) Engine() *Engine { return s.eng }
+
+// Register compiles src under name: parse, validate, classify and bind the
+// options once, exactly as Engine.Prepare does. Re-registering a name
+// replaces its statement atomically; in-flight requests on the old handle
+// finish against it. The error for an invalid query or option set is the
+// Prepare error, typed (ArgError) where the argument was at fault.
+func (s *Service) Register(name, src string, opts ...Option) error {
+	if name == "" {
+		return argErrorf("statement", "name must be non-empty")
+	}
+	p, err := s.eng.Prepare(src, opts...)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stmts[name] = p
+	s.mu.Unlock()
+	return nil
+}
+
+// Deregister removes a named statement, reporting whether it existed.
+func (s *Service) Deregister(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.stmts[name]
+	delete(s.stmts, name)
+	return ok
+}
+
+// Prepared returns the registered statement's handle, for callers that
+// want the full Prepared surface (plans, batches) on a named statement.
+func (s *Service) Prepared(name string) (*Prepared, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.stmts[name]
+	return p, ok
+}
+
+// Statements lists the registered statement names, sorted.
+func (s *Service) Statements() []string {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.stmts))
+	for name := range s.stmts {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Metrics snapshots the service counters.
+func (s *Service) Metrics() Metrics {
+	s.mu.RLock()
+	n := len(s.stmts)
+	s.mu.RUnlock()
+	return Metrics{
+		Statements: n,
+		Requests:   s.requests.Load(),
+		Failures:   s.failures.Load(),
+		Rejected:   s.rejected.Load(),
+		InFlight:   s.inFlight.Load(),
+		QueueDepth: s.queued.Load(),
+		QueuePeak:  s.peak.Load(),
+	}
+}
+
+// withDeadline applies the configured default timeout to contexts that
+// carry no deadline of their own.
+func (s *Service) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.DefaultTimeout <= 0 {
+		return ctx, func() {}
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+}
+
+// admit acquires an execution slot, queueing up to MaxQueue waiters and
+// rejecting beyond that. The returned release func must be called when the
+// request finishes. Waiting respects ctx: a caller that gives up (deadline,
+// disconnect) leaves the queue immediately.
+func (s *Service) admit(ctx context.Context) (func(), error) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		// All slots busy: join the bounded queue.
+		q := s.queued.Add(1)
+		if q > int64(s.cfg.MaxQueue) {
+			s.queued.Add(-1)
+			s.rejected.Add(1)
+			return nil, ErrOverloaded
+		}
+		for {
+			peak := s.peak.Load()
+			if q <= peak || s.peak.CompareAndSwap(peak, q) {
+				break
+			}
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			return nil, ctx.Err()
+		}
+	}
+	s.inFlight.Add(1)
+	return func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}, nil
+}
+
+// Do answers a Request against a registered statement through the
+// admission gate: apply the default deadline, wait for (or be refused) an
+// execution slot, then run the statement's Request → Plan → Execute
+// pipeline.
+func (s *Service) Do(ctx context.Context, name string, req Request) (*Response, error) {
+	p, ok := s.Prepared(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStatement, name)
+	}
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	s.requests.Add(1)
+	resp, err := p.Do(ctx, req)
+	if err != nil {
+		s.failures.Add(1)
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Refresh brings a registered statement's caches up to date (snapshot and
+// eagerly materialized plane), through the same admission gate as queries:
+// a refresh is rebuild-shaped work and must not bypass the concurrency
+// bound.
+func (s *Service) Refresh(ctx context.Context, name string) (RefreshInfo, error) {
+	p, ok := s.Prepared(name)
+	if !ok {
+		return RefreshInfo{}, fmt.Errorf("%w: %q", ErrUnknownStatement, name)
+	}
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		return RefreshInfo{}, err
+	}
+	defer release()
+	s.requests.Add(1)
+	info, err := p.Refresh(ctx)
+	if err != nil {
+		s.failures.Add(1)
+	}
+	return info, err
+}

@@ -1,0 +1,295 @@
+package diversification
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// serviceEngine builds an items engine with a stable core of rows the
+// hammer never deletes, so k answers always exist.
+func serviceEngine(t testing.TB, n int) *Engine {
+	t.Helper()
+	e := NewEngine()
+	e.MustCreateTable("items", "id", "cat", "price")
+	cats := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i < n; i++ {
+		e.MustInsert("items", i, cats[i%len(cats)], 10+(i*37)%70)
+	}
+	return e
+}
+
+const serviceQuery = "Q(id, cat, price) :- items(id, cat, price), price <= 80"
+
+func serviceOpts(k int) []Option {
+	return []Option{
+		WithK(k), WithObjective(MaxSum), WithLambda(0.6),
+		WithRelevance(func(r Row) float64 { return 100 - float64(r.Get("price").(int64)) }),
+		WithDistance(func(a, b Row) float64 {
+			if a.Get("cat") == b.Get("cat") {
+				return 0
+			}
+			return 1
+		}),
+	}
+}
+
+func TestServiceRegistry(t *testing.T) {
+	e := serviceEngine(t, 10)
+	svc := NewService(e, ServiceConfig{})
+	ctx := context.Background()
+
+	if err := svc.Register("", serviceQuery); err == nil {
+		t.Error("empty statement name should be rejected")
+	}
+	if err := svc.Register("hot", "not a query"); err == nil {
+		t.Error("invalid query should fail registration")
+	}
+	if err := svc.Register("hot", serviceQuery, serviceOpts(3)...); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Statements(); len(got) != 1 || got[0] != "hot" {
+		t.Errorf("Statements() = %v, want [hot]", got)
+	}
+	if _, ok := svc.Prepared("hot"); !ok {
+		t.Error("Prepared(hot) should resolve")
+	}
+
+	resp, err := svc.Do(ctx, "hot", Request{Problem: ProblemDiversify})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Selection.Rows) != 3 {
+		t.Errorf("selected %d rows, want 3", len(resp.Selection.Rows))
+	}
+	if _, err := svc.Do(ctx, "missing", Request{}); !errors.Is(err, ErrUnknownStatement) {
+		t.Errorf("unknown statement returned %v, want ErrUnknownStatement", err)
+	}
+	if _, err := svc.Refresh(ctx, "missing"); !errors.Is(err, ErrUnknownStatement) {
+		t.Errorf("unknown refresh returned %v, want ErrUnknownStatement", err)
+	}
+	info, err := svc.Refresh(ctx, "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode != "warm" {
+		t.Errorf("refresh after a solve = %q, want warm", info.Mode)
+	}
+
+	// Re-registering replaces; deregistering removes.
+	if err := svc.Register("hot", serviceQuery, serviceOpts(2)...); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = svc.Do(ctx, "hot", Request{Problem: ProblemDiversify})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Selection.Rows) != 2 {
+		t.Errorf("re-registered statement selected %d rows, want 2", len(resp.Selection.Rows))
+	}
+	if !svc.Deregister("hot") || svc.Deregister("hot") {
+		t.Error("Deregister should report the first removal only")
+	}
+	m := svc.Metrics()
+	if m.Statements != 0 || m.Requests == 0 {
+		t.Errorf("metrics after traffic: %+v", m)
+	}
+}
+
+func TestServiceAdmission(t *testing.T) {
+	e := serviceEngine(t, 10)
+	svc := NewService(e, ServiceConfig{MaxConcurrent: 1, MaxQueue: 1})
+	ctx := context.Background()
+
+	release1, err := svc.admit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue; it must drain once the slot frees.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	waited := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		release, err := svc.admit(ctx)
+		waited <- err
+		if err == nil {
+			release()
+		}
+	}()
+	// Wait until the waiter is queued, then overflow the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for svc.Metrics().QueueDepth == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d := svc.Metrics().QueueDepth; d != 1 {
+		t.Fatalf("queue depth = %d, want 1", d)
+	}
+	if _, err := svc.admit(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("overflowing the queue returned %v, want ErrOverloaded", err)
+	}
+	release1()
+	wg.Wait()
+	if err := <-waited; err != nil {
+		t.Errorf("queued waiter failed: %v", err)
+	}
+	m := svc.Metrics()
+	if m.Rejected == 0 || m.QueuePeak == 0 {
+		t.Errorf("admission metrics not recorded: %+v", m)
+	}
+	if m.InFlight != 0 || m.QueueDepth != 0 {
+		t.Errorf("admission counters leaked: %+v", m)
+	}
+
+	// A queued caller that gives up leaves immediately (probed on a
+	// service whose queue has headroom, so cancellation is what decides).
+	roomy := NewService(e, ServiceConfig{MaxConcurrent: 1, MaxQueue: 4})
+	hold, err := roomy.admit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := roomy.admit(cancelled); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+	hold()
+}
+
+func TestServiceDeadline(t *testing.T) {
+	e := serviceEngine(t, 10)
+	svc := NewService(e, ServiceConfig{DefaultTimeout: time.Nanosecond})
+	if err := svc.Register("hot", serviceQuery, serviceOpts(3)...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Do(context.Background(), "hot", Request{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("default deadline returned %v, want DeadlineExceeded", err)
+	}
+	// An explicit caller deadline wins over the default.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := svc.Do(ctx, "hot", Request{}); err != nil {
+		t.Errorf("caller deadline should override the 1ns default: %v", err)
+	}
+}
+
+// TestServiceHammer is the concurrency acceptance test: 8 goroutines drive
+// queries, refreshes and engine mutations against one registry entry, and
+// every response must be internally consistent — a selection of exactly k
+// distinct rows whose recomputed FMS value matches the reported one, with
+// the solver's answer count agreeing with the refresh report from the same
+// snapshot. Run under -race in CI.
+func TestServiceHammer(t *testing.T) {
+	const (
+		k          = 3
+		lambda     = 0.6
+		goroutines = 8
+		iters      = 60
+	)
+	e := serviceEngine(t, 20)
+	svc := NewService(e, ServiceConfig{MaxConcurrent: 4, MaxQueue: goroutines * iters})
+	if err := svc.Register("hot", serviceQuery, serviceOpts(k)...); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// recompute scores a selection's FMS value from its own rows: the
+	// response is self-consistent only if the reported value is the
+	// objective of the reported rows, whatever generation they came from.
+	recompute := func(sel *Selection) float64 {
+		var rel, dis float64
+		for i, a := range sel.Rows {
+			rel += 100 - float64(a.Get("price").(int64))
+			for j := i + 1; j < len(sel.Rows); j++ {
+				if a.Get("cat") != sel.Rows[j].Get("cat") {
+					dis++
+				}
+			}
+		}
+		return float64(k-1)*(1-lambda)*rel + 2*lambda*dis
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			churnID := 1000 + g
+			churnLive := false
+			for i := 0; i < iters; i++ {
+				switch i % 6 {
+				case 0: // mutate: each goroutine owns one churn row
+					if churnLive {
+						if _, err := e.Delete("items", churnID, "z", 15); err != nil {
+							errs <- err
+							return
+						}
+					} else if err := e.Insert("items", churnID, "z", 15); err != nil {
+						errs <- err
+						return
+					}
+					churnLive = !churnLive
+				case 1: // refresh
+					if _, err := svc.Refresh(ctx, "hot"); err != nil {
+						errs <- err
+						return
+					}
+				case 2: // decide
+					bound := 1.0
+					if _, err := svc.Do(ctx, "hot", Request{Problem: ProblemDecide, Bound: &bound}); err != nil {
+						errs <- err
+						return
+					}
+				default: // diversify, the consistency workhorse
+					resp, err := svc.Do(ctx, "hot", Request{Problem: ProblemDiversify})
+					if err != nil {
+						errs <- err
+						return
+					}
+					sel := resp.Selection
+					if len(sel.Rows) != k {
+						errs <- errors.New("selection size != k")
+						return
+					}
+					seen := map[interface{}]bool{}
+					for _, r := range sel.Rows {
+						seen[r.Get("id")] = true
+					}
+					if len(seen) != k {
+						errs <- errors.New("selection rows not distinct")
+						return
+					}
+					if got := recompute(sel); math.Abs(got-sel.Value) > 1e-6 {
+						errs <- errors.New("selection value does not match its own rows")
+						return
+					}
+					if resp.Generation == 0 {
+						errs <- errors.New("response lost its generation")
+						return
+					}
+					// Stats.Answers and Refresh.Answers both describe the
+					// snapshot the solve ran over; they must agree.
+					if resp.Stats.Answers != 0 && resp.Refresh.Answers != 0 &&
+						resp.Stats.Answers != resp.Refresh.Answers {
+						errs <- errors.New("solver and refresh disagree on |Q(D)|")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	m := svc.Metrics()
+	if m.Requests == 0 || m.InFlight != 0 || m.QueueDepth != 0 {
+		t.Errorf("hammer metrics inconsistent: %+v", m)
+	}
+}
