@@ -11,10 +11,23 @@
 //
 //	divserve -demo -addr :8080     # built-in gift-shop catalog, statement "gifts"
 //
+//	divserve -demo -data-dir /var/lib/divserve -fsync always -addr :8080
+//
+// With -data-dir the server is durable: every committed mutation streams
+// to a write-ahead log in that directory before the mutating request is
+// acknowledged, and on boot the newest snapshot plus the log rebuild the
+// database exactly as it was — -demo and -load seed data only on the
+// first boot of an empty directory. SIGTERM/SIGINT shut down gracefully:
+// in-flight requests drain, the log is flushed and fsynced, and a
+// clean-shutdown marker is written.
+//
 // Routes:
 //
 //	POST /v1/query/{name}    run a query request against a statement
 //	POST /v1/refresh/{name}  refresh a statement's caches
+//	POST /v1/insert/{table}  insert rows into a table
+//	POST /v1/delete/{table}  delete rows from a table
+//	POST /v1/admin/snapshot  persist the database, prune the WAL
 //	GET  /healthz            liveness
 //	GET  /metrics            service counters
 //
@@ -37,16 +50,24 @@
 //	-max-queue N        admission queue bound (0 = 4×slots, -1 = none)
 //	-timeout D          default per-request deadline, e.g. 5s (0 = none)
 //	-warm               refresh every statement before serving
+//	-data-dir DIR       durable mode: WAL + snapshots live here
+//	-fsync P            WAL sync policy: always | interval | off
+//	-fsync-interval D   period of the "interval" policy (default 100ms)
+//	-snapshot-every N   automatic snapshot after N mutations (0 = manual)
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	diversification "repro"
 	"repro/httpapi"
@@ -76,16 +97,46 @@ func main() {
 		maxQueue    = flag.Int("max-queue", 0, "admission queue bound (0 = 4×slots, -1 = none)")
 		timeout     = flag.Duration("timeout", 0, "default per-request deadline (0 = none)")
 		warm        = flag.Bool("warm", false, "refresh every statement before serving")
+		dataDir     = flag.String("data-dir", "", "durable mode: directory for the WAL and snapshots")
+		fsync       = flag.String("fsync", "always", "WAL sync policy: always | interval | off")
+		fsyncEvery  = flag.Duration("fsync-interval", 100*time.Millisecond, `period of the "interval" fsync policy`)
+		snapEvery   = flag.Int("snapshot-every", 0, "automatic snapshot after N mutations (0 = manual only)")
 	)
 	flag.Var(&loads, "load", "relation to load, as name=file.tsv (repeatable)")
 	flag.Var(&stmts, "stmt", "statement to register, as name=query (repeatable)")
 	flag.Var(&constraints, "constraint", "compatibility constraint in Cm syntax (repeatable)")
 	flag.Parse()
 
-	e := diversification.NewEngine()
+	var e *diversification.Engine
+	recovered := false
+	if *dataDir != "" {
+		eng, rec, err := diversification.OpenEngine(diversification.DurabilityConfig{
+			Dir:           *dataDir,
+			Fsync:         *fsync,
+			FsyncInterval: *fsyncEvery,
+			SnapshotEvery: *snapEvery,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		e = eng
+		recovered = rec.Generation > 0
+		log.Printf("recovered %s: snapshot gen %d + %d log entries -> gen %d in %s (torn tail: %v, clean shutdown: %v)",
+			*dataDir, rec.SnapshotGen, rec.ReplayedEntries, rec.Generation,
+			rec.ReplayDuration.Round(time.Microsecond), rec.TornTail, rec.CleanShutdown)
+	} else {
+		e = diversification.NewEngine()
+	}
+
 	switch {
 	case *demo:
-		load.Demo(e)
+		// A recovered database already holds its data (possibly mutated far
+		// beyond the seed); re-seeding would duplicate or clash. The demo
+		// statement and its bindings are still registered — statements are
+		// not persisted.
+		if !recovered {
+			load.Demo(e)
+		}
 		if len(stmts) == 0 {
 			stmts = append(stmts, "gifts=Q(item, type, price) :- catalog(item, type, price, s), price <= 40")
 			*relAttr, *disAttr, *lambda = "price", "type", 0.7
@@ -96,12 +147,19 @@ func main() {
 			if !ok {
 				fatalf("bad -load %q: want name=file.tsv", spec)
 			}
+			if recovered {
+				log.Printf("skipping -load %s: database recovered from %s", spec, *dataDir)
+				continue
+			}
 			if err := load.TSV(e, name, file); err != nil {
 				fatalf("loading %s: %v", spec, err)
 			}
 		}
+	case recovered:
+		// Durable restart with neither -demo nor -load: the recovered
+		// database is the data source.
 	default:
-		fmt.Fprintln(os.Stderr, "divserve: need -demo or at least one -load name=file.tsv")
+		fmt.Fprintln(os.Stderr, "divserve: need -demo, -load name=file.tsv, or a recoverable -data-dir")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -161,9 +219,28 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: httpapi.NewHandler(svc)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("divserve listening on %s (%d statements)", *addr, len(svc.Statements()))
-	if err := http.ListenAndServe(*addr, httpapi.NewHandler(svc)); err != nil {
+
+	select {
+	case err := <-errc:
 		fatalf("%v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("divserve shutting down: draining requests, flushing log")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("shutdown: %v", err)
+		}
+		if err := e.Close(); err != nil {
+			fatalf("closing engine: %v", err)
+		}
+		log.Printf("divserve shut down cleanly")
 	}
 }
 

@@ -1,0 +1,202 @@
+package diversification
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// ErrNotDurable is returned by snapshot operations on an engine that was
+// created without a data directory (NewEngine rather than OpenEngine):
+// there is nowhere to persist to. Serving layers map it to a conflict
+// status.
+var ErrNotDurable = errors.New("diversification: engine is not durable (opened without a data dir)")
+
+// DurabilityConfig tunes OpenEngine's write-ahead log and snapshots.
+type DurabilityConfig struct {
+	// Dir is the data directory holding WAL segments and snapshots. It is
+	// created if missing. Required.
+	Dir string
+	// Fsync is the WAL sync policy: "always" (default; an acknowledged
+	// mutation is on stable storage), "interval" (sync on a timer — bounded
+	// loss on power failure, none on process crash) or "off".
+	Fsync string
+	// FsyncInterval is the "interval" policy's period (default 100ms).
+	FsyncInterval time.Duration
+	// SegmentBytes caps a WAL segment before rotation (default 64 MiB).
+	SegmentBytes int64
+	// SnapshotEvery, when positive, writes a snapshot (and prunes the log)
+	// automatically after that many committed mutations. Zero means
+	// snapshots happen only via Engine.Snapshot / the admin endpoint.
+	SnapshotEvery int
+}
+
+// RecoveryInfo reports what boot-time recovery found in the data directory
+// and how long replay took.
+type RecoveryInfo struct {
+	// SnapshotGen is the generation of the snapshot loaded (0 when the
+	// directory held none).
+	SnapshotGen uint64 `json:"snapshot_gen"`
+	// ReplayedEntries counts WAL records applied over the snapshot.
+	ReplayedEntries int `json:"replayed_entries"`
+	// ReplayDuration is the wall-clock cost of recovery (snapshot load plus
+	// log replay).
+	ReplayDuration time.Duration `json:"replay_ns"`
+	// TornTail reports that a truncated final WAL record — the residue of a
+	// crash mid-append — was cut away rather than treated as fatal.
+	TornTail bool `json:"torn_tail,omitempty"`
+	// CleanShutdown reports the previous process closed its log properly.
+	CleanShutdown bool `json:"clean_shutdown,omitempty"`
+	// Generation is the database generation recovery ended at.
+	Generation uint64 `json:"generation"`
+}
+
+// OpenEngine is NewEngine with durability: it recovers the database
+// persisted in cfg.Dir (newest valid snapshot, then WAL replay, truncating
+// a torn tail record), then attaches a fresh write-ahead log so every
+// subsequent committed mutation streams to disk before the mutating call
+// returns. A missing or empty directory is a first boot: the engine starts
+// empty and the directory is initialized.
+//
+// The caller owns the returned engine's lifecycle: Close flushes the log
+// and writes the clean-shutdown marker. Statements are not persisted —
+// re-Prepare (or re-Register) them after opening; with the database already
+// recovered, their first Refresh is the only rebuild cost.
+func OpenEngine(cfg DurabilityConfig) (*Engine, RecoveryInfo, error) {
+	if cfg.Dir == "" {
+		return nil, RecoveryInfo{}, argErrorf("data-dir", "durable engine needs a data directory")
+	}
+	policy := wal.FsyncAlways
+	if cfg.Fsync != "" {
+		p, err := wal.ParseFsyncPolicy(cfg.Fsync)
+		if err != nil {
+			return nil, RecoveryInfo{}, argErrorf("fsync", "%v", err)
+		}
+		policy = p
+	}
+	start := time.Now()
+	db, rinfo, err := wal.Recover(cfg.Dir)
+	if err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("diversification: recovering %s: %w", cfg.Dir, err)
+	}
+	info := RecoveryInfo{
+		SnapshotGen:     rinfo.SnapshotGen,
+		ReplayedEntries: rinfo.Replayed,
+		ReplayDuration:  time.Since(start),
+		TornTail:        rinfo.TornTail,
+		CleanShutdown:   rinfo.CleanShutdown,
+		Generation:      db.Generation(),
+	}
+	log, err := wal.Create(cfg.Dir, wal.Options{
+		Fsync:        policy,
+		FsyncEvery:   cfg.FsyncInterval,
+		SegmentBytes: cfg.SegmentBytes,
+	})
+	if err != nil {
+		return nil, info, fmt.Errorf("diversification: opening WAL in %s: %w", cfg.Dir, err)
+	}
+	e := &Engine{db: db, wal: log, snapEvery: cfg.SnapshotEvery, recovery: info}
+	// Tap after recovery, never during: replayed records must not re-log.
+	db.SetTap(log)
+	return e, info, nil
+}
+
+// Recovery returns the boot-time recovery report, and whether the engine is
+// durable at all.
+func (e *Engine) Recovery() (RecoveryInfo, bool) {
+	if e.wal == nil {
+		return RecoveryInfo{}, false
+	}
+	return e.recovery, true
+}
+
+// Generation returns the database's current generation counter: it
+// advances on every committed mutation, and every Response carries the
+// generation its answer was computed at.
+func (e *Engine) Generation() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.db.Generation()
+}
+
+// Snapshot persists the full database at the current generation and prunes
+// the write-ahead log up to it. It runs under the engine's read lock —
+// mutations wait, concurrent solves do not — so the image is a consistent
+// cut. Returns the snapshot's generation.
+func (e *Engine) Snapshot(ctx context.Context) (uint64, error) {
+	if e.wal == nil {
+		return 0, ErrNotDurable
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.wal.Snapshot(e.db)
+}
+
+// Close flushes and fsyncs the write-ahead log and writes the
+// clean-shutdown marker, so the next boot skips torn-tail tolerance. A
+// non-durable engine closes as a no-op. The engine must not be mutated
+// after Close.
+func (e *Engine) Close() error {
+	if e.wal == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.db.SetTap(nil)
+	return e.wal.Close()
+}
+
+// DurabilityMetrics is the durable-engine slice of Service.Metrics,
+// exported with stable JSON names for the wire protocol.
+type DurabilityMetrics struct {
+	WALBytes        int64  `json:"wal_bytes"`
+	WALRecords      int64  `json:"wal_records"`
+	Fsyncs          int64  `json:"fsyncs"`
+	LastSnapshotGen uint64 `json:"last_snapshot_gen"`
+	ReplayedEntries int    `json:"replayed_entries"`
+	ReplayNanos     int64  `json:"replay_ns"`
+}
+
+// durabilityMetrics snapshots the WAL counters; ok is false for in-memory
+// engines.
+func (e *Engine) durabilityMetrics() (DurabilityMetrics, bool) {
+	if e.wal == nil {
+		return DurabilityMetrics{}, false
+	}
+	m := e.wal.Metrics()
+	return DurabilityMetrics{
+		WALBytes:        m.Bytes,
+		WALRecords:      m.Records,
+		Fsyncs:          m.Fsyncs,
+		LastSnapshotGen: m.LastSnapshotGen,
+		ReplayedEntries: e.recovery.ReplayedEntries,
+		ReplayNanos:     int64(e.recovery.ReplayDuration),
+	}, true
+}
+
+// afterMutation runs under the engine write lock after a generation-
+// advancing mutation: it surfaces any WAL append failure (the in-memory
+// mutation stands, but callers must know durability was lost) and triggers
+// the automatic snapshot cadence.
+func (e *Engine) afterMutation() error {
+	if e.wal == nil {
+		return nil
+	}
+	if err := e.wal.Err(); err != nil {
+		return fmt.Errorf("diversification: write-ahead log: %w", err)
+	}
+	e.mutsSinceSnap++
+	if e.snapEvery > 0 && e.mutsSinceSnap >= e.snapEvery {
+		if _, err := e.wal.Snapshot(e.db); err != nil {
+			return fmt.Errorf("diversification: auto snapshot: %w", err)
+		}
+		e.mutsSinceSnap = 0
+	}
+	return nil
+}

@@ -1,0 +1,405 @@
+// Crash-recovery tests: these exercise the real divserve binary over real
+// HTTP, kill it (SIGKILL mid-traffic, SIGTERM for the graceful path) and
+// assert the restarted process serves byte-identical answers — the
+// durability subsystem's end-to-end contract.
+//
+// The file is an external test (package diversification_test) so it can use
+// the httpapi client and the shared demo loader; the in-package test files
+// cannot import either without a cycle.
+package diversification_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	diversification "repro"
+	"repro/httpapi"
+	"repro/internal/load"
+)
+
+// scrubRE removes the two timing fields of the wire protocol; everything
+// else — float bits, solver stats, generations — must be byte-stable.
+var (
+	scrubElapsedRE = regexp.MustCompile(`"elapsed_ns":[0-9]+`)
+	scrubReplayRE  = regexp.MustCompile(`"replay_ns":[0-9]+`)
+)
+
+func scrub(s string) string {
+	s = scrubElapsedRE.ReplaceAllString(s, `"elapsed_ns":0`)
+	return scrubReplayRE.ReplaceAllString(s, `"replay_ns":0`)
+}
+
+// updatingGolden reads the -update flag registered by golden_test.go (the
+// in-package and external test files share one flag set).
+func updatingGolden() bool {
+	f := flag.Lookup("update")
+	return f != nil && f.Value.String() == "true"
+}
+
+// buildDivserve compiles the real binary once per test that needs it.
+// Exec-ing the binary directly (rather than `go run`) lets the tests
+// deliver signals to the server process itself.
+func buildDivserve(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "divserve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/divserve")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building divserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// reserveAddr picks a free localhost port. A small race window between
+// Close and the server's bind, tolerated exactly as TestServeGolden does.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startDivserve launches the binary and waits for its health probe.
+func startDivserve(t *testing.T, bin string, args ...string) (*exec.Cmd, *bytes.Buffer, string) {
+	t.Helper()
+	addr := reserveAddr(t)
+	cmd := exec.Command(bin, append(args, "-addr", addr)...)
+	cmd.Env = os.Environ()
+	var logBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &logBuf, &logBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return cmd, &logBuf, base
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			t.Fatalf("divserve never became healthy: %v\nserver log:\n%s", err, logBuf.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// bulkRow is the deterministic insert stream the crash test drives: item
+// names are unique (every acknowledged insert advances the generation by
+// exactly one) and prices stay inside the demo statement's `price <= 40`
+// filter, so recovered rows are visible in the answers.
+func bulkRow(i int) []interface{} {
+	types := []string{"toy", "book", "jewelry", "artsy"}
+	return []interface{}{
+		fmt.Sprintf("bulk-%03d", i),
+		types[i%len(types)],
+		5 + (i*7)%35,
+		1,
+	}
+}
+
+// demoGen is the generation the -demo boot ends at: one CreateTable plus
+// ten inserts.
+const demoGen = 11
+
+// demoStatementOpts mirrors the bindings cmd/divserve registers for the
+// built-in "gifts" statement, so an in-process engine reproduces the
+// server's responses exactly.
+func demoStatementOpts() []diversification.Option {
+	return []diversification.Option{
+		diversification.WithK(3),
+		diversification.WithObjective(diversification.MaxSum),
+		diversification.WithLambda(0.7),
+		diversification.WithAlgorithm(diversification.Auto),
+		diversification.WithConstraints(),
+		diversification.WithRelevance(diversification.AttrRelevance("price")),
+		diversification.WithDistance(diversification.AttrDistance("type")),
+	}
+}
+
+const demoStatement = "Q(item, type, price) :- catalog(item, type, price, s), price <= 40"
+
+// queryRaw posts an empty query and returns the raw response body.
+func queryRaw(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/query/gifts", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, raw)
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+// TestCrashRecoveryKillMidWrite is the headline durability test: drive a
+// stream of acknowledged inserts into a real divserve running with
+// -fsync always, SIGKILL it mid-traffic, restart on the same data
+// directory, and require the restarted server's answer to be byte-identical
+// (modulo elapsed time) to an in-process engine holding exactly the
+// acknowledged state — same rows, same float bits, same solver stats, same
+// generation.
+func TestCrashRecoveryKillMidWrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real server")
+	}
+	bin := buildDivserve(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	args := []string{"-demo", "-warm", "-data-dir", dataDir, "-fsync", "always"}
+	cmd, logBuf, base := startDivserve(t, bin, args...)
+	killed := false
+	defer func() {
+		if !killed {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	// Writer: serial acknowledged inserts until the kill severs the
+	// connection. acked counts responses the client actually received —
+	// under -fsync always each of those rows must survive.
+	client := &httpapi.Client{BaseURL: base, HTTPClient: &http.Client{Timeout: 5 * time.Second}}
+	ackedCh := make(chan int, 256)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 0; ; i++ {
+			if _, err := client.Insert(context.Background(), "catalog", [][]interface{}{bulkRow(i)}); err != nil {
+				return
+			}
+			ackedCh <- i
+		}
+	}()
+	for seen := 0; seen < 25; {
+		select {
+		case <-ackedCh:
+			seen++
+		case <-writerDone:
+			t.Fatalf("writer died before the kill threshold\nserver log:\n%s", logBuf.String())
+		}
+	}
+	// Kill while the writer is still mid-flight: whatever insert is in
+	// progress may be torn on disk, which recovery must truncate.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+	killed = true
+	<-writerDone
+	// The writer has exited: drain the acks it delivered after the
+	// threshold loop stopped reading.
+	close(ackedCh)
+	acked := 25 // consumed by the threshold loop
+	for range ackedCh {
+		acked++
+	}
+
+	// Restart on the same directory.
+	cmd2, logBuf2, base2 := startDivserve(t, bin, args...)
+	defer func() {
+		_ = cmd2.Process.Kill()
+		_ = cmd2.Wait()
+	}()
+	got := queryRaw(t, base2)
+
+	var meta struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal([]byte(got), &meta); err != nil {
+		t.Fatalf("parsing restarted response: %v\n%s", err, got)
+	}
+	// Every acknowledged insert is durable; at most the single un-acked
+	// in-flight insert may additionally have committed before the kill.
+	minGen, maxGen := uint64(demoGen+acked), uint64(demoGen+acked+1)
+	if meta.Generation < minGen || meta.Generation > maxGen {
+		t.Fatalf("restarted generation %d outside [%d, %d] (acked %d)\nrestart log:\n%s",
+			meta.Generation, minGen, maxGen, acked, logBuf2.String())
+	}
+
+	// Reference: an in-process engine holding the demo plus exactly the
+	// rows the recovered generation says survived, queried through the
+	// same register → warm → solve sequence divserve runs.
+	ref := diversification.NewEngine()
+	load.Demo(ref)
+	for i := 0; i < int(meta.Generation)-demoGen; i++ {
+		row := bulkRow(i)
+		if err := ref.Insert("catalog", row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := ref.Prepare(demoStatement, demoStatementOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := p.Do(context.Background(), diversification.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRaw, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrub(got) != scrub(string(wantRaw)) {
+		t.Fatalf("restarted answer diverged from the acknowledged state\n got %s\nwant %s\nrestart log:\n%s",
+			scrub(got), scrub(string(wantRaw)), logBuf2.String())
+	}
+}
+
+// TestGracefulShutdown covers the SIGTERM path: in-flight work drains, the
+// WAL flushes, the clean-shutdown marker lands, and the process exits 0.
+func TestGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and signals a real server")
+	}
+	bin := buildDivserve(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	cmd, logBuf, base := startDivserve(t, bin, "-demo", "-data-dir", dataDir, "-fsync", "interval", "-fsync-interval", "5ms")
+
+	client := &httpapi.Client{BaseURL: base, HTTPClient: &http.Client{Timeout: 5 * time.Second}}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Insert(context.Background(), "catalog", [][]interface{}{bulkRow(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM shutdown exited non-zero: %v\nserver log:\n%s", err, logBuf.String())
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "CLEAN")); err != nil {
+		t.Fatalf("clean-shutdown marker missing: %v", err)
+	}
+
+	// The directory recovers to the exact post-traffic state, and reports
+	// the shutdown as clean (interval fsync notwithstanding: Close syncs).
+	e, rec, err := diversification.OpenEngine(diversification.DurabilityConfig{Dir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if !rec.CleanShutdown || rec.TornTail {
+		t.Fatalf("recovery after graceful shutdown: %+v", rec)
+	}
+	if rec.Generation != demoGen+3 {
+		t.Fatalf("recovered generation %d, want %d", rec.Generation, demoGen+3)
+	}
+}
+
+// TestServeDurableGolden replays a fixed transcript against a durable
+// divserve — mutations, a manual snapshot, a graceful restart — and diffs
+// the whole exchange (both boots) against a golden file. The second boot's
+// responses pin recovery semantics on the wire: the recovered generation,
+// the replayed-entry count, the snapshot watermark.
+func TestServeDurableGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real servers")
+	}
+	bin := buildDivserve(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+	args := []string{"-demo", "-data-dir", dataDir, "-fsync", "always"}
+	httpClient := &http.Client{Timeout: 5 * time.Second}
+
+	type step struct{ method, path, body string }
+	run := func(base string, steps []step, transcript *strings.Builder) {
+		for _, s := range steps {
+			fmt.Fprintf(transcript, "$ %s %s %s\n", s.method, s.path, s.body)
+			var resp *http.Response
+			var err error
+			if s.method == "GET" {
+				resp, err = httpClient.Get(base + s.path)
+			} else {
+				resp, err = httpClient.Post(base+s.path, "application/json", strings.NewReader(s.body))
+			}
+			if err != nil {
+				t.Fatalf("%s %s: %v", s.method, s.path, err)
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(transcript, "%d %s\n", resp.StatusCode, scrub(strings.TrimSpace(string(raw))))
+		}
+	}
+
+	var transcript strings.Builder
+	cmd, logBuf, base := startDivserve(t, bin, args...)
+	transcript.WriteString("--- boot 1 (empty data dir) ---\n")
+	run(base, []step{
+		{"GET", "/healthz", ""},
+		{"POST", "/v1/insert/catalog", `{"rows":[["wool socks","apparel",12,6]]}`},
+		{"POST", "/v1/query/gifts", `{}`},
+		{"POST", "/v1/admin/snapshot", ""},
+		{"POST", "/v1/delete/catalog", `{"rows":[["board game","toy",32,2]]}`},
+		{"POST", "/v1/insert/nope", `{"rows":[[1]]}`},
+		{"POST", "/v1/insert/catalog", `{"rows":[]}`},
+		{"GET", "/metrics", ""},
+	}, &transcript)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("boot 1 shutdown: %v\nserver log:\n%s", err, logBuf.String())
+	}
+
+	cmd2, logBuf2, base2 := startDivserve(t, bin, args...)
+	transcript.WriteString("--- boot 2 (recovered: snapshot gen 12 + 1 log entry) ---\n")
+	run(base2, []step{
+		{"GET", "/healthz", ""},
+		{"POST", "/v1/query/gifts", `{}`},
+		{"GET", "/metrics", ""},
+	}, &transcript)
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("boot 2 shutdown: %v\nserver log:\n%s", err, logBuf2.String())
+	}
+
+	golden := filepath.Join("testdata", "golden", "serve-durable.txt")
+	if updatingGolden() {
+		if err := os.WriteFile(golden, []byte(transcript.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run `go test -run TestServeDurableGolden -update .`): %v", golden, err)
+	}
+	if string(want) != transcript.String() {
+		t.Errorf("durable serve transcript diverged from %s\n--- want ---\n%s\n--- got ---\n%s",
+			golden, want, transcript.String())
+	}
+}

@@ -10,7 +10,12 @@ import (
 	"repro/internal/query/parse"
 	"repro/internal/relation"
 	"repro/internal/value"
+	"repro/internal/wal"
 )
+
+// ErrUnknownTable is returned by mutations naming a table that was never
+// created. Serving layers map it to a not-found status.
+var ErrUnknownTable = errors.New("diversification: unknown table")
 
 // Engine owns a database, compiles queries into Prepared handles, and
 // evaluates diversification requests against it.
@@ -21,6 +26,10 @@ import (
 // solves and a solve never observes a half-applied mutation. Long exact
 // searches therefore delay mutations; cancel them via their context if
 // write latency matters more than the answer.
+//
+// An engine from NewEngine is purely in-memory; one from OpenEngine is
+// durable — every committed mutation streams to a write-ahead log before
+// the mutating call returns, and Snapshot/Close manage the on-disk state.
 type Engine struct {
 	db *relation.Database
 
@@ -28,6 +37,15 @@ type Engine struct {
 	// refreshes, Query). The relation layer itself is unsynchronized; this
 	// lock is what makes a service serving concurrent traffic sound.
 	mu sync.RWMutex
+
+	// Durability (nil/zero for in-memory engines). wal receives every
+	// committed mutation via the database tap; snapEvery triggers an
+	// automatic snapshot after that many mutations; recovery is the
+	// boot-time report OpenEngine produced.
+	wal           *wal.Log
+	snapEvery     int
+	mutsSinceSnap int
+	recovery      RecoveryInfo
 }
 
 // NewEngine creates an engine with an empty database.
@@ -47,7 +65,7 @@ func (e *Engine) CreateTable(name string, attrs ...string) error {
 		return fmt.Errorf("diversification: table %q already exists", name)
 	}
 	e.db.Add(relation.NewRelation(relation.NewSchema(name, attrs...)))
-	return nil
+	return e.afterMutation()
 }
 
 // MustCreateTable is CreateTable that panics on error.
@@ -65,21 +83,23 @@ func (e *Engine) Insert(table string, values ...interface{}) error {
 	defer e.mu.Unlock()
 	r := e.db.Relation(table)
 	if r == nil {
-		return fmt.Errorf("diversification: no table %q", table)
+		return fmt.Errorf("%w: %q", ErrUnknownTable, table)
 	}
 	if len(values) != r.Schema().Arity() {
-		return fmt.Errorf("diversification: table %q expects %d values, got %d",
+		return argErrorf("values", "table %q expects %d values, got %d",
 			table, r.Schema().Arity(), len(values))
 	}
 	t := make(relation.Tuple, len(values))
 	for i, v := range values {
 		cv, err := toValue(v)
 		if err != nil {
-			return err
+			return argErrorf("values", "%v", err)
 		}
 		t[i] = cv
 	}
-	r.Insert(t)
+	if r.Insert(t) {
+		return e.afterMutation()
+	}
 	return nil
 }
 
@@ -99,21 +119,24 @@ func (e *Engine) Delete(table string, values ...interface{}) (bool, error) {
 	defer e.mu.Unlock()
 	r := e.db.Relation(table)
 	if r == nil {
-		return false, fmt.Errorf("diversification: no table %q", table)
+		return false, fmt.Errorf("%w: %q", ErrUnknownTable, table)
 	}
 	if len(values) != r.Schema().Arity() {
-		return false, fmt.Errorf("diversification: table %q expects %d values, got %d",
+		return false, argErrorf("values", "table %q expects %d values, got %d",
 			table, r.Schema().Arity(), len(values))
 	}
 	t := make(relation.Tuple, len(values))
 	for i, v := range values {
 		cv, err := toValue(v)
 		if err != nil {
-			return false, err
+			return false, argErrorf("values", "%v", err)
 		}
 		t[i] = cv
 	}
-	return r.Delete(t), nil
+	if r.Delete(t) {
+		return true, e.afterMutation()
+	}
+	return false, nil
 }
 
 // SetJournalBound caps the database's change journal at n entries (values

@@ -104,6 +104,27 @@ func (c *Client) Refresh(ctx context.Context, name string) (diversification.Refr
 	return info, err
 }
 
+// Insert adds rows (attribute values in schema order) to a table.
+func (c *Client) Insert(ctx context.Context, table string, rows [][]interface{}) (MutateBody, error) {
+	var mb MutateBody
+	err := c.do(ctx, http.MethodPost, "/v1/insert/"+table, MutateRequest{Rows: rows}, &mb)
+	return mb, err
+}
+
+// Delete removes rows (attribute values in schema order) from a table.
+func (c *Client) Delete(ctx context.Context, table string, rows [][]interface{}) (MutateBody, error) {
+	var mb MutateBody
+	err := c.do(ctx, http.MethodPost, "/v1/delete/"+table, MutateRequest{Rows: rows}, &mb)
+	return mb, err
+}
+
+// Snapshot asks the server to persist its database and prune the WAL.
+func (c *Client) Snapshot(ctx context.Context) (diversification.SnapshotInfo, error) {
+	var si diversification.SnapshotInfo
+	err := c.do(ctx, http.MethodPost, "/v1/admin/snapshot", nil, &si)
+	return si, err
+}
+
 // Metrics fetches the service counters.
 func (c *Client) Metrics(ctx context.Context) (diversification.Metrics, error) {
 	var m diversification.Metrics

@@ -1,18 +1,20 @@
 // Package httpapi is the JSON-over-HTTP facade of the diversification
 // service: the wire request/response types, an http.Handler serving them
-// from a diversification.Service, and a small Go client. The protocol is
-// four routes:
+// from a diversification.Service, and a small Go client. The protocol:
 //
-//	POST /v1/query/{name}    run a Request against a registered statement
-//	POST /v1/refresh/{name}  bring a statement's caches up to date
-//	GET  /healthz            liveness
-//	GET  /metrics            service counters (admission queue, traffic)
+//	POST /v1/query/{name}     run a Request against a registered statement
+//	POST /v1/refresh/{name}   bring a statement's caches up to date
+//	POST /v1/insert/{table}   insert rows into a table
+//	POST /v1/delete/{table}   delete rows from a table
+//	POST /v1/admin/snapshot   persist the database, prune the WAL
+//	GET  /healthz             liveness
+//	GET  /metrics             service counters (admission, traffic, WAL)
 //
 // Responses are the library's own JSON forms (diversification.Response,
-// RefreshInfo, Metrics). Errors are {"error": ..., "field": ...} with the
-// status mapping: invalid arguments 400, unknown statement 404, no
-// candidate set 422, admission queue full 429, deadline exceeded 504,
-// anything else 500.
+// RefreshInfo, Metrics, SnapshotInfo). Errors are {"error": ..., "field":
+// ...} with the status mapping: invalid arguments 400, unknown statement
+// or table 404, snapshot of a non-durable engine 409, no candidate set
+// 422, admission queue full 429, deadline exceeded 504, anything else 500.
 package httpapi
 
 import (
@@ -142,6 +144,23 @@ func decodeSet(set [][]interface{}) ([][]interface{}, error) {
 		}
 	}
 	return out, nil
+}
+
+// MutateRequest is the wire form of POST /v1/insert/{table} and
+// /v1/delete/{table}: rows of attribute values in schema order. The same
+// scalar normalization as candidate sets applies, so integers survive the
+// JSON round trip as integers.
+type MutateRequest struct {
+	Rows [][]interface{} `json:"rows"`
+}
+
+// MutateBody is the response to a mutation: how many tuples actually
+// changed (duplicate inserts and misses don't count) and the database
+// generation after the batch — the watermark a caller can poll refreshes
+// or replicate against.
+type MutateBody struct {
+	Applied    int    `json:"applied"`
+	Generation uint64 `json:"generation"`
 }
 
 // ErrorBody is the wire form of a failed request.

@@ -300,3 +300,80 @@ func TestDecodeSetValueKinds(t *testing.T) {
 
 func strPtr(s string) *string { return &s }
 func intPtr(i int) *int       { return &i }
+
+func TestMutationRoutes(t *testing.T) {
+	client, svc := testClient(t)
+	ctx := context.Background()
+	before := svc.Engine().Generation()
+
+	// A two-row insert where one row is a duplicate: applied counts real
+	// mutations, and the generation advances by exactly that many.
+	mb, err := client.Insert(ctx, "catalog", [][]interface{}{
+		{"globe", "toy", 19},
+		{"ring", "jewelry", 28}, // already present
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.Applied != 1 || mb.Generation != before+1 {
+		t.Fatalf("insert: %+v (before gen %d)", mb, before)
+	}
+
+	mb, err = client.Delete(ctx, "catalog", [][]interface{}{
+		{"globe", "toy", 19},
+		{"never", "was", 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.Applied != 1 || mb.Generation != before+2 {
+		t.Fatalf("delete: %+v", mb)
+	}
+
+	var serr *StatusError
+	if _, err := client.Insert(ctx, "nope", [][]interface{}{{1}}); !errors.As(err, &serr) || serr.Code != http.StatusNotFound {
+		t.Fatalf("insert into unknown table: %v", err)
+	}
+	if _, err := client.Insert(ctx, "catalog", nil); !errors.As(err, &serr) || serr.Code != http.StatusBadRequest || serr.Body.Field != "rows" {
+		t.Fatalf("empty insert: %v", err)
+	}
+	if _, err := client.Insert(ctx, "catalog", [][]interface{}{{"x"}}); !errors.As(err, &serr) || serr.Code != http.StatusBadRequest {
+		t.Fatalf("arity mismatch: %v", err)
+	}
+}
+
+func TestSnapshotRoute(t *testing.T) {
+	// In-memory engine: the admin snapshot maps ErrNotDurable to 409.
+	client, _ := testClient(t)
+	var serr *StatusError
+	if _, err := client.Snapshot(context.Background()); !errors.As(err, &serr) || serr.Code != http.StatusConflict {
+		t.Fatalf("snapshot of in-memory engine: %v", err)
+	}
+
+	// Durable engine: the snapshot reports the generation it captured.
+	e, _, err := diversification.OpenEngine(diversification.DurabilityConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	e.MustCreateTable("p", "x")
+	e.MustInsert("p", 1)
+	svc := diversification.NewService(e, diversification.ServiceConfig{})
+	srv := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(srv.Close)
+	durable := &Client{BaseURL: srv.URL, HTTPClient: srv.Client()}
+	si, err := durable.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Generation != e.Generation() {
+		t.Fatalf("snapshot generation %d, want %d", si.Generation, e.Generation())
+	}
+	m, err := durable.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Durability == nil || m.Durability.LastSnapshotGen != si.Generation {
+		t.Fatalf("durability metrics missing or stale: %+v", m.Durability)
+	}
+}

@@ -59,7 +59,57 @@ func NewHandler(svc *diversification.Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, info)
 	})
+	mux.HandleFunc("POST /v1/insert/{table}", mutateHandler(svc, false))
+	mux.HandleFunc("POST /v1/delete/{table}", mutateHandler(svc, true))
+	mux.HandleFunc("POST /v1/admin/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		info, err := svc.Snapshot(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
 	return mux
+}
+
+// mutateHandler serves the insert/delete routes: decode rows, apply them
+// through the engine (each batch row is one engine mutation — WAL-logged
+// and journal-stamped before the loop moves on), and report the applied
+// count plus the generation the batch ended at. A bad row aborts the batch
+// mid-way; rows before it are already committed, which the generation in
+// the error-free prefix semantics makes observable rather than hidden.
+func mutateHandler(svc *diversification.Service, del bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var mr MutateRequest
+		if !readJSON(w, r, &mr) {
+			return
+		}
+		if len(mr.Rows) == 0 {
+			writeError(w, &diversification.ArgError{Field: "rows", Reason: "mutation needs at least one row"})
+			return
+		}
+		rows, err := decodeSet(mr.Rows)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		eng := svc.Engine()
+		table := r.PathValue("table")
+		before := eng.Generation()
+		for _, row := range rows {
+			if del {
+				_, err = eng.Delete(table, row...)
+			} else {
+				err = eng.Insert(table, row...)
+			}
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+		}
+		after := eng.Generation()
+		writeJSON(w, http.StatusOK, MutateBody{Applied: int(after - before), Generation: after})
+	}
 }
 
 // requestContext applies the wire-level per-request timeout, if any.
@@ -93,16 +143,19 @@ func readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 }
 
 // writeError maps a service/library error onto the wire: typed argument
-// errors and their field to 400, unknown statements to 404, "no candidate
-// set" to 422, admission rejection to 429, deadlines to 504, everything
-// else to 500.
+// errors and their field to 400, unknown statements and tables to 404,
+// snapshotting a non-durable engine to 409, "no candidate set" to 422,
+// admission rejection to 429, deadlines to 504, everything else to 500.
 func writeError(w http.ResponseWriter, err error) {
 	var argErr *diversification.ArgError
 	switch {
 	case errors.As(err, &argErr):
 		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: err.Error(), Field: argErr.Field})
-	case errors.Is(err, diversification.ErrUnknownStatement):
+	case errors.Is(err, diversification.ErrUnknownStatement),
+		errors.Is(err, diversification.ErrUnknownTable):
 		writeJSON(w, http.StatusNotFound, ErrorBody{Error: err.Error()})
+	case errors.Is(err, diversification.ErrNotDurable):
+		writeJSON(w, http.StatusConflict, ErrorBody{Error: err.Error()})
 	case errors.Is(err, diversification.ErrNoCandidate):
 		writeJSON(w, http.StatusUnprocessableEntity, ErrorBody{Error: err.Error()})
 	case errors.Is(err, diversification.ErrOverloaded):

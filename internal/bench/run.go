@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"time"
 
@@ -16,6 +17,8 @@ import (
 	"repro/internal/relation"
 	"repro/internal/sat"
 	"repro/internal/solver"
+	"repro/internal/value"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -498,7 +501,95 @@ func Catalog() []*Experiment {
 		},
 	})
 
+	// ---- Ablation: warm restart (WAL replay / snapshot) vs cold rebuild ----
+
+	// Restart cost for an n-row points database under the durability
+	// subsystem. The replay arm recovers from a log alone (a crash before
+	// any checkpoint: every mutation re-runs through the relation layer
+	// plus frame decoding), the snapshot arm from a checkpoint at the head
+	// generation (the fast path the snapshot cadence buys), and the rebuild
+	// arm re-inserts everything in memory — the only option before the WAL
+	// existed, and one that silently loses any state not re-derivable from
+	// the driver. Work counts tuples restored, so all arms share a unit.
+	exps = append(exps, &Experiment{
+		ID:      "durability/recovery-replay",
+		Table:   "ablation",
+		Setting: core.Setting{Problem: core.QRD, Language: query.Identity, Objective: objective.MaxSum, Data: true},
+		Sizes:   []int{200, 400, 800, 1600},
+		Run:     func(n int) Measurement { return recoverDir(durableDir(n, false), n) },
+	})
+	exps = append(exps, &Experiment{
+		ID:      "durability/recovery-snapshot",
+		Table:   "ablation",
+		Setting: core.Setting{Problem: core.QRD, Language: query.Identity, Objective: objective.MaxSum, Data: true},
+		Sizes:   []int{200, 400, 800, 1600},
+		Run:     func(n int) Measurement { return recoverDir(durableDir(n, true), n) },
+	})
+	exps = append(exps, &Experiment{
+		ID:      "durability/recovery-rebuild",
+		Table:   "ablation",
+		Setting: core.Setting{Problem: core.QRD, Language: query.Identity, Objective: objective.MaxSum, Data: true},
+		Sizes:   []int{200, 400, 800, 1600},
+		Run: func(n int) Measurement {
+			start := time.Now()
+			db := relation.NewDatabase()
+			insertRecoveryRows(db, n)
+			return Measurement{Secs: time.Since(start).Seconds(), Work: float64(db.Size())}
+		},
+	})
+
 	return exps
+}
+
+// insertRecoveryRows drives the recovery ablation's mutation history: a
+// schema Add plus n mixed int/float inserts, mirroring the points workloads.
+func insertRecoveryRows(db *relation.Database, n int) {
+	db.Add(relation.NewRelation(relation.NewSchema("P", "c0", "c1")))
+	r := db.Relation("P")
+	for i := 0; i < n; i++ {
+		r.Insert(relation.Tuple{value.Int(int64(i * 37 % (1 << 20))), value.Float(float64(i) / 7)})
+	}
+}
+
+// durableDir materializes the recovery ablation's on-disk state: a WAL
+// directory holding an n-row history, optionally checkpointed at the head
+// generation so recovery loads the snapshot and replays nothing.
+func durableDir(n int, snapshot bool) string {
+	dir, err := os.MkdirTemp("", "divbench-wal-")
+	if err != nil {
+		panic(err)
+	}
+	l, err := wal.Create(dir, wal.Options{Fsync: wal.FsyncOff})
+	if err != nil {
+		panic(err)
+	}
+	db := relation.NewDatabase()
+	db.SetTap(l)
+	insertRecoveryRows(db, n)
+	if snapshot {
+		if _, err := l.Snapshot(db); err != nil {
+			panic(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// recoverDir times one wal.Recover of dir, then removes it.
+func recoverDir(dir string, n int) Measurement {
+	defer os.RemoveAll(dir)
+	start := time.Now()
+	db, _, err := wal.Recover(dir)
+	if err != nil {
+		panic(err)
+	}
+	secs := time.Since(start).Seconds()
+	if db.Size() != n {
+		panic(fmt.Sprintf("bench: recovered %d tuples, want %d", db.Size(), n))
+	}
+	return Measurement{Secs: secs, Work: float64(db.Size())}
 }
 
 // countingDistance wraps a Distance counting evaluations, the work unit of

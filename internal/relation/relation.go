@@ -246,12 +246,26 @@ func (r *Relation) String() string {
 	return b.String()
 }
 
+// Tap observes every committed mutation of a Database, for durability
+// layers that persist the relational state: TapChange fires after each
+// journaled tuple insert or delete, TapAdd after each structural relation
+// Add. Both are invoked synchronously inside the mutation, before it
+// returns to the caller — a write-ahead log implementing Tap therefore has
+// the entry on its buffer before the mutation is acknowledged. A tap must
+// not mutate the database reentrantly, and must not retain the *Relation
+// passed to TapAdd beyond the call.
+type Tap interface {
+	TapChange(c Change)
+	TapAdd(gen uint64, r *Relation)
+}
+
 // Database is a named collection of relations, the D in Q(D).
 type Database struct {
 	relations map[string]*Relation
 	order     []string
 	gen       uint64
 	log       journal
+	tap       Tap
 }
 
 // NewDatabase creates an empty database.
@@ -274,7 +288,25 @@ func (d *Database) Add(r *Relation) *Database {
 	r.onMutate = func(op Op, t Tuple) { d.record(op, name, t) }
 	d.gen++
 	d.log.truncate(d.gen)
+	if d.tap != nil {
+		d.tap.TapAdd(d.gen, r)
+	}
 	return d
+}
+
+// SetTap installs (or, with nil, removes) the mutation observer. The tap
+// sees every subsequent mutation; installing one does not replay history —
+// durability layers snapshot the current state first, then tap the stream.
+func (d *Database) SetTap(t Tap) { d.tap = t }
+
+// RestoreGeneration force-sets the generation counter and resets the change
+// journal to an empty window at that generation. It exists for recovery: a
+// database reconstructed from a snapshot must resume the exact generation
+// sequence the snapshot was taken at, so that replaying the log's
+// per-generation entries lands every consumer watermark where it was.
+func (d *Database) RestoreGeneration(gen uint64) {
+	d.gen = gen
+	d.log.truncate(gen)
 }
 
 // Generation returns a counter that advances on every mutation of the
@@ -289,7 +321,11 @@ func (d *Database) Generation() uint64 { return d.gen }
 // floor has exactly one entry.
 func (d *Database) record(op Op, rel string, t Tuple) {
 	d.gen++
-	d.log.record(Change{Gen: d.gen, Op: op, Rel: rel, Tuple: t})
+	c := Change{Gen: d.gen, Op: op, Rel: rel, Tuple: t}
+	d.log.record(c)
+	if d.tap != nil {
+		d.tap.TapChange(c)
+	}
 }
 
 // Relation returns the named relation, or nil.

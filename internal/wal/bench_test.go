@@ -1,0 +1,36 @@
+package wal
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/value"
+)
+
+// BenchmarkWALAppend measures the per-mutation durability tax: one framed
+// record through TapChange under each fsync policy. The off arm is the
+// encoding+buffering cost alone; the always arm adds the fsync every
+// acknowledged mutation pays, which is the price of the "acked means
+// durable" contract and dominated by the storage device.
+func BenchmarkWALAppend(b *testing.B) {
+	tuple := relation.Tuple{value.Int(12345), value.Float(0.125), value.Str("bench-item"), value.Bool(true)}
+	for _, policy := range []FsyncPolicy{FsyncOff, FsyncAlways} {
+		b.Run(string(policy), func(b *testing.B) {
+			l, err := Create(b.TempDir(), Options{Fsync: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.TapChange(relation.Change{Gen: uint64(i + 1), Op: relation.OpInsert, Rel: "p", Tuple: tuple})
+			}
+			b.StopTimer()
+			if err := l.Err(); err != nil {
+				b.Fatal(err)
+			}
+			m := l.Metrics()
+			b.ReportMetric(float64(m.Bytes)/float64(m.Records), "bytes/record")
+		})
+	}
+}

@@ -1,0 +1,130 @@
+// Snapshots: a full serialization of the database at one generation, so
+// recovery replays only the log suffix above it instead of the whole
+// mutation history. The file is a single checksummed blob written to a
+// temporary name and renamed into place — it either exists completely or
+// not at all, which is what lets the log prune everything older the moment
+// the rename lands.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/relation"
+)
+
+// encodeSnapshot renders the database body (after the magic):
+//
+//	uvarint gen | uvarint #relations |
+//	  per relation (registration order): schema | uvarint #tuples | tuples
+//
+// followed by a uint32 CRC-32C of magic+body. Tuples are written in
+// insertion order so the reconstructed relations iterate identically.
+func encodeSnapshot(db *relation.Database, gen uint64) []byte {
+	b := make([]byte, 0, 1<<16)
+	b = append(b, snapMagic...)
+	b = binary.AppendUvarint(b, gen)
+	names := db.Names()
+	b = binary.AppendUvarint(b, uint64(len(names)))
+	for _, name := range names {
+		r := db.Relation(name)
+		b = appendSchema(b, r.Schema())
+		b = binary.AppendUvarint(b, uint64(r.Len()))
+		for _, t := range r.Tuples() {
+			b = appendTuple(b, t)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+}
+
+// writeSnapshot durably writes the snapshot file for gen: temp file, fsync,
+// rename, directory fsync.
+func writeSnapshot(dir string, db *relation.Database, gen uint64, fsyncs *atomic.Int64) error {
+	data := encodeSnapshot(db, gen)
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if fsyncs != nil {
+		fsyncs.Add(1)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, snapshotName(gen))); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadSnapshot reads and verifies a snapshot file and reconstructs the
+// database, restoring the recorded generation so log replay resumes the
+// exact sequence.
+func loadSnapshot(path string) (*relation.Database, uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, 0, fmt.Errorf("wal: %s: not a snapshot file", path)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crcTable) != sum {
+		return nil, 0, fmt.Errorf("wal: %s: snapshot checksum mismatch", path)
+	}
+	r := &byteReader{b: body, off: len(snapMagic)}
+	gen := r.uvarint()
+	nrels := r.uvarint()
+	if r.err != nil || nrels > uint64(len(body)) {
+		return nil, 0, fmt.Errorf("wal: %s: corrupt snapshot header", path)
+	}
+	db := relation.NewDatabase()
+	for i := uint64(0); i < nrels; i++ {
+		name := r.str()
+		nattrs := r.uvarint()
+		if r.err != nil || nattrs > uint64(len(body)) {
+			return nil, 0, fmt.Errorf("wal: %s: corrupt schema in snapshot", path)
+		}
+		attrs := make([]string, 0, nattrs)
+		for j := uint64(0); j < nattrs && r.err == nil; j++ {
+			attrs = append(attrs, r.str())
+		}
+		if r.err != nil {
+			return nil, 0, fmt.Errorf("wal: %s: %v", path, r.err)
+		}
+		rel := relation.NewRelation(relation.NewSchema(name, attrs...))
+		ntuples := r.uvarint()
+		if r.err != nil || ntuples > uint64(len(body)) {
+			return nil, 0, fmt.Errorf("wal: %s: corrupt tuple count in snapshot", path)
+		}
+		for j := uint64(0); j < ntuples && r.err == nil; j++ {
+			rel.Insert(r.tuple())
+		}
+		db.Add(rel)
+	}
+	if r.err != nil {
+		return nil, 0, fmt.Errorf("wal: %s: %v", path, r.err)
+	}
+	if r.off != len(body) {
+		return nil, 0, fmt.Errorf("wal: %s: %d trailing bytes in snapshot", path, len(body)-r.off)
+	}
+	db.RestoreGeneration(gen)
+	return db, gen, nil
+}

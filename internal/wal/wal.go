@@ -1,0 +1,487 @@
+// Package wal is the durability subsystem: a write-ahead log plus periodic
+// snapshots for the relational substrate, so a restarted process recovers
+// its full database — and the exact generation counter — from disk instead
+// of cold-rebuilding.
+//
+// The design is the classic log-over-snapshot pairing. A Log is an
+// append-only sequence of segment files receiving one checksummed record
+// per committed mutation (the Log implements relation.Tap, so every tuple
+// insert/delete and structural relation Add streams to disk before the
+// mutation returns). A snapshot serializes the whole database at a recorded
+// generation; once one is durable, every older segment and snapshot is
+// redundant and pruned. Recovery loads the newest snapshot, replays the
+// records above its generation, truncates a torn tail record (the expected
+// residue of a crash mid-append) and hands back a database bit-identical to
+// the crashed process's last durable state.
+//
+// A data directory owned by this package contains:
+//
+//	wal-00000042.log   append-only segments, one per boot or rotation
+//	snap-…0001337.snap full database image at generation 1337
+//	CLEAN              present only after a clean Close (skips torn-tail
+//	                   tolerance: with the marker, a torn record is
+//	                   corruption, not an expected crash artifact)
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/relation"
+)
+
+const (
+	segMagic    = "DIVWAL01"
+	snapMagic   = "DIVSNAP1"
+	cleanMarker = "CLEAN"
+)
+
+// FsyncPolicy says when appended records are forced to stable storage.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways syncs after every append: an acknowledged mutation is
+	// durable, at the cost of one fsync per mutation.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval syncs on a timer (Options.FsyncEvery): a crash loses at
+	// most one interval of acknowledged mutations.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncOff never syncs explicitly; the OS flushes when it pleases.
+	// Fastest, loses the page cache on power failure, survives process
+	// crashes (the kernel still has the writes).
+	FsyncOff FsyncPolicy = "off"
+)
+
+// ParseFsyncPolicy maps the flag spelling onto a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case FsyncAlways, FsyncInterval, FsyncOff:
+		return FsyncPolicy(s), nil
+	default:
+		return "", fmt.Errorf("wal: unknown fsync policy %q (want always, interval or off)", s)
+	}
+}
+
+// Options tunes a Log. The zero value means: fsync always, 100ms interval
+// (if the interval policy is chosen), 64 MiB segments.
+type Options struct {
+	Fsync        FsyncPolicy
+	FsyncEvery   time.Duration // FsyncInterval period
+	SegmentBytes int64         // rotation threshold
+}
+
+func (o Options) withDefaults() Options {
+	if o.Fsync == "" {
+		o.Fsync = FsyncAlways
+	}
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// Metrics is a point-in-time snapshot of the log's counters.
+type Metrics struct {
+	Bytes           int64  // record bytes appended (framing included)
+	Records         int64  // records appended
+	Fsyncs          int64  // explicit syncs issued
+	LastSnapshotGen uint64 // generation of the newest durable snapshot
+}
+
+// Log is the append-only segment writer. It implements relation.Tap, so
+// installing it with Database.SetTap streams every committed mutation to
+// disk synchronously — the record is on the write buffer (and, under
+// FsyncAlways, on stable storage) before the mutation call returns.
+//
+// Appends cannot return an error through the Tap interface; failures are
+// sticky and surfaced by Err, which the owning engine checks after every
+// mutation. After the first failure the log drops subsequent records — the
+// on-disk prefix stays valid, and the engine refuses further mutations.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	seq   uint64 // current segment sequence number
+	size  int64  // bytes appended to the current segment
+	err   error  // sticky first failure
+	dirty bool   // unsynced appends pending (interval policy)
+
+	bytes    atomic.Int64
+	records  atomic.Int64
+	fsyncs   atomic.Int64
+	lastSnap atomic.Uint64
+
+	stop chan struct{} // closes the interval flusher
+	done chan struct{}
+}
+
+// Create opens a log for appending in dir, creating the directory if
+// needed. It always starts a fresh segment (never appends to an old one, so
+// a truncated predecessor is left untouched as evidence), removes the
+// clean-shutdown marker — from here on, a crash is a crash — and seeds the
+// last-snapshot watermark from the newest snapshot on disk.
+func Create(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := os.Remove(filepath.Join(dir, cleanMarker)); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seq uint64 = 1
+	if len(segs) > 0 {
+		seq = segs[len(segs)-1].seq + 1
+	}
+	l := &Log{dir: dir, opts: opts, seq: seq}
+	if snaps, err := listSnapshots(dir); err == nil && len(snaps) > 0 {
+		l.lastSnap.Store(snaps[len(snaps)-1].gen)
+	}
+	if err := l.openSegment(); err != nil {
+		return nil, err
+	}
+	if opts.Fsync == FsyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+// Dir returns the data directory the log writes to.
+func (l *Log) Dir() string { return l.dir }
+
+// segmentName renders "wal-%08d.log"; zero-padding keeps lexical and
+// numeric order identical.
+func segmentName(seq uint64) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// snapshotName renders "snap-%020d.snap" (20 digits: a full uint64).
+func snapshotName(gen uint64) string { return fmt.Sprintf("snap-%020d.snap", gen) }
+
+type segmentFile struct {
+	path string
+	seq  uint64
+}
+
+type snapshotFile struct {
+	path string
+	gen  uint64
+}
+
+// listSegments returns the wal-*.log files in ascending sequence order.
+func listSegments(dir string) ([]segmentFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentFile
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 10, 64)
+		if err != nil {
+			continue // not ours
+		}
+		segs = append(segs, segmentFile{path: filepath.Join(dir, name), seq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// listSnapshots returns the snap-*.snap files in ascending generation order.
+func listSnapshots(dir string) ([]snapshotFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []snapshotFile
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		gen, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 10, 64)
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, snapshotFile{path: filepath.Join(dir, name), gen: gen})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].gen < snaps[j].gen })
+	return snaps, nil
+}
+
+// openSegment starts segment l.seq: magic header, synced so the file exists
+// durably before any record lands in it. Caller holds l.mu (or is Create).
+func (l *Log) openSegment() error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(l.seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	l.fsyncs.Add(1)
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.size = 0
+	return nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// TapChange implements relation.Tap: one journaled tuple mutation.
+func (l *Log) TapChange(c relation.Change) {
+	kind := recInsert
+	if c.Op == relation.OpDelete {
+		kind = recDelete
+	}
+	l.append(record{kind: kind, gen: c.Gen, rel: c.Rel, tuple: c.Tuple})
+}
+
+// TapAdd implements relation.Tap: a structural relation Add, carrying the
+// schema and whatever rows the relation arrived with.
+func (l *Log) TapAdd(gen uint64, r *relation.Relation) {
+	l.append(record{kind: recAddRelation, gen: gen, schema: r.Schema(), tuples: r.Tuples()})
+}
+
+// append frames, writes and (policy permitting) syncs one record, rotating
+// the segment first when it has outgrown the threshold.
+func (l *Log) append(rec record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	if l.size >= l.opts.SegmentBytes {
+		if l.err = l.rotateLocked(); l.err != nil {
+			return
+		}
+	}
+	framed := frame(encodePayload(rec))
+	if _, err := l.w.Write(framed); err != nil {
+		l.err = err
+		return
+	}
+	l.size += int64(len(framed))
+	l.bytes.Add(int64(len(framed)))
+	l.records.Add(1)
+	l.dirty = true
+	if l.opts.Fsync == FsyncAlways {
+		l.err = l.syncLocked()
+	}
+}
+
+// syncLocked flushes the buffer and fsyncs the segment. Caller holds l.mu.
+func (l *Log) syncLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs.Add(1)
+	l.dirty = false
+	return nil
+}
+
+// Sync forces buffered records to stable storage, whatever the policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	l.err = l.syncLocked()
+	return l.err
+}
+
+// Err reports the sticky append/sync failure, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// rotateLocked seals the current segment and opens the next. Caller holds
+// l.mu.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.seq++
+	return l.openSegment()
+}
+
+// flushLoop is the FsyncInterval policy's timer: sync dirty buffers every
+// FsyncEvery until Close.
+func (l *Log) flushLoop() {
+	defer close(l.done)
+	ticker := time.NewTicker(l.opts.FsyncEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			l.mu.Lock()
+			if l.err == nil && l.dirty {
+				l.err = l.syncLocked()
+			}
+			l.mu.Unlock()
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// Snapshot serializes db — which the caller must hold still (the engine
+// calls this under its database lock) — to a durable snapshot file at the
+// current generation, rotates to a fresh segment, and prunes every older
+// segment and snapshot: with the mutation stream frozen, everything the log
+// held is below the snapshot's generation, so the snapshot subsumes it.
+// It returns the snapshot's generation.
+func (l *Log) Snapshot(db *relation.Database) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	// Everything appended so far must be durable before the old segments'
+	// fate rests on the snapshot file.
+	if err := l.syncLocked(); err != nil {
+		l.err = err
+		return 0, err
+	}
+	gen := db.Generation()
+	if err := writeSnapshot(l.dir, db, gen, &l.fsyncs); err != nil {
+		return 0, err
+	}
+	l.lastSnap.Store(gen)
+	if err := l.f.Close(); err != nil {
+		l.err = err
+		return 0, err
+	}
+	l.seq++
+	if err := l.openSegment(); err != nil {
+		l.err = err
+		return 0, err
+	}
+	// Prune: older segments are all <= gen (the stream was frozen), older
+	// snapshots are subsumed. Failures here are cosmetic — recovery skips
+	// covered records — so they are ignored.
+	if segs, err := listSegments(l.dir); err == nil {
+		for _, s := range segs {
+			if s.seq < l.seq {
+				os.Remove(s.path)
+			}
+		}
+	}
+	if snaps, err := listSnapshots(l.dir); err == nil {
+		for _, s := range snaps {
+			if s.gen < gen {
+				os.Remove(s.path)
+			}
+		}
+	}
+	return gen, nil
+}
+
+// Metrics snapshots the counters.
+func (l *Log) Metrics() Metrics {
+	return Metrics{
+		Bytes:           l.bytes.Load(),
+		Records:         l.records.Load(),
+		Fsyncs:          l.fsyncs.Load(),
+		LastSnapshotGen: l.lastSnap.Load(),
+	}
+}
+
+// Close flushes and fsyncs outstanding records, writes the clean-shutdown
+// marker — recovery will then treat a torn tail as corruption rather than
+// an expected crash artifact — and closes the segment. The log is unusable
+// afterwards.
+func (l *Log) Close() error {
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+		l.stop = nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return l.err
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	if err == nil {
+		err = writeFileDurable(filepath.Join(l.dir, cleanMarker), []byte("clean\n"), &l.fsyncs)
+	}
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: log closed")
+		return err
+	}
+	return l.err
+}
+
+// writeFileDurable writes a small file and syncs both it and its directory.
+func writeFileDurable(path string, data []byte, fsyncs *atomic.Int64) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if fsyncs != nil {
+		fsyncs.Add(1)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}

@@ -51,6 +51,10 @@ type Metrics struct {
 	InFlight   int64 `json:"in_flight"`   // currently executing
 	QueueDepth int64 `json:"queue_depth"` // currently waiting for a slot
 	QueuePeak  int64 `json:"queue_peak"`  // high-water mark of QueueDepth
+
+	// Durability carries the write-ahead-log and recovery counters of a
+	// durable engine; nil (and absent on the wire) for in-memory engines.
+	Durability *DurabilityMetrics `json:"durability,omitempty"`
 }
 
 // Service is the serving facade over one Engine: a named statement
@@ -157,7 +161,7 @@ func (s *Service) Metrics() Metrics {
 	s.mu.RLock()
 	n := len(s.stmts)
 	s.mu.RUnlock()
-	return Metrics{
+	m := Metrics{
 		Statements: n,
 		Requests:   s.requests.Load(),
 		Failures:   s.failures.Load(),
@@ -166,6 +170,10 @@ func (s *Service) Metrics() Metrics {
 		QueueDepth: s.queued.Load(),
 		QueuePeak:  s.peak.Load(),
 	}
+	if dm, ok := s.eng.durabilityMetrics(); ok {
+		m.Durability = &dm
+	}
+	return m
 }
 
 // withDeadline applies the configured default timeout to contexts that
@@ -263,4 +271,32 @@ func (s *Service) Refresh(ctx context.Context, name string) (RefreshInfo, error)
 		s.failures.Add(1)
 	}
 	return info, err
+}
+
+// SnapshotInfo is the wire form of a completed snapshot.
+type SnapshotInfo struct {
+	// Generation the snapshot captured; recovery from it replays only the
+	// log records above this.
+	Generation uint64 `json:"generation"`
+}
+
+// Snapshot persists the engine's full database and prunes the write-ahead
+// log, through the same admission gate as queries — serializing the store
+// is rebuild-shaped work and must not bypass the concurrency bound. It
+// fails with ErrNotDurable on an in-memory engine.
+func (s *Service) Snapshot(ctx context.Context) (SnapshotInfo, error) {
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	defer release()
+	s.requests.Add(1)
+	gen, err := s.eng.Snapshot(ctx)
+	if err != nil {
+		s.failures.Add(1)
+		return SnapshotInfo{}, err
+	}
+	return SnapshotInfo{Generation: gen}, nil
 }
