@@ -1,0 +1,176 @@
+package diversification
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeChaosWAL boots the real divserve binary with a sticky WAL fault
+// schedule armed via -chaos-wal and drives the degradation contract over
+// real HTTP: mutations keep succeeding until the schedule fires, the
+// failure is surfaced (500 for the ambiguous first failure, 503 +
+// Retry-After once read-only), queries and /healthz keep serving (the
+// latter reporting "degraded"), and SIGTERM still shuts down cleanly.
+func TestServeChaosWAL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a server binary")
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	bin := filepath.Join(t.TempDir(), "divserve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/divserve")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building divserve: %v\n%s", err, out)
+	}
+	// Sticky schedule: every fsync from the 40th on fails. Demo seeding
+	// costs ~14 syncs, so the server boots healthy and the fault lands
+	// mid-traffic; sticky means the recovery probe cannot heal it, keeping
+	// the degraded state observable.
+	cmd := exec.Command(bin, "-demo", "-data-dir", t.TempDir(), "-fsync", "always",
+		"-addr", addr, "-chaos-wal", "sync:40+", "-wal-probe", "5ms", "-shutdown-grace", "2s")
+	cmd.Env = os.Environ()
+	var serverLog bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &serverLog, &serverLog
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	}()
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("divserve never became healthy: %v\nserver log:\n%s", err, serverLog.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+
+	// Mutate until the armed schedule fires. The first failure is the
+	// ambiguous one (applied in memory, not logged): a 500-class error,
+	// never a silent success.
+	firstFailure := 0
+	for i := 0; i < 100; i++ {
+		row := fmt.Sprintf(`{"rows":[["chaos-%d","toy",5,1]]}`, i)
+		status, body := post("/v1/insert/catalog", row)
+		if status == http.StatusOK {
+			continue
+		}
+		firstFailure = status
+		if status != http.StatusInternalServerError {
+			t.Fatalf("first failing insert: status %d (%s), want 500", status, body)
+		}
+		if !strings.Contains(body, "read-only") {
+			t.Fatalf("first failure body %q does not announce read-only mode", body)
+		}
+		break
+	}
+	if firstFailure == 0 {
+		t.Fatalf("schedule never fired in 100 inserts\nserver log:\n%s", serverLog.String())
+	}
+
+	// From here every mutation is refused up front: 503 with Retry-After.
+	status, body := post("/v1/insert/catalog", `{"rows":[["late","toy",5,1]]}`)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("insert while read-only: status %d (%s), want 503", status, body)
+	}
+
+	// Queries keep serving, and liveness reports the degradation.
+	status, body = post("/v1/query/gifts", `{}`)
+	if status != http.StatusOK || !strings.Contains(body, `"selection"`) {
+		t.Fatalf("query while read-only: status %d (%s)", status, body)
+	}
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		ReadOnly bool   `json:"read_only"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || !health.ReadOnly {
+		t.Fatalf("healthz = %+v, want degraded/read-only", health)
+	}
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Durability struct {
+			ReadOnly      bool  `json:"read_only"`
+			WALFailures   int64 `json:"wal_failures"`
+			ProbeAttempts int64 `json:"wal_probe_attempts"`
+		} `json:"durability"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&metrics)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !metrics.Durability.ReadOnly || metrics.Durability.WALFailures == 0 {
+		t.Fatalf("durability metrics do not report the failure: %+v", metrics.Durability)
+	}
+
+	// A degraded server still honors graceful shutdown: drain, exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		killed = true
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v\nserver log:\n%s", err, serverLog.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("server did not exit on SIGTERM\nserver log:\n%s", serverLog.String())
+	}
+	if !strings.Contains(serverLog.String(), "shut down cleanly") {
+		t.Fatalf("shutdown was not clean:\n%s", serverLog.String())
+	}
+}

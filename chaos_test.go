@@ -1,0 +1,245 @@
+package diversification
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// chaosOps are the write-path operation kinds a random schedule may break.
+// Read-path ops stay healthy on purpose: the suite asserts solves never
+// fail, which is only a fair demand while the failures are storage-write
+// failures.
+var chaosOps = []faultfs.Op{faultfs.OpWrite, faultfs.OpSync, faultfs.OpRename, faultfs.OpSyncDir}
+
+// chaosQuery and its options mirror the service tests' statement shape over
+// an items table the suite mutates throughout.
+const chaosQuery = "Q(id, cat, price) :- items(id, cat, price), price <= 80"
+
+// scrubResponse zeroes the wall-clock field and the advisory refresh
+// report (a restarted statement rebuilds where a warm one was already
+// current — cache provenance, not answer content) and returns the
+// canonical JSON bytes of everything that must be identical.
+func scrubResponse(t *testing.T, resp *Response) []byte {
+	t.Helper()
+	clone := *resp
+	clone.Elapsed = 0
+	clone.Refresh = RefreshInfo{}
+	raw, err := json.Marshal(&clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestChaosWALSchedules is the storage half of the chaos suite: a seeded
+// random fault schedule breaks and heals the WAL's filesystem while a
+// mixed workload of mutations and solves runs. The invariants, checked
+// throughout:
+//
+//   - solves never fail — a broken WAL degrades writes, never reads;
+//   - every selected row is a row the mirror says is live, so no answer is
+//     computed from corrupted state;
+//   - every mutation outcome is classifiable: applied (nil error), refused
+//     untouched (ErrReadOnly), or applied-in-memory with the WAL failure
+//     reported (any other error) — never silent loss;
+//
+// and once the faults stop: the engine recovers to full (writable) service
+// on its own, the database matches the mirror exactly, and a cold restart
+// from the directory serves the byte-identical response.
+func TestChaosWALSchedules(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaosSchedule(t, seed)
+		})
+	}
+}
+
+func runChaosSchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	dir := t.TempDir()
+	fs := faultfs.Wrap(nil)
+	e, _, err := OpenEngine(DurabilityConfig{
+		Dir:           dir,
+		FS:            fs,
+		ProbeBackoff:  2 * time.Millisecond,
+		SnapshotEvery: 25, // exercise the auto-snapshot path under faults too
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			e.Close()
+		}
+	}()
+	if err := e.CreateTable("items", "id", "cat", "price"); err != nil {
+		t.Fatal(err)
+	}
+	cats := []string{"a", "b", "c", "d", "e"}
+	// mirror holds what a correct engine must contain: id -> (cat, price).
+	type rowVal struct {
+		cat   string
+		price int
+	}
+	mirror := make(map[int]rowVal)
+	nextID := 0
+	// Seed a base the schedule cannot starve: a seed whose faults refuse
+	// every loop mutation must still leave enough rows to solve over.
+	for ; nextID < 8; nextID++ {
+		v := rowVal{cat: cats[nextID%len(cats)], price: 10 + (nextID*13)%70}
+		if err := e.Insert("items", nextID, v.cat, v.price); err != nil {
+			t.Fatal(err)
+		}
+		mirror[nextID] = v
+	}
+	insert := func(applyErr error, id int, v rowVal) {
+		switch {
+		case applyErr == nil:
+			mirror[id] = v
+		case errors.Is(applyErr, ErrReadOnly):
+			// Refused before touching the db: not applied.
+		default:
+			// The WAL failed while logging: the row is in memory and the
+			// recovery snapshot will persist it.
+			mirror[id] = v
+		}
+	}
+
+	svc := NewService(e, ServiceConfig{})
+	if err := svc.Register("items", chaosQuery, serviceOpts(3)...); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for i := 0; i < 150; i++ {
+		switch op := rng.Intn(10); {
+		case op == 0:
+			// (Re)arm a random schedule over a write-path op, anchored a few
+			// occurrences ahead of the current count so it fires soon.
+			kind := chaosOps[rng.Intn(len(chaosOps))]
+			at := fs.Count(kind) + 1 + rng.Intn(3)
+			if rng.Intn(2) == 0 {
+				fs.SetInjector(faultfs.FailNth(kind, at, nil))
+			} else {
+				fs.SetInjector(faultfs.FailFrom(kind, at, nil))
+			}
+		case op == 1:
+			fs.Heal()
+		case op < 6:
+			id := nextID
+			nextID++
+			v := rowVal{cat: cats[rng.Intn(len(cats))], price: 10 + rng.Intn(70)}
+			insert(e.Insert("items", id, v.cat, v.price), id, v)
+		case op == 6 && len(mirror) > 0:
+			// Delete a random live row; iteration order is random enough.
+			for id, v := range mirror {
+				ok, err := e.Delete("items", id, v.cat, v.price)
+				switch {
+				case err == nil:
+					if !ok {
+						t.Fatalf("delete of live row %d reported absent", id)
+					}
+					delete(mirror, id)
+				case errors.Is(err, ErrReadOnly):
+					// Untouched.
+				default:
+					delete(mirror, id) // applied in memory, WAL failure reported
+				}
+				break
+			}
+		default:
+			if len(mirror) == 0 {
+				continue
+			}
+			resp, err := svc.Do(ctx, "items", Request{Problem: ProblemDiversify})
+			if err != nil {
+				if errors.Is(err, ErrNoCandidate) {
+					continue // every live row may exceed the price bound
+				}
+				t.Fatalf("op %d: solve failed under storage faults: %v", i, err)
+			}
+			for _, row := range resp.Selection.Rows {
+				id := int(row.Get("id").(int64))
+				v, live := mirror[id]
+				if !live {
+					t.Fatalf("op %d: selection contains dead row %d", i, id)
+				}
+				if v.cat != row.Get("cat").(string) || int64(v.price) != row.Get("price").(int64) {
+					t.Fatalf("op %d: row %v diverged from mirror value %v", i, row, v)
+				}
+			}
+		}
+	}
+
+	// Faults over: the engine must restore full service on its own.
+	fs.Heal()
+	waitFor(t, "write mode restored", func() bool { return !e.ReadOnly() })
+	id := nextID
+	nextID++
+	if err := e.Insert("items", id, "a", 50); err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+	mirror[id] = rowVal{cat: "a", price: 50}
+
+	// The database must now be exactly the mirror.
+	checkDB := func(eng *Engine, label string) {
+		t.Helper()
+		rs, err := eng.QueryContext(ctx, "Q(id, cat, price) :- items(id, cat, price)")
+		if err != nil {
+			t.Fatalf("%s: dump: %v", label, err)
+		}
+		if rs.Len() != len(mirror) {
+			t.Fatalf("%s: %d rows, mirror has %d", label, rs.Len(), len(mirror))
+		}
+		for i := 0; i < rs.Len(); i++ {
+			row := rs.Row(i)
+			id := int(row.Get("id").(int64))
+			v, live := mirror[id]
+			if !live || v.cat != row.Get("cat").(string) || int64(v.price) != row.Get("price").(int64) {
+				t.Fatalf("%s: row %v not in mirror (want %v, live=%v)", label, row, v, live)
+			}
+		}
+	}
+	checkDB(e, "recovered engine")
+
+	if _, err := svc.Refresh(ctx, "items"); err != nil {
+		t.Fatalf("post-recovery refresh: %v", err)
+	}
+	resp1, err := svc.Do(ctx, "items", Request{Problem: ProblemDiversify})
+	if err != nil {
+		t.Fatalf("post-recovery solve: %v", err)
+	}
+	want := scrubResponse(t, resp1)
+
+	// Cold restart from the directory (clean filesystem): same bytes.
+	if err := e.Close(); err != nil {
+		t.Fatalf("close after recovery: %v", err)
+	}
+	closed = true
+	e2, _, err := OpenEngine(DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after chaos: %v", err)
+	}
+	defer e2.Close()
+	checkDB(e2, "restarted engine")
+	svc2 := NewService(e2, ServiceConfig{})
+	if err := svc2.Register("items", chaosQuery, serviceOpts(3)...); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := svc2.Do(ctx, "items", Request{Problem: ProblemDiversify})
+	if err != nil {
+		t.Fatalf("restarted solve: %v", err)
+	}
+	if got := scrubResponse(t, resp2); string(got) != string(want) {
+		t.Fatalf("post-restart response diverged:\n before: %s\n after:  %s", want, got)
+	}
+}

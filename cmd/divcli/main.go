@@ -184,10 +184,18 @@ func main() {
 		return
 	}
 
-	sel, err := p.Diversify(ctx)
+	// The main solve goes through the request pipeline rather than bare
+	// Diversify: under a -timeout too tight for the exact route the plan
+	// degrades to greedy (or the solver abandons mid-search and returns its
+	// greedy incumbent), and the response says so instead of timing out.
+	resp, err := p.Do(ctx, diversification.Request{Problem: diversification.ProblemDiversify})
 	if err != nil {
 		fatalf("diversify: %v", err)
 	}
+	if resp.Degraded {
+		fmt.Printf("degraded: %s abandoned under deadline pressure; selection below is approximate (greedy)\n", resp.DegradedFrom)
+	}
+	sel := resp.Selection
 	fmt.Printf("selected %d of the answers (%s, F = %.4f):\n", len(sel.Rows), sel.Method, sel.Value)
 	for _, r := range sel.Rows {
 		fmt.Printf("  %s\n", r)

@@ -28,8 +28,15 @@
 //	-timeout D       per-request deadline, e.g. 10s
 //	-refresh         refresh the statement instead of querying
 //	-metrics         print the service counters
-//	-health          probe /healthz
+//	-health          probe /healthz (prints "ok" or "degraded")
 //	-json            print the raw JSON response instead of a summary
+//	-retries N       max attempts for retryable failures (default 3)
+//	-hedge P         hedge slow idempotent calls at latency percentile P
+//
+// Degraded responses — the server abandoned an exact route under deadline
+// pressure — are flagged on their own output line (and carried in the
+// degraded/degraded_from fields of -json output). Client-side retries and
+// hedges are reported on stderr so stdout stays the pure response.
 package main
 
 import (
@@ -61,19 +68,28 @@ func main() {
 		doMetrics = flag.Bool("metrics", false, "print the service counters")
 		doHealth  = flag.Bool("health", false, "probe /healthz")
 		rawJSON   = flag.Bool("json", false, "print the raw JSON response")
+		retries   = flag.Int("retries", 0, "max attempts for retryable failures (0 = client default of 3)")
+		hedge     = flag.Float64("hedge", 0, "hedge slow idempotent calls at this latency percentile in (0,1); 0 = off")
 	)
 	flag.Parse()
 
-	client := &httpapi.Client{BaseURL: *addr}
+	client := &httpapi.Client{
+		BaseURL:         *addr,
+		Retry:           httpapi.RetryPolicy{MaxAttempts: *retries},
+		HedgePercentile: *hedge,
+	}
+	statsClient = client
+	defer reportStats()
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
 	switch {
 	case *doHealth:
-		if err := client.Healthz(ctx); err != nil {
+		h, err := client.Health(ctx)
+		if err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Println("ok")
+		fmt.Println(h.Status)
 	case *doMetrics:
 		m, err := client.Metrics(ctx)
 		if err != nil {
@@ -127,6 +143,13 @@ func main() {
 		}
 		fmt.Printf("problem=%s route=%s generation=%d elapsed=%s\n",
 			resp.Problem, resp.Route, resp.Generation, resp.Elapsed)
+		if resp.DegradedFrom != "" {
+			if resp.Degraded {
+				fmt.Printf("degraded: %s abandoned under deadline pressure; answer is approximate\n", resp.DegradedFrom)
+			} else {
+				fmt.Printf("degraded: downgraded from %s under deadline pressure; answer is exact\n", resp.DegradedFrom)
+			}
+		}
 		if resp.Explain != "" {
 			fmt.Print(resp.Explain)
 		}
@@ -158,7 +181,23 @@ func printJSON(v interface{}) {
 	fmt.Println(string(out))
 }
 
+// statsClient lets fatalf report retry/hedge counts on the failure path
+// too — os.Exit skips main's deferred report.
+var statsClient *httpapi.Client
+
+// reportStats prints the client's resilience interventions to stderr, so
+// stdout stays the pure response (and transcripts stay byte-stable).
+func reportStats() {
+	if statsClient == nil {
+		return
+	}
+	if st := statsClient.Stats(); st.Retries > 0 || st.Hedges > 0 {
+		fmt.Fprintf(os.Stderr, "divquery: client retries=%d hedges=%d\n", st.Retries, st.Hedges)
+	}
+}
+
 func fatalf(format string, args ...interface{}) {
+	reportStats()
 	fmt.Fprintf(os.Stderr, "divquery: "+format+"\n", args...)
 	os.Exit(1)
 }

@@ -54,6 +54,19 @@
 //	-fsync P            WAL sync policy: always | interval | off
 //	-fsync-interval D   period of the "interval" policy (default 100ms)
 //	-snapshot-every N   automatic snapshot after N mutations (0 = manual)
+//	-shutdown-grace D   how long shutdown waits for in-flight requests
+//	-cost-hint R=D      seed the deadline-degradation cost model, e.g.
+//	                    exact=300ms (repeatable)
+//	-wal-probe D        read-only recovery probe base backoff (default 100ms)
+//	-wal-probe-max D    read-only recovery probe backoff cap (default 5s)
+//	-chaos-wal SPEC     TESTING: WAL fault schedule, e.g. sync:5 or write:3+
+//
+// A WAL failure degrades the server to read-only instead of killing it:
+// queries keep serving, mutations return 503 with Retry-After, /healthz
+// reports "degraded", and a background probe restores write mode when the
+// disk recovers. A request deadline too tight for the exact search
+// degrades the route (exact -> parallel -> greedy), flagged in the
+// response rather than answered with a 504.
 package main
 
 import (
@@ -71,6 +84,8 @@ import (
 
 	diversification "repro"
 	"repro/httpapi"
+	"repro/internal/faultfs"
+	"repro/internal/fsio"
 	"repro/internal/load"
 )
 
@@ -101,20 +116,40 @@ func main() {
 		fsync       = flag.String("fsync", "always", "WAL sync policy: always | interval | off")
 		fsyncEvery  = flag.Duration("fsync-interval", 100*time.Millisecond, `period of the "interval" fsync policy`)
 		snapEvery   = flag.Int("snapshot-every", 0, "automatic snapshot after N mutations (0 = manual only)")
+		grace       = flag.Duration("shutdown-grace", 5*time.Second, "how long shutdown waits for in-flight requests")
+		walProbe    = flag.Duration("wal-probe", 0, "read-only recovery probe base backoff (0 = 100ms)")
+		walProbeMax = flag.Duration("wal-probe-max", 0, "read-only recovery probe backoff cap (0 = 5s)")
+		chaosWAL    = flag.String("chaos-wal", "", "TESTING: WAL fault schedule, e.g. sync:5 or write:3+ (op:N fails the Nth once, op:N+ fails from the Nth on)")
 	)
+	var costHints multiFlag
 	flag.Var(&loads, "load", "relation to load, as name=file.tsv (repeatable)")
 	flag.Var(&stmts, "stmt", "statement to register, as name=query (repeatable)")
 	flag.Var(&constraints, "constraint", "compatibility constraint in Cm syntax (repeatable)")
+	flag.Var(&costHints, "cost-hint", "seed the deadline-degradation cost model, as route=duration, e.g. exact=300ms (repeatable)")
 	flag.Parse()
 
 	var e *diversification.Engine
 	recovered := false
 	if *dataDir != "" {
+		var chaosFS fsio.FS
+		if *chaosWAL != "" {
+			inj, err := faultfs.ParseSpec(*chaosWAL)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			ffs := faultfs.Wrap(nil)
+			ffs.SetInjector(inj)
+			chaosFS = ffs
+			log.Printf("CHAOS: WAL fault schedule %q armed", *chaosWAL)
+		}
 		eng, rec, err := diversification.OpenEngine(diversification.DurabilityConfig{
-			Dir:           *dataDir,
-			Fsync:         *fsync,
-			FsyncInterval: *fsyncEvery,
-			SnapshotEvery: *snapEvery,
+			Dir:             *dataDir,
+			Fsync:           *fsync,
+			FsyncInterval:   *fsyncEvery,
+			SnapshotEvery:   *snapEvery,
+			ProbeBackoff:    *walProbe,
+			ProbeBackoffMax: *walProbeMax,
+			FS:              chaosFS,
 		})
 		if err != nil {
 			fatalf("%v", err)
@@ -194,10 +229,23 @@ func main() {
 		opts = append(opts, diversification.WithDistance(diversification.AttrDistance(*disAttr)))
 	}
 
+	for _, spec := range costHints {
+		route, durStr, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatalf("bad -cost-hint %q: want route=duration", spec)
+		}
+		d, err := time.ParseDuration(durStr)
+		if err != nil {
+			fatalf("bad -cost-hint %q: %v", spec, err)
+		}
+		e.SeedCostHint(route, d)
+	}
+
 	svc := diversification.NewService(e, diversification.ServiceConfig{
 		MaxConcurrent:  *maxConc,
 		MaxQueue:       *maxQueue,
 		DefaultTimeout: *timeout,
+		ShutdownGrace:  *grace,
 	})
 	for _, spec := range stmts {
 		name, src, ok := strings.Cut(spec, "=")
@@ -232,6 +280,12 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		log.Printf("divserve shutting down: draining requests, flushing log")
+		// Drain order: the service gate first (new admissions rejected,
+		// in-flight requests finish), then the HTTP listener, then the
+		// engine (WAL flush + clean-shutdown marker).
+		if err := svc.Close(context.Background()); err != nil {
+			log.Printf("drain: %v", err)
+		}
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

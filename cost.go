@@ -1,0 +1,130 @@
+package diversification
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// costModel is the engine's per-route latency memory, feeding the plan
+// stage's deadline-aware route degradation. Every diversify solve records
+// (answer-set size, wall-clock seconds) under its route; predictions
+// extrapolate through the growth-fitting machinery in internal/bench
+// (log-log least squares, polynomial vs exponential by R²). Until a route
+// has enough observations to fit, a seeded hint (SeedCostHint, the
+// divserve -cost-hint flag) stands in as a flat per-call estimate.
+//
+// The zero value is ready to use; all methods are safe for concurrent use.
+type costModel struct {
+	mu    sync.Mutex
+	obs   map[string][]bench.Measurement // route → bounded observation window
+	hints map[string]float64             // route → flat seconds estimate
+}
+
+// costObsCap bounds the per-route observation window: old observations age
+// out so the model tracks the current data distribution, not boot-time
+// warmup.
+const costObsCap = 64
+
+// costRouteKey names the cost bucket an exact diversify solve lands in:
+// the sequential and parallel searches scale differently, so they are
+// fitted separately.
+func costRouteKey(workers int) string {
+	if workers > 1 {
+		return "parallel-exact"
+	}
+	return "exact"
+}
+
+// observe records one completed solve.
+func (c *costModel) observe(route string, n int, secs float64) {
+	if n <= 0 || secs <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.obs == nil {
+		c.obs = make(map[string][]bench.Measurement)
+	}
+	window := append(c.obs[route], bench.Measurement{N: n, Secs: secs})
+	if len(window) > costObsCap {
+		window = window[len(window)-costObsCap:]
+	}
+	c.obs[route] = window
+}
+
+// hint installs a flat per-call estimate used until real observations
+// accumulate. d <= 0 removes the hint.
+func (c *costModel) hint(route string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hints == nil {
+		c.hints = make(map[string]float64)
+	}
+	if d <= 0 {
+		delete(c.hints, route)
+		return
+	}
+	c.hints[route] = d.Seconds()
+}
+
+// predict estimates the route's cost at answer-set size n, preferring a
+// fitted extrapolation, then a coarse scale from the largest observation,
+// then the seeded hint. ok is false when the model knows nothing about the
+// route — the caller must then fall back to the mid-solve abort guard
+// rather than degrade eagerly.
+func (c *costModel) predict(route string, n int) (secs float64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if window := c.obs[route]; len(window) > 0 {
+		if pred, ok := bench.PredictAt(window, n); ok {
+			return pred, true
+		}
+		// Too few points to fit: scale the largest observation linearly —
+		// deliberately optimistic for the superlinear exact search, so a
+		// thin model never degrades a request a fuller one would have
+		// served exactly.
+		big := window[0]
+		for _, m := range window[1:] {
+			if m.N > big.N {
+				big = m
+			}
+		}
+		pred := big.Secs
+		if n > big.N {
+			pred = big.Secs * float64(n) / float64(big.N)
+		}
+		return pred, true
+	}
+	if h, found := c.hints[route]; found {
+		return h, true
+	}
+	return 0, false
+}
+
+// predictExactChain estimates the sequential exact route and, when a
+// parallel downgrade is on the table, the parallel-exact route (dividing
+// the sequential estimate by GOMAXPROCS when the parallel route has no
+// data of its own).
+func (c *costModel) predictExactChain(n int) (exact float64, parallel float64, ok bool) {
+	exact, ok = c.predict("exact", n)
+	if !ok {
+		return 0, 0, false
+	}
+	if p, pok := c.predict("parallel-exact", n); pok {
+		return exact, p, true
+	}
+	return exact, exact / float64(runtime.GOMAXPROCS(0)), true
+}
+
+// SeedCostHint seeds the deadline-degradation cost model with a flat
+// per-call estimate for a solver route ("exact", "parallel-exact",
+// "greedy"), standing in until real observations accumulate. Serving
+// deployments seed pessimistic exact-route hints (divserve -cost-hint)
+// so the very first deadline-pressured request already degrades instead
+// of burning its budget discovering the route is too slow.
+func (e *Engine) SeedCostHint(route string, perCall time.Duration) {
+	e.cost.hint(route, perCall)
+}

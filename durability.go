@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fsio"
 	"repro/internal/wal"
 )
 
@@ -32,6 +33,15 @@ type DurabilityConfig struct {
 	// automatically after that many committed mutations. Zero means
 	// snapshots happen only via Engine.Snapshot / the admin endpoint.
 	SnapshotEvery int
+	// ProbeBackoff and ProbeBackoffMax bound the exponential backoff of
+	// the read-only recovery probe that retries a failed WAL (defaults
+	// 100ms and 5s).
+	ProbeBackoff    time.Duration
+	ProbeBackoffMax time.Duration
+	// FS is the filesystem the durability write path goes through; nil
+	// means the real one. Fault-injection harnesses (internal/faultfs)
+	// interpose here.
+	FS fsio.FS
 }
 
 // RecoveryInfo reports what boot-time recovery found in the data directory
@@ -90,15 +100,21 @@ func OpenEngine(cfg DurabilityConfig) (*Engine, RecoveryInfo, error) {
 		CleanShutdown:   rinfo.CleanShutdown,
 		Generation:      db.Generation(),
 	}
-	log, err := wal.Create(cfg.Dir, wal.Options{
+	opts := wal.Options{
 		Fsync:        policy,
 		FsyncEvery:   cfg.FsyncInterval,
 		SegmentBytes: cfg.SegmentBytes,
-	})
+		FS:           cfg.FS,
+	}
+	log, err := wal.Create(cfg.Dir, opts)
 	if err != nil {
 		return nil, info, fmt.Errorf("diversification: opening WAL in %s: %w", cfg.Dir, err)
 	}
-	e := &Engine{db: db, wal: log, snapEvery: cfg.SnapshotEvery, recovery: info}
+	e := &Engine{
+		db: db, wal: log, snapEvery: cfg.SnapshotEvery, recovery: info,
+		walDir: cfg.Dir, walOpts: opts,
+		walProbe: cfg.ProbeBackoff, walProbeMax: cfg.ProbeBackoffMax,
+	}
 	// Tap after recovery, never during: replayed records must not re-log.
 	db.SetTap(log)
 	return e, info, nil
@@ -133,6 +149,9 @@ func (e *Engine) Snapshot(ctx context.Context) (uint64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
+	if e.degraded.Load() {
+		return 0, ErrReadOnly
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.wal.Snapshot(e.db)
@@ -146,10 +165,19 @@ func (e *Engine) Close() error {
 	if e.wal == nil {
 		return nil
 	}
+	e.stopProbe()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.db.SetTap(nil)
-	return e.wal.Close()
+	err := e.wal.Close()
+	if e.degraded.Load() {
+		// The log is known-broken; its close failing is the state we are
+		// already in, not a new problem. No clean-shutdown marker is
+		// written, so the next boot replays and verifies — exactly right
+		// for a store that degraded mid-run.
+		return nil
+	}
+	return err
 }
 
 // DurabilityMetrics is the durable-engine slice of Service.Metrics,
@@ -161,6 +189,16 @@ type DurabilityMetrics struct {
 	LastSnapshotGen uint64 `json:"last_snapshot_gen"`
 	ReplayedEntries int    `json:"replayed_entries"`
 	ReplayNanos     int64  `json:"replay_ns"`
+
+	// Read-only degradation counters (omitted while zero so healthy
+	// deployments' metrics are byte-stable across versions): ReadOnly is
+	// the current mode, WALFailures counts trips into it, ProbeAttempts
+	// counts recovery retries, WALRecoveries counts successful returns to
+	// write mode.
+	ReadOnly      bool  `json:"read_only,omitempty"`
+	WALFailures   int64 `json:"wal_failures,omitempty"`
+	ProbeAttempts int64 `json:"wal_probe_attempts,omitempty"`
+	WALRecoveries int64 `json:"wal_recoveries,omitempty"`
 }
 
 // durabilityMetrics snapshots the WAL counters; ok is false for in-memory
@@ -177,23 +215,36 @@ func (e *Engine) durabilityMetrics() (DurabilityMetrics, bool) {
 		LastSnapshotGen: m.LastSnapshotGen,
 		ReplayedEntries: e.recovery.ReplayedEntries,
 		ReplayNanos:     int64(e.recovery.ReplayDuration),
+		ReadOnly:        e.degraded.Load(),
+		WALFailures:     e.walFailures.Load(),
+		ProbeAttempts:   e.probeAttempts.Load(),
+		WALRecoveries:   e.walRecoveries.Load(),
 	}, true
 }
 
 // afterMutation runs under the engine write lock after a generation-
-// advancing mutation: it surfaces any WAL append failure (the in-memory
-// mutation stands, but callers must know durability was lost) and triggers
-// the automatic snapshot cadence.
+// advancing mutation: it surfaces any WAL append failure and triggers the
+// automatic snapshot cadence. A WAL failure no longer poisons the engine —
+// it trips read-only degraded mode (see readonly.go) and reports the loss
+// to THIS caller (whose mutation reached memory but not the log; it is not
+// safely retryable); subsequent mutations get ErrReadOnly up front, before
+// touching the database, and ARE safe to retry once the probe restores
+// write mode.
 func (e *Engine) afterMutation() error {
 	if e.wal == nil {
 		return nil
 	}
 	if err := e.wal.Err(); err != nil {
-		return fmt.Errorf("diversification: write-ahead log: %w", err)
+		e.enterReadOnlyLocked(err)
+		return fmt.Errorf("diversification: write-ahead log failed, engine now read-only: %w", err)
 	}
 	e.mutsSinceSnap++
 	if e.snapEvery > 0 && e.mutsSinceSnap >= e.snapEvery {
 		if _, err := e.wal.Snapshot(e.db); err != nil {
+			if werr := e.wal.Err(); werr != nil {
+				e.enterReadOnlyLocked(werr)
+				return fmt.Errorf("diversification: auto snapshot failed, engine now read-only: %w", err)
+			}
 			return fmt.Errorf("diversification: auto snapshot: %w", err)
 		}
 		e.mutsSinceSnap = 0

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/query/eval"
 	"repro/internal/query/parse"
@@ -46,6 +48,30 @@ type Engine struct {
 	snapEvery     int
 	mutsSinceSnap int
 	recovery      RecoveryInfo
+
+	// Read-only degradation (see readonly.go): a WAL write failure flips
+	// degraded instead of poisoning the engine — solves keep serving,
+	// mutations return ErrReadOnly, and a background probe (probeStop/
+	// probeDone, backoff walProbe..walProbeMax) retries the log until
+	// write mode is restored. walDir/walOpts let the probe re-create the
+	// log; walErr and the counters feed Metrics and healthz.
+	walDir       string
+	walOpts      wal.Options
+	walProbe     time.Duration
+	walProbeMax  time.Duration
+	degraded     atomic.Bool
+	walErr       error // under mu
+	probeRunning bool  // under mu
+	probeStop    chan struct{}
+	probeDone    chan struct{}
+
+	walFailures   atomic.Int64
+	probeAttempts atomic.Int64
+	walRecoveries atomic.Int64
+
+	// cost feeds the plan stage's deadline-aware route degradation with
+	// per-route latency observations (see cost.go).
+	cost costModel
 }
 
 // NewEngine creates an engine with an empty database.
@@ -61,6 +87,9 @@ func (e *Engine) CreateTable(name string, attrs ...string) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.degraded.Load() {
+		return ErrReadOnly
+	}
 	if e.db.Relation(name) != nil {
 		return fmt.Errorf("diversification: table %q already exists", name)
 	}
@@ -81,6 +110,9 @@ func (e *Engine) MustCreateTable(name string, attrs ...string) {
 func (e *Engine) Insert(table string, values ...interface{}) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.degraded.Load() {
+		return ErrReadOnly
+	}
 	r := e.db.Relation(table)
 	if r == nil {
 		return fmt.Errorf("%w: %q", ErrUnknownTable, table)
@@ -117,6 +149,9 @@ func (e *Engine) MustInsert(table string, values ...interface{}) {
 func (e *Engine) Delete(table string, values ...interface{}) (bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.degraded.Load() {
+		return false, ErrReadOnly
+	}
 	r := e.db.Relation(table)
 	if r == nil {
 		return false, fmt.Errorf("%w: %q", ErrUnknownTable, table)

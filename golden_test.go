@@ -233,3 +233,101 @@ func TestServeGolden(t *testing.T) {
 			golden, want, transcript.String())
 	}
 }
+
+// elapsedHumanRE scrubs divquery's human-format elapsed field;
+// elapsedIndentRE its indented-JSON form (MarshalIndent spaces the colon).
+var (
+	elapsedHumanRE  = regexp.MustCompile(`elapsed=[^\s]+`)
+	elapsedIndentRE = regexp.MustCompile(`"elapsed_ns": [0-9]+`)
+)
+
+// TestDegradedQueryGolden boots divserve with a poisoned cost model (the
+// exact route claims an hour per solve) and a 2s default deadline, so every
+// diversify request plan-degrades to the greedy route, then records the
+// divquery view of it — the human degraded line and the degraded /
+// degraded_from wire fields — as a golden transcript. The note text with
+// its wall-clock numbers stays out (no -explain): everything captured here
+// is deterministic.
+func TestDegradedQueryGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run and a TCP listener")
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	dir := t.TempDir()
+	serveBin := filepath.Join(dir, "divserve")
+	queryBin := filepath.Join(dir, "divquery")
+	for bin, pkg := range map[string]string{serveBin: "./cmd/divserve", queryBin: "./cmd/divquery"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Env = os.Environ()
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	cmd := exec.Command(serveBin, "-demo", "-addr", addr, "-cost-hint", "exact=1h", "-timeout", "2s")
+	cmd.Env = os.Environ()
+	var serverLog bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &serverLog, &serverLog
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("divserve never became healthy: %v\nserver log:\n%s", err, serverLog.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	var transcript strings.Builder
+	for _, args := range [][]string{
+		{"-stmt", "gifts"},
+		{"-stmt", "gifts", "-json"},
+	} {
+		fmt.Fprintf(&transcript, "$ divquery %s\n", strings.Join(args, " "))
+		q := exec.Command(queryBin, append([]string{"-addr", base}, args...)...)
+		q.Env = os.Environ()
+		var stdout, stderr bytes.Buffer
+		q.Stdout, q.Stderr = &stdout, &stderr
+		if err := q.Run(); err != nil {
+			t.Fatalf("divquery %v: %v\nstderr:\n%s", args, err, stderr.String())
+		}
+		out := elapsedIndentRE.ReplaceAllString(stdout.String(), `"elapsed_ns": 0`)
+		out = elapsedHumanRE.ReplaceAllString(out, "elapsed=0s")
+		transcript.WriteString(out)
+	}
+
+	golden := filepath.Join("testdata", "golden", "degraded-query.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(transcript.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run `go test -run TestDegradedQueryGolden -update .`): %v", golden, err)
+	}
+	if string(want) != transcript.String() {
+		t.Errorf("degraded query transcript diverged from %s\n--- want ---\n%s\n--- got ---\n%s",
+			golden, want, transcript.String())
+	}
+}

@@ -1,0 +1,68 @@
+package httpapi
+
+import (
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Fault describes what the chaos middleware does to one request: delay
+// it, replace its response with an error status, or drop the connection
+// mid-flight. The zero Fault passes the request through untouched.
+type Fault struct {
+	// Delay sleeps before the request is handled (composes with the other
+	// fields).
+	Delay time.Duration
+	// Status, when non-zero, short-circuits the handler with this status
+	// and an empty body — the "load balancer answered for a dead backend"
+	// failure.
+	Status int
+	// RetryAfter sets a Retry-After header (seconds) on a Status fault.
+	RetryAfter int
+	// Drop severs the connection without writing a response — the
+	// "network ate it" failure the client sees as an EOF/reset. Takes
+	// precedence over Status.
+	Drop bool
+}
+
+// ChaosPolicy decides the fault for the n-th request (1-based) the
+// middleware has seen. Policies must be safe for concurrent use.
+type ChaosPolicy func(r *http.Request, n int) Fault
+
+// Chaos wraps next with fault injection for resilience tests: the network
+// half of the harness whose storage half is internal/faultfs. It is test
+// middleware — composing it into a production stack is on you.
+func Chaos(policy ChaosPolicy, next http.Handler) http.Handler {
+	var n atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f := policy(r, int(n.Add(1)))
+		if f.Delay > 0 {
+			select {
+			case <-time.After(f.Delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		switch {
+		case f.Drop:
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			// No hijack support (e.g. httptest.ResponseRecorder through
+			// a non-server pipe): panicking with the sentinel is how
+			// net/http aborts a response without writing one.
+			panic(http.ErrAbortHandler)
+		case f.Status != 0:
+			if f.RetryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(f.RetryAfter))
+			}
+			w.WriteHeader(f.Status)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}

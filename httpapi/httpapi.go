@@ -171,7 +171,12 @@ type ErrorBody struct {
 	Field string `json:"field,omitempty"`
 }
 
-// HealthBody is the wire form of GET /healthz.
+// HealthBody is the wire form of GET /healthz: Status is "ok" for full
+// health or "degraded" when the engine is serving read-only after a WAL
+// failure (solves fine, mutations refused until the recovery probe
+// restores write mode).
 type HealthBody struct {
 	Status string `json:"status"`
+	// ReadOnly mirrors Status == "degraded" for machine consumption.
+	ReadOnly bool `json:"read_only,omitempty"`
 }

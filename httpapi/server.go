@@ -27,7 +27,13 @@ const maxResponseBytes = 64 << 20
 func NewHandler(svc *diversification.Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, HealthBody{Status: "ok"})
+		h := HealthBody{Status: "ok"}
+		if svc.Engine().ReadOnly() {
+			// Still alive and serving queries — degraded says "stop
+			// sending writes", not "take me out of rotation".
+			h = HealthBody{Status: "degraded", ReadOnly: true}
+		}
+		writeJSON(w, http.StatusOK, h)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Metrics())
@@ -145,7 +151,9 @@ func readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 // writeError maps a service/library error onto the wire: typed argument
 // errors and their field to 400, unknown statements and tables to 404,
 // snapshotting a non-durable engine to 409, "no candidate set" to 422,
-// admission rejection to 429, deadlines to 504, everything else to 500.
+// admission rejection to 429 (with Retry-After), a read-only degraded
+// engine to 503 (with Retry-After — the recovery probe usually restores
+// write mode within seconds), deadlines to 504, everything else to 500.
 func writeError(w http.ResponseWriter, err error) {
 	var argErr *diversification.ArgError
 	switch {
@@ -159,7 +167,11 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, diversification.ErrNoCandidate):
 		writeJSON(w, http.StatusUnprocessableEntity, ErrorBody{Error: err.Error()})
 	case errors.Is(err, diversification.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: err.Error()})
+	case errors.Is(err, diversification.ErrReadOnly):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: err.Error()})
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		writeJSON(w, http.StatusGatewayTimeout, ErrorBody{Error: err.Error()})
 	default:

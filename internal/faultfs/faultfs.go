@@ -1,0 +1,248 @@
+// Package faultfs wraps an fsio.FS with deterministic fault injection: an
+// Injector decides, per operation kind and per-kind occurrence count,
+// whether a write, sync, rename (or any other write-path call) fails.
+// It is the storage half of the chaos harness — the WAL and snapshot
+// writers take the wrapped FS through wal.Options.FS / DurabilityConfig.FS
+// and the chaos suite asserts the engine degrades to read-only mode and
+// recovers instead of corrupting state or serving wrong answers.
+//
+// All state is behind one mutex, so a single *FS is safe to share between
+// the engine under test and the test body (which heals it, reads counters,
+// or swaps schedules mid-run).
+package faultfs
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/fsio"
+)
+
+// Op names one filesystem operation kind the wrapper can fail.
+type Op string
+
+// The operation kinds, matching the fsio.FS surface plus the two File
+// methods writes flow through.
+const (
+	OpOpen     Op = "open"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpMkdir    Op = "mkdir"
+	OpReadDir  Op = "readdir"
+	OpReadFile Op = "readfile"
+	OpSyncDir  Op = "syncdir"
+)
+
+// Injector inspects the n-th occurrence (1-based, counted per op kind) of
+// op on path and returns a non-nil error to make it fail. Returning nil
+// lets the operation through to the real filesystem.
+type Injector func(op Op, path string, n int) error
+
+// ErrInjected is the default injected failure.
+var ErrInjected = fmt.Errorf("faultfs: injected fault")
+
+// FailNth fails exactly the nth occurrence of kind, once.
+func FailNth(kind Op, nth int, err error) Injector {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func(op Op, path string, n int) error {
+		if op == kind && n == nth {
+			return err
+		}
+		return nil
+	}
+}
+
+// FailFrom fails every occurrence of kind from the nth on (until the FS is
+// healed) — the "disk went bad and stayed bad" schedule.
+func FailFrom(kind Op, nth int, err error) Injector {
+	if err == nil {
+		err = ErrInjected
+	}
+	return func(op Op, path string, n int) error {
+		if op == kind && n >= nth {
+			return err
+		}
+		return nil
+	}
+}
+
+// ParseSpec compiles the flag spelling of a schedule: "sync:5" fails the
+// 5th sync once, "write:3+" fails every write from the 3rd until healed.
+func ParseSpec(spec string) (Injector, error) {
+	kind, count, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("faultfs: bad spec %q (want op:N or op:N+)", spec)
+	}
+	sticky := strings.HasSuffix(count, "+")
+	count = strings.TrimSuffix(count, "+")
+	n, err := strconv.Atoi(count)
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("faultfs: bad count in spec %q", spec)
+	}
+	op := Op(kind)
+	switch op {
+	case OpOpen, OpWrite, OpSync, OpRename, OpRemove, OpMkdir, OpReadDir, OpReadFile, OpSyncDir:
+	default:
+		return nil, fmt.Errorf("faultfs: unknown op in spec %q", spec)
+	}
+	if sticky {
+		return FailFrom(op, n, nil), nil
+	}
+	return FailNth(op, n, nil), nil
+}
+
+// FS is the fault-injecting filesystem wrapper.
+type FS struct {
+	inner fsio.FS
+
+	mu       sync.Mutex
+	inject   Injector
+	counts   map[Op]int
+	failures int
+}
+
+// Wrap returns a fault-injecting wrapper over inner (fsio.Default when
+// nil) with no schedule installed: every operation passes through until
+// SetInjector.
+func Wrap(inner fsio.FS) *FS {
+	if inner == nil {
+		inner = fsio.Default
+	}
+	return &FS{inner: inner, counts: make(map[Op]int)}
+}
+
+// SetInjector installs (or, with nil, removes) the fault schedule. The
+// per-op counters keep running across schedule swaps.
+func (f *FS) SetInjector(inj Injector) {
+	f.mu.Lock()
+	f.inject = inj
+	f.mu.Unlock()
+}
+
+// Heal removes the schedule: the filesystem behaves normally again.
+func (f *FS) Heal() { f.SetInjector(nil) }
+
+// Failures reports how many operations the schedule failed so far.
+func (f *FS) Failures() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failures
+}
+
+// Count reports how many operations of the given kind were attempted.
+func (f *FS) Count(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[op]
+}
+
+// check counts the operation and consults the schedule.
+func (f *FS) check(op Op, path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	if f.inject == nil {
+		return nil
+	}
+	if err := f.inject(op, path, f.counts[op]); err != nil {
+		f.failures++
+		return err
+	}
+	return nil
+}
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (fsio.File, error) {
+	if err := f.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (fsio.File, error) {
+	if err := f.check(OpOpen, dir); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err := f.check(OpRename, newpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	if err := f.check(OpRemove, name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.check(OpMkdir, path); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.check(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	if err := f.check(OpReadFile, name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	if err := f.check(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile routes the write-path File methods through the parent's
+// schedule, so "fail the Nth write" counts writes across every open file.
+type faultFile struct {
+	fs    *FS
+	inner fsio.File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.check(OpWrite, f.inner.Name()); err != nil {
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.check(OpSync, f.inner.Name()); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }
+
+func (f *faultFile) Name() string { return f.inner.Name() }

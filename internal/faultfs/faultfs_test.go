@@ -1,0 +1,150 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFailNthFailsOnceThenPasses(t *testing.T) {
+	fs := Wrap(nil)
+	fs.SetInjector(FailNth(OpWrite, 2, nil))
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: got %v, want ErrInjected", err)
+	}
+	if _, err := f.Write([]byte("c")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	if got := fs.Failures(); got != 1 {
+		t.Fatalf("Failures() = %d, want 1", got)
+	}
+	if got := fs.Count(OpWrite); got != 3 {
+		t.Fatalf("Count(write) = %d, want 3", got)
+	}
+}
+
+func TestFailFromStaysFailedUntilHealed(t *testing.T) {
+	fs := Wrap(nil)
+	fs.SetInjector(FailFrom(OpSync, 1, nil))
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d: got %v, want ErrInjected", i+1, err)
+		}
+	}
+	fs.Heal()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after Heal: %v", err)
+	}
+	if got := fs.Failures(); got != 3 {
+		t.Fatalf("Failures() = %d, want 3", got)
+	}
+}
+
+// TestWriteCountSpansFiles pins the cross-file counting contract: "fail the
+// Nth write" means the Nth write through the wrapper, not the Nth write of
+// any one file.
+func TestWriteCountSpansFiles(t *testing.T) {
+	fs := Wrap(nil)
+	fs.SetInjector(FailNth(OpWrite, 3, nil))
+	dir := t.TempDir()
+	a, err := fs.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := fs.OpenFile(filepath.Join(dir, "b"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := a.Write([]byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write([]byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Write([]byte("3")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third write overall: got %v, want ErrInjected", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		op   Op
+		n    int // the first occurrence that must fail
+		once bool
+	}{
+		{"sync:5", OpSync, 5, true},
+		{"write:3+", OpWrite, 3, false},
+		{"rename:1", OpRename, 1, true},
+	}
+	for _, c := range cases {
+		inj, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.spec, err)
+		}
+		if err := inj(c.op, "p", c.n-1); c.n > 1 && err != nil {
+			t.Errorf("%q fired at occurrence %d", c.spec, c.n-1)
+		}
+		if err := inj(c.op, "p", c.n); err == nil {
+			t.Errorf("%q did not fire at occurrence %d", c.spec, c.n)
+		}
+		err = inj(c.op, "p", c.n+1)
+		if c.once && err != nil {
+			t.Errorf("%q fired again at occurrence %d", c.spec, c.n+1)
+		}
+		if !c.once && err == nil {
+			t.Errorf("%q (sticky) did not fire at occurrence %d", c.spec, c.n+1)
+		}
+		if err := inj(Op("other"), "p", c.n); err != nil {
+			t.Errorf("%q fired for a different op kind", c.spec)
+		}
+	}
+	for _, bad := range []string{"sync", "sync:0", "sync:x", "frobnicate:3", ""} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestPassThroughWritesRealBytes guards against the wrapper swallowing
+// data: with no schedule the file on disk holds exactly what was written.
+func TestPassThroughWritesRealBytes(t *testing.T) {
+	fs := Wrap(nil)
+	path := filepath.Join(t.TempDir(), "x")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read back %q, want %q", got, "hello")
+	}
+}

@@ -1,0 +1,70 @@
+// Package fsio abstracts the filesystem operations the durability layer
+// performs, so fault-injection harnesses (internal/faultfs) can interpose
+// on exactly the calls whose failure a production deployment must survive:
+// writes, fsyncs and renames. The OS implementation is the default
+// everywhere; tests swap in a wrapped FS through wal.Options.FS and
+// DurabilityConfig.FS.
+package fsio
+
+import (
+	"io"
+	"os"
+)
+
+// File is the writable-file surface the WAL and snapshot writers use.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Name returns the path the file was opened under.
+	Name() string
+}
+
+// FS is the write-path filesystem surface of the durability subsystem.
+// Every operation mirrors its os counterpart.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	// SyncDir fsyncs a directory so creates and renames within it are
+	// durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// Default is the shared real-filesystem instance.
+var Default FS = OS{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

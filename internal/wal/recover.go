@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/fsio"
 	"repro/internal/relation"
 )
 
@@ -48,7 +49,7 @@ func Recover(dir string) (*relation.Database, RecoverInfo, error) {
 	}
 
 	db := relation.NewDatabase()
-	snaps, err := listSnapshots(dir)
+	snaps, err := listSnapshots(fsio.Default, dir)
 	if err != nil {
 		return nil, info, err
 	}
@@ -65,7 +66,7 @@ func Recover(dir string) (*relation.Database, RecoverInfo, error) {
 		info.SnapshotGen, info.SnapshotLoaded = gen, true
 	}
 
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsio.Default, dir)
 	if err != nil {
 		return nil, info, err
 	}

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"repro/internal/fsio"
 	"repro/internal/relation"
 )
 
@@ -43,35 +44,35 @@ func encodeSnapshot(db *relation.Database, gen uint64) []byte {
 
 // writeSnapshot durably writes the snapshot file for gen: temp file, fsync,
 // rename, directory fsync.
-func writeSnapshot(dir string, db *relation.Database, gen uint64, fsyncs *atomic.Int64) error {
+func writeSnapshot(fs fsio.FS, dir string, db *relation.Database, gen uint64, fsyncs *atomic.Int64) error {
 	data := encodeSnapshot(db, gen)
-	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	tmp, err := fs.CreateTemp(dir, "snap-*.tmp")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fs.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fs.Remove(tmpName)
 		return err
 	}
 	if fsyncs != nil {
 		fsyncs.Add(1)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fs.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, filepath.Join(dir, snapshotName(gen))); err != nil {
-		os.Remove(tmpName)
+	if err := fs.Rename(tmpName, filepath.Join(dir, snapshotName(gen))); err != nil {
+		fs.Remove(tmpName)
 		return err
 	}
-	return syncDir(dir)
+	return fs.SyncDir(dir)
 }
 
 // loadSnapshot reads and verifies a snapshot file and reconstructs the

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fsio"
 	"repro/internal/relation"
 )
 
@@ -71,11 +72,14 @@ func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
 }
 
 // Options tunes a Log. The zero value means: fsync always, 100ms interval
-// (if the interval policy is chosen), 64 MiB segments.
+// (if the interval policy is chosen), 64 MiB segments, the real filesystem.
 type Options struct {
 	Fsync        FsyncPolicy
 	FsyncEvery   time.Duration // FsyncInterval period
 	SegmentBytes int64         // rotation threshold
+	// FS is the filesystem the write path goes through; nil means the real
+	// one. Fault-injection harnesses (internal/faultfs) interpose here.
+	FS fsio.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +91,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 64 << 20
+	}
+	if o.FS == nil {
+		o.FS = fsio.Default
 	}
 	return o
 }
@@ -111,9 +118,10 @@ type Metrics struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   fsio.FS
 
 	mu    sync.Mutex
-	f     *os.File
+	f     fsio.File
 	w     *bufio.Writer
 	seq   uint64 // current segment sequence number
 	size  int64  // bytes appended to the current segment
@@ -136,13 +144,14 @@ type Log struct {
 // last-snapshot watermark from the newest snapshot on disk.
 func Create(dir string, opts Options) (*Log, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	if err := os.Remove(filepath.Join(dir, cleanMarker)); err != nil && !os.IsNotExist(err) {
+	if err := fs.Remove(filepath.Join(dir, cleanMarker)); err != nil && !os.IsNotExist(err) {
 		return nil, err
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -150,8 +159,8 @@ func Create(dir string, opts Options) (*Log, error) {
 	if len(segs) > 0 {
 		seq = segs[len(segs)-1].seq + 1
 	}
-	l := &Log{dir: dir, opts: opts, seq: seq}
-	if snaps, err := listSnapshots(dir); err == nil && len(snaps) > 0 {
+	l := &Log{dir: dir, opts: opts, fs: fs, seq: seq}
+	if snaps, err := listSnapshots(fs, dir); err == nil && len(snaps) > 0 {
 		l.lastSnap.Store(snaps[len(snaps)-1].gen)
 	}
 	if err := l.openSegment(); err != nil {
@@ -186,8 +195,8 @@ type snapshotFile struct {
 }
 
 // listSegments returns the wal-*.log files in ascending sequence order.
-func listSegments(dir string) ([]segmentFile, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fs fsio.FS, dir string) ([]segmentFile, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -208,8 +217,8 @@ func listSegments(dir string) ([]segmentFile, error) {
 }
 
 // listSnapshots returns the snap-*.snap files in ascending generation order.
-func listSnapshots(dir string) ([]snapshotFile, error) {
-	entries, err := os.ReadDir(dir)
+func listSnapshots(fs fsio.FS, dir string) ([]snapshotFile, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -232,11 +241,11 @@ func listSnapshots(dir string) ([]snapshotFile, error) {
 // openSegment starts segment l.seq: magic header, synced so the file exists
 // durably before any record lands in it. Caller holds l.mu (or is Create).
 func (l *Log) openSegment() error {
-	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(l.seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, segmentName(l.seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.WriteString(segMagic); err != nil {
+	if _, err := f.Write([]byte(segMagic)); err != nil {
 		f.Close()
 		return err
 	}
@@ -245,7 +254,7 @@ func (l *Log) openSegment() error {
 		return err
 	}
 	l.fsyncs.Add(1)
-	if err := syncDir(l.dir); err != nil {
+	if err := l.fs.SyncDir(l.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -253,16 +262,6 @@ func (l *Log) openSegment() error {
 	l.w = bufio.NewWriter(f)
 	l.size = 0
 	return nil
-}
-
-// syncDir fsyncs a directory so renames and creates within it are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }
 
 // TapChange implements relation.Tap: one journaled tuple mutation.
@@ -390,7 +389,7 @@ func (l *Log) Snapshot(db *relation.Database) (uint64, error) {
 		return 0, err
 	}
 	gen := db.Generation()
-	if err := writeSnapshot(l.dir, db, gen, &l.fsyncs); err != nil {
+	if err := writeSnapshot(l.fs, l.dir, db, gen, &l.fsyncs); err != nil {
 		return 0, err
 	}
 	l.lastSnap.Store(gen)
@@ -406,17 +405,17 @@ func (l *Log) Snapshot(db *relation.Database) (uint64, error) {
 	// Prune: older segments are all <= gen (the stream was frozen), older
 	// snapshots are subsumed. Failures here are cosmetic — recovery skips
 	// covered records — so they are ignored.
-	if segs, err := listSegments(l.dir); err == nil {
+	if segs, err := listSegments(l.fs, l.dir); err == nil {
 		for _, s := range segs {
 			if s.seq < l.seq {
-				os.Remove(s.path)
+				l.fs.Remove(s.path)
 			}
 		}
 	}
-	if snaps, err := listSnapshots(l.dir); err == nil {
+	if snaps, err := listSnapshots(l.fs, l.dir); err == nil {
 		for _, s := range snaps {
 			if s.gen < gen {
-				os.Remove(s.path)
+				l.fs.Remove(s.path)
 			}
 		}
 	}
@@ -454,7 +453,7 @@ func (l *Log) Close() error {
 	}
 	l.f = nil
 	if err == nil {
-		err = writeFileDurable(filepath.Join(l.dir, cleanMarker), []byte("clean\n"), &l.fsyncs)
+		err = writeFileDurable(l.fs, filepath.Join(l.dir, cleanMarker), []byte("clean\n"), &l.fsyncs)
 	}
 	if l.err == nil {
 		l.err = fmt.Errorf("wal: log closed")
@@ -464,8 +463,8 @@ func (l *Log) Close() error {
 }
 
 // writeFileDurable writes a small file and syncs both it and its directory.
-func writeFileDurable(path string, data []byte, fsyncs *atomic.Int64) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+func writeFileDurable(fs fsio.FS, path string, data []byte, fsyncs *atomic.Int64) error {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -483,5 +482,5 @@ func writeFileDurable(path string, data []byte, fsyncs *atomic.Int64) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return syncDir(filepath.Dir(path))
+	return fs.SyncDir(filepath.Dir(path))
 }

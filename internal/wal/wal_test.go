@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fsio"
 	"repro/internal/relation"
 	"repro/internal/value"
 )
@@ -192,7 +193,7 @@ func TestRecoverMissingDirIsFreshBoot(t *testing.T) {
 func TestRecoverTornTailTruncates(t *testing.T) {
 	dir := t.TempDir()
 	buildDir(t, dir, Options{}, seedItems)
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsio.Default, dir)
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("listSegments: %v (%d)", err, len(segs))
 	}
@@ -265,7 +266,7 @@ func TestTornTailAfterCleanShutdownIsCorruption(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(fsio.Default, dir)
 	f, err := os.OpenFile(segs[len(segs)-1].path, os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatalf("open segment: %v", err)
@@ -281,7 +282,7 @@ func TestSegmentRotation(t *testing.T) {
 	dir := t.TempDir()
 	// Tiny threshold: every record lands past it, so each append rotates.
 	buildDir(t, dir, Options{SegmentBytes: 1}, seedItems)
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsio.Default, dir)
 	if err != nil {
 		t.Fatalf("listSegments: %v", err)
 	}
@@ -314,7 +315,7 @@ func TestSnapshotPrunesAndRecovers(t *testing.T) {
 	if gen != db.Generation() {
 		t.Fatalf("snapshot gen %d, want %d", gen, db.Generation())
 	}
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(fsio.Default, dir)
 	if len(segs) != 1 {
 		t.Fatalf("pre-snapshot segments not pruned: %d remain", len(segs))
 	}
@@ -345,7 +346,7 @@ func TestSnapshotPrunesAndRecovers(t *testing.T) {
 	if _, err := l.Snapshot(db); err != nil {
 		t.Fatalf("second Snapshot: %v", err)
 	}
-	snaps, _ := listSnapshots(dir)
+	snaps, _ := listSnapshots(fsio.Default, dir)
 	if len(snaps) != 1 || snaps[0].gen != db.Generation() {
 		t.Fatalf("old snapshot not pruned: %+v", snaps)
 	}
@@ -363,7 +364,7 @@ func TestCorruptSnapshotIsFatal(t *testing.T) {
 		t.Fatalf("Snapshot: %v", err)
 	}
 	l.Close()
-	snaps, _ := listSnapshots(dir)
+	snaps, _ := listSnapshots(fsio.Default, dir)
 	data, _ := os.ReadFile(snaps[0].path)
 	data[len(data)-1] ^= 0xff
 	os.WriteFile(snaps[0].path, data, 0o644)

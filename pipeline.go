@@ -76,6 +76,18 @@ type Response struct {
 	Count     *big.Int   `json:"count,omitempty"`
 	Rank      int        `json:"rank,omitempty"`
 
+	// Degraded marks the answer as approximate: deadline pressure made the
+	// plan (or a mid-solve abort at the soft deadline) answer with the
+	// greedy heuristic instead of the exact solver. A Degraded selection is
+	// a valid candidate set with the heuristic's guarantees, not the
+	// optimum.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedFrom records the route chain abandoned under deadline
+	// pressure (e.g. "exact" or "exact→parallel-exact"); non-empty whenever
+	// the deadline changed the plan, even when the answer stayed exact
+	// (the parallel downgrade).
+	DegradedFrom string `json:"degraded_from,omitempty"`
+
 	Stats Stats `json:"stats"`
 	// Refresh reports how the answer-set snapshot was brought up to date
 	// for this request ("warm", "delta" or "rebuild"); zero for streaming
@@ -119,6 +131,13 @@ type Plan struct {
 
 	route    string
 	fallback string // secondary route when the primary can refuse, "" otherwise
+
+	// Deadline degradation (see maybeDegrade): degraded marks the answer
+	// approximate, degradedFrom records the abandoned route chain, and
+	// degradeNote is Explain's account of the decision.
+	degraded     bool
+	degradedFrom string
+	degradeNote  string
 
 	// snap/plane/refresh/gen are resolved at plan time for materialized
 	// routes; streaming routes leave snap nil and fill refresh/gen only if
@@ -278,7 +297,71 @@ func (p *Prepared) plan(ctx context.Context, req Request) (*Plan, error) {
 	} else {
 		pl.planeNote = "streaming (the online procedures intern their own plane)"
 	}
+	if req.Problem == ProblemDiversify && pl.route == "exact" {
+		pl.maybeDegrade(ctx)
+	}
 	return pl, nil
+}
+
+// degradeBudgetFraction is how much of the remaining deadline a predicted
+// solve may consume before the plan downgrades the route; the same
+// fraction sets the mid-solve soft deadline, leaving headroom to assemble
+// and ship the fallback answer instead of timing out empty-handed.
+const degradeBudgetFraction = 0.8
+
+// maybeDegrade downgrades a deadline-pressured exact diversify route
+// along the chain exact → parallel-exact → greedy. The parallel step
+// still answers exactly (only DegradedFrom records it); the greedy step
+// flags the answer Degraded. Constraints rule the greedy step out (the
+// heuristic cannot honor σ), and with no cost signal at all the plan
+// stands pat — the mid-solve soft-deadline abort in execDiversify still
+// guards the deadline. Only diversify degrades: decide/count/rank answers
+// have no meaningful approximate form.
+func (pl *Plan) maybeDegrade(ctx context.Context) {
+	deadline, has := ctx.Deadline()
+	if !has || pl.snap == nil {
+		return
+	}
+	budget := time.Until(deadline).Seconds() * degradeBudgetFraction
+	if budget <= 0 {
+		return
+	}
+	n := len(pl.snap.answers)
+	exact, par, ok := pl.p.eng.cost.predictExactChain(n)
+	if !ok {
+		return
+	}
+	chain := costRouteKey(pl.s.workers())
+	pred := exact
+	if pl.s.workers() > 1 {
+		pred = par
+	}
+	if pred <= budget {
+		return
+	}
+	if pl.s.workers() == 1 && par <= budget {
+		// The parallel search is predicted to fit: same exact answer,
+		// faster route.
+		pl.s.parallelism = 0 // auto: GOMAXPROCS workers
+		pl.s.parallelSet = true
+		pl.degradedFrom = chain
+		pl.degradeNote = fmt.Sprintf("exact predicted %.3fs > %.3fs budget; running parallel (predicted %.3fs), answer still exact",
+			exact, budget, par)
+		return
+	}
+	if pl.s.workers() == 1 {
+		chain += "→parallel-exact"
+	}
+	if pl.sigma.Len() > 0 {
+		// Greedy cannot honor constraints; the mid-solve abort is the only
+		// remaining guard.
+		return
+	}
+	pl.route = "greedy"
+	pl.degraded = true
+	pl.degradedFrom = chain
+	pl.degradeNote = fmt.Sprintf("%s predicted %.3fs > %.3fs budget; answering with the greedy heuristic",
+		chain, pred, budget)
 }
 
 // materialize acquires the snapshot for the current generation and attaches
@@ -311,6 +394,18 @@ func (pl *Plan) materialize(ctx context.Context) error {
 		pl.planeNote = fmt.Sprintf("shared, %s (%d ids)", planeRegime(plane), plane.Len())
 	}
 	return nil
+}
+
+// degradeChain appends the abandoned route to the chain DegradedFrom
+// reports, avoiding a duplicate when the plan stage already recorded it.
+func degradeChain(base, abandoned string) string {
+	if base == "" {
+		return abandoned
+	}
+	if strings.HasSuffix(base, abandoned) {
+		return base
+	}
+	return base + "→" + abandoned
 }
 
 // planeRegime names how a plane serves distances.
@@ -356,10 +451,12 @@ func (pl *Plan) newInstance() *core.Instance {
 // Callers hold the engine's read lock.
 func (pl *Plan) execute(ctx context.Context) (*Response, error) {
 	resp := &Response{
-		Problem:    pl.req.Problem,
-		Route:      pl.route,
-		Refresh:    pl.refresh,
-		Generation: pl.gen,
+		Problem:      pl.req.Problem,
+		Route:        pl.route,
+		Degraded:     pl.degraded,
+		DegradedFrom: pl.degradedFrom,
+		Refresh:      pl.refresh,
+		Generation:   pl.gen,
 	}
 	var err error
 	switch pl.req.Problem {
@@ -390,10 +487,39 @@ func (pl *Plan) execDiversify(ctx context.Context, resp *Response) error {
 	in := pl.newInstance()
 	switch pl.route {
 	case "exact":
-		res, err := solver.QRDBestContext(ctx, in)
+		// With a deadline, hold a greedy incumbent in hand and run the
+		// search under a soft deadline at degradeBudgetFraction of the
+		// remaining time: if the search cannot finish, the incumbent ships
+		// as a flagged approximate answer instead of a 504 with nothing.
+		softCtx := ctx
+		var incumbent *approx.Result
+		if deadline, has := ctx.Deadline(); has && pl.sigma.Len() == 0 && pl.snap != nil {
+			if g, err := approx.GreedyContext(ctx, in); err == nil && len(g.Set) > 0 {
+				incumbent = &g
+				soft := time.Duration(float64(time.Until(deadline)) * degradeBudgetFraction)
+				if soft > 0 {
+					var cancel context.CancelFunc
+					softCtx, cancel = context.WithTimeout(ctx, soft)
+					defer cancel()
+				}
+			}
+		}
+		start := time.Now()
+		res, err := solver.QRDBestContext(softCtx, in)
 		if err != nil {
+			if incumbent != nil && softCtx.Err() != nil && ctx.Err() == nil {
+				// The soft deadline fired but the request is still alive:
+				// answer approximately rather than time out.
+				resp.Route = "greedy"
+				resp.Degraded = true
+				resp.DegradedFrom = degradeChain(pl.degradedFrom, costRouteKey(in.Parallelism))
+				resp.Stats = Stats{Steps: incumbent.Steps, Answers: len(pl.snap.answers)}
+				resp.Selection = newSelection(p.schema, incumbent.Set, incumbent.Value, "greedy")
+				return nil
+			}
 			return err
 		}
+		p.eng.cost.observe(costRouteKey(in.Parallelism), res.Stats.Answers, time.Since(start).Seconds())
 		resp.Stats = searchStats(res.Stats)
 		if !res.Exists {
 			return ErrNoCandidate
@@ -566,6 +692,9 @@ func (pl *Plan) Explain() string {
 		fmt.Fprintf(&b, "route:     %s (fallback: %s)\n", pl.route, pl.fallback)
 	} else {
 		fmt.Fprintf(&b, "route:     %s\n", pl.route)
+	}
+	if pl.degradeNote != "" {
+		fmt.Fprintf(&b, "degraded:  %s\n", pl.degradeNote)
 	}
 	fmt.Fprintf(&b, "sigma:     %d constraints\n", pl.sigma.Len())
 	if pl.snap != nil {

@@ -1,0 +1,129 @@
+package diversification
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// ErrReadOnly is returned by mutations while the engine is in read-only
+// degraded mode: the write-ahead log failed, solves keep serving from the
+// in-memory database, and a background probe is retrying the log. The
+// mutation was NOT applied — retrying after the probe restores write mode
+// is safe. Serving layers map it to 503 with a Retry-After.
+var ErrReadOnly = errors.New("diversification: engine is read-only (write-ahead log failed; recovery probe running)")
+
+// Default probe backoff bounds (DurabilityConfig.ProbeBackoff/-Max).
+const (
+	defaultProbeBackoff    = 100 * time.Millisecond
+	defaultProbeBackoffMax = 5 * time.Second
+)
+
+// ReadOnly reports whether the engine is in read-only degraded mode.
+func (e *Engine) ReadOnly() bool { return e.degraded.Load() }
+
+// WALError returns the write failure that tripped read-only mode, nil when
+// the engine is healthy.
+func (e *Engine) WALError() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.walErr
+}
+
+// enterReadOnlyLocked trips degraded mode after a WAL failure: the broken
+// log is detached from the mutation stream (its on-disk prefix stays valid
+// evidence), mutations start returning ErrReadOnly, and the recovery probe
+// starts unless one is already running. Caller holds the engine write
+// lock.
+func (e *Engine) enterReadOnlyLocked(err error) {
+	e.db.SetTap(nil)
+	e.walErr = err
+	e.walFailures.Add(1)
+	e.degraded.Store(true)
+	if !e.probeRunning {
+		e.probeRunning = true
+		e.probeStop = make(chan struct{})
+		e.probeDone = make(chan struct{})
+		go e.probeLoop(e.probeStop, e.probeDone)
+	}
+}
+
+// probeLoop retries the write-ahead log with capped exponential backoff
+// until it restores write mode or the engine closes.
+func (e *Engine) probeLoop(stop, done chan struct{}) {
+	defer close(done)
+	backoff := e.walProbe
+	if backoff <= 0 {
+		backoff = defaultProbeBackoff
+	}
+	max := e.walProbeMax
+	if max <= 0 {
+		max = defaultProbeBackoffMax
+	}
+	timer := time.NewTimer(backoff)
+	defer timer.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-timer.C:
+		}
+		e.probeAttempts.Add(1)
+		if e.tryRestoreWAL() {
+			return
+		}
+		backoff *= 2
+		if backoff > max {
+			backoff = max
+		}
+		timer.Reset(backoff)
+	}
+}
+
+// tryRestoreWAL attempts one recovery: open a fresh log segment, write a
+// full snapshot through it, and only then swap it in and clear degraded
+// mode. The snapshot is what makes recovery sound — mutations that reached
+// memory but not the broken log would otherwise be a generation gap in
+// replay; a snapshot at the current generation subsumes everything the
+// lost records held. Returns true when the probe should stop (restored, or
+// nothing to do).
+func (e *Engine) tryRestoreWAL() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.degraded.Load() {
+		return true
+	}
+	log, err := wal.Create(e.walDir, e.walOpts)
+	if err != nil {
+		return false
+	}
+	if _, err := log.Snapshot(e.db); err != nil {
+		log.Close()
+		return false
+	}
+	old := e.wal
+	e.wal = log
+	e.db.SetTap(log)
+	e.walErr = nil
+	e.degraded.Store(false)
+	e.walRecoveries.Add(1)
+	e.probeRunning = false
+	if old != nil {
+		old.Close() // best-effort: it is the broken log
+	}
+	return true
+}
+
+// stopProbe halts the recovery probe (if any) and waits for it to exit.
+// Must be called without the engine lock held.
+func (e *Engine) stopProbe() {
+	e.mu.Lock()
+	stop, done := e.probeStop, e.probeDone
+	e.probeStop, e.probeDone = nil, nil
+	e.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}

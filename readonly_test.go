@@ -1,0 +1,152 @@
+package diversification
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// openFaultyEngine boots a durable engine whose write path goes through a
+// fault-injecting filesystem with a fast recovery probe.
+func openFaultyEngine(t *testing.T) (*Engine, *faultfs.FS) {
+	t.Helper()
+	fs := faultfs.Wrap(nil)
+	e, _, err := OpenEngine(DurabilityConfig{
+		Dir:          t.TempDir(),
+		FS:           fs,
+		ProbeBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e, fs
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReadOnlyModeAndRecovery drives the full degradation cycle: a WAL
+// write failure trips read-only mode (mutations refused with ErrReadOnly,
+// solves still served), the background probe restores write mode once the
+// fault clears, and a restart recovers every acknowledged mutation.
+func TestReadOnlyModeAndRecovery(t *testing.T) {
+	e, fs := openFaultyEngine(t)
+	e.MustCreateTable("points", "id")
+	for i := 0; i < 6; i++ {
+		e.MustInsert("points", i)
+	}
+	p, err := e.Prepare("Q(id) :- points(id)", WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Break the disk: every write from now on fails.
+	fs.SetInjector(faultfs.FailFrom(faultfs.OpWrite, 1, nil))
+	err = e.Insert("points", 100)
+	if err == nil {
+		t.Fatal("insert with a broken WAL reported success")
+	}
+	if errors.Is(err, ErrReadOnly) {
+		t.Fatalf("first failing mutation returned ErrReadOnly (%v); it was applied in memory and must report the durability loss instead", err)
+	}
+	if !e.ReadOnly() {
+		t.Fatal("engine did not enter read-only mode after a WAL write failure")
+	}
+	if e.WALError() == nil {
+		t.Error("read-only engine reports no WAL error")
+	}
+
+	// Subsequent mutations are refused up front, retryably.
+	if err := e.Insert("points", 101); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("mutation in read-only mode returned %v, want ErrReadOnly", err)
+	}
+	if err := e.CreateTable("other", "x"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("CreateTable in read-only mode returned %v, want ErrReadOnly", err)
+	}
+	if _, err := e.Snapshot(context.Background()); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Snapshot in read-only mode returned %v, want ErrReadOnly", err)
+	}
+
+	// Solves keep serving — including the row the failing insert applied.
+	resp, err := p.Do(context.Background(), Request{Problem: ProblemDiversify})
+	if err != nil {
+		t.Fatalf("solve in read-only mode failed: %v", err)
+	}
+	if resp.Stats.Answers != 7 {
+		t.Errorf("read-only solve saw %d answers, want 7 (the in-memory mutation stands)", resp.Stats.Answers)
+	}
+
+	// Fix the disk: the probe restores write mode on its own.
+	fs.Heal()
+	waitFor(t, "probe to restore write mode", func() bool { return !e.ReadOnly() })
+
+	dm, ok := e.durabilityMetrics()
+	if !ok {
+		t.Fatal("durable engine reports no durability metrics")
+	}
+	if dm.WALFailures < 1 || dm.WALRecoveries != 1 || dm.ProbeAttempts < 1 {
+		t.Errorf("metrics after recovery: failures=%d recoveries=%d probes=%d, want >=1/1/>=1",
+			dm.WALFailures, dm.WALRecoveries, dm.ProbeAttempts)
+	}
+	if dm.ReadOnly {
+		t.Error("metrics still report read-only after recovery")
+	}
+
+	// Mutations work again and everything — including the mutation that
+	// straddled the failure — survives a restart.
+	if err := e.Insert("points", 102); err != nil {
+		t.Fatalf("mutation after recovery failed: %v", err)
+	}
+	wantGen := e.Generation()
+	dir := e.walDir
+	if err := e.Close(); err != nil {
+		t.Fatalf("close after recovery: %v", err)
+	}
+	e2, rinfo, err := OpenEngine(DurabilityConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after recovery cycle: %v", err)
+	}
+	defer e2.Close()
+	if rinfo.Generation != wantGen {
+		t.Errorf("restart recovered generation %d, want %d", rinfo.Generation, wantGen)
+	}
+	rs, err := e2.Query("Q(id) :- points(id)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 8 {
+		t.Errorf("restart recovered %d rows, want 8", rs.Len())
+	}
+}
+
+// TestReadOnlyProbeBackoffKeepsTrying: while the fault persists, the probe
+// keeps attempting (with backoff) and the engine stays read-only.
+func TestReadOnlyProbeBackoffKeepsTrying(t *testing.T) {
+	e, fs := openFaultyEngine(t)
+	e.MustCreateTable("points", "id")
+	fs.SetInjector(faultfs.FailFrom(faultfs.OpWrite, 1, nil))
+	if err := e.Insert("points", 1); err == nil {
+		t.Fatal("insert with a broken WAL reported success")
+	}
+	waitFor(t, "at least two probe attempts", func() bool { return e.probeAttempts.Load() >= 2 })
+	if !e.ReadOnly() {
+		t.Error("engine left read-only mode while the disk is still broken")
+	}
+	fs.Heal()
+	waitFor(t, "probe to restore write mode", func() bool { return !e.ReadOnly() })
+	if err := e.Insert("points", 2); err != nil {
+		t.Fatalf("mutation after delayed recovery failed: %v", err)
+	}
+}

@@ -39,6 +39,10 @@ type ServiceConfig struct {
 	// queue wait plus execution, so a request cannot consume a slot
 	// longer than the caller is still listening.
 	DefaultTimeout time.Duration
+	// ShutdownGrace bounds how long Close waits for in-flight requests to
+	// drain before giving up (default 5s). A Close context with an earlier
+	// deadline wins.
+	ShutdownGrace time.Duration
 }
 
 // Metrics is a point-in-time snapshot of the service counters, exported
@@ -82,6 +86,10 @@ type Service struct {
 	inFlight atomic.Int64
 	queued   atomic.Int64
 	peak     atomic.Int64
+
+	// closed flips once in Close: new admissions are rejected while
+	// in-flight requests drain.
+	closed atomic.Bool
 }
 
 // NewService wraps an engine in a serving facade. Zero-value config fields
@@ -193,6 +201,10 @@ func (s *Service) withDeadline(ctx context.Context) (context.Context, context.Ca
 // request finishes. Waiting respects ctx: a caller that gives up (deadline,
 // disconnect) leaves the queue immediately.
 func (s *Service) admit(ctx context.Context) (func(), error) {
+	if s.closed.Load() {
+		s.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
 	select {
 	case s.sem <- struct{}{}:
 	default:
@@ -222,6 +234,39 @@ func (s *Service) admit(ctx context.Context) (func(), error) {
 		s.inFlight.Add(-1)
 		<-s.sem
 	}, nil
+}
+
+// Close drains the service for shutdown: new admissions are rejected with
+// ErrOverloaded immediately, and Close waits — up to ctx's deadline or
+// ShutdownGrace, whichever is earlier — for every in-flight and queued
+// request to finish. It returns nil when the service drained, or an error
+// naming how many requests were still running when the grace expired
+// (they keep running; the caller decides whether to hard-stop). Close is
+// idempotent; it does not close the engine.
+func (s *Service) Close(ctx context.Context) error {
+	s.closed.Store(true)
+	grace := s.cfg.ShutdownGrace
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, grace)
+		defer cancel()
+	}
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		inflight, queued := s.inFlight.Load(), s.queued.Load()
+		if inflight == 0 && queued == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("diversification: shutdown grace expired with %d in flight, %d queued", inflight, queued)
+		case <-ticker.C:
+		}
+	}
 }
 
 // Do answers a Request against a registered statement through the

@@ -1,0 +1,232 @@
+package diversification
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmitCancelWhileQueued cancels a waiter after it is already parked in
+// the admission queue (not before admit, which takes a different path
+// through the select) and requires the queue-depth accounting to unwind.
+func TestAdmitCancelWhileQueued(t *testing.T) {
+	e := serviceEngine(t, 10)
+	svc := NewService(e, ServiceConfig{MaxConcurrent: 1, MaxQueue: 2})
+	hold, err := svc.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := svc.admit(ctx)
+		got <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Metrics().QueueDepth == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if d := svc.Metrics().QueueDepth; d != 1 {
+		t.Fatalf("queue depth = %d, want 1 (waiter parked)", d)
+	}
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled waiter never left the queue")
+	}
+	m := svc.Metrics()
+	if m.QueueDepth != 0 {
+		t.Fatalf("queue depth = %d after cancel, want 0", m.QueueDepth)
+	}
+	if m.Rejected != 0 {
+		t.Fatalf("rejected = %d, want 0 (a cancel is not a shed)", m.Rejected)
+	}
+	hold()
+}
+
+// TestMaxQueueNegativeDisablesQueueing pins the documented MaxQueue=-1
+// semantics: with all slots busy, admit rejects immediately instead of
+// parking — even when the caller's context would happily wait.
+func TestMaxQueueNegativeDisablesQueueing(t *testing.T) {
+	e := serviceEngine(t, 10)
+	svc := NewService(e, ServiceConfig{MaxConcurrent: 1, MaxQueue: -1})
+	hold, err := svc.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	start := time.Now()
+	if _, err := svc.admit(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("admit with queueing disabled returned %v, want ErrOverloaded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("rejection took %s: it must not wait", elapsed)
+	}
+	if m := svc.Metrics(); m.Rejected != 1 || m.QueuePeak != 0 || m.QueueDepth != 0 {
+		// Nothing ever waits with queueing disabled, so the peak stays 0.
+		t.Fatalf("metrics after no-queue rejection: %+v", m)
+	}
+}
+
+// TestQueueMetricsConsistencyUnderHammer races admits, releases and
+// Metrics() readers, then requires the gauges to return to zero and the
+// peak to respect the configured bound. Run under -race in CI.
+func TestQueueMetricsConsistencyUnderHammer(t *testing.T) {
+	const (
+		slots      = 2
+		queue      = 64
+		goroutines = 16
+		iters      = 50
+	)
+	e := serviceEngine(t, 10)
+	svc := NewService(e, ServiceConfig{MaxConcurrent: slots, MaxQueue: queue})
+	var wg sync.WaitGroup
+	stopReads := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopReads:
+				return
+			default:
+			}
+			m := svc.Metrics()
+			if m.InFlight < 0 || m.InFlight > slots {
+				t.Errorf("in-flight gauge out of range: %d", m.InFlight)
+				return
+			}
+			if m.QueueDepth < 0 || m.QueueDepth > queue {
+				t.Errorf("queue-depth gauge out of range: %d", m.QueueDepth)
+				return
+			}
+		}
+	}()
+	var admitted, rejected sync.Map
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var a, r int
+			for i := 0; i < iters; i++ {
+				release, err := svc.admit(context.Background())
+				if err != nil {
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("admit: %v", err)
+						return
+					}
+					r++
+					continue
+				}
+				a++
+				time.Sleep(time.Microsecond)
+				release()
+			}
+			admitted.Store(g, a)
+			rejected.Store(g, r)
+		}()
+	}
+	wgDone := make(chan struct{})
+	go func() { wg.Wait(); close(wgDone) }()
+	go func() {
+		// Stop the metrics reader once the admit goroutines are done; a
+		// second Wait on the same group is fine.
+		for g := 0; g < goroutines; g++ {
+			for {
+				if _, ok := admitted.Load(g); ok {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		close(stopReads)
+	}()
+	select {
+	case <-wgDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("hammer deadlocked")
+	}
+	m := svc.Metrics()
+	if m.InFlight != 0 || m.QueueDepth != 0 {
+		t.Fatalf("gauges leaked after drain: %+v", m)
+	}
+	if m.QueuePeak > queue {
+		t.Fatalf("queue peak %d exceeds bound %d", m.QueuePeak, queue)
+	}
+	var totalRejected int
+	rejected.Range(func(_, v interface{}) bool { totalRejected += v.(int); return true })
+	if int64(totalRejected) != m.Rejected {
+		t.Fatalf("rejected counter = %d, callers saw %d", m.Rejected, totalRejected)
+	}
+}
+
+// TestServiceCloseDrains covers the shutdown contract: Close waits for
+// in-flight work, and the moment it is called new admissions bounce with
+// ErrOverloaded.
+func TestServiceCloseDrains(t *testing.T) {
+	e := serviceEngine(t, 10)
+	svc := NewService(e, ServiceConfig{MaxConcurrent: 2})
+	release, err := svc.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan error, 1)
+	go func() { closed <- svc.Close(context.Background()) }()
+	// Close must be waiting on the in-flight request, not returning —
+	// and must already reject new work.
+	deadline := time.Now().Add(5 * time.Second)
+	for !svc.closed.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := svc.admit(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("admit during shutdown returned %v, want ErrOverloaded", err)
+	}
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while a request was still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	release()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close after drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned after the last request finished")
+	}
+	// Idempotent: a second Close of a drained service is an immediate nil.
+	if err := svc.Close(context.Background()); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestServiceCloseGraceExpires(t *testing.T) {
+	e := serviceEngine(t, 10)
+	svc := NewService(e, ServiceConfig{MaxConcurrent: 1, ShutdownGrace: 20 * time.Millisecond})
+	release, err := svc.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	err = svc.Close(context.Background())
+	if err == nil {
+		t.Fatal("Close returned nil with a request still in flight")
+	}
+	if !strings.Contains(err.Error(), "1 in flight") {
+		t.Fatalf("Close error %q does not name the stuck request", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close took %s, want ~the 20ms grace", elapsed)
+	}
+}
