@@ -1,0 +1,563 @@
+package diversification
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// scrubVolatile zeroes the per-call advisory fields so responses from the
+// cached and uncached paths can be compared byte-for-byte: Elapsed is each
+// call's own wall clock, Cached (and its Explain trailer) is the marker
+// under test, and everything else — the answer — must match exactly.
+func scrubVolatile(t *testing.T, r *Response) []byte {
+	t.Helper()
+	c := *r
+	c.Elapsed = 0
+	c.Cached = false
+	if i := strings.Index(c.Explain, "cached:"); i >= 0 {
+		c.Explain = c.Explain[:i]
+	}
+	b, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCacheHitServesIdenticalResponse pins the cache's core contract: a
+// repeat of a request at an unchanged generation is a hit, marked Cached,
+// and — after scrubbing elapsed/cached — byte-identical to what an
+// uncached service produces for the same repeat; a mutation invalidates.
+func TestCacheHitServesIdenticalResponse(t *testing.T) {
+	e := serviceEngine(t, 12)
+	cached := NewService(e, ServiceConfig{})
+	uncached := NewService(e, ServiceConfig{CacheEntries: -1})
+	for _, svc := range []*Service{cached, uncached} {
+		if err := svc.Register("hot", serviceQuery, serviceOpts(3)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	req := Request{Problem: ProblemDiversify}
+
+	// First calls are misses/solves on both services; the repeats are what
+	// we compare — same warm-snapshot state on both sides.
+	if _, err := cached.Do(ctx, "hot", req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uncached.Do(ctx, "hot", req); err != nil {
+		t.Fatal(err)
+	}
+	hit, err := cached.Do(ctx, "hot", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss, err := uncached.Do(ctx, "hot", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Error("repeat at an unchanged generation was not served from the cache")
+	}
+	if miss.Cached {
+		t.Error("cache-disabled service marked a response Cached")
+	}
+	if got, want := scrubVolatile(t, hit), scrubVolatile(t, miss); string(got) != string(want) {
+		t.Errorf("cached response diverges from the uncached repeat:\n  cached:   %s\n  uncached: %s", got, want)
+	}
+	m := cached.Metrics()
+	if m.Cache.Hits != 1 || m.Cache.Misses != 1 || m.Cache.Entries != 1 {
+		t.Errorf("cache counters after miss+hit: %+v", m.Cache)
+	}
+	if um := uncached.Metrics(); um.Cache != (CacheMetrics{}) {
+		t.Errorf("disabled cache reported non-zero counters: %+v", um.Cache)
+	}
+
+	// A mutation advances the generation: the next call must re-solve, and
+	// its store sweeps the now-unreachable entry.
+	e.MustInsert("items", 500, "z", 15)
+	resp, err := cached.Do(ctx, "hot", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Error("response served from the cache across a generation change")
+	}
+	m = cached.Metrics()
+	if m.Cache.Misses != 2 || m.Cache.Invalidations != 1 || m.Cache.Entries != 1 {
+		t.Errorf("cache counters after invalidating mutation: %+v", m.Cache)
+	}
+}
+
+// TestCacheExplainMarker: a hit on an explain-requested statement must say
+// so in the report — the plan text describes the original solve, and the
+// trailing marker is how a reader knows no solve ran for this call.
+func TestCacheExplainMarker(t *testing.T) {
+	e := serviceEngine(t, 10)
+	svc := NewService(e, ServiceConfig{})
+	if err := svc.Register("hot", serviceQuery, serviceOpts(3)...); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	req := Request{Problem: ProblemDiversify, Explain: true}
+	first, err := svc.Do(ctx, "hot", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Explain == "" || strings.Contains(first.Explain, "cached:") {
+		t.Fatalf("first (solved) explain report wrong:\n%s", first.Explain)
+	}
+	second, err := svc.Do(ctx, "hot", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || !strings.Contains(second.Explain, "cached:    true") {
+		t.Errorf("hit explain report lacks the cached marker (cached=%v):\n%s", second.Cached, second.Explain)
+	}
+	// Explain and non-explain spellings key separately (the flag is part of
+	// the canonical key), so the earlier explain solve plus this hit is all
+	// the traffic: no cross-contamination with the plain request.
+	plain, err := svc.Do(ctx, "hot", Request{Problem: ProblemDiversify})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cached {
+		t.Error("plain request hit the explain request's entry")
+	}
+}
+
+// TestCacheUncacheableBypass: per-call function-valued overrides have no
+// canonical form, so those requests must bypass the cache entirely — no
+// stored entries, no counter movement.
+func TestCacheUncacheableBypass(t *testing.T) {
+	e := serviceEngine(t, 10)
+	svc := NewService(e, ServiceConfig{})
+	if err := svc.Register("hot", serviceQuery, serviceOpts(3)...); err != nil {
+		t.Fatal(err)
+	}
+	req := Request{
+		Problem: ProblemDiversify,
+		Options: []Option{WithRelevance(func(r Row) float64 { return 1 })},
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := svc.Do(context.Background(), "hot", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Cached {
+			t.Fatal("function-override request served from the cache")
+		}
+	}
+	if m := svc.Metrics(); m.Cache != (CacheMetrics{}) {
+		t.Errorf("uncacheable requests moved the cache counters: %+v", m.Cache)
+	}
+}
+
+// TestResultCacheEvictionAndSweep unit-tests the store itself: the LRU
+// bound evicts (counted), a newer-generation store sweeps every older
+// entry (counted as invalidations), and stale-generation stores are
+// dropped rather than resurrected.
+func TestResultCacheEvictionAndSweep(t *testing.T) {
+	c := newResultCache(2)
+	r := &Response{Generation: 1}
+	c.put("g1|a", 1, r)
+	c.put("g1|b", 1, r)
+	if _, ok := c.get("g1|a"); !ok { // bump a's recency: b is now LRU
+		t.Fatal("entry a missing before eviction")
+	}
+	c.put("g1|c", 1, r)
+	if c.len() != 2 || c.evictions.Load() != 1 {
+		t.Fatalf("len=%d evictions=%d after overflow, want 2/1", c.len(), c.evictions.Load())
+	}
+	if _, ok := c.get("g1|b"); ok {
+		t.Error("LRU entry b survived the eviction")
+	}
+	c.put("g2|a", 2, &Response{Generation: 2})
+	if c.len() != 1 || c.invalidations.Load() != 2 {
+		t.Fatalf("len=%d invalidations=%d after generation sweep, want 1/2", c.len(), c.invalidations.Load())
+	}
+	c.put("g1|zombie", 1, r)
+	if _, ok := c.get("g1|zombie"); ok || c.len() != 1 {
+		t.Error("stale-generation store was accepted")
+	}
+}
+
+// TestCacheCoalescing is the exactly-one-solve acceptance test: N
+// concurrent identical misses must execute exactly one pipeline solve. The
+// statement's relevance function is gated, so the leader is provably
+// mid-solve while every other goroutine arrives — they can only coalesce
+// onto its flight (or, if they arrive after the gate opens, hit the entry
+// it stored). Misses are counted only where a solve is actually launched,
+// so Misses==1 is the proof.
+func TestCacheCoalescing(t *testing.T) {
+	const n = 8
+	e := serviceEngine(t, 12)
+	svc := NewService(e, ServiceConfig{MaxConcurrent: 2})
+	var once sync.Once
+	started := make(chan struct{}) // closed when the leader's solve begins
+	gate := make(chan struct{})    // closed to let the solve finish
+	opts := []Option{
+		WithK(3), WithObjective(MaxSum), WithLambda(0.6),
+		WithRelevance(func(r Row) float64 {
+			once.Do(func() { close(started) })
+			<-gate
+			return 100 - float64(r.Get("price").(int64))
+		}),
+		WithDistance(func(a, b Row) float64 {
+			if a.Get("cat") == b.Get("cat") {
+				return 0
+			}
+			return 1
+		}),
+	}
+	if err := svc.Register("hot", serviceQuery, opts...); err != nil {
+		t.Fatal(err)
+	}
+
+	resps := make([]*Response, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resps[i], errs[i] = svc.Do(context.Background(), "hot", Request{Problem: ProblemDiversify})
+		}()
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no solve ever started")
+	}
+	// Give the remaining goroutines ample time to reach the flight map
+	// while the leader is pinned inside its solve, then open the gate.
+	time.Sleep(200 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	var canon string
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		sel := fmt.Sprintf("g%d %v %g", resps[i].Generation, resps[i].Selection.Rows, resps[i].Selection.Value)
+		if canon == "" {
+			canon = sel
+		} else if sel != canon {
+			t.Fatalf("coalesced responses diverge:\n  %s\n  %s", canon, sel)
+		}
+	}
+	m := svc.Metrics()
+	if m.Cache.Misses != 1 {
+		t.Errorf("misses = %d: %d identical concurrent requests ran more than one solve", m.Cache.Misses, n)
+	}
+	if m.Cache.Hits+m.Cache.Coalesced != n-1 {
+		t.Errorf("hits(%d)+coalesced(%d) = %d, want %d followers served without a solve",
+			m.Cache.Hits, m.Cache.Coalesced, m.Cache.Hits+m.Cache.Coalesced, n-1)
+	}
+	if m.Requests != n || m.Failures != 0 {
+		t.Errorf("requests=%d failures=%d, want %d/0", m.Requests, m.Failures, n)
+	}
+}
+
+// TestCacheExactlyOneSolvePerGeneration drives rounds of identical
+// concurrent requests with engine mutations and refreshes between rounds,
+// and requires the miss counter to equal the number of distinct
+// generations queried: one solve per (key, generation), everything else a
+// hit or a coalesced follower — plus full arrival conservation.
+func TestCacheExactlyOneSolvePerGeneration(t *testing.T) {
+	const (
+		fanout = 8
+		rounds = 24
+	)
+	e := serviceEngine(t, 18)
+	svc := NewService(e, ServiceConfig{MaxConcurrent: 4, MaxQueue: fanout * rounds})
+	if err := svc.Register("hot", serviceQuery, serviceOpts(3)...); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var arrivals int64
+	distinct := map[uint64]bool{}
+	sels := map[uint64]string{}
+	for r := 0; r < rounds; r++ {
+		switch r % 3 {
+		case 1: // advance the generation: the next round must re-solve
+			e.MustInsert("items", 2000+r, "z", 15)
+		case 2: // refresh warms the snapshot but leaves the generation alone
+			if _, err := svc.Refresh(ctx, "hot"); err != nil {
+				t.Fatal(err)
+			}
+			arrivals++
+		}
+		gen := e.Generation()
+		distinct[gen] = true
+		resps := make([]*Response, fanout)
+		var wg sync.WaitGroup
+		for i := 0; i < fanout; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := svc.Do(ctx, "hot", Request{Problem: ProblemDiversify})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resps[i] = resp
+			}()
+		}
+		wg.Wait()
+		arrivals += fanout
+		for _, resp := range resps {
+			if resp == nil {
+				t.FailNow()
+			}
+			if resp.Generation != gen {
+				// The engine is quiescent during the round, so every
+				// response must be pinned to exactly this generation.
+				t.Fatalf("round %d: response generation %d, engine at %d", r, resp.Generation, gen)
+			}
+			sel := fmt.Sprintf("%v %g", resp.Selection.Rows, resp.Selection.Value)
+			if prev, ok := sels[gen]; !ok {
+				sels[gen] = sel
+			} else if prev != sel {
+				t.Fatalf("generation %d served two different answers:\n  %s\n  %s", gen, prev, sel)
+			}
+		}
+	}
+
+	m := svc.Metrics()
+	if want := int64(len(distinct)); m.Cache.Misses != want {
+		t.Errorf("misses = %d, want %d (exactly one solve per generation queried)", m.Cache.Misses, want)
+	}
+	if want := int64(rounds*fanout - len(distinct)); m.Cache.Hits+m.Cache.Coalesced != want {
+		t.Errorf("hits(%d)+coalesced(%d) = %d, want %d", m.Cache.Hits, m.Cache.Coalesced,
+			m.Cache.Hits+m.Cache.Coalesced, want)
+	}
+	if m.Requests != arrivals || m.Rejected != 0 || m.CanceledWaiting != 0 || m.Failures != 0 {
+		t.Errorf("arrival conservation broken: requests=%d rejected=%d canceled=%d failures=%d, want %d/0/0/0",
+			m.Requests, m.Rejected, m.CanceledWaiting, m.Failures, arrivals)
+	}
+	if m.InFlight != 0 || m.QueueDepth != 0 {
+		t.Errorf("gauges leaked: %+v", m)
+	}
+}
+
+// TestCacheRaceHammer races identical requests through the cache against
+// live Engine.Insert mutations and Service.Refresh calls — no quiescent
+// windows. The instance is built so the optimum is unique and fully
+// determined by the generation (each inserted row has strictly higher
+// relevance than everything before it, all distances are 1), which turns
+// every response into a checkable claim: the selection and FMS value a
+// response reports must be exactly the optimum of the snapshot at
+// resp.Generation. Any stale cache hit, torn read or mislabeled
+// generation shows up as an oracle mismatch. Run under -race in CI.
+func TestCacheRaceHammer(t *testing.T) {
+	const (
+		k          = 3
+		lambda     = 0.5
+		requesters = 6
+		perG       = 80
+		churnN     = 40
+	)
+	e := NewEngine()
+	e.MustCreateTable("docs", "id", "grp")
+	for i := 100; i < 120; i++ {
+		e.MustInsert("docs", i, fmt.Sprintf("g%d", i))
+	}
+	svc := NewService(e, ServiceConfig{MaxConcurrent: 4, MaxQueue: requesters*perG + 256})
+	rel := func(id int64) float64 { return 1.0 / float64(1+id) }
+	opts := []Option{
+		WithK(k), WithObjective(MaxSum), WithLambda(lambda),
+		WithRelevance(func(r Row) float64 { return rel(r.Get("id").(int64)) }),
+		WithDistance(func(a, b Row) float64 {
+			if a.Get("grp") == b.Get("grp") {
+				return 0
+			}
+			return 1
+		}),
+	}
+	if err := svc.Register("hot", "H(id, grp) :- docs(id, grp)", opts...); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	baseGen := e.Generation()
+
+	// Oracle: the m-th insert adds id 100-m, whose relevance tops every
+	// earlier row, so at generation baseGen+m the unique optimum is the
+	// three smallest ids present: {100-m, 101-m, 102-m}. All groups are
+	// distinct, so the dispersion term is the same constant for every
+	// k-set and relevance alone decides.
+	expect := func(gen uint64) ([]int64, float64) {
+		m := int64(gen - baseGen)
+		ids := []int64{100 - m, 101 - m, 102 - m}
+		var sum float64
+		for _, id := range ids {
+			sum += rel(id)
+		}
+		return ids, float64(k-1)*(1-lambda)*sum + 2*lambda*3
+	}
+
+	var work sync.WaitGroup // the finite goroutines: mutator + requesters
+	stopRefresh := make(chan struct{})
+	refresherDone := make(chan struct{})
+	errc := make(chan error, requesters*perG+2)
+
+	work.Add(1)
+	go func() { // mutator: strictly monotone inserts, one generation each
+		defer work.Done()
+		for m := 1; m <= churnN; m++ {
+			if err := e.Insert("docs", 100-m, fmt.Sprintf("g%d", 100-m)); err != nil {
+				errc <- err
+				return
+			}
+			time.Sleep(300 * time.Microsecond)
+		}
+	}()
+	var refreshes int64
+	go func() { // refresher: concurrent snapshot maintenance
+		defer close(refresherDone)
+		for {
+			select {
+			case <-stopRefresh:
+				return
+			default:
+			}
+			if _, err := svc.Refresh(ctx, "hot"); err != nil {
+				errc <- err
+				return
+			}
+			refreshes++
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for g := 0; g < requesters; g++ {
+		work.Add(1)
+		go func() {
+			defer work.Done()
+			for i := 0; i < perG; i++ {
+				startGen := e.Generation()
+				resp, err := svc.Do(ctx, "hot", Request{Problem: ProblemDiversify})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.Generation < startGen || resp.Generation > baseGen+churnN {
+					errc <- fmt.Errorf("stale response: generation %d, arrived at %d", resp.Generation, startGen)
+					return
+				}
+				wantIDs, wantVal := expect(resp.Generation)
+				if len(resp.Selection.Rows) != k {
+					errc <- fmt.Errorf("selection has %d rows, want %d", len(resp.Selection.Rows), k)
+					return
+				}
+				got := make([]int64, 0, k)
+				for _, r := range resp.Selection.Rows {
+					got = append(got, r.Get("id").(int64))
+				}
+				for _, want := range wantIDs {
+					found := false
+					for _, id := range got {
+						if id == want {
+							found = true
+						}
+					}
+					if !found {
+						errc <- fmt.Errorf("generation %d selected %v, oracle says %v", resp.Generation, got, wantIDs)
+						return
+					}
+				}
+				if math.Abs(resp.Selection.Value-wantVal) > 1e-9 {
+					errc <- fmt.Errorf("generation %d value %g, oracle says %g", resp.Generation, resp.Selection.Value, wantVal)
+					return
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { work.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("hammer deadlocked")
+	}
+	close(stopRefresh)
+	select {
+	case <-refresherDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("refresher never stopped")
+	}
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	m := svc.Metrics()
+	totalDo := int64(requesters * perG)
+	if got := m.Cache.Hits + m.Cache.Coalesced + m.Cache.Misses; got != totalDo {
+		t.Errorf("cache outcomes = %d (hits %d + coalesced %d + misses %d), want one per request = %d",
+			got, m.Cache.Hits, m.Cache.Coalesced, m.Cache.Misses, totalDo)
+	}
+	if m.Requests != totalDo+refreshes || m.Rejected != 0 || m.CanceledWaiting != 0 || m.Failures != 0 {
+		t.Errorf("arrival conservation broken: requests=%d rejected=%d canceled=%d failures=%d, want %d/0/0/0",
+			m.Requests, m.Rejected, m.CanceledWaiting, m.Failures, totalDo+refreshes)
+	}
+	if m.InFlight != 0 || m.QueueDepth != 0 {
+		t.Errorf("gauges leaked: %+v", m)
+	}
+	if m.Cache.Misses == 0 || m.Cache.Hits == 0 {
+		t.Errorf("hammer never exercised both paths: %+v", m.Cache)
+	}
+}
+
+// BenchmarkServiceCacheReplay measures Service.Do on a zipf-skewed replay
+// of request shapes — the divbench -cache-replay experiment in benchmark
+// form, so bench-smoke keeps the replay path compiling and running. The
+// cached and uncached arms replay the identical stream.
+func BenchmarkServiceCacheReplay(b *testing.B) {
+	e := serviceEngine(b, 40)
+	shapes := workload.ReplayShapes(12)
+	mix := workload.ZipfMix(rand.New(rand.NewSource(1)), len(shapes), 256, 1.3)
+	requests := make([]Request, len(shapes))
+	for i, sh := range shapes {
+		k, lambda := sh.K, sh.Lambda
+		req := Request{K: &k, Lambda: &lambda}
+		if sh.Problem == "decide" {
+			bound := sh.Bound
+			req.Problem = ProblemDecide
+			req.Bound = &bound
+		}
+		requests[i] = req
+	}
+	for _, arm := range []struct {
+		name    string
+		entries int
+	}{{"cached", 0}, {"uncached", -1}} {
+		b.Run(arm.name, func(b *testing.B) {
+			svc := NewService(e, ServiceConfig{CacheEntries: arm.entries})
+			if err := svc.Register("hot", serviceQuery, serviceOpts(3)...); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Do(ctx, "hot", requests[mix[i%len(mix)]]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	diversification "repro"
+	"repro/internal/workload"
+)
+
+// cacheReplayReport is the JSON the -cache-replay experiment emits: the
+// serving tier's result cache measured against a zipf-skewed statement
+// replay, cached and uncached arms over the identical request stream.
+type cacheReplayReport struct {
+	Requests  int     `json:"requests"`
+	Shapes    int     `json:"shapes"`
+	ZipfS     float64 `json:"zipf_s"`
+	CatalogN  int     `json:"catalog_rows"`
+	HitRate   float64 `json:"hit_rate"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Coalesced int64   `json:"coalesced"`
+	Identical bool    `json:"responses_identical"`
+
+	Cached   replayLatencies `json:"cached_ns"`
+	Uncached replayLatencies `json:"uncached_ns"`
+	Speedup  struct {
+		P50  float64 `json:"p50"`
+		P99  float64 `json:"p99"`
+		Mean float64 `json:"mean"`
+	} `json:"speedup"`
+}
+
+type replayLatencies struct {
+	P50  int64 `json:"p50"`
+	P99  int64 `json:"p99"`
+	Mean int64 `json:"mean"`
+}
+
+// runCacheReplay measures the result cache on a zipfian statement replay:
+// one gift-shop statement, nShapes distinct request shapes, nReq requests
+// drawn zipf(s). Both arms replay the identical stream against the same
+// engine; every cached-arm response must be byte-identical (scrubbed of
+// elapsed_ns and the cached marker) to the uncached arm's response for
+// the same shape, or the run fails.
+func runCacheReplay(nReq, nShapes int, zipfS float64, seed int64) {
+	const catalogN = 120
+	rng := rand.New(rand.NewSource(seed))
+	e := diversification.NewEngine()
+	e.MustCreateTable("catalog", "item", "type", "price", "inStock")
+	types := []string{"jewelry", "book", "toy", "fashion", "artsy", "educational"}
+	for i := 0; i < catalogN; i++ {
+		e.MustInsert("catalog",
+			fmt.Sprintf("item%03d", i),
+			types[rng.Intn(len(types))],
+			5+rng.Intn(95),
+			rng.Intn(20))
+	}
+	const stmt = "Q(item, type, price) :- catalog(item, type, price, s), price <= 35"
+	opts := []diversification.Option{
+		diversification.WithObjective(diversification.MaxSum),
+		diversification.WithRelevance(diversification.AttrRelevance("price")),
+		diversification.WithDistance(diversification.AttrDistance("type")),
+	}
+
+	shapes := workload.ReplayShapes(nShapes)
+	mix := workload.ZipfMix(rng, len(shapes), nReq, zipfS)
+	requests := make([]diversification.Request, len(shapes))
+	for i, sh := range shapes {
+		k, lambda := sh.K, sh.Lambda
+		req := diversification.Request{K: &k, Lambda: &lambda}
+		if sh.Problem == "decide" {
+			bound := sh.Bound
+			req.Problem = diversification.ProblemDecide
+			req.Bound = &bound
+		}
+		requests[i] = req
+	}
+
+	run := func(cacheEntries int) ([]time.Duration, [][]byte, diversification.Metrics) {
+		svc := diversification.NewService(e, diversification.ServiceConfig{CacheEntries: cacheEntries})
+		if err := svc.Register("gifts", stmt, opts...); err != nil {
+			fatal(err)
+		}
+		ctx := context.Background()
+		lats := make([]time.Duration, 0, len(mix))
+		byShape := make([][]byte, len(shapes))
+		for _, idx := range mix {
+			start := time.Now()
+			resp, err := svc.Do(ctx, "gifts", requests[idx])
+			if err != nil {
+				fatal(err)
+			}
+			lats = append(lats, time.Since(start))
+			if byShape[idx] == nil {
+				byShape[idx] = scrubResponse(resp)
+			}
+		}
+		return lats, byShape, svc.Metrics()
+	}
+
+	uncachedLats, uncachedResp, _ := run(-1)
+	cachedLats, cachedResp, m := run(0)
+
+	identical := true
+	for i := range shapes {
+		if string(cachedResp[i]) != string(uncachedResp[i]) {
+			identical = false
+			fmt.Fprintf(os.Stderr, "divbench: shape %d diverges between arms:\n  cached:   %s\n  uncached: %s\n",
+				i, cachedResp[i], uncachedResp[i])
+		}
+	}
+
+	rep := cacheReplayReport{
+		Requests:  nReq,
+		Shapes:    nShapes,
+		ZipfS:     zipfS,
+		CatalogN:  catalogN,
+		Hits:      m.Cache.Hits,
+		Misses:    m.Cache.Misses,
+		Coalesced: m.Cache.Coalesced,
+		HitRate:   float64(m.Cache.Hits+m.Cache.Coalesced) / float64(nReq),
+		Identical: identical,
+		Cached:    summarize(cachedLats),
+		Uncached:  summarize(uncachedLats),
+	}
+	rep.Speedup.P50 = ratio(rep.Uncached.P50, rep.Cached.P50)
+	rep.Speedup.P99 = ratio(rep.Uncached.P99, rep.Cached.P99)
+	rep.Speedup.Mean = ratio(rep.Uncached.Mean, rep.Cached.Mean)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(out))
+	if !identical {
+		fatal(fmt.Errorf("cached responses diverge from the uncached arm"))
+	}
+}
+
+// scrubResponse strips the per-call advisory fields — elapsed wall clock
+// and the cached marker — so responses from the two arms compare
+// byte-for-byte on the answer alone.
+func scrubResponse(r *diversification.Response) []byte {
+	c := *r
+	c.Elapsed = 0
+	c.Cached = false
+	b, err := json.Marshal(&c)
+	if err != nil {
+		fatal(err)
+	}
+	return b
+}
+
+func summarize(lats []time.Duration) replayLatencies {
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	pct := func(p float64) int64 {
+		i := int(p*float64(len(sorted))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return int64(sorted[i])
+	}
+	return replayLatencies{
+		P50:  pct(0.50),
+		P99:  pct(0.99),
+		Mean: int64(sum) / int64(len(sorted)),
+	}
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "divbench: %v\n", err)
+	os.Exit(1)
+}

@@ -12,6 +12,8 @@
 //	divbench -sweep -match RDC   # run experiments whose ID contains "RDC"
 //	divbench -budget 2s          # per-size time budget for sweeps
 //	divbench -list               # list the experiment catalog
+//	divbench -cache-replay       # result cache vs a zipfian statement replay
+//	divbench -cache-replay -requests 2000 -shapes 16 -zipf-s 1.3
 package main
 
 import (
@@ -34,10 +36,20 @@ func main() {
 		match  = flag.String("match", "", "substring filter for sweep experiment IDs")
 		budget = flag.Duration("budget", 2*time.Second, "per-size time budget for sweeps")
 		list   = flag.Bool("list", false, "list the experiment catalog and exit")
+
+		cacheReplay = flag.Bool("cache-replay", false, "measure the serving tier's result cache on a zipfian statement replay")
+		replayReq   = flag.Int("requests", 2000, "cache-replay: requests in the stream")
+		replayShp   = flag.Int("shapes", 16, "cache-replay: distinct request shapes")
+		replayZipf  = flag.Float64("zipf-s", 1.3, "cache-replay: zipf skew over the shapes (<=1 = uniform)")
+		replaySeed  = flag.Int64("seed", 1, "cache-replay: random seed")
 	)
 	flag.Parse()
 
 	ran := false
+	if *cacheReplay {
+		runCacheReplay(*replayReq, *replayShp, *replayZipf, *replaySeed)
+		ran = true
+	}
 	if *list {
 		listCatalog()
 		ran = true

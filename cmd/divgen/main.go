@@ -15,9 +15,17 @@
 //	divgen -workload points -n 200 -dim 3 -side 1000 -dir ./data
 //	divgen -workload points -n 200 -stream 50 -stream-batch 10 -dir ./data
 //	divgen -workload clustered -clusters 5 -per 40 -dir ./data
+//	divgen -workload replay -requests 2000 -shapes 16 -zipf-s 1.3 -dir ./data
+//
+// The replay workload emits replay.tsv: a zipf-skewed stream of request
+// shapes (problem, k, lambda, bound) against a single statement — the
+// access pattern the serving tier's result cache is measured against.
+// divbench -cache-replay drives the same generator in-process and reports
+// hit-rate and latency percentiles.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -44,10 +52,20 @@ func main() {
 		spread   = flag.Int64("spread", 25, "clustered: intra-cluster spread")
 		stream   = flag.Int("stream", 0, "gift/points: also emit updates.tsv with this many timed inserts")
 		streamB  = flag.Int("stream-batch", 1, "inserts per solve checkpoint in the update stream")
+		requests = flag.Int("requests", 2000, "replay: number of requests in the stream")
+		shapes   = flag.Int("shapes", 16, "replay: distinct request shapes in the universe")
+		zipfS    = flag.Float64("zipf-s", 1.3, "replay: zipf skew over the shapes (<=1 = uniform)")
 	)
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
+	if *kind == "replay" {
+		if err := writeReplay(*dir, rng, *shapes, *requests, *zipfS); err != nil {
+			fmt.Fprintf(os.Stderr, "divgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var db *relation.Database
 	var updates []tsvio.Update
 	switch *kind {
@@ -68,7 +86,7 @@ func main() {
 		in := workload.Clustered(rng, *clusters, *per, *side, *spread, 0, 0.5, 1)
 		db = in.DB
 	default:
-		fmt.Fprintf(os.Stderr, "divgen: unknown workload %q\n", *kind)
+		fmt.Fprintf(os.Stderr, "divgen: unknown workload %q (want gift | points | clustered | replay)\n", *kind)
 		os.Exit(2)
 	}
 
@@ -98,6 +116,46 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d inserts, %d checkpoints)\n", path, len(updates)-checkpoints, checkpoints)
 	}
+}
+
+// writeReplay emits a zipfian-statement request stream as replay.tsv: one
+// request per line, drawn from a deterministic shape universe with a
+// zipf-skewed popularity. Repeats are the point — the stream is what a
+// result cache is measured against (divbench -cache-replay drives the same
+// generator in-process) — so the rows go out verbatim, not deduplicated
+// through a relation.
+func writeReplay(dir string, rng *rand.Rand, shapes, requests int, s float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	universe := workload.ReplayShapes(shapes)
+	mix := workload.ZipfMix(rng, len(universe), requests, s)
+	path := filepath.Join(dir, "replay.tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "problem\tk\tlambda\tbound")
+	hist := make([]int, len(universe))
+	for _, idx := range mix {
+		sh := universe[idx]
+		fmt.Fprintf(w, "%s\t%d\t%g\t%g\n", sh.Problem, sh.K, sh.Lambda, sh.Bound)
+		hist[idx]++
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	hottest := 0
+	for _, n := range hist {
+		if n > hottest {
+			hottest = n
+		}
+	}
+	fmt.Printf("wrote %s (%d requests over %d shapes, zipf s=%g, hottest shape %.0f%%)\n",
+		path, requests, len(universe), s, 100*float64(hottest)/float64(requests))
+	return nil
 }
 
 // writeUpdates emits the update stream in divcli's -updates format.

@@ -82,21 +82,19 @@ func (c *costModel) predict(route string, n int) (secs float64, ok bool) {
 		if pred, ok := bench.PredictAt(window, n); ok {
 			return pred, true
 		}
-		// Too few points to fit: scale the largest observation linearly —
-		// deliberately optimistic for the superlinear exact search, so a
-		// thin model never degrades a request a fuller one would have
-		// served exactly.
+		// Too few points to fit: scale the largest observation linearly in
+		// both directions — deliberately optimistic for the superlinear
+		// exact search, so a thin model never degrades a request a fuller
+		// one would have served exactly. Scaling down matters as much as
+		// up: returning big.Secs unscaled for n < big.N would pessimize
+		// every request smaller than the largest one seen.
 		big := window[0]
 		for _, m := range window[1:] {
 			if m.N > big.N {
 				big = m
 			}
 		}
-		pred := big.Secs
-		if n > big.N {
-			pred = big.Secs * float64(n) / float64(big.N)
-		}
-		return pred, true
+		return big.Secs * float64(n) / float64(big.N), true
 	}
 	if h, found := c.hints[route]; found {
 		return h, true

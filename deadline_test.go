@@ -168,3 +168,34 @@ func TestCostObservationsFeedPrediction(t *testing.T) {
 		t.Errorf("predict(160) = %vs, want ≈0.0256s from the fitted curve", pred)
 	}
 }
+
+// TestCostPredictScalesDownThinModel pins the thin-model fallback in both
+// directions: with too few observations to fit a curve, the prediction
+// scales the largest observation linearly for n below it as well as above.
+// The regression this guards: predict used to return the largest
+// observation's cost unscaled for any smaller n, so one slow solve over a
+// big answer set made every small request look expensive and degrade under
+// a deadline a fuller model would have served exactly.
+func TestCostPredictScalesDownThinModel(t *testing.T) {
+	var c costModel
+	// Two observations: below bench.PredictAt's three-point fitting
+	// minimum, so predict must take the linear-scaling fallback.
+	c.observe("exact", 1000, 10.0)
+	c.observe("exact", 500, 5.0)
+
+	pred, ok := c.predict("exact", 100)
+	if !ok {
+		t.Fatal("predict with observations not ok")
+	}
+	if want := 1.0; pred != want { // 10s × 100/1000
+		t.Errorf("predict(100) = %vs, want %vs (linear scale below the largest observation)", pred, want)
+	}
+	// Above the largest observation the behavior is unchanged.
+	if pred, _ := c.predict("exact", 2000); pred != 20.0 {
+		t.Errorf("predict(2000) = %vs, want 20s (linear scale above)", pred)
+	}
+	// At the largest observation the prediction is the observation itself.
+	if pred, _ := c.predict("exact", 1000); pred != 10.0 {
+		t.Errorf("predict(1000) = %vs, want the observation's 10s", pred)
+	}
+}

@@ -190,6 +190,10 @@ func TestServeGolden(t *testing.T) {
 		// "exists":false, not an absent key.
 		{"POST", "/v1/query/gifts", `{"problem":"decide","bound":1000}`},
 		{"POST", "/v1/query/gifts", `{"problem":"count","bound":40}`},
+		// An exact repeat of the decide query above: the generation is
+		// unchanged, so this is a cache hit — "cached":true on the wire,
+		// and the /metrics step below pins the hit counter.
+		{"POST", "/v1/query/gifts", `{"problem":"decide","bound":40}`},
 		{"POST", "/v1/refresh/gifts", ""},
 		{"POST", "/v1/query/nope", `{}`},
 		{"POST", "/v1/query/gifts", `{"k":-1}`},

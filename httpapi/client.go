@@ -244,13 +244,32 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, payload []b
 		serr := &StatusError{Code: resp.StatusCode}
 		_ = json.Unmarshal(raw, &serr.Body)
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-				serr.RetryAfter = time.Duration(secs) * time.Second
-			}
+			serr.RetryAfter = parseRetryAfter(ra, time.Now())
 		}
 		return rtResult{status: resp.StatusCode, err: serr}
 	}
 	return rtResult{status: resp.StatusCode, raw: raw}
+}
+
+// parseRetryAfter parses a Retry-After header value per RFC 9110 §10.2.3:
+// either delay-seconds or an HTTP-date (any of the three date formats
+// http.ParseTime accepts). A date in the past — or on the boundary —
+// means "retry now" and yields zero, same as an absent header: the retry
+// policy then falls back to its own backoff. Unparseable values also
+// yield zero rather than an error; the header is advice, not protocol.
+func parseRetryAfter(value string, now time.Time) time.Duration {
+	if secs, err := strconv.Atoi(value); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(value); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // attempt runs one logical attempt: a plain round trip, or — for

@@ -1,0 +1,67 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter pins both RFC 9110 §10.2.3 forms of the header:
+// delay-seconds and HTTP-date (all three date formats http.ParseTime
+// accepts), plus the garbage/past-date cases that must fall back to zero.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name, value string
+		want        time.Duration
+	}{
+		{"delay-seconds", "7", 7 * time.Second},
+		{"delay-zero", "0", 0},
+		{"delay-negative", "-3", 0},
+		{"http-date-imf-fixdate", now.Add(30 * time.Second).Format(http.TimeFormat), 30 * time.Second},
+		{"http-date-rfc850", now.Add(2 * time.Minute).Format("Monday, 02-Jan-06 15:04:05 GMT"), 2 * time.Minute},
+		{"http-date-asctime", now.Add(45 * time.Second).Format(time.ANSIC), 45 * time.Second},
+		{"http-date-past", now.Add(-time.Hour).Format(http.TimeFormat), 0},
+		{"http-date-now", now.Format(http.TimeFormat), 0},
+		{"garbage", "soon", 0},
+		{"empty", "", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := parseRetryAfter(tc.value, now)
+			// Date forms lose sub-second precision to the wire format;
+			// compare at second granularity.
+			if got.Round(time.Second) != tc.want {
+				t.Fatalf("parseRetryAfter(%q) = %s, want %s", tc.value, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestClientHonorsHTTPDateRetryAfter drives the date form end to end: a
+// 503 carrying an HTTP-date Retry-After must surface as a non-zero
+// StatusError.RetryAfter, not silently parse to zero and defeat the
+// server's backoff advice.
+func TestClientHonorsHTTPDateRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", time.Now().Add(30*time.Second).UTC().Format(http.TimeFormat))
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	client := &Client{
+		BaseURL:    srv.URL,
+		HTTPClient: srv.Client(),
+		Retry:      RetryPolicy{MaxAttempts: 1},
+	}
+	_, err := client.Query(context.Background(), "catalog", QueryRequest{})
+	var serr *StatusError
+	if !errors.As(err, &serr) {
+		t.Fatalf("query returned %v, want *StatusError", err)
+	}
+	if serr.RetryAfter <= 25*time.Second || serr.RetryAfter > 30*time.Second {
+		t.Fatalf("RetryAfter = %s, want ~30s from the HTTP-date header", serr.RetryAfter)
+	}
+}

@@ -329,6 +329,63 @@ func TeamRoster(rng *rand.Rand, n int) *relation.Database {
 	return relation.NewDatabase().Add(r)
 }
 
+// RequestShape is one distinct cacheable request in a serving replay
+// stream: the tuple of per-request parameters that, together with the
+// statement, forms a result-cache key. A replay stream is a sequence of
+// shape indices; how often each shape repeats is what decides the
+// achievable cache hit-rate.
+type RequestShape struct {
+	Problem string  // "diversify" or "decide"
+	K       int     // selection size
+	Lambda  float64 // relevance/diversity trade-off
+	Bound   float64 // decide threshold (ignored for diversify)
+}
+
+// ReplayShapes builds a deterministic universe of n distinct request
+// shapes: diversify and decide requests alternating over a small grid of
+// k and λ values, with decide bounds spread so shapes never collide.
+func ReplayShapes(n int) []RequestShape {
+	ks := []int{2, 3, 4}
+	lambdas := []float64{0.3, 0.5, 0.7}
+	shapes := make([]RequestShape, 0, n)
+	for i := 0; len(shapes) < n; i++ {
+		s := RequestShape{
+			Problem: "diversify",
+			K:       ks[i%len(ks)],
+			Lambda:  lambdas[(i/len(ks))%len(lambdas)],
+		}
+		if i%2 == 1 {
+			s.Problem = "decide"
+			s.Bound = float64(1 + i) // distinct per decide shape
+		}
+		shapes = append(shapes, s)
+	}
+	return shapes
+}
+
+// ZipfMix draws n shape indices from a zipf(s) distribution over
+// [0, shapes): index 0 is the most popular shape, and the skew s > 1
+// controls how hard the head dominates — the access pattern under which a
+// result cache earns its keep. s <= 1 falls back to a uniform mix (the
+// zipf generator requires s > 1), which is the cache's worst case.
+func ZipfMix(rng *rand.Rand, shapes, n int, s float64) []int {
+	mix := make([]int, n)
+	if shapes <= 1 {
+		return mix
+	}
+	if s <= 1 {
+		for i := range mix {
+			mix[i] = rng.Intn(shapes)
+		}
+		return mix
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(shapes-1))
+	for i := range mix {
+		mix[i] = int(z.Uint64())
+	}
+	return mix
+}
+
 // ChainJoin builds a three-relation chain-join workload: R(a,b), S(b,c),
 // T(c,d) with n rows each over join keys drawn from a domain of size dom,
 // and the query

@@ -88,6 +88,14 @@ type Response struct {
 	// (the parallel downgrade).
 	DegradedFrom string `json:"degraded_from,omitempty"`
 
+	// Cached marks a response served by the Service result cache — a hit
+	// at the same (statement, request, generation) key, or a coalesced
+	// twin of a concurrent identical request — rather than a solve
+	// executed for this call. The answer fields are byte-identical to what
+	// the solve would have produced: the key embeds the database
+	// generation, so a hit is never stale.
+	Cached bool `json:"cached,omitempty"`
+
 	Stats Stats `json:"stats"`
 	// Refresh reports how the answer-set snapshot was brought up to date
 	// for this request ("warm", "delta" or "rebuild"); zero for streaming

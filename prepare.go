@@ -6,6 +6,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/compat"
 	"repro/internal/objective"
@@ -38,7 +39,11 @@ import (
 // serialize against in-flight solves behind the engine's read-write lock,
 // so every response pairs answers, index and plane from one generation.
 type Prepared struct {
-	eng    *Engine
+	eng *Engine
+	// id is unique per handle, from a process-wide counter: the Service
+	// result cache keys on it so a re-registered statement (same name, new
+	// bindings) can never serve the old handle's cached responses.
+	id     uint64
 	src    string
 	q      *query.Query
 	schema relation.Schema
@@ -92,6 +97,10 @@ func indexAnswers(answers []relation.Tuple) map[string]int {
 	return idx
 }
 
+// nextPreparedID issues the process-wide unique handle ids the Service
+// result cache keys on.
+var nextPreparedID atomic.Uint64
+
 // maxRefreshAttempts bounds the evaluate-verify-retry loop of snapshotAt
 // when the database is mutated concurrently with a refresh (which the
 // engine contract already forbids); on exhaustion the freshest result is
@@ -127,6 +136,7 @@ func (e *Engine) Prepare(src string, opts ...Option) (*Prepared, error) {
 	}
 	return &Prepared{
 		eng:     e,
+		id:      nextPreparedID.Add(1),
 		src:     src,
 		q:       q,
 		schema:  schema,

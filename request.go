@@ -3,6 +3,7 @@ package diversification
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 )
 
 // ProblemKind identifies which of the paper's decision/optimization
@@ -132,6 +133,50 @@ type Request struct {
 	// constraints, parallelism, ...) in the functional-option form. They
 	// are applied after the typed fields, so an Option wins on conflict.
 	Options []Option `json:"-"`
+}
+
+// requestKey canonicalizes a Request against the statement's Prepare-time
+// bindings into the statement-and-request half of a Service cache key (the
+// Service prepends the database generation). The key derives from the
+// merged settings — the same merge the plan stage performs — not the raw
+// struct, so the two spellings of one request (a typed field vs the
+// equivalent functional option) share an entry, and a request that merely
+// restates a Prepare-time default keys identically to one that omits it.
+//
+// ok is false when the request is not cacheable: an invalid option set
+// (the pipeline will produce the typed error), or a per-call
+// WithRelevance/WithDistance/WithPlaneMemoryLimit override — function
+// values have no canonical form, so those requests always solve.
+func (p *Prepared) requestKey(req Request) (key string, ok bool) {
+	if !req.Problem.valid() {
+		return "", false
+	}
+	s, err := p.call(req.callOptions())
+	if err != nil {
+		return "", false
+	}
+	if s.dirty != 0 {
+		return "", false
+	}
+	var b strings.Builder
+	// p.id pins the statement identity: re-registering a name compiles a
+	// new handle (possibly with new scoring bindings), and its id keeps the
+	// old handle's entries unreachable.
+	fmt.Fprintf(&b, "s%d|%s|k%d|l%g|o%s|a%s|b%g|r%d|sp%t|pm%d|w%d|inc%t|x%t",
+		p.id, req.Problem, s.k, s.lambda, s.objective, s.algorithm, s.bound, s.rank,
+		s.scorePlane, s.planeMaxBytes, s.workers(), s.incremental, req.Explain)
+	for _, c := range s.constraints {
+		fmt.Fprintf(&b, "|c%q", c)
+	}
+	for _, row := range req.Set {
+		b.WriteString("|t")
+		for _, v := range row {
+			// Type-tagged values: int64(5) and float64(5) both print "5"
+			// but select different tuple values downstream.
+			fmt.Fprintf(&b, "(%T)%v,", v, v)
+		}
+	}
+	return b.String(), true
 }
 
 // callOptions lowers the Request's typed overrides and Options into the

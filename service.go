@@ -43,18 +43,44 @@ type ServiceConfig struct {
 	// drain before giving up (default 5s). A Close context with an earlier
 	// deadline wins.
 	ShutdownGrace time.Duration
+	// CacheEntries bounds the generation-keyed result cache; 0 means the
+	// default (1024 entries), negative disables caching and request
+	// coalescing entirely. The cache is exact by construction — keys embed
+	// the database generation, which every mutation advances — so the only
+	// reason to disable it is measurement.
+	CacheEntries int
+}
+
+// CacheMetrics is the result cache's counter block inside Metrics. All
+// fields stay zero when the cache is disabled.
+type CacheMetrics struct {
+	Hits          int64 `json:"hits"`          // served from a stored response
+	Misses        int64 `json:"misses"`        // cacheable requests that executed a solve
+	Coalesced     int64 `json:"coalesced"`     // followers served by a concurrent identical solve
+	Evictions     int64 `json:"evictions"`     // entries dropped by the LRU bound
+	Entries       int64 `json:"entries"`       // entries currently stored
+	Invalidations int64 `json:"invalidations"` // entries swept because their generation went stale
 }
 
 // Metrics is a point-in-time snapshot of the service counters, exported
 // with stable JSON field names for the wire protocol.
 type Metrics struct {
 	Statements int   `json:"statements"`
-	Requests   int64 `json:"requests"`    // admitted calls, including refreshes
-	Failures   int64 `json:"failures"`    // calls that returned an error
-	Rejected   int64 `json:"rejected"`    // shed by the admission queue
-	InFlight   int64 `json:"in_flight"`   // currently executing
-	QueueDepth int64 `json:"queue_depth"` // currently waiting for a slot
-	QueuePeak  int64 `json:"queue_peak"`  // high-water mark of QueueDepth
+	Requests   int64 `json:"requests"` // admitted calls, including refreshes
+	Failures   int64 `json:"failures"` // calls that returned an error
+	Rejected   int64 `json:"rejected"` // shed by the admission queue
+	// CanceledWaiting counts requests whose context expired while they
+	// were waiting — parked in the admission queue, or waiting on a
+	// coalesced solve — so every arrival lands in exactly one of
+	// Requests, Rejected or CanceledWaiting.
+	CanceledWaiting int64 `json:"canceled_waiting"`
+	InFlight        int64 `json:"in_flight"`   // currently executing
+	QueueDepth      int64 `json:"queue_depth"` // currently waiting for a slot
+	QueuePeak       int64 `json:"queue_peak"`  // high-water mark of QueueDepth
+
+	// Cache is the generation-keyed result cache's counter block; all
+	// zeros when caching is disabled (ServiceConfig.CacheEntries < 0).
+	Cache CacheMetrics `json:"cache"`
 
 	// Durability carries the write-ahead-log and recovery counters of a
 	// durable engine; nil (and absent on the wire) for in-memory engines.
@@ -80,12 +106,20 @@ type Service struct {
 
 	sem chan struct{}
 
-	requests atomic.Int64
-	failures atomic.Int64
-	rejected atomic.Int64
-	inFlight atomic.Int64
-	queued   atomic.Int64
-	peak     atomic.Int64
+	// cache is the generation-keyed result cache, nil when disabled;
+	// flights (guarded by fmu) coalesces concurrent identical-key misses
+	// onto one pipeline execution.
+	cache   *resultCache
+	fmu     sync.Mutex
+	flights map[string]*flight
+
+	requests        atomic.Int64
+	failures        atomic.Int64
+	rejected        atomic.Int64
+	canceledWaiting atomic.Int64
+	inFlight        atomic.Int64
+	queued          atomic.Int64
+	peak            atomic.Int64
 
 	// closed flips once in Close: new admissions are rejected while
 	// in-flight requests drain.
@@ -104,12 +138,20 @@ func NewService(e *Engine, cfg ServiceConfig) *Service {
 	if cfg.MaxQueue < 0 {
 		cfg.MaxQueue = 0
 	}
-	return &Service{
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = defaultCacheEntries
+	}
+	s := &Service{
 		eng:   e,
 		cfg:   cfg,
 		stmts: make(map[string]*Prepared),
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newResultCache(cfg.CacheEntries)
+		s.flights = make(map[string]*flight)
+	}
+	return s
 }
 
 // Engine returns the engine the service fronts; mutations go through it.
@@ -170,13 +212,24 @@ func (s *Service) Metrics() Metrics {
 	n := len(s.stmts)
 	s.mu.RUnlock()
 	m := Metrics{
-		Statements: n,
-		Requests:   s.requests.Load(),
-		Failures:   s.failures.Load(),
-		Rejected:   s.rejected.Load(),
-		InFlight:   s.inFlight.Load(),
-		QueueDepth: s.queued.Load(),
-		QueuePeak:  s.peak.Load(),
+		Statements:      n,
+		Requests:        s.requests.Load(),
+		Failures:        s.failures.Load(),
+		Rejected:        s.rejected.Load(),
+		CanceledWaiting: s.canceledWaiting.Load(),
+		InFlight:        s.inFlight.Load(),
+		QueueDepth:      s.queued.Load(),
+		QueuePeak:       s.peak.Load(),
+	}
+	if s.cache != nil {
+		m.Cache = CacheMetrics{
+			Hits:          s.cache.hits.Load(),
+			Misses:        s.cache.misses.Load(),
+			Coalesced:     s.cache.coalesced.Load(),
+			Evictions:     s.cache.evictions.Load(),
+			Entries:       int64(s.cache.len()),
+			Invalidations: s.cache.invalidations.Load(),
+		}
 	}
 	if dm, ok := s.eng.durabilityMetrics(); ok {
 		m.Durability = &dm
@@ -225,7 +278,10 @@ func (s *Service) admit(ctx context.Context) (func(), error) {
 		case s.sem <- struct{}{}:
 			s.queued.Add(-1)
 		case <-ctx.Done():
+			// Neither admitted nor shed: without its own counter this
+			// outcome would make Requests+Rejected undercount arrivals.
 			s.queued.Add(-1)
+			s.canceledWaiting.Add(1)
 			return nil, ctx.Err()
 		}
 	}
@@ -269,10 +325,15 @@ func (s *Service) Close(ctx context.Context) error {
 	}
 }
 
-// Do answers a Request against a registered statement through the
-// admission gate: apply the default deadline, wait for (or be refused) an
-// execution slot, then run the statement's Request → Plan → Execute
-// pipeline.
+// Do answers a Request against a registered statement. The fast path is a
+// hash lookup: with caching enabled, the request canonicalizes into a
+// (statement, merged settings, database generation) key, and a stored
+// response for that exact key is returned without touching the admission
+// gate — the generation in the key proves it is not stale. Concurrent
+// identical-key misses coalesce onto one pipeline execution; everything
+// else goes through the admission gate (apply the default deadline, wait
+// for or be refused an execution slot) and the statement's Request → Plan
+// → Execute pipeline.
 func (s *Service) Do(ctx context.Context, name string, req Request) (*Response, error) {
 	p, ok := s.Prepared(name)
 	if !ok {
@@ -280,6 +341,77 @@ func (s *Service) Do(ctx context.Context, name string, req Request) (*Response, 
 	}
 	ctx, cancel := s.withDeadline(ctx)
 	defer cancel()
+	if s.cache == nil || s.closed.Load() {
+		// No cache, or draining: the plain admission path (which rejects
+		// closed services) handles it.
+		return s.execute(ctx, p, req)
+	}
+	base, cacheable := p.requestKey(req)
+	if !cacheable {
+		return s.execute(ctx, p, req)
+	}
+	start := time.Now()
+	key := fmt.Sprintf("g%d|%s", s.eng.Generation(), base)
+	if resp, ok := s.cache.get(key); ok {
+		s.requests.Add(1)
+		return markCached(resp, time.Since(start)), nil
+	}
+	fl, leader := s.joinFlight(key)
+	if !leader {
+		select {
+		case <-fl.done:
+			if fl.err == nil && fl.resp != nil && !fl.resp.Degraded {
+				s.requests.Add(1)
+				s.cache.coalesced.Add(1)
+				return markCached(cacheableCopy(fl.resp), time.Since(start)), nil
+			}
+			// The leader failed or answered approximately under its own
+			// deadline pressure; neither outcome may poison this caller —
+			// run our own solve under our own context.
+			s.cache.misses.Add(1)
+			return s.execute(ctx, p, req)
+		case <-ctx.Done():
+			s.canceledWaiting.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+	// Double-checked lookup: a previous leader may have stored this key
+	// between our miss and our flight registration. It stores before it
+	// releases its flight, and flight handoff goes through fmu, so a hit
+	// here observes the completed put — which makes "exactly one solve per
+	// (key, generation)" a guarantee rather than best-effort suppression.
+	if resp, ok := s.cache.get(key); ok {
+		s.finishFlight(key, fl, resp, nil)
+		s.requests.Add(1)
+		return markCached(resp, time.Since(start)), nil
+	}
+	s.cache.misses.Add(1)
+	var resp *Response
+	var err error
+	func() {
+		// Store, then publish, inside a defer: the entry must be visible
+		// before the flight closes (a request landing between the two
+		// would otherwise re-solve), and followers must be woken even if
+		// the pipeline panics.
+		defer func() {
+			if err == nil && resp != nil && !resp.Degraded && resp.DegradedFrom == "" && resp.Generation != 0 {
+				// Store under the generation the solve actually ran at (a
+				// mutation may have slipped between key computation and
+				// the engine lock); degraded and deadline-shaped responses
+				// are never stored.
+				s.cache.put(fmt.Sprintf("g%d|%s", resp.Generation, base), resp.Generation, cacheableCopy(resp))
+			}
+			s.finishFlight(key, fl, resp, err)
+		}()
+		resp, err = s.execute(ctx, p, req)
+	}()
+	return resp, err
+}
+
+// execute runs one request through the admission gate and the pipeline,
+// maintaining the request/failure counters. It is the single accounting
+// point shared by cached and uncached paths.
+func (s *Service) execute(ctx context.Context, p *Prepared, req Request) (*Response, error) {
 	release, err := s.admit(ctx)
 	if err != nil {
 		return nil, err

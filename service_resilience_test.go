@@ -49,6 +49,9 @@ func TestAdmitCancelWhileQueued(t *testing.T) {
 	if m.Rejected != 0 {
 		t.Fatalf("rejected = %d, want 0 (a cancel is not a shed)", m.Rejected)
 	}
+	if m.CanceledWaiting != 1 {
+		t.Fatalf("canceled_waiting = %d, want 1 (the canceled waiter must land in a counter)", m.CanceledWaiting)
+	}
 	hold()
 }
 
@@ -77,8 +80,11 @@ func TestMaxQueueNegativeDisablesQueueing(t *testing.T) {
 }
 
 // TestQueueMetricsConsistencyUnderHammer races admits, releases and
-// Metrics() readers, then requires the gauges to return to zero and the
-// peak to respect the configured bound. Run under -race in CI.
+// Metrics() readers — including waiters whose contexts expire while
+// parked in the queue — then requires the gauges to return to zero, the
+// peak to respect the configured bound, and the outcome counters to be
+// conserved: every arrival lands in exactly one of admitted, Rejected or
+// CanceledWaiting. Run under -race in CI.
 func TestQueueMetricsConsistencyUnderHammer(t *testing.T) {
 	const (
 		slots      = 2
@@ -110,29 +116,41 @@ func TestQueueMetricsConsistencyUnderHammer(t *testing.T) {
 			}
 		}
 	}()
-	var admitted, rejected sync.Map
+	var admitted, rejected, canceled sync.Map
 	for g := 0; g < goroutines; g++ {
 		g := g
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var a, r int
+			var a, r, c int
 			for i := 0; i < iters; i++ {
-				release, err := svc.admit(context.Background())
-				if err != nil {
-					if !errors.Is(err, ErrOverloaded) {
-						t.Errorf("admit: %v", err)
-						return
-					}
-					r++
-					continue
+				// Every third arrival carries a deadline tight enough to
+				// sometimes expire while parked in the queue, exercising
+				// the canceled-waiting path alongside admits and sheds.
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if i%3 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(1+i%5)*100*time.Microsecond)
 				}
-				a++
-				time.Sleep(time.Microsecond)
-				release()
+				release, err := svc.admit(ctx)
+				cancel()
+				switch {
+				case err == nil:
+					a++
+					time.Sleep(time.Microsecond)
+					release()
+				case errors.Is(err, ErrOverloaded):
+					r++
+				case errors.Is(err, context.DeadlineExceeded):
+					c++
+				default:
+					t.Errorf("admit: %v", err)
+					return
+				}
 			}
 			admitted.Store(g, a)
 			rejected.Store(g, r)
+			canceled.Store(g, c)
 		}()
 	}
 	wgDone := make(chan struct{})
@@ -162,10 +180,21 @@ func TestQueueMetricsConsistencyUnderHammer(t *testing.T) {
 	if m.QueuePeak > queue {
 		t.Fatalf("queue peak %d exceeds bound %d", m.QueuePeak, queue)
 	}
-	var totalRejected int
+	var totalAdmitted, totalRejected, totalCanceled int
+	admitted.Range(func(_, v interface{}) bool { totalAdmitted += v.(int); return true })
 	rejected.Range(func(_, v interface{}) bool { totalRejected += v.(int); return true })
+	canceled.Range(func(_, v interface{}) bool { totalCanceled += v.(int); return true })
 	if int64(totalRejected) != m.Rejected {
 		t.Fatalf("rejected counter = %d, callers saw %d", m.Rejected, totalRejected)
+	}
+	if int64(totalCanceled) != m.CanceledWaiting {
+		t.Fatalf("canceled_waiting counter = %d, callers saw %d", m.CanceledWaiting, totalCanceled)
+	}
+	// Conservation: every arrival is admitted, shed or canceled — no
+	// fourth outcome, no double counting.
+	if got := totalAdmitted + totalRejected + totalCanceled; got != goroutines*iters {
+		t.Fatalf("outcomes = %d (admitted %d + rejected %d + canceled %d), want %d arrivals",
+			got, totalAdmitted, totalRejected, totalCanceled, goroutines*iters)
 	}
 }
 
