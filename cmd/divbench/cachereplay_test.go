@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+// TestCacheReplaySmoke runs the -cache-replay experiment at a tiny size so
+// the replay harness cannot rot: both arms must complete, the cached arm's
+// responses must stay byte-identical to the uncached arm's (runCacheReplay
+// fatals otherwise), and the report generator must not fatal.
+func TestCacheReplaySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache replay skipped in -short mode")
+	}
+	runCacheReplay(40, 4, 1.3, 1)
+}

@@ -14,6 +14,8 @@
 //	divbench -list               # list the experiment catalog
 //	divbench -cache-replay       # result cache vs a zipfian statement replay
 //	divbench -cache-replay -requests 2000 -shapes 16 -zipf-s 1.3
+//	divbench -plane-regimes      # plane storage regimes vs n (matrix/tiles/index/memo)
+//	divbench -plane-regimes -regime-max-n 20000
 package main
 
 import (
@@ -37,6 +39,9 @@ func main() {
 		budget = flag.Duration("budget", 2*time.Second, "per-size time budget for sweeps")
 		list   = flag.Bool("list", false, "list the experiment catalog and exit")
 
+		planeRegimes = flag.Bool("plane-regimes", false, "sweep the score plane's storage regimes (matrix/tiles/index/memo) over growing point sets")
+		regimeMaxN   = flag.Int("regime-max-n", 100_000, "plane-regimes: largest point count in the sweep")
+
 		cacheReplay = flag.Bool("cache-replay", false, "measure the serving tier's result cache on a zipfian statement replay")
 		replayReq   = flag.Int("requests", 2000, "cache-replay: requests in the stream")
 		replayShp   = flag.Int("shapes", 16, "cache-replay: distinct request shapes")
@@ -46,6 +51,10 @@ func main() {
 	flag.Parse()
 
 	ran := false
+	if *planeRegimes {
+		runPlaneRegimes(*regimeMaxN, *replaySeed)
+		ran = true
+	}
 	if *cacheReplay {
 		runCacheReplay(*replayReq, *replayShp, *replayZipf, *replaySeed)
 		ran = true

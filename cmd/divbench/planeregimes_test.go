@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/objective"
+)
+
+// TestPlaneRegimesSweepSmoke runs the -plane-regimes experiment at its
+// smallest size so the sweep code cannot rot: every regime arm must build
+// and solve (the 2000-point plane fits all four stores under the default
+// guard), and the report generator must not fatal.
+func TestPlaneRegimesSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("plane-regimes sweep skipped in -short mode")
+	}
+	runPlaneRegimes(2_000, 1)
+}
+
+// TestRegimePointsInstance pins the sweep's two workload shapes: both build
+// identity-query instances of the requested size with a metric δdis.
+func TestRegimePointsInstance(t *testing.T) {
+	for _, kind := range []string{"uniform", "clustered"} {
+		in := regimePointsInstance(kind, 500, 2, 5, 0.5, 7)
+		if got := len(in.Answers()); got == 0 || got > 500 {
+			t.Fatalf("%s: %d answers, want (0, 500]", kind, got)
+		}
+		if in.Obj.Kind != objective.MaxSum {
+			t.Fatalf("%s: kind %v", kind, in.Obj.Kind)
+		}
+	}
+}

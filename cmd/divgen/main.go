@@ -15,6 +15,7 @@
 //	divgen -workload points -n 200 -dim 3 -side 1000 -dir ./data
 //	divgen -workload points -n 200 -stream 50 -stream-batch 10 -dir ./data
 //	divgen -workload clustered -clusters 5 -per 40 -dir ./data
+//	divgen -workload clustered -clusters 50 -n 100000 -dir ./data
 //	divgen -workload replay -requests 2000 -shapes 16 -zipf-s 1.3 -dir ./data
 //
 // The replay workload emits replay.tsv: a zipf-skewed stream of request
@@ -44,7 +45,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		nCatalog = flag.Int("catalog", 100, "gift: catalog rows")
 		nHistory = flag.Int("history", 300, "gift: history rows")
-		n        = flag.Int("n", 200, "points: number of points")
+		n        = flag.Int("n", 200, "points: number of points; clustered: total points (overrides -per)")
 		dim      = flag.Int("dim", 2, "points: dimensions")
 		side     = flag.Int64("side", 1000, "points: coordinate range")
 		clusters = flag.Int("clusters", 5, "clustered: cluster count")
@@ -83,7 +84,16 @@ func main() {
 			db = in.DB
 		}
 	case "clustered":
-		in := workload.Clustered(rng, *clusters, *per, *side, *spread, 0, 0.5, 1)
+		// An explicit -n sets the total point count for the large-n scaling
+		// runs (10⁵–10⁶ candidates): it wins over -per, which then derives
+		// as ⌈n/clusters⌉.
+		perCluster := *per
+		nSet := false
+		flag.Visit(func(f *flag.Flag) { nSet = nSet || f.Name == "n" })
+		if nSet {
+			perCluster = (*n + *clusters - 1) / *clusters
+		}
+		in := workload.Clustered(rng, *clusters, perCluster, *side, *spread, 0, 0.5, 1)
 		db = in.DB
 	default:
 		fmt.Fprintf(os.Stderr, "divgen: unknown workload %q (want gift | points | clustered | replay)\n", *kind)

@@ -62,6 +62,13 @@ func GreedyMaxSumContext(ctx context.Context, in *core.Instance) (Result, error)
 	if p, err := in.PlaneContext(ctx); err != nil {
 		return res, err
 	} else if p != nil {
+		// In the indexed regime the plane serves the greedy loops through
+		// its metric index (nil for every other regime).
+		if ix, err := p.IndexContext(ctx); err != nil {
+			return res, err
+		} else if ix != nil {
+			return greedyMaxSumIndexed(c, in, p, ix)
+		}
 		return greedyMaxSumPlane(c, in, p)
 	}
 	chosen := make([]relation.Tuple, 0, k)
@@ -171,6 +178,11 @@ func GreedyMaxMinContext(ctx context.Context, in *core.Instance) (Result, error)
 	if p, err := in.PlaneContext(ctx); err != nil {
 		return res, err
 	} else if p != nil {
+		if ix, err := p.IndexContext(ctx); err != nil {
+			return res, err
+		} else if ix != nil {
+			return greedyMaxMinIndexed(c, in, p, ix)
+		}
 		return greedyMaxMinPlane(c, in, p)
 	}
 	used := make([]bool, len(answers))

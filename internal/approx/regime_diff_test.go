@@ -1,0 +1,244 @@
+// Differential tests for the plane regimes: the tiled and indexed regimes
+// must reproduce the materialized plane's greedy selections — byte-identical
+// sets, values and step counts for greedy max-min (the tentpole guarantee),
+// byte-identical selections for greedy max-sum under the LAESA bounds, and
+// float32-exact equality for the tiled regime whenever δdis is
+// integer-valued. Rebase must land on the same plane a cold build at the new
+// generation would produce, in every regime.
+package approx_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	. "repro/internal/approx"
+
+	"repro/internal/core"
+	"repro/internal/objective"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// regimePoints draws n random dim-column integer points on a side×side grid.
+func regimePoints(rng *rand.Rand, n, dim, side int) []relation.Tuple {
+	cols := make([]string, dim)
+	for i := range cols {
+		cols[i] = string(rune('a' + i))
+	}
+	pts := make([]relation.Tuple, n)
+	for i := range pts {
+		vals := make([]int64, dim)
+		for d := range vals {
+			vals[d] = rng.Int63n(int64(side))
+		}
+		pts[i] = relation.Ints(vals...)
+	}
+	return pts
+}
+
+// regimeInstance builds an identity-query instance over pts with the given
+// distance, forcing the requested plane regime and building its store (an
+// instance-level plane is lazy by default; without EnsureReadyContext the
+// matrix and tile regimes would silently serve from the memo cache and the
+// differential tests would compare nothing).
+func regimeInstance(t *testing.T, pts []relation.Tuple, dim int, dis objective.Distance, kind objective.Kind, lambda float64, k int, regime objective.Regime) *core.Instance {
+	t.Helper()
+	cols := make([]string, dim)
+	for i := range cols {
+		cols[i] = string(rune('a' + i))
+	}
+	r := relation.NewRelation(relation.NewSchema("P", cols...))
+	for _, t := range pts {
+		r.Insert(t)
+	}
+	db := relation.NewDatabase().Add(r)
+	obj := objective.New(kind, objective.AttrRelevance(0, 0.01), dis, lambda)
+	in := &core.Instance{
+		Query:       query.IdentityQuery("P", dim),
+		DB:          db,
+		Obj:         obj,
+		K:           k,
+		PlaneRegime: regime,
+	}
+	p, err := in.PlaneContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnsureReadyContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if regime != objective.RegimeAuto && p.Regime() != regime {
+		t.Fatalf("requested regime %v resolved to %v", regime, p.Regime())
+	}
+	return in
+}
+
+// assertSameResult requires two heuristic results to agree bit for bit:
+// same tuples in the same pick order, the exact same float value, the same
+// number of candidate evaluations.
+func assertSameResult(t *testing.T, label string, want, got Result) {
+	t.Helper()
+	if len(want.Set) != len(got.Set) {
+		t.Fatalf("%s: set size %d != %d", label, len(got.Set), len(want.Set))
+	}
+	for i := range want.Set {
+		if want.Set[i].Compare(got.Set[i]) != 0 {
+			t.Fatalf("%s: pick %d is %v, want %v", label, i, got.Set[i], want.Set[i])
+		}
+	}
+	if want.Value != got.Value {
+		t.Fatalf("%s: value %v != %v (must be bit-identical)", label, got.Value, want.Value)
+	}
+	if want.Steps != got.Steps {
+		t.Fatalf("%s: steps %d != %d (scan accounting must match)", label, got.Steps, want.Steps)
+	}
+}
+
+func TestIndexedGreedyMaxMinByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 8; trial++ {
+		n := []int{60, 300, 1200}[trial%3]
+		dim := 2 + trial%3
+		lambda := []float64{0, 0.3, 0.7, 1}[trial%4]
+		k := 2 + trial%9
+		pts := regimePoints(rng, n, dim, 50)
+		flat := GreedyMaxMin(regimeInstance(t, pts, dim, objective.EuclideanDistance(), objective.MaxMin, lambda, k, objective.RegimeMaterialized))
+		idx := GreedyMaxMin(regimeInstance(t, pts, dim, objective.EuclideanDistance(), objective.MaxMin, lambda, k, objective.RegimeIndexed))
+		assertSameResult(t, "max-min indexed", flat, idx)
+	}
+}
+
+func TestIndexedGreedyMaxSumByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 8; trial++ {
+		n := []int{60, 300, 1200}[trial%3]
+		dim := 2 + trial%3
+		lambda := []float64{0, 0.3, 0.7, 1}[trial%4]
+		k := 2 + trial%9
+		pts := regimePoints(rng, n, dim, 50)
+		flat := GreedyMaxSum(regimeInstance(t, pts, dim, objective.EuclideanDistance(), objective.MaxSum, lambda, k, objective.RegimeMaterialized))
+		idx := GreedyMaxSum(regimeInstance(t, pts, dim, objective.EuclideanDistance(), objective.MaxSum, lambda, k, objective.RegimeIndexed))
+		assertSameResult(t, "max-sum indexed", flat, idx)
+	}
+}
+
+func TestTiledGreedyByteIdenticalOnIntegerDistances(t *testing.T) {
+	// Hamming distances are small integers, exactly representable in
+	// float32, so the tiled regime's rounding is the identity and both
+	// greedy procedures must be bit-equal to the materialized plane.
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 6; trial++ {
+		n := 80 + 40*trial
+		const dim = 4
+		lambda := []float64{0, 0.5, 1}[trial%3]
+		k := 3 + trial
+		pts := regimePoints(rng, n, dim, 5)
+		ham := objective.HammingDistance()
+		flatSum := GreedyMaxSum(regimeInstance(t, pts, dim, ham, objective.MaxSum, lambda, k, objective.RegimeMaterialized))
+		tileSum := GreedyMaxSum(regimeInstance(t, pts, dim, ham, objective.MaxSum, lambda, k, objective.RegimeTiled))
+		assertSameResult(t, "max-sum tiled", flatSum, tileSum)
+		flatMin := GreedyMaxMin(regimeInstance(t, pts, dim, ham, objective.MaxMin, lambda, k, objective.RegimeMaterialized))
+		tileMin := GreedyMaxMin(regimeInstance(t, pts, dim, ham, objective.MaxMin, lambda, k, objective.RegimeTiled))
+		assertSameResult(t, "max-min tiled", flatMin, tileMin)
+	}
+}
+
+func TestTiledGreedyEuclideanWithinBound(t *testing.T) {
+	// Real-valued distances round to float32 in the tile store: the
+	// selection may legitimately differ on near-ties, but the achieved
+	// objective value must stay within float32 relative error of the
+	// materialized plane's (the documented bound for the tiled regime).
+	rng := rand.New(rand.NewSource(94))
+	for trial := 0; trial < 6; trial++ {
+		n := 100 + 60*trial
+		const dim = 3
+		lambda := 0.6
+		k := 5
+		pts := regimePoints(rng, n, dim, 1000)
+		flat := GreedyMaxSum(regimeInstance(t, pts, dim, objective.EuclideanDistance(), objective.MaxSum, lambda, k, objective.RegimeMaterialized))
+		tile := GreedyMaxSum(regimeInstance(t, pts, dim, objective.EuclideanDistance(), objective.MaxSum, lambda, k, objective.RegimeTiled))
+		diff := flat.Value - tile.Value
+		if diff < 0 {
+			diff = -diff
+		}
+		if bound := 1e-5 * (1 + flat.Value); diff > bound {
+			t.Fatalf("trial %d: tiled value %v vs materialized %v differ by %v > %v",
+				trial, tile.Value, flat.Value, diff, bound)
+		}
+	}
+}
+
+// TestRebaseEquivalentToColdBuildPerRegime: after insert and delete
+// batches, a rebased plane must drive the greedy solvers to the exact
+// results of a plane built cold over the merged answer set — in each of the
+// four non-streaming regimes.
+func TestRebaseEquivalentToColdBuildPerRegime(t *testing.T) {
+	for _, regime := range []objective.Regime{
+		objective.RegimeMaterialized, objective.RegimeTiled, objective.RegimeIndexed, objective.RegimeMemoized,
+	} {
+		rng := rand.New(rand.NewSource(95))
+		const n, dim, k = 240, 3, 7
+		pts := regimePoints(rng, n, dim, 40)
+		in := regimeInstance(t, pts, dim, objective.EuclideanDistance(), objective.MaxMin, 0.5, k, regime)
+		base, err := in.PlaneContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers := base.Answers()
+
+		// Retire every 5th answer and add a batch of fresh sorted tuples.
+		var retired []int
+		for id := 0; id < len(answers); id += 5 {
+			retired = append(retired, id)
+		}
+		addSet := relation.NewRelation(relation.NewSchema("A", "a", "b", "c"))
+		for _, tp := range regimePoints(rng, 60, dim, 40) {
+			addSet.Insert(tp)
+		}
+		added := addSet.Sorted() // sorted + deduped, as Rebase requires
+		rebased, err := base.Rebase(context.Background(), added, retired)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The cold arm: an instance over exactly the rebased answer set.
+		cold := regimeInstance(t, rebased.Answers(), dim, objective.EuclideanDistance(), objective.MaxMin, 0.5, k, regime)
+		coldPlane, err := cold.PlaneContext(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := rebased.Regime(), coldPlane.Regime(); got != want {
+			t.Fatalf("%v: rebased regime %v != cold %v", regime, got, want)
+		}
+
+		// The rebased arm: same answers, the rebased plane injected.
+		warm := regimeInstance(t, rebased.Answers(), dim, objective.EuclideanDistance(), objective.MaxMin, 0.5, k, regime)
+		warm.SetAnswers(rebased.Answers())
+		warm.SetPlane(rebased)
+
+		coldMin, err := GreedyMaxMinContext(context.Background(), cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmMin, err := GreedyMaxMinContext(context.Background(), warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, "rebase "+regime.String()+" max-min", coldMin, warmMin)
+
+		inSum := regimeInstance(t, rebased.Answers(), dim, objective.EuclideanDistance(), objective.MaxSum, 0.5, k, regime)
+		inSum.SetAnswers(rebased.Answers())
+		inSum.SetPlane(rebased)
+		coldSum := regimeInstance(t, rebased.Answers(), dim, objective.EuclideanDistance(), objective.MaxSum, 0.5, k, regime)
+		a, err := GreedyMaxSumContext(context.Background(), coldSum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GreedyMaxSumContext(context.Background(), inSum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, "rebase "+regime.String()+" max-sum", a, b)
+	}
+}

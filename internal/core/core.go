@@ -79,6 +79,11 @@ type Instance struct {
 	// the objective package default. Above the cap, distances are served
 	// from the plane's sharded memoizing cache instead.
 	PlaneMaxBytes int64
+	// PlaneRegime requests a distance-storage regime for the plane
+	// (materialized matrix, float32 tiles, metric index, or memo cache);
+	// the zero value (objective.RegimeAuto) resolves from the answer count
+	// and PlaneMaxBytes.
+	PlaneRegime objective.Regime
 
 	answers     []relation.Tuple // memoized Q(D)
 	haveAnswers bool             // distinguishes an empty memo from no memo
@@ -158,7 +163,7 @@ func (in *Instance) PlaneContext(ctx context.Context) (*objective.Plane, error) 
 	if err != nil {
 		return nil, err
 	}
-	p, err := objective.NewPlaneContext(ctx, in.Obj, answers, objective.PlaneOptions{MaxMatrixBytes: in.PlaneMaxBytes})
+	p, err := objective.NewPlaneContext(ctx, in.Obj, answers, objective.PlaneOptions{MaxMatrixBytes: in.PlaneMaxBytes, Regime: in.PlaneRegime})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,595 @@
+// The indexed plane regime: a vantage-point tree plus a small pivot table
+// over the interned answers, O(n) memory in place of the O(n²) pair stores.
+// The index exploits only the triangle inequality of δdis — the same metric
+// assumption under which the paper's greedy procedures carry their
+// approximation guarantees — and is built once per plane, immutable, and
+// shared by concurrent solves; all per-solve mutable state lives in the
+// MaxMinState/MaxSumState values the solvers allocate.
+//
+// Two query modes match the two greedy hot loops:
+//
+//   - MaxMinState.Take(c) folds a newly chosen center c into every
+//     unchosen candidate's min-distance-to-selection, pruning subtrees whose
+//     triangle-inequality lower bound on δdis(c, ·) already exceeds the
+//     subtree's best possible improvement. Skipped evaluations are provably
+//     no-ops, so the maintained minDis array is bit-identical to the flat
+//     O(n·k) recomputation and greedy max-min selects the exact same set in
+//     the exact same tie-break order.
+//
+//   - MaxSumState bounds each candidate's accumulated gain from above using
+//     per-pivot cumulative center distances (a LAESA-style bound): a round
+//     scan skips candidates whose upper bound cannot beat the incumbent and
+//     refines the rest through the same incremental accumulation as the
+//     flat path, so refined gains are bit-identical and the skip test is
+//     conservative.
+package objective
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/ctxpoll"
+)
+
+const (
+	// vpLeafSize caps leaf segments: below it, a linear scan beats the
+	// bookkeeping of another split.
+	vpLeafSize = 16
+	// vpSpawnSize is the minimum segment size worth a goroutine during the
+	// parallel build.
+	vpSpawnSize = 2048
+	// numPivots is the pivot-table width for the max-sum bounds: enough
+	// rows that min-over-pivots tracks the true tail sums closely, small
+	// enough that the table stays O(n).
+	numPivots = 8
+	// pruneSlack is the relative margin shaved off every triangle-
+	// inequality lower bound before it is compared against a pruning
+	// threshold (and added to every upper bound before a skip). Computed
+	// distances carry ulp-level rounding, so a mathematically valid bound
+	// can exceed the stored value by a few ulps; 1e-9 is ~10⁶ ulps of
+	// headroom while remaining far below any meaningful distance gap.
+	pruneSlack = 1e-9
+)
+
+// vpNode is one vantage-point tree node over the permutation segment
+// perm[lo:hi]. The vantage is perm[lo]; inner/outer are child node indices
+// (-1 for leaves, whose whole segment is scanned directly). radius is the
+// median distance-to-vantage of the rest of the segment (inner: d ≤ radius;
+// outer: d > radius) and maxDist its maximum, both used for lower bounds on
+// the distance from a query to anything under the node.
+type vpNode struct {
+	vantage      int32
+	inner, outer int32
+	lo, hi       int32
+	radius       float64
+	maxDist      float64
+}
+
+// MetricIndex is the immutable index over one plane's answers.
+type MetricIndex struct {
+	p     *Plane
+	perm  []int32  // answer IDs grouped into tree segments
+	nodes []vpNode // nodes[0] is the root
+	// pivots/pd back the max-sum bounds: pd[q][i] = δdis(pivots[q], i).
+	// maxPivot0 is max over pd[0], giving the O(n) admissible bound
+	// 2·maxPivot0 ≥ max pairwise δdis used by the exact search.
+	pivots    []int32
+	pd        [][]float64
+	maxPivot0 float64
+}
+
+// dis evaluates δdis(a, b) in the plane's canonical pair order, bypassing
+// the memo cache: index traversals touch too many transient pairs to be
+// worth storing, and the raw evaluation returns the identical value Dis
+// would (the memo stores this same pure function's results).
+func (ix *MetricIndex) dis(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return ix.p.rawDis(a, b)
+}
+
+// Bytes reports the index's memory footprint: the permutation, the node
+// array and the pivot table — O(n) with a small constant (~70 bytes per
+// answer at the default pivot width).
+func (ix *MetricIndex) Bytes() int64 {
+	b := int64(len(ix.perm)) * 4
+	b += int64(len(ix.nodes)) * int64(48) // sizeof(vpNode) with padding
+	b += int64(len(ix.pivots)) * 4
+	for _, row := range ix.pd {
+		b += int64(len(row)) * 8
+	}
+	return b
+}
+
+// MaxDisUpperBound is an admissible (never under) estimate of the maximum
+// pairwise δdis: by the triangle inequality every δdis(i, j) is at most
+// δdis(p0, i) + δdis(p0, j) ≤ 2·max over the first pivot's row.
+func (ix *MetricIndex) MaxDisUpperBound() float64 { return 2 * ix.maxPivot0 }
+
+// IndexContext returns the plane's metric index, building it on first use
+// (idempotent, concurrency-safe). Planes not in RegimeIndexed return nil —
+// the index's pruning is only sound for metric δdis, and only the indexed
+// regime declares that assumption.
+func (p *Plane) IndexContext(ctx context.Context) (*MetricIndex, error) {
+	if p.regime != RegimeIndexed {
+		return nil, nil
+	}
+	if ix := p.idx.Load(); ix != nil {
+		return ix, nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ix := p.idx.Load(); ix != nil {
+		return ix, nil
+	}
+	ix, err := buildIndex(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	p.idx.Store(ix)
+	return ix, nil
+}
+
+// buildIndex constructs the tree and the pivot table. Both are deterministic
+// functions of the answer set — the quickselect splits tie-break on answer
+// ID and subtree node blocks are concatenated in DFS order regardless of
+// which goroutine built them — so two builds over equal planes are
+// byte-identical, which the Rebase-equivalence guarantee relies on.
+func buildIndex(ctx context.Context, p *Plane) (*MetricIndex, error) {
+	n := len(p.answers)
+	ix := &MetricIndex{p: p}
+	poll := ctxpoll.New(ctx)
+
+	if n > 0 {
+		perm := make([]int32, n)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		b := &vpBuilder{ix: ix, ctx: ctx}
+		nodes, err := b.build(perm, 0, runtime.GOMAXPROCS(0))
+		if err != nil {
+			return nil, err
+		}
+		ix.perm = perm
+		ix.nodes = nodes
+	}
+
+	// Pivot table: pivot 0 is answer 0; each further pivot is the answer
+	// farthest (max-min, ties to the lowest ID) from those already chosen —
+	// the same spread heuristic as the greedy max-min seed, giving rows
+	// that straddle the set's diameter.
+	m := numPivots
+	if m > n {
+		m = n
+	}
+	minToPivots := make([]float64, n)
+	for i := range minToPivots {
+		minToPivots[i] = math.Inf(1)
+	}
+	fill := func(row []float64, pivot int) error {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = n
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		chunk := (n + workers - 1) / workers
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				wpoll := ctxpoll.New(ctx)
+				for i := lo; i < hi; i++ {
+					if wpoll.Stop() {
+						errs[w] = wpoll.Err()
+						return
+					}
+					row[i] = ix.dis(pivot, i)
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for q := 0; q < m; q++ {
+		pivot := 0
+		if q > 0 {
+			best := math.Inf(-1)
+			for i := 0; i < n; i++ {
+				if minToPivots[i] > best {
+					best, pivot = minToPivots[i], i
+				}
+			}
+		}
+		if poll.Stop() {
+			return nil, poll.Err()
+		}
+		row := make([]float64, n)
+		if err := fill(row, pivot); err != nil {
+			return nil, err
+		}
+		ix.pivots = append(ix.pivots, int32(pivot))
+		ix.pd = append(ix.pd, row)
+		for i := 0; i < n; i++ {
+			if row[i] < minToPivots[i] {
+				minToPivots[i] = row[i]
+			}
+		}
+	}
+	if len(ix.pd) > 0 {
+		for _, d := range ix.pd[0] {
+			if d > ix.maxPivot0 {
+				ix.maxPivot0 = d
+			}
+		}
+	}
+	return ix, nil
+}
+
+// vpBuilder carries the shared state of one tree construction.
+type vpBuilder struct {
+	ix  *MetricIndex
+	ctx context.Context
+}
+
+// build constructs the subtree over seg (a slice of the shared perm array at
+// absolute offset base) and returns its nodes with the root at index 0 and
+// child pointers relative to the returned slice; the caller offsets them
+// into the final array. Large child segments build concurrently (they own
+// disjoint perm slices), and the merge order is fixed, so node numbering is
+// deterministic.
+func (b *vpBuilder) build(seg []int32, base int32, budget int) ([]vpNode, error) {
+	poll := ctxpoll.New(b.ctx)
+	n := len(seg)
+	nd := vpNode{vantage: seg[0], inner: -1, outer: -1, lo: base, hi: base + int32(n)}
+	if n <= vpLeafSize {
+		if poll.Stop() {
+			return nil, poll.Err()
+		}
+		return []vpNode{nd}, nil
+	}
+	v := int(seg[0])
+	rest := seg[1:]
+	dists := make([]float64, len(rest))
+	maxDist := 0.0
+	for i, id := range rest {
+		if poll.Stop() {
+			return nil, poll.Err()
+		}
+		d := b.ix.dis(v, int(id))
+		dists[i] = d
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	// Median split by strict (distance, ID) order: quickselect the k-th
+	// smallest so positions [0, k] go inner. The ID tie-break makes the
+	// partition — and with it the whole tree — a pure function of the
+	// answer set, and guarantees both children are non-empty even when all
+	// distances are equal.
+	k := len(rest) / 2
+	radius := selectKth(dists, rest, k)
+	inner := k + 1 // dists[0..k] ≤ radius after selection
+	nd.radius, nd.maxDist = radius, maxDist
+
+	innerSeg, outerSeg := rest[:inner], rest[inner:]
+	var innerNodes, outerNodes []vpNode
+	var innerErr, outerErr error
+	if budget > 1 && len(innerSeg) >= vpSpawnSize && len(outerSeg) >= vpSpawnSize {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			innerNodes, innerErr = b.build(innerSeg, base+1, budget/2)
+		}()
+		outerNodes, outerErr = b.build(outerSeg, base+1+int32(inner), budget-budget/2)
+		wg.Wait()
+	} else {
+		innerNodes, innerErr = b.build(innerSeg, base+1, budget)
+		if innerErr == nil {
+			outerNodes, outerErr = b.build(outerSeg, base+1+int32(inner), budget)
+		}
+	}
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	if outerErr != nil {
+		return nil, outerErr
+	}
+	nodes := make([]vpNode, 0, 1+len(innerNodes)+len(outerNodes))
+	nd.inner = 1
+	nd.outer = int32(1 + len(innerNodes))
+	nodes = append(nodes, nd)
+	off := int32(1)
+	for _, c := range innerNodes {
+		if c.inner >= 0 {
+			c.inner += off
+			c.outer += off
+		}
+		nodes = append(nodes, c)
+	}
+	off = int32(1 + len(innerNodes))
+	for _, c := range outerNodes {
+		if c.inner >= 0 {
+			c.inner += off
+			c.outer += off
+		}
+		nodes = append(nodes, c)
+	}
+	return nodes, nil
+}
+
+// selectKth partitions dists (and ids alongside) so that positions [0, k]
+// hold the k+1 smallest elements under the strict (dist, id) order and
+// returns dists[k]. Deterministic: the pivot is the median-of-three by the
+// same total order, so equal distances cannot produce scheduling-dependent
+// layouts.
+func selectKth(dists []float64, ids []int32, k int) float64 {
+	lo, hi := 0, len(dists)-1
+	less := func(a, b int) bool {
+		if dists[a] != dists[b] {
+			return dists[a] < dists[b]
+		}
+		return ids[a] < ids[b]
+	}
+	swap := func(a, b int) {
+		dists[a], dists[b] = dists[b], dists[a]
+		ids[a], ids[b] = ids[b], ids[a]
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if less(mid, lo) {
+			swap(mid, lo)
+		}
+		if less(hi, lo) {
+			swap(hi, lo)
+		}
+		if less(hi, mid) {
+			swap(hi, mid)
+		}
+		swap(mid, hi-1)
+		if hi-lo < 3 {
+			if less(hi, lo) {
+				swap(lo, hi)
+			}
+			break
+		}
+		pivot := hi - 1
+		i := lo
+		for j := lo; j < pivot; j++ {
+			if less(j, pivot) {
+				swap(i, j)
+				i++
+			}
+		}
+		swap(i, pivot)
+		switch {
+		case i == k:
+			return dists[k]
+		case i < k:
+			lo = i + 1
+		default:
+			hi = i - 1
+		}
+	}
+	return dists[k]
+}
+
+// MaxMinState is one greedy max-min solve's view of the index: the running
+// min-distance-to-selection per candidate and the per-node aggregate that
+// drives pruning. Not safe for concurrent use; allocate one per solve.
+type MaxMinState struct {
+	ix *MetricIndex
+	// MinDis[i] = min over taken centers of δdis(center, i); +Inf before
+	// the first Take. Maintained bit-identically to the flat recomputation.
+	MinDis []float64
+	used   []bool
+	// agg[node] upper-bounds max over unused answers under the node of
+	// MinDis — the most any of them could gain from a new center. Pruned
+	// subtrees keep a stale (higher) value, which stays a valid bound.
+	agg []float64
+	// Evals counts δdis evaluations, the index's unit of work.
+	Evals int64
+}
+
+// NewMaxMinState allocates the per-solve max-min state.
+func (ix *MetricIndex) NewMaxMinState() *MaxMinState {
+	n := len(ix.perm)
+	st := &MaxMinState{
+		ix:     ix,
+		MinDis: make([]float64, n),
+		used:   make([]bool, n),
+		agg:    make([]float64, len(ix.nodes)),
+	}
+	for i := range st.MinDis {
+		st.MinDis[i] = math.Inf(1)
+	}
+	for i := range st.agg {
+		st.agg[i] = math.Inf(1)
+	}
+	return st
+}
+
+// Take marks c as chosen and folds δdis(c, ·) into MinDis for every unchosen
+// answer, descending the tree and skipping subtrees whose lower bound on
+// δdis(c, ·) (minus the float slack) already meets or exceeds the subtree's
+// aggregate MinDis bound — every skipped update would have been a no-op, so
+// the resulting MinDis array equals the unpruned scan's bit for bit.
+func (st *MaxMinState) Take(c int) {
+	st.used[c] = true
+	if len(st.ix.nodes) > 0 {
+		st.update(0, c)
+	}
+}
+
+func (st *MaxMinState) update(node int32, c int) float64 {
+	ix := st.ix
+	nd := &ix.nodes[node]
+	v := int(nd.vantage)
+	a := math.Inf(-1)
+	if nd.inner < 0 {
+		// Leaf: scan the whole segment directly.
+		for _, id32 := range ix.perm[nd.lo:nd.hi] {
+			id := int(id32)
+			if st.used[id] {
+				continue
+			}
+			d := ix.dis(c, id)
+			st.Evals++
+			if d < st.MinDis[id] {
+				st.MinDis[id] = d
+			}
+			if st.MinDis[id] > a {
+				a = st.MinDis[id]
+			}
+		}
+		st.agg[node] = a
+		return a
+	}
+	dcv := ix.dis(c, v)
+	st.Evals++
+	if !st.used[v] {
+		if dcv < st.MinDis[v] {
+			st.MinDis[v] = dcv
+		}
+		a = st.MinDis[v]
+	}
+	// Lower bounds on δdis(c, x) for x under each child, by the triangle
+	// inequality through the vantage: inner has d(v, x) ≤ radius, outer has
+	// radius < d(v, x) ≤ maxDist.
+	innerLB := dcv - nd.radius
+	outerLB := nd.radius - dcv
+	if lb := dcv - nd.maxDist; lb > outerLB {
+		outerLB = lb
+	}
+	ia := st.agg[nd.inner]
+	if shave(innerLB) < ia {
+		ia = st.update(nd.inner, c)
+	}
+	oa := st.agg[nd.outer]
+	if shave(outerLB) < oa {
+		oa = st.update(nd.outer, c)
+	}
+	if ia > a {
+		a = ia
+	}
+	if oa > a {
+		a = oa
+	}
+	st.agg[node] = a
+	return a
+}
+
+// shave discounts a lower bound by the float slack so ulp-level rounding in
+// computed distances can never turn a should-visit into a skip.
+func shave(lb float64) float64 {
+	if lb <= 0 {
+		return lb
+	}
+	return lb * (1 - pruneSlack)
+}
+
+// MaxSumState is one greedy max-sum solve's bound state: exact accumulated
+// gains per candidate (through the round each was last refined at) plus
+// per-pivot cumulative center distances backing the upper bounds. Not safe
+// for concurrent use; allocate one per solve.
+type MaxSumState struct {
+	ix     *MetricIndex
+	lambda float64
+	// exact[i] is the candidate's gain accumulated through round round[i],
+	// built by the same incremental updates as the flat greedy loop.
+	exact []float64
+	round []int32
+	// centers holds the chosen IDs in pick order; cum[q][r] = Σ over the
+	// first r centers of pd[q][center], so a candidate skipped for several
+	// rounds can bound its missing tail in O(pivots) regardless of how far
+	// behind it is.
+	centers []int32
+	cum     [][]float64
+	// Evals counts δdis evaluations spent in refinement.
+	Evals int64
+}
+
+// NewMaxSumState allocates per-solve max-sum bound state. base[i] must be
+// the flat greedy loop's initial gain for candidate i (the relevance term);
+// the state takes ownership of the slice. lambda is the objective's λ.
+func (ix *MetricIndex) NewMaxSumState(base []float64, lambda float64) *MaxSumState {
+	return &MaxSumState{
+		ix:     ix,
+		lambda: lambda,
+		exact:  base,
+		round:  make([]int32, len(base)),
+		cum:    make([][]float64, len(ix.pd)),
+	}
+}
+
+// UpperBound returns a value ≥ the gain Refine(i) would report, inflated by
+// the float slack. The tail a lagging candidate is missing — λ·2·Σ δdis over
+// centers picked since its last refinement — is bounded per pivot q by
+// Σ (pd[q][center] + pd[q][i]) via the triangle inequality, and the minimum
+// over pivots is taken.
+func (st *MaxSumState) UpperBound(i int) float64 {
+	cur := int32(len(st.centers))
+	er := st.round[i]
+	if er == cur {
+		return st.exact[i]
+	}
+	tail := math.Inf(1)
+	for q, row := range st.ix.pd {
+		t := (st.cum[q][cur] - st.cum[q][er]) + float64(cur-er)*row[i]
+		if t < tail {
+			tail = t
+		}
+	}
+	ub := st.exact[i] + st.lambda*2*tail
+	return ub + pruneSlack*math.Abs(ub) + 1e-300
+}
+
+// Refine brings candidate i's exact gain up to the current round and returns
+// it, replaying the missed centers in pick order with the identical
+// accumulation expression as the flat loop — so a refined gain is bit-equal
+// to what the unindexed greedy would hold for i at this round.
+func (st *MaxSumState) Refine(i int) float64 {
+	g := st.exact[i]
+	for r := st.round[i]; r < int32(len(st.centers)); r++ {
+		g += st.lambda * 2 * st.ix.dis(int(st.centers[r]), i)
+		st.Evals++
+	}
+	st.exact[i] = g
+	st.round[i] = int32(len(st.centers))
+	return g
+}
+
+// Push records a newly chosen center and extends the per-pivot cumulative
+// sums that future UpperBound calls difference against.
+func (st *MaxSumState) Push(center int) {
+	r := len(st.centers)
+	st.centers = append(st.centers, int32(center))
+	for q, row := range st.ix.pd {
+		if r == 0 {
+			st.cum[q] = append(st.cum[q], 0)
+		}
+		st.cum[q] = append(st.cum[q], st.cum[q][r]+row[center])
+	}
+}

@@ -1,12 +1,17 @@
 // The interned score plane: answer tuples are interned into dense int IDs
 // at prepare time, the relevance vector δrel is precomputed per ID, and the
-// symmetric pairwise distance matrix δdis is either materialized as a packed
-// triangular []float64 (filled in parallel across GOMAXPROCS workers) or —
-// above a memory-guard threshold — served from a sharded memoizing cache.
-// Every solver then runs on IDs and contiguous float loads instead of
-// interface dispatch plus Tuple.Key() string hashing per lookup: the same
-// compute-shared-subexpressions-once discipline that factorised databases
-// (Bakibayev et al., FDB) apply to query plans, applied here to scoring.
+// symmetric pairwise distance matrix δdis is served under one of four
+// regimes (see regime.go): materialized as a packed triangular []float64
+// (filled in parallel across GOMAXPROCS workers), block-tiled as float32
+// (tiles.go), indexed by a vantage-point tree with O(n) memory (index.go),
+// or — when nothing else fits the memory guard — from a sharded,
+// entry-capped memoizing cache. Every solver then runs on IDs and
+// contiguous float loads instead of interface dispatch plus Tuple.Key()
+// string hashing per lookup: the same compute-shared-subexpressions-once
+// discipline that factorised databases (Bakibayev et al., FDB) apply to
+// query plans, applied here to scoring — and, in the indexed regime, the
+// complementary discipline of never materializing pairs evaluation won't
+// touch.
 //
 // The plane assumes the paper's contract for δdis: symmetric with a zero
 // diagonal. Pair values are evaluated once in canonical (lower ID, higher
@@ -36,10 +41,14 @@ const memoShards = 64
 
 // PlaneOptions tune plane construction.
 type PlaneOptions struct {
-	// MaxMatrixBytes caps the packed triangular matrix; 0 means
-	// DefaultMaxMatrixBytes. Materialize refuses (and the plane stays on
-	// the memoizing cache) when n(n-1)/2 float64 cells would exceed it.
+	// MaxMatrixBytes caps the pair stores (matrix or tiles); 0 means
+	// DefaultMaxMatrixBytes. Materialize refuses (and the plane falls back
+	// per its regime) when the store would exceed it.
 	MaxMatrixBytes int64
+	// Regime requests a distance-storage strategy; RegimeAuto (the zero
+	// value) resolves from n and MaxMatrixBytes. See resolveRegime for the
+	// fallback rules when an explicit request does not fit the guard.
+	Regime Regime
 	// Streaming builds an appendable plane for online procedures: IDs are
 	// assigned in arrival order via Append, distances are always served
 	// from the memoizing cache, and Materialize is a no-op.
@@ -66,18 +75,25 @@ type Plane struct {
 	keyedDis  KeyedDistance  // non-nil when disFn accepts precomputed keys
 	maxBytes  int64
 	streaming bool
+	want      Regime // the caller's requested regime (for Rebase carry-over)
+	regime    Regime // the resolved serving regime, fixed at construction
 
 	triReady atomic.Bool
 	tri      []float64 // packed lower triangle, index(i<j) = j(j-1)/2 + i
 
+	tilesReady atomic.Bool
+	tiles      []float32 // blocked lower triangle, see tiles.go
+
+	idx atomic.Pointer[MetricIndex] // lazily built in RegimeIndexed
+
 	shards []memoShard
-	// memoCap bounds the fallback cache to roughly the same byte budget as
-	// the matrix guard (entries are ~16 bytes of key+value before map
-	// overhead); once reached, further pairs are recomputed instead of
-	// stored, so the memoized regime — including streaming planes, which
-	// never materialize — cannot grow without bound.
-	memoCap   int64
-	memoCount atomic.Int64
+	// shardCap bounds each memo shard by entries (total budget ≈ the
+	// matrix guard for the memoized regime, O(n) for the indexed regime);
+	// a full shard evicts one victim per insert — Go's randomized map
+	// iteration order is the eviction policy — so a long-lived plane
+	// serving on-demand pairs cannot grow O(n²) memory over its lifetime.
+	shardCap      int
+	memoEvictions atomic.Int64
 
 	mu         sync.Mutex // guards materialization and the lazy scalars below
 	haveMaxDis bool
@@ -89,6 +105,26 @@ type Plane struct {
 type memoShard struct {
 	mu sync.Mutex
 	m  map[uint64]float64
+}
+
+// memoShardCap derives the per-shard entry cap. The memoized regime keeps
+// roughly the matrix guard's byte budget (entries are ~16 bytes of key+value
+// before map overhead); the indexed regime — whose whole point is O(n)
+// memory — caps the memo at ~4 entries per answer, enough to absorb the
+// incidental Dis calls of quality evaluation and local search without
+// re-growing a quadratic cache behind the index's back.
+func memoShardCap(regime Regime, n int, maxBytes int64) int {
+	cap := maxBytes / 16
+	if regime == RegimeIndexed {
+		if byN := int64(4*n) + 1024; byN < cap {
+			cap = byN
+		}
+	}
+	perShard := cap / memoShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	return int(perShard)
 }
 
 // NewPlane builds a plane over answers. Distances are not computed yet:
@@ -106,13 +142,16 @@ func NewPlaneContext(ctx context.Context, o *Objective, answers []relation.Tuple
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxMatrixBytes
 	}
+	regime := resolveRegime(opts.Regime, len(answers), maxBytes, opts.Streaming)
 	p := &Plane{
 		answers:   answers,
 		relFn:     o.Rel,
 		disFn:     o.Dis,
 		maxBytes:  maxBytes,
-		memoCap:   maxBytes / 16,
 		streaming: opts.Streaming,
+		want:      opts.Regime,
+		regime:    regime,
+		shardCap:  memoShardCap(regime, len(answers), maxBytes),
 		shards:    make([]memoShard, memoShards),
 	}
 	if kr, ok := o.Rel.(KeyedRelevance); ok {
@@ -165,6 +204,49 @@ func (p *Plane) MaxRel() float64 { return p.maxRel }
 // Materialized reports whether the packed distance matrix is filled.
 func (p *Plane) Materialized() bool { return p.triReady.Load() }
 
+// Tiled reports whether the blocked float32 tile store is filled.
+func (p *Plane) Tiled() bool { return p.tilesReady.Load() }
+
+// Regime reports the plane's resolved serving regime.
+func (p *Plane) Regime() Regime { return p.regime }
+
+// MemoStats reports the memo cache's resident entry count and the number of
+// evictions its entry cap has forced so far.
+func (p *Plane) MemoStats() (entries, evictions int64) {
+	for s := range p.shards {
+		shard := &p.shards[s]
+		shard.mu.Lock()
+		entries += int64(len(shard.m))
+		shard.mu.Unlock()
+	}
+	return entries, p.memoEvictions.Load()
+}
+
+// MemoryFootprint estimates the plane's resident bytes: the per-answer
+// score state plus whatever the regime stores (matrix, tiles, index, memo
+// entries at ~48 bytes each with map overhead). An estimate for operators
+// and planners, not an allocator-exact accounting.
+func (p *Plane) MemoryFootprint() int64 {
+	n := int64(len(p.answers))
+	b := n * 8 // relevance vector
+	b += n * 8 // answer slice headers (tuples themselves are shared)
+	if p.keys != nil {
+		b += n * 16 // string headers; backing bytes are shared with tuples
+	}
+	if p.triReady.Load() {
+		b += int64(len(p.tri)) * 8
+	}
+	if p.tilesReady.Load() {
+		b += int64(len(p.tiles)) * 4
+	}
+	if ix := p.idx.Load(); ix != nil {
+		b += ix.Bytes()
+	}
+	entries, _ := p.MemoStats()
+	b += entries * 48
+	return b
+}
+
 // rawRel evaluates δrel for id through the keyed fast path when available.
 func (p *Plane) rawRel(id int) float64 {
 	if p.keyedRel != nil {
@@ -188,8 +270,8 @@ func (p *Plane) rawDis(i, j int) float64 {
 func triIndex(i, j int) int { return j*(j-1)/2 + i }
 
 // Dis returns δdis between the answers interned as i and j: a contiguous
-// float load when materialized, a memoized evaluation otherwise, and 0 on
-// the diagonal.
+// float load when a pair store (matrix or tiles) is filled, a memoized
+// evaluation otherwise, and 0 on the diagonal.
 func (p *Plane) Dis(i, j int) float64 {
 	if i == j {
 		return 0
@@ -200,12 +282,19 @@ func (p *Plane) Dis(i, j int) float64 {
 	if p.triReady.Load() {
 		return p.tri[triIndex(i, j)]
 	}
+	if p.tilesReady.Load() {
+		return float64(p.tiles[tileIndex(i, j)])
+	}
 	return p.memoDis(i, j)
 }
 
 // memoDis serves a pair from the sharded cache, computing and storing it on
 // a miss. The user function runs outside the shard lock (it may be slow); a
-// racing duplicate computation stores the same deterministic value.
+// racing duplicate computation stores the same deterministic value. A full
+// shard evicts one resident entry before storing — the victim is whatever
+// Go's randomized map iteration yields first, a zero-bookkeeping stand-in
+// for random replacement — so the cache stays capped while still following
+// the working set of long request streams.
 func (p *Plane) memoDis(i, j int) float64 {
 	key := uint64(i)<<32 | uint64(j)
 	s := &p.shards[(key*0x9E3779B97F4A7C15)>>(64-6)]
@@ -216,17 +305,19 @@ func (p *Plane) memoDis(i, j int) float64 {
 	}
 	s.mu.Unlock()
 	d := p.rawDis(i, j)
-	// The count may overshoot the cap slightly under concurrent misses;
-	// it is a memory guard, not an exact quota.
-	if p.memoCount.Load() < p.memoCap {
-		p.memoCount.Add(1)
-		s.mu.Lock()
-		if s.m == nil {
-			s.m = make(map[uint64]float64)
-		}
-		s.m[key] = d
-		s.mu.Unlock()
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[uint64]float64)
 	}
+	if _, ok := s.m[key]; !ok && len(s.m) >= p.shardCap {
+		for victim := range s.m {
+			delete(s.m, victim)
+			break
+		}
+		p.memoEvictions.Add(1)
+	}
+	s.m[key] = d
+	s.mu.Unlock()
 	return d
 }
 
@@ -236,35 +327,65 @@ func (p *Plane) Materialize() bool {
 	return ok
 }
 
-// MaterializeContext fills the packed triangular distance matrix in
-// parallel across GOMAXPROCS workers, unless the plane is streaming or the
-// matrix would exceed the memory guard (in which case it reports false and
-// the plane keeps serving from the memoizing cache). It is idempotent and
-// safe under concurrent readers: until the fill completes, Dis keeps
-// answering from the cache.
+// MaterializeContext fills the plane's pair store — the packed triangular
+// float64 matrix or, in the tiled regime, the blocked float32 triangle — in
+// parallel across GOMAXPROCS workers. Planes whose regime keeps no pair
+// store (indexed, memoized, streaming) report false and keep serving on
+// demand. It is idempotent and safe under concurrent readers: until the
+// fill completes, Dis keeps answering from the cache.
 func (p *Plane) MaterializeContext(ctx context.Context) (bool, error) {
-	if p.streaming {
-		return false, nil
-	}
 	n := len(p.answers)
-	pairs := n * (n - 1) / 2
-	if int64(pairs)*8 > p.maxBytes {
+	switch p.regime {
+	case RegimeMaterialized:
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.triReady.Load() {
+			return true, nil
+		}
+		tri := make([]float64, n*(n-1)/2)
+		maxDis, err := p.fillParallel(ctx, tri)
+		if err != nil {
+			return false, err
+		}
+		p.tri = tri
+		p.maxDis, p.haveMaxDis, p.maxDisN = maxDis, true, n
+		p.triReady.Store(true)
+		return true, nil
+	case RegimeTiled:
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.tilesReady.Load() {
+			return true, nil
+		}
+		tiles := make([]float32, tiledBytes(n)/4)
+		maxDis, err := p.fillTilesParallel(ctx, tiles)
+		if err != nil {
+			return false, err
+		}
+		p.tiles = tiles
+		p.maxDis, p.haveMaxDis, p.maxDisN = maxDis, true, n
+		p.tilesReady.Store(true)
+		return true, nil
+	default:
 		return false, nil
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.triReady.Load() {
-		return true, nil
+}
+
+// EnsureReadyContext builds whatever the plane's regime serves from — the
+// matrix, the tile store, or the metric index — so prepare-time eager
+// construction pays the build cost once instead of on the first solve.
+// Memoized (and streaming) planes have nothing to build.
+func (p *Plane) EnsureReadyContext(ctx context.Context) error {
+	switch p.regime {
+	case RegimeMaterialized, RegimeTiled:
+		_, err := p.MaterializeContext(ctx)
+		return err
+	case RegimeIndexed:
+		_, err := p.IndexContext(ctx)
+		return err
+	default:
+		return nil
 	}
-	tri := make([]float64, pairs)
-	maxDis, err := p.fillParallel(ctx, tri)
-	if err != nil {
-		return false, err
-	}
-	p.tri = tri
-	p.maxDis, p.haveMaxDis, p.maxDisN = maxDis, true, n
-	p.triReady.Store(true)
-	return true, nil
 }
 
 // fillParallel computes every (i < j) cell of tri, striping whole rows
@@ -383,6 +504,30 @@ func (p *Plane) MaxDisContext(ctx context.Context) (float64, error) {
 	return maxDis, nil
 }
 
+// MaxDisBoundContext returns an admissible upper bound on the maximum
+// pairwise δdis: the exact maximum where it is already known or cheap (a
+// filled pair store computes it during the fill), and in the indexed regime
+// the O(n) triangle-inequality bound 2·max δdis(pivot₀, ·) — so the exact
+// search's optimistic bound never pays the O(n²) scan a large indexed plane
+// exists to avoid. A looser bound only weakens pruning, never correctness.
+func (p *Plane) MaxDisBoundContext(ctx context.Context) (float64, error) {
+	p.mu.Lock()
+	if p.haveMaxDis && p.maxDisN == len(p.answers) {
+		v := p.maxDis
+		p.mu.Unlock()
+		return v, nil
+	}
+	p.mu.Unlock()
+	if p.regime == RegimeIndexed {
+		ix, err := p.IndexContext(ctx)
+		if err != nil {
+			return 0, err
+		}
+		return ix.MaxDisUpperBound(), nil
+	}
+	return p.MaxDisContext(ctx)
+}
+
 // RowSums returns, for each id, Σ over all answers of δdis(id, ·) — the
 // shared subexpression of every Fmono score — accumulated in ascending ID
 // order for reproducible floating point. The result is cached; in the
@@ -399,7 +544,7 @@ func (p *Plane) RowSums() []float64 {
 	p.mu.Unlock()
 	p.MaterializeContext(context.Background())
 	dis := p.Dis
-	if !p.triReady.Load() {
+	if !p.triReady.Load() && !p.tilesReady.Load() {
 		dis = func(i, j int) float64 {
 			if i == j {
 				return 0
@@ -492,11 +637,13 @@ func (p *Plane) Retire(ctx context.Context, retired []int) (*Plane, error) {
 // Rebase builds the plane for an incrementally maintained answer set: the
 // current answers minus the retired IDs, merged with the added tuples in
 // canonical order. Score state is carried over instead of recomputed —
-// relevance values and keys are copied for surviving IDs, and when the
-// distance matrix is materialized every surviving pair is a float copy, so
-// only the O(n·|added|) pairs touching a new tuple evaluate δdis. In the
-// memoized regime nothing is precomputed, exactly as on a cold build; the
-// cache entries of surviving pairs are carried across under their new IDs.
+// relevance values and keys are copied for surviving IDs, and when a pair
+// store is filled (matrix or tiles, with the regime re-resolved at the new
+// size) every surviving pair is a float copy, so only the O(n·|added|)
+// pairs touching a new tuple evaluate δdis. In the memoized and indexed
+// regimes nothing is precomputed, exactly as on a cold build — the metric
+// index rebuilds lazily over the merged answers — and the cache entries of
+// surviving pairs are carried across under their new IDs.
 //
 // The result is bit-identical to a plane built from scratch over the new
 // answer set: δrel/δdis are pure per-pair functions, so copied values equal
@@ -524,6 +671,11 @@ func (p *Plane) Rebase(ctx context.Context, added []relation.Tuple, retired []in
 		}
 	}
 	m := n - dead + len(added)
+	// The regime is re-resolved at the new size: insert batches can push a
+	// materialized plane over the guard (it degrades) and retire batches
+	// can bring an oversized one back under it (it re-materializes), each
+	// matching what a cold build at the new size would pick.
+	newRegime := resolveRegime(p.want, m, p.maxBytes, false)
 	q := &Plane{
 		answers:  make([]relation.Tuple, 0, m),
 		rel:      make([]float64, 0, m),
@@ -532,7 +684,9 @@ func (p *Plane) Rebase(ctx context.Context, added []relation.Tuple, retired []in
 		keyedRel: p.keyedRel,
 		keyedDis: p.keyedDis,
 		maxBytes: p.maxBytes,
-		memoCap:  p.memoCap,
+		want:     p.want,
+		regime:   newRegime,
+		shardCap: memoShardCap(newRegime, m, p.maxBytes),
 		shards:   make([]memoShard, memoShards),
 	}
 	if p.keys != nil {
@@ -578,12 +732,11 @@ func (p *Plane) Rebase(ctx context.Context, added []relation.Tuple, retired []in
 			}
 		}
 	}
-	pairs := m * (m - 1) / 2
-	if p.triReady.Load() && int64(pairs)*8 <= q.maxBytes {
-		// Materialized regime: copy surviving pairs, evaluate pairs that
+	if q.regime == RegimeMaterialized && p.triReady.Load() {
+		// Matrix → matrix: copy surviving pairs, evaluate pairs that
 		// touch an added tuple, and track the running max like the cold
 		// fill does.
-		tri := make([]float64, pairs)
+		tri := make([]float64, m*(m-1)/2)
 		maxDis := 0.0
 		for b := 1; b < m; b++ {
 			if poll.Stop() {
@@ -609,10 +762,49 @@ func (p *Plane) Rebase(ctx context.Context, added []relation.Tuple, retired []in
 		q.triReady.Store(true)
 		return q, nil
 	}
-	// Memoized regime (or the grown matrix no longer fits the guard):
-	// distances stay on demand. Carry cached pairs of surviving IDs across
-	// under their new IDs so the warmth survives the rebase.
-	if !p.triReady.Load() {
+	if q.regime == RegimeTiled && p.tilesReady.Load() {
+		// Tiles → tiles: the float32 roundings of surviving pairs are
+		// copied verbatim — float32(rawDis) for a pure δdis is the same
+		// bits a cold fill would store — and only pairs touching an added
+		// tuple evaluate δdis.
+		tiles := make([]float32, tiledBytes(m)/4)
+		maxDis := 0.0
+		for b := 1; b < m; b++ {
+			if poll.Stop() {
+				return nil, poll.Err()
+			}
+			ob := fromOld[b]
+			for a := 0; a < b; a++ {
+				var d float32
+				if oa := fromOld[a]; oa >= 0 && ob >= 0 {
+					oi, oj := oa, ob
+					if oi > oj {
+						oi, oj = oj, oi
+					}
+					d = p.tiles[tileIndex(oi, oj)]
+				} else {
+					d = float32(q.rawDis(a, b))
+				}
+				tiles[tileIndex(a, b)] = d
+				if fd := float64(d); fd > maxDis {
+					maxDis = fd
+				}
+			}
+		}
+		q.tiles = tiles
+		q.maxDis, q.haveMaxDis, q.maxDisN = maxDis, true, m
+		q.tilesReady.Store(true)
+		return q, nil
+	}
+	// No pair store to carry (indexed and memoized regimes, or a store
+	// whose source wasn't filled): distances stay on demand and — in the
+	// indexed regime — the index rebuilds lazily on first use, which is
+	// trivially identical to a cold build since it is a pure function of
+	// the merged answer set. Carry cached pairs of surviving IDs across
+	// under their new IDs so the memo warmth survives the rebase, holding
+	// the new plane's per-shard cap (no evictions during carry: cold pairs
+	// just stay uncarried).
+	if !p.triReady.Load() && !p.tilesReady.Load() {
 		old2new := make([]int, n)
 		for k := range old2new {
 			old2new[k] = -1
@@ -639,8 +831,10 @@ func (p *Plane) Rebase(ctx context.Context, added []relation.Tuple, retired []in
 				if ns.m == nil {
 					ns.m = make(map[uint64]float64)
 				}
+				if len(ns.m) >= q.shardCap {
+					continue
+				}
 				ns.m[nkey] = d
-				q.memoCount.Add(1)
 			}
 			shard.mu.Unlock()
 		}

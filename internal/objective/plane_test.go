@@ -230,7 +230,8 @@ func TestPlaneMemoCapBoundsStorage(t *testing.T) {
 	const n = 60
 	answers := planeAnswers(n)
 	o := planeObjective(n)
-	// Budget of 320 bytes: matrix refused, memo capped at 20 entries.
+	// Budget of 320 bytes: matrix refused, every memo shard capped at one
+	// entry, inserts past the cap evict instead of growing.
 	p := NewPlane(o, answers, PlaneOptions{MaxMatrixBytes: 320})
 	if p.Materialize() {
 		t.Fatal("matrix should exceed the budget")
@@ -242,12 +243,17 @@ func TestPlaneMemoCapBoundsStorage(t *testing.T) {
 			}
 		}
 	}
-	stored := int64(0)
-	for s := range p.shards {
-		stored += int64(len(p.shards[s].m))
+	stored, evictions := p.MemoStats()
+	if bound := int64(p.shardCap) * memoShards; stored > bound {
+		t.Fatalf("memo stored %d entries, cap %d", stored, bound)
 	}
-	if stored > p.memoCap {
-		t.Fatalf("memo stored %d entries, cap %d", stored, p.memoCap)
+	// 1770 distinct pairs were pushed through a 64-entry cache: the cap
+	// must have evicted, and the counter must say so.
+	if evictions == 0 {
+		t.Fatal("no evictions recorded after overflowing the memo cap")
+	}
+	if total := stored + evictions; total < n*(n-1)/2-memoShards {
+		t.Fatalf("stored(%d) + evicted(%d) should account for ~every distinct pair", stored, evictions)
 	}
 }
 

@@ -1,0 +1,160 @@
+package objective
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRegimeStringParseRoundTrip(t *testing.T) {
+	for _, r := range []Regime{RegimeAuto, RegimeMaterialized, RegimeTiled, RegimeIndexed, RegimeMemoized} {
+		got, err := ParseRegime(r.String())
+		if err != nil || got != r {
+			t.Fatalf("round-trip %v: got %v, %v", r, got, err)
+		}
+	}
+	if r, err := ParseRegime(""); err != nil || r != RegimeAuto {
+		t.Fatalf("empty string: got %v, %v, want auto", r, err)
+	}
+	if _, err := ParseRegime("bogus"); err == nil {
+		t.Fatal("ParseRegime accepted an unknown name")
+	}
+	if s := Regime(99).String(); s != "Regime(99)" {
+		t.Fatalf("out-of-range String() = %q", s)
+	}
+}
+
+// TestResolveRegime pins the planner's selection table: the guard bands of
+// the auto walk and the degradation rules for explicit requests.
+func TestResolveRegime(t *testing.T) {
+	const guard = DefaultMaxMatrixBytes // 64 MiB
+	cases := []struct {
+		name      string
+		want      Regime
+		n         int
+		maxBytes  int64
+		streaming bool
+		expect    Regime
+	}{
+		{"streaming always memoizes", RegimeMaterialized, 100, guard, true, RegimeMemoized},
+		{"auto small n fits matrix", RegimeAuto, 1000, guard, false, RegimeMaterialized},
+		{"auto tiled band", RegimeAuto, 5000, guard, false, RegimeTiled},
+		{"auto indexed above tiles", RegimeAuto, 20000, guard, false, RegimeIndexed},
+		{"auto small n tight guard memoizes", RegimeAuto, 100, 8, false, RegimeMemoized},
+		{"explicit matrix fits", RegimeMaterialized, 1000, guard, false, RegimeMaterialized},
+		{"explicit matrix over guard degrades", RegimeMaterialized, 5000, guard, false, RegimeMemoized},
+		{"explicit tiles fit", RegimeTiled, 1000, guard, false, RegimeTiled},
+		{"explicit tiles over guard degrade", RegimeTiled, 20000, guard, false, RegimeMemoized},
+		{"explicit index honored below IndexedMinN", RegimeIndexed, 100, guard, false, RegimeIndexed},
+		{"explicit memo honored", RegimeMemoized, 1000, guard, false, RegimeMemoized},
+	}
+	for _, c := range cases {
+		if got := resolveRegime(c.want, c.n, c.maxBytes, c.streaming); got != c.expect {
+			t.Fatalf("%s: resolveRegime(%v, n=%d, guard=%d, streaming=%v) = %v, want %v",
+				c.name, c.want, c.n, c.maxBytes, c.streaming, got, c.expect)
+		}
+	}
+}
+
+func TestTiledBytesAndIndex(t *testing.T) {
+	if b := tiledBytes(0); b != 0 {
+		t.Fatalf("tiledBytes(0) = %d", b)
+	}
+	if b := tiledBytes(1); b != 0 {
+		t.Fatalf("tiledBytes(1) = %d", b)
+	}
+	// One 128-wide block row: a single diagonal block.
+	if b, want := tiledBytes(128), int64(tileCells*4); b != want {
+		t.Fatalf("tiledBytes(128) = %d, want %d", b, want)
+	}
+	// 129 points span two block rows: 3 blocks of the lower triangle.
+	if b, want := tiledBytes(129), int64(3*tileCells*4); b != want {
+		t.Fatalf("tiledBytes(129) = %d, want %d", b, want)
+	}
+	// Every canonical pair must land on a distinct cell, and tileIndex must
+	// stay inside the tiledBytes allocation.
+	const n = 300
+	cells := int(tiledBytes(n) / 4)
+	seen := make(map[int64]bool)
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			c := tileIndex(i, j)
+			if c < 0 || c >= int64(cells) {
+				t.Fatalf("tileIndex(%d,%d) = %d out of [0,%d)", i, j, c, cells)
+			}
+			if seen[c] {
+				t.Fatalf("tileIndex(%d,%d) = %d collides", i, j, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+// TestIndexedMaxDisBound pins the indexed regime's O(n) max-distance bound:
+// admissible (never under the true maximum) and within the triangle
+// inequality's factor 2.
+func TestIndexedMaxDisBound(t *testing.T) {
+	const n = 500
+	answers := planeAnswers(n)
+	o := New(MaxSum, nil, EuclideanDistance(), 0.5)
+	p := NewPlane(o, answers, PlaneOptions{Regime: RegimeIndexed})
+	if p.Regime() != RegimeIndexed {
+		t.Fatalf("regime = %v", p.Regime())
+	}
+	bound, err := p.MaxDisBoundContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueMax := 0.0
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if d := o.Dis.Dis(answers[i], answers[j]); d > trueMax {
+				trueMax = d
+			}
+		}
+	}
+	if bound < trueMax {
+		t.Fatalf("indexed max-dis bound %v < true max %v (not admissible)", bound, trueMax)
+	}
+	if trueMax > 0 && bound > 2*trueMax {
+		t.Fatalf("indexed max-dis bound %v looser than 2x the true max %v", bound, trueMax)
+	}
+	// A filled store knows the exact maximum; the bound must return it.
+	q := NewPlane(o, answers, PlaneOptions{Regime: RegimeMaterialized})
+	if _, err := q.MaterializeContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	exact, err := q.MaxDisBoundContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != trueMax {
+		t.Fatalf("materialized max-dis bound %v != true max %v", exact, trueMax)
+	}
+}
+
+// TestTiledPlaneServesFloat32 pins the tile store's contract directly at
+// the objective layer: after EnsureReady, Dis returns float64(float32(d))
+// for every pair, and the footprint includes the tile bytes.
+func TestTiledPlaneServesFloat32(t *testing.T) {
+	const n = 200
+	answers := planeAnswers(n)
+	o := planeObjective(n)
+	p := NewPlane(o, answers, PlaneOptions{Regime: RegimeTiled})
+	if err := p.EnsureReadyContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Tiled() {
+		t.Fatal("tiles not ready after EnsureReadyContext")
+	}
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			want := float64(float32(o.Dis.Dis(answers[i], answers[j])))
+			if got := p.Dis(i, j); got != want {
+				t.Fatalf("Dis(%d,%d) = %v, want float32-rounded %v", i, j, got, want)
+			}
+		}
+	}
+	if foot := p.MemoryFootprint(); foot < tiledBytes(n) {
+		t.Fatalf("footprint %d < tile bytes %d", foot, tiledBytes(n))
+	}
+}

@@ -1,0 +1,117 @@
+// The tiled plane regime: the lower triangle of the δdis matrix stored as
+// float32 in 128×128 blocks. Half the bytes per pair of the materialized
+// float64 triangle (so the same memory guard reaches ~√2·n further), with
+// block-local addressing that keeps a greedy round's column walk inside a
+// handful of cache-resident tiles.
+package objective
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ctxpoll"
+)
+
+const (
+	// tileShift fixes the tile side at 128: a 128×128 float32 block is
+	// 64 KiB — two blocks per typical L2 slice, so a column sweep streams
+	// block-by-block instead of striding the whole triangle.
+	tileShift = 7
+	tileSide  = 1 << tileShift
+	tileMask  = tileSide - 1
+	tileCells = tileSide * tileSide
+)
+
+// tiledBytes is the tile store's footprint for n answers: the blocked lower
+// triangle rounds n up to whole tiles and keeps full diagonal blocks (half of
+// each is dead space — the price of uniform addressing, bounded by a factor
+// ~(1+1/b) for b = ⌈n/128⌉ block rows).
+func tiledBytes(n int) int64 {
+	if n < 2 {
+		return 0
+	}
+	b := int64(n+tileMask) >> tileShift
+	return b * (b + 1) / 2 * tileCells * 4
+}
+
+// tileIndex addresses pair (i, j), i < j, inside the blocked triangle:
+// block (I, J) with I ≤ J lives at slot J(J+1)/2 + I, and within a block the
+// cell is column-major in j so a fixed-j row scan over i is contiguous.
+func tileIndex(i, j int) int64 {
+	bi := int64(i) >> tileShift
+	bj := int64(j) >> tileShift
+	block := bj*(bj+1)/2 + bi
+	return block*tileCells + int64(j&tileMask)<<tileShift + int64(i&tileMask)
+}
+
+// fillTilesParallel computes every pair once in canonical (low, high) order
+// and stores the float32 rounding, mirroring fillParallel's row-striped
+// worker pool; the returned max is over the rounded values (what Dis will
+// serve), so MaxDis stays consistent with lookups.
+func (p *Plane) fillTilesParallel(ctx context.Context, tiles []float32) (float64, error) {
+	n := len(p.answers)
+	if n < 2 {
+		return 0, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n-1 {
+		workers = n - 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	const rowChunk = 8
+	var next atomic.Int64
+	next.Store(1) // row j ranges over [1, n)
+	maxes := make([]float64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			poll := ctxpoll.New(ctx)
+			localMax := 0.0
+			for {
+				lo := int(next.Add(rowChunk)) - rowChunk
+				if lo >= n {
+					break
+				}
+				hi := lo + rowChunk
+				if hi > n {
+					hi = n
+				}
+				for j := lo; j < hi; j++ {
+					if poll.Stop() {
+						errs[w] = poll.Err()
+						return
+					}
+					for i := 0; i < j; i++ {
+						d := float32(p.rawDis(i, j))
+						tiles[tileIndex(i, j)] = d
+						if fd := float64(d); fd > localMax {
+							localMax = fd
+						}
+					}
+				}
+			}
+			maxes[w] = localMax
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	max := 0.0
+	for _, m := range maxes {
+		if m > max {
+			max = m
+		}
+	}
+	return max, nil
+}

@@ -128,11 +128,15 @@ func newSearch(ctx context.Context, in *core.Instance, cutoff float64, strict bo
 	switch o.Kind {
 	case objective.MaxSum, objective.MaxMin:
 		if plane != nil {
-			// The plane materializes the distance matrix here (when the
-			// memory guard allows) and hands back the max as a byproduct;
-			// the walk then reads distances as contiguous float loads.
+			// The plane builds its pair store here (matrix or tiles, when
+			// the regime has one) and hands back the max distance as a
+			// byproduct; the walk then reads distances as contiguous float
+			// loads. Indexed planes return the O(n) triangle-inequality
+			// bound instead of scanning all pairs — an admissible (≥ true
+			// max) stand-in that only loosens pruning — and the walk falls
+			// back to on-demand pair evaluation through the capped memo.
 			s.maxRel = plane.MaxRel()
-			md, err := plane.MaxDisContext(ctx)
+			md, err := plane.MaxDisBoundContext(ctx)
 			if err != nil {
 				s.canceled = true
 				return s

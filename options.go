@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+
+	"repro/internal/objective"
 )
 
 // Objective identifies one of the paper's three objective-function families
@@ -123,6 +125,82 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	}
 }
 
+// PlaneRegime selects how the score plane stores pairwise distances. The
+// zero value PlaneAuto lets the planner pick from the answer count and the
+// plane memory limit; the other values force a regime (falling back to the
+// memo cache when a quadratic store would exceed the limit).
+type PlaneRegime int
+
+const (
+	// PlaneAuto resolves the regime from n and the memory limit: the
+	// float64 matrix when it fits, otherwise float32 tiles when those fit,
+	// otherwise the metric index for large metric candidate sets, with the
+	// sharded memo cache as the small-n fallback.
+	PlaneAuto PlaneRegime = iota
+	// PlaneMaterialized forces the full float64 triangular matrix — exact,
+	// O(n²) memory.
+	PlaneMaterialized
+	// PlaneTiled forces the float32 block-tiled matrix — half the memory
+	// of the matrix, distances rounded to float32.
+	PlaneTiled
+	// PlaneIndexed forces the metric (vantage-point) index — O(n) memory,
+	// exact distances computed on demand with index-pruned greedy scans.
+	PlaneIndexed
+	// PlaneMemoized forces the sharded memoizing cache — O(pairs touched)
+	// memory with random eviction beyond the per-shard cap.
+	PlaneMemoized
+)
+
+// String returns the conventional lowercase name.
+func (r PlaneRegime) String() string {
+	switch r {
+	case PlaneAuto:
+		return "auto"
+	case PlaneMaterialized:
+		return "materialized"
+	case PlaneTiled:
+		return "tiled"
+	case PlaneIndexed:
+		return "indexed"
+	case PlaneMemoized:
+		return "memoized"
+	default:
+		return fmt.Sprintf("PlaneRegime(%d)", int(r))
+	}
+}
+
+func (r PlaneRegime) valid() bool {
+	switch r {
+	case PlaneAuto, PlaneMaterialized, PlaneTiled, PlaneIndexed, PlaneMemoized:
+		return true
+	default:
+		return false
+	}
+}
+
+// toObjective lowers the public enum to the objective package's Regime,
+// which it mirrors value for value.
+func (r PlaneRegime) toObjective() objective.Regime { return objective.Regime(r) }
+
+// ParsePlaneRegime maps the textual regime names to the typed enum; the
+// empty string selects PlaneAuto.
+func ParsePlaneRegime(s string) (PlaneRegime, error) {
+	switch s {
+	case "auto", "":
+		return PlaneAuto, nil
+	case "materialized":
+		return PlaneMaterialized, nil
+	case "tiled":
+		return PlaneTiled, nil
+	case "indexed":
+		return PlaneIndexed, nil
+	case "memoized":
+		return PlaneMemoized, nil
+	default:
+		return 0, argErrorf("plane-regime", "unknown plane regime %q", s)
+	}
+}
+
 // ArgError reports an invalid caller-supplied argument: which field was at
 // fault and why. Every validation failure of the option set, the request
 // compiler and the candidate-set checks wraps into one, so serving layers
@@ -131,7 +209,7 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 type ArgError struct {
 	// Field names the offending argument in its user-facing spelling:
 	// "k", "lambda", "objective", "algorithm", "rank", "bound", "set",
-	// "problem", "parallelism", "plane-memory-limit".
+	// "problem", "parallelism", "plane-memory-limit", "plane-regime".
 	Field string
 	// Reason says what was wrong with it, including the rejected value.
 	Reason string
@@ -162,6 +240,7 @@ type settings struct {
 	rank          int
 	scorePlane    bool
 	planeMaxBytes int64
+	planeRegime   PlaneRegime
 	parallelism   int  // solver workers; 0 = GOMAXPROCS, 1 = sequential
 	parallelSet   bool // WithParallelism given (0 means auto, not default)
 	incremental   bool // maintain caches from the change journal (default on)
@@ -177,6 +256,7 @@ const (
 	dirtyRelevance uint8 = 1 << iota
 	dirtyDistance
 	dirtyPlaneLimit
+	dirtyPlaneRegime
 )
 
 func defaultSettings() settings {
@@ -204,6 +284,9 @@ func (s *settings) validate() error {
 	}
 	if s.planeMaxBytes < 0 {
 		return argErrorf("plane-memory-limit", "must be non-negative, got %d", s.planeMaxBytes)
+	}
+	if !s.planeRegime.valid() {
+		return argErrorf("plane-regime", "unknown plane regime %s", s.planeRegime)
 	}
 	if s.parallelism < 0 {
 		return argErrorf("parallelism", "must be non-negative, got %d", s.parallelism)
@@ -275,6 +358,20 @@ func WithPlaneMemoryLimit(bytes int64) Option {
 	return func(s *settings) {
 		s.planeMaxBytes = bytes
 		s.dirty |= dirtyPlaneLimit
+	}
+}
+
+// WithPlaneRegime overrides the score plane's distance-storage regime. The
+// default PlaneAuto picks from the answer count and the memory limit:
+// materialized matrix when n(n-1)/2 float64 entries fit, float32 tiles when
+// those fit and n is large, the metric index for large metric candidate
+// sets, and the memo cache otherwise. Forcing PlaneMaterialized or
+// PlaneTiled above the memory limit degrades to PlaneMemoized;
+// PlaneIndexed and PlaneMemoized are always honored.
+func WithPlaneRegime(r PlaneRegime) Option {
+	return func(s *settings) {
+		s.planeRegime = r
+		s.dirty |= dirtyPlaneRegime
 	}
 }
 

@@ -391,7 +391,7 @@ func (pl *Plan) materialize(ctx context.Context) error {
 	switch {
 	case !pl.s.scorePlane:
 		pl.planeNote = "off (WithScorePlane(false): solvers score through δrel/δdis directly)"
-	case pl.s.dirty&(dirtyRelevance|dirtyDistance|dirtyPlaneLimit) != 0:
+	case pl.s.dirty&(dirtyRelevance|dirtyDistance|dirtyPlaneLimit|dirtyPlaneRegime) != 0:
 		pl.planeNote = "per-request (a scoring override bypasses the shared plane)"
 	default:
 		plane, err := pl.p.planeFor(ctx, snap, &pl.s)
@@ -399,7 +399,8 @@ func (pl *Plan) materialize(ctx context.Context) error {
 			return err
 		}
 		pl.plane = plane
-		pl.planeNote = fmt.Sprintf("shared, %s (%d ids)", planeRegime(plane), plane.Len())
+		pl.planeNote = fmt.Sprintf("shared, %s, ~%s (%d ids)",
+			planeRegime(plane), formatBytes(plane.MemoryFootprint()), plane.Len())
 	}
 	return nil
 }
@@ -416,12 +417,34 @@ func degradeChain(base, abandoned string) string {
 	return base + "→" + abandoned
 }
 
-// planeRegime names how a plane serves distances.
+// planeRegime names how a plane serves distances: which of the four storage
+// regimes the planner resolved for it.
 func planeRegime(p *objective.Plane) string {
-	if p.Materialized() {
+	switch p.Regime() {
+	case objective.RegimeMaterialized:
 		return "materialized matrix"
+	case objective.RegimeTiled:
+		return "tiled float32 matrix"
+	case objective.RegimeIndexed:
+		return "metric index"
+	default:
+		return "memoized cache"
 	}
-	return "memoized cache"
+}
+
+// formatBytes renders a byte count with a binary-prefix unit, one decimal
+// place (e.g. "1.2 MiB"), for the plane footprint Explain reports.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 // newInstance assembles the solver instance from the plan's resolved
@@ -438,6 +461,7 @@ func (pl *Plan) newInstance() *core.Instance {
 		Sigma: pl.sigma,
 	}
 	in.PlaneMaxBytes = pl.s.planeMaxBytes
+	in.PlaneRegime = pl.s.planeRegime.toObjective()
 	in.Parallelism = pl.s.workers()
 	if !pl.s.scorePlane {
 		in.PlaneOff = true

@@ -8,8 +8,10 @@ package diversification
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/approx"
@@ -449,6 +451,88 @@ func TestPreparedPlanePerCallOverride(t *testing.T) {
 	}
 }
 
+// TestPreparedPlaneRegime proves WithPlaneRegime steers the prepared
+// plane's storage regime, Explain reports the choice with its estimated
+// footprint, and a per-call regime override bypasses the shared plane
+// without changing the answer.
+func TestPreparedPlaneRegime(t *testing.T) {
+	ctx := context.Background()
+	_, p := preparedPlaneEngine(t, WithPlaneRegime(PlaneMemoized))
+	if _, err := p.Diversify(ctx); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	pl := p.snap.plane
+	p.mu.Unlock()
+	if pl == nil {
+		t.Fatal("no plane cached after the first solve")
+	}
+	if got := pl.Regime(); got != objective.RegimeMemoized {
+		t.Fatalf("prepared regime = %v, want memoized", got)
+	}
+	plan, err := p.Plan(ctx, Request{Problem: ProblemDiversify})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := plan.Explain(); !strings.Contains(ex, "memoized cache, ~") {
+		t.Fatalf("Explain does not report the regime with its footprint:\n%s", ex)
+	}
+
+	// The default auto plan at this size materializes the matrix.
+	_, pAuto := preparedPlaneEngine(t)
+	plan, err = pAuto.Plan(ctx, Request{Problem: ProblemDiversify})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := plan.Explain(); !strings.Contains(ex, "materialized matrix, ~") {
+		t.Fatalf("auto regime did not materialize:\n%s", ex)
+	}
+
+	// A per-call regime override must bypass the shared plane (whose store
+	// was built under a different regime) and still answer identically.
+	plan, err = pAuto.Plan(ctx, Request{Problem: ProblemDiversify,
+		Options: []Option{WithPlaneRegime(PlaneMemoized)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := plan.Explain(); !strings.Contains(ex, "per-request") {
+		t.Fatalf("per-call regime override did not bypass the shared plane:\n%s", ex)
+	}
+	a, err := pAuto.Diversify(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pAuto.Diversify(ctx, WithPlaneRegime(PlaneMemoized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value {
+		t.Fatalf("per-call memoized regime changed the answer: %v != %v", a.Value, b.Value)
+	}
+}
+
+// TestPlaneRegimeParseAndValidate pins the enum round-trip and the typed
+// rejection of out-of-range values.
+func TestPlaneRegimeParseAndValidate(t *testing.T) {
+	for _, r := range []PlaneRegime{PlaneAuto, PlaneMaterialized, PlaneTiled, PlaneIndexed, PlaneMemoized} {
+		got, err := ParsePlaneRegime(r.String())
+		if err != nil || got != r {
+			t.Fatalf("round-trip %v: got %v, %v", r, got, err)
+		}
+	}
+	if r, err := ParsePlaneRegime(""); err != nil || r != PlaneAuto {
+		t.Fatalf("empty string should parse as auto, got %v, %v", r, err)
+	}
+	if _, err := ParsePlaneRegime("bogus"); err == nil {
+		t.Fatal("ParsePlaneRegime accepted an unknown name")
+	}
+	_, p := preparedPlaneEngine(t)
+	var argErr *ArgError
+	if _, err := p.Diversify(context.Background(), WithPlaneRegime(PlaneRegime(99))); !errors.As(err, &argErr) || argErr.Field != "plane-regime" {
+		t.Fatalf("invalid regime not rejected as a plane-regime ArgError: %v", err)
+	}
+}
+
 // TestPlaneDifferentialConstrained covers Σ instances (Section 9) through
 // the 3SAT-to-constrained-QRD gadget, on exact search and counting.
 func TestPlaneDifferentialConstrained(t *testing.T) {
@@ -466,5 +550,48 @@ func TestPlaneDifferentialConstrained(t *testing.T) {
 	if pc.Count.Cmp(dc.Count) != 0 || pc.Stats != dc.Stats {
 		t.Fatalf("constrained RDCExact: plane (%v %+v) != direct (%v %+v)",
 			pc.Count, pc.Stats, dc.Count, dc.Stats)
+	}
+}
+
+// TestExplainFormatting pins the Explain helpers white-box: formatBytes
+// picks the binary-prefix unit at each power-of-two threshold, and
+// planeRegime names every resolved store.
+func TestExplainFormatting(t *testing.T) {
+	for _, c := range []struct {
+		n    int64
+		want string
+	}{
+		{0, "0 B"},
+		{520, "520 B"},
+		{1 << 10, "1.0 KiB"},
+		{9 << 20, "9.0 MiB"},
+		{3 << 30, "3.0 GiB"},
+	} {
+		if got := formatBytes(c.n); got != c.want {
+			t.Fatalf("formatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+
+	answers := make([]relation.Tuple, 200)
+	for i := range answers {
+		answers[i] = relation.Ints(int64(i), int64((i*7)%13))
+	}
+	o := objective.New(objective.MaxSum, nil, objective.EuclideanDistance(), 0.5)
+	for _, c := range []struct {
+		regime objective.Regime
+		want   string
+	}{
+		{objective.RegimeMaterialized, "materialized matrix"},
+		{objective.RegimeTiled, "tiled float32 matrix"},
+		{objective.RegimeIndexed, "metric index"},
+		{objective.RegimeMemoized, "memoized cache"},
+	} {
+		p := objective.NewPlane(o, answers, objective.PlaneOptions{Regime: c.regime})
+		if err := p.EnsureReadyContext(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if got := planeRegime(p); got != c.want {
+			t.Fatalf("planeRegime(%v) = %q, want %q", c.regime, got, c.want)
+		}
 	}
 }

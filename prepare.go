@@ -522,14 +522,17 @@ func (p *Prepared) planeFor(ctx context.Context, snap *snapshot, s *settings) (*
 	if pl != nil {
 		return pl, nil
 	}
-	pl, err := objective.NewPlaneContext(ctx, p.objectiveFor(*s), snap.answers, objective.PlaneOptions{MaxMatrixBytes: s.planeMaxBytes})
+	pl, err := objective.NewPlaneContext(ctx, p.objectiveFor(*s), snap.answers, objective.PlaneOptions{
+		MaxMatrixBytes: s.planeMaxBytes,
+		Regime:         s.planeRegime.toObjective(),
+	})
 	if err != nil {
 		return nil, err
 	}
-	// Materialize eagerly: a Prepared handle exists to be solved against
-	// many times, so the O(n²) fill (parallel, memory-guarded) is paid once
-	// here rather than per solve.
-	if _, err := pl.MaterializeContext(ctx); err != nil {
+	// Build the regime's store eagerly: a Prepared handle exists to be
+	// solved against many times, so the fill (parallel matrix or tiles, or
+	// the O(n log n) metric index) is paid once here rather than per solve.
+	if err := pl.EnsureReadyContext(ctx); err != nil {
 		return nil, err
 	}
 	p.mu.Lock()
@@ -538,6 +541,24 @@ func (p *Prepared) planeFor(ctx context.Context, snap *snapshot, s *settings) (*
 		snap.plane = pl
 	}
 	return snap.plane, nil
+}
+
+// planeMetrics reports the score plane cached by the latest published
+// snapshot, for the service's /metrics aggregation: the regime name, the
+// estimated resident bytes and the memo cache counters. ok is false while
+// no plane is cached (cold handle, or the snapshot was invalidated).
+func (p *Prepared) planeMetrics() (regime string, bytes, entries, evictions int64, ok bool) {
+	p.mu.Lock()
+	var pl *objective.Plane
+	if p.snap != nil {
+		pl = p.snap.plane
+	}
+	p.mu.Unlock()
+	if pl == nil {
+		return "", 0, 0, 0, false
+	}
+	entries, evictions = pl.MemoStats()
+	return pl.Regime().String(), pl.MemoryFootprint(), entries, evictions, true
 }
 
 // checkSet validates and converts a caller-provided candidate set: it must

@@ -85,6 +85,23 @@ type Metrics struct {
 	// Durability carries the write-ahead-log and recovery counters of a
 	// durable engine; nil (and absent on the wire) for in-memory engines.
 	Durability *DurabilityMetrics `json:"durability,omitempty"`
+
+	// Plane aggregates the cached score planes across registered
+	// statements; nil (and absent on the wire) while no statement has a
+	// plane resident.
+	Plane *PlaneMetrics `json:"plane,omitempty"`
+}
+
+// PlaneMetrics aggregates the score planes cached by the registered
+// statements' published snapshots: how many are resident, how each serves
+// distances (regime name -> count), the estimated bytes they hold, and the
+// memo caches' entry/eviction counters.
+type PlaneMetrics struct {
+	Planes         int64            `json:"planes"`
+	Regimes        map[string]int64 `json:"regimes,omitempty"`
+	EstimatedBytes int64            `json:"estimated_bytes"`
+	MemoEntries    int64            `json:"memo_entries"`
+	MemoEvictions  int64            `json:"memo_evictions"`
 }
 
 // Service is the serving facade over one Engine: a named statement
@@ -210,6 +227,10 @@ func (s *Service) Statements() []string {
 func (s *Service) Metrics() Metrics {
 	s.mu.RLock()
 	n := len(s.stmts)
+	stmts := make([]*Prepared, 0, n)
+	for _, st := range s.stmts {
+		stmts = append(stmts, st)
+	}
 	s.mu.RUnlock()
 	m := Metrics{
 		Statements:      n,
@@ -233,6 +254,24 @@ func (s *Service) Metrics() Metrics {
 	}
 	if dm, ok := s.eng.durabilityMetrics(); ok {
 		m.Durability = &dm
+	}
+	var pm PlaneMetrics
+	for _, st := range stmts {
+		regime, bytes, entries, evictions, ok := st.planeMetrics()
+		if !ok {
+			continue
+		}
+		pm.Planes++
+		if pm.Regimes == nil {
+			pm.Regimes = make(map[string]int64)
+		}
+		pm.Regimes[regime]++
+		pm.EstimatedBytes += bytes
+		pm.MemoEntries += entries
+		pm.MemoEvictions += evictions
+	}
+	if pm.Planes > 0 {
+		m.Plane = &pm
 	}
 	return m
 }
