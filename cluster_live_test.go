@@ -1,0 +1,196 @@
+package diversification
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// clusterProc is one real divserve process in the live cluster test.
+type clusterProc struct {
+	addr string
+	cmd  *exec.Cmd
+	log  *bytes.Buffer
+}
+
+// startDivserve builds (once per call site via bin) and starts the real
+// binary with the given extra flags on a fresh loopback port, returning
+// once /healthz answers.
+func startDivserve(t *testing.T, bin string, client *http.Client, extra ...string) *clusterProc {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	args := append([]string{"-addr", addr}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Env = os.Environ()
+	var logBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &logBuf, &logBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &clusterProc{addr: addr, cmd: cmd, log: &logBuf}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := client.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return p
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("divserve %v never became healthy: %v\nlog:\n%s", args, err, logBuf.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestClusterLive boots a real 3-shard cluster over TCP — three shard
+// divserve processes partitioning the demo catalog plus a coordinator —
+// and exercises the acceptance path: a merged diversify answer, a routed
+// mutation visible in the next merge, and a SIGKILLed shard yielding a
+// flagged degraded partial result, never an error and never a silently
+// wrong answer.
+func TestClusterLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns four divserve processes over TCP")
+	}
+	bin := filepath.Join(t.TempDir(), "divserve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/divserve")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building divserve: %v\n%s", err, out)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	const shards = 3
+	var shardProcs []*clusterProc
+	var shardAddrs []string
+	for i := 0; i < shards; i++ {
+		p := startDivserve(t, bin, client, "-demo",
+			"-shard-id", fmt.Sprint(i), "-shard-count", fmt.Sprint(shards))
+		shardProcs = append(shardProcs, p)
+		shardAddrs = append(shardAddrs, p.addr)
+	}
+	coord := startDivserve(t, bin, client,
+		"-shards", strings.Join(shardAddrs, ","), "-distance-attr", "type")
+	base := "http://" + coord.addr
+
+	post := func(path, body string) (int, map[string]interface{}) {
+		t.Helper()
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]interface{}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("POST %s: bad JSON %q: %v", path, raw, err)
+		}
+		return resp.StatusCode, out
+	}
+
+	// Merged diversify over the partitioned demo catalog: the demo
+	// statement asks for k=3 over items under 40, which the full catalog
+	// satisfies — so the partitioned cluster must too.
+	status, body := post("/v1/query/gifts", `{"explain":true}`)
+	if status != http.StatusOK {
+		t.Fatalf("query: status %d body %v", status, body)
+	}
+	if body["degraded"] == true {
+		t.Fatalf("healthy cluster answered degraded: %v", body)
+	}
+	sel := body["selection"].(map[string]interface{})
+	if rows := sel["rows"].([]interface{}); len(rows) != 3 {
+		t.Fatalf("merged selection has %d rows, want 3: %v", len(rows), rows)
+	}
+	if expl, _ := body["explain"].(string); !strings.Contains(expl, "cluster:   3 shards") {
+		t.Fatalf("explain missing cluster trailer:\n%s", expl)
+	}
+
+	// Mutations route through the coordinator to the owning shard and the
+	// next merge sees them: a top-relevance unique-type item must enter
+	// the answer (price is the demo δrel, so 39 outranks all but the kite).
+	status, body = post("/v1/insert/catalog", `{"rows":[["crystal chess set","strategy",39,2]]}`)
+	if status != http.StatusOK || body["applied"] != float64(1) {
+		t.Fatalf("insert: status %d body %v", status, body)
+	}
+	status, body = post("/v1/query/gifts", `{"k":5}`)
+	if status != http.StatusOK {
+		t.Fatalf("post-insert query: status %d body %v", status, body)
+	}
+	sel = body["selection"].(map[string]interface{})
+	if !strings.Contains(fmt.Sprint(sel["rows"]), "crystal chess set") {
+		t.Fatalf("inserted row missing from merged selection: %v", sel["rows"])
+	}
+
+	// Kill one shard outright (SIGKILL — no graceful drain) and query
+	// again: the answer must come back flagged degraded with the dead
+	// shard named, not as an error.
+	if err := shardProcs[1].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = shardProcs[1].cmd.Process.Wait()
+	status, body = post("/v1/query/gifts", `{}`)
+	if status != http.StatusOK {
+		t.Fatalf("query with dead shard: status %d body %v", status, body)
+	}
+	if body["degraded"] != true {
+		t.Fatalf("dead shard but response not degraded: %v", body)
+	}
+	if from, _ := body["degraded_from"].(string); !strings.Contains(from, "shard[1]") {
+		t.Fatalf("degraded_from does not name the dead shard: %q", from)
+	}
+	sel = body["selection"].(map[string]interface{})
+	if rows := sel["rows"].([]interface{}); len(rows) == 0 {
+		t.Fatal("degraded response carries no partial selection")
+	}
+
+	// The coordinator's health and metrics reflect the loss.
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "degraded") {
+		t.Fatalf("coordinator health with dead shard: %s", raw)
+	}
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var metrics map[string]interface{}
+	if err := json.Unmarshal(raw, &metrics); err != nil {
+		t.Fatal(err)
+	}
+	cm, ok := metrics["cluster"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("coordinator metrics missing cluster block: %s", raw)
+	}
+	if cm["fan_out_errors"] == float64(0) || cm["partial_results"] == float64(0) {
+		t.Fatalf("cluster metrics did not record the failure: %v", cm)
+	}
+}

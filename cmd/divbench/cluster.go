@@ -1,0 +1,216 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	diversification "repro"
+	"repro/httpapi"
+	"repro/internal/cluster"
+)
+
+// clusterReport is the JSON the -cluster experiment emits: for each
+// candidate count n, the coreset-merge answer quality relative to a
+// single engine holding all rows, and the fan-out latency distribution
+// of the coordinator against the single engine's solve latency. Both
+// sides run with result caching disabled so every sample measures a real
+// solve, not a cache hit.
+type clusterReport struct {
+	K       int          `json:"k"`
+	Lambda  float64      `json:"lambda"`
+	Shards  int          `json:"shards"`
+	Queries int          `json:"queries"`
+	Seed    int64        `json:"seed"`
+	MaxN    int          `json:"max_n"`
+	Results []clusterArm `json:"results"`
+}
+
+// clusterArm is one measured (n, slack) cell. QualityRatio is the merged
+// objective value over the single-engine value — the greedy composition
+// argument guarantees >= 0.5, and the sweep records how close to 1.0 the
+// merge lands in practice. CoresetRowsTotal is the sum of the per-shard
+// coreset sizes shipped to the coordinator on the last query, i.e. the
+// wire cost the k' budget bought.
+type clusterArm struct {
+	N                int     `json:"n"`
+	Slack            int     `json:"slack"`
+	SingleValue      float64 `json:"single_value"`
+	MergedValue      float64 `json:"merged_value"`
+	QualityRatio     float64 `json:"quality_ratio"`
+	CoresetRowsTotal int64   `json:"coreset_rows_total"`
+	SingleP50Ns      int64   `json:"single_p50_ns"`
+	SingleP99Ns      int64   `json:"single_p99_ns"`
+	ClusterP50Ns     int64   `json:"cluster_p50_ns"`
+	ClusterP99Ns     int64   `json:"cluster_p99_ns"`
+}
+
+const clusterStmt = "Q(id, cat, rel) :- pts(id, cat, rel)"
+
+// runClusterSweep benchmarks the distributed serving tier: n candidates
+// hash-partitioned across 4 shard services behind real HTTP servers with
+// a coordinator merging k'-coresets, against one engine holding all n
+// rows. For each n and slack it records the merged-vs-single quality
+// ratio and the p50/p99 solve latencies of both sides.
+func runClusterSweep(maxN int, seed int64) {
+	const k, lambda, shards, queries = 10, 0.5, 4, 20
+	sizes := []int{10_000, 100_000}
+	rep := clusterReport{K: k, Lambda: lambda, Shards: shards, Queries: queries, Seed: seed, MaxN: maxN}
+	ctx := context.Background()
+
+	for _, n := range sizes {
+		if n > maxN {
+			continue
+		}
+		rows := clusterRows(n, seed)
+
+		svc := clusterService(rows)
+		single, singleLat := timeSolves(ctx, svc, queries)
+
+		// The shard tier is shared across the slack arms; only the
+		// coordinator (which owns the k' budget) is rebuilt per arm.
+		parts := make([][][]interface{}, shards)
+		for _, row := range rows {
+			i := cluster.ShardOf(row, shards)
+			parts[i] = append(parts[i], row)
+		}
+		servers := make([]*httptest.Server, shards)
+		addrs := make([]string, shards)
+		for i := 0; i < shards; i++ {
+			servers[i] = httptest.NewServer(httpapi.NewHandler(clusterService(parts[i])))
+			addrs[i] = servers[i].URL
+		}
+
+		for _, slack := range []int{0, k} {
+			coord, err := cluster.New(cluster.Config{Shards: addrs, Slack: slack, DistanceAttr: "cat"})
+			if err != nil {
+				fatal(err)
+			}
+			merged, mergedLat := timeClusterSolves(ctx, coord, queries)
+			arm := clusterArm{
+				N:            n,
+				Slack:        slack,
+				SingleValue:  single.Selection.Value,
+				MergedValue:  merged.Selection.Value,
+				QualityRatio: merged.Selection.Value / single.Selection.Value,
+				SingleP50Ns:  pctNs(singleLat, 0.50),
+				SingleP99Ns:  pctNs(singleLat, 0.99),
+				ClusterP50Ns: pctNs(mergedLat, 0.50),
+				ClusterP99Ns: pctNs(mergedLat, 0.99),
+			}
+			if cm := coord.Metrics().Cluster; cm != nil {
+				for _, ss := range cm.ShardStats {
+					arm.CoresetRowsTotal += ss.LastCoresetSize
+				}
+			}
+			rep.Results = append(rep.Results, arm)
+		}
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(out))
+}
+
+// clusterRows builds n candidates with distinct relevance scores (a
+// permutation, so greedy never tie-breaks) over 50 categories under the
+// 0/1 attribute distance — the distance family the cluster contract
+// requires, since pairwise matrices cannot ship across shards.
+func clusterRows(n int, seed int64) [][]interface{} {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	rows := make([][]interface{}, n)
+	for i := range rows {
+		rows[i] = []interface{}{
+			fmt.Sprintf("id-%06d", i),
+			fmt.Sprintf("c%02d", i%50),
+			int64(1 + perm[i]),
+		}
+	}
+	return rows
+}
+
+// clusterService boots one cache-disabled Service over the given rows —
+// caching off so every timed query is a real solve.
+func clusterService(rows [][]interface{}) *diversification.Service {
+	e := diversification.NewEngine()
+	if err := e.CreateTable("pts", "id", "cat", "rel"); err != nil {
+		fatal(err)
+	}
+	for _, row := range rows {
+		if err := e.Insert("pts", row...); err != nil {
+			fatal(err)
+		}
+	}
+	svc := diversification.NewService(e, diversification.ServiceConfig{CacheEntries: -1})
+	err := svc.Register("pts", clusterStmt,
+		diversification.WithK(10),
+		diversification.WithLambda(0.5),
+		diversification.WithObjective(diversification.MaxSum),
+		diversification.WithRelevance(diversification.AttrRelevance("rel")),
+		diversification.WithDistance(diversification.AttrDistance("cat")),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	return svc
+}
+
+// timeSolves runs queries greedy solves on the single engine (plus one
+// untimed warm-up to absorb the snapshot and plane build) and returns the
+// last response with the sorted latencies.
+func timeSolves(ctx context.Context, svc *diversification.Service, queries int) (*diversification.Response, []time.Duration) {
+	greedy := diversification.Greedy
+	req := diversification.Request{Problem: diversification.ProblemDiversify, Algorithm: &greedy}
+	if _, err := svc.Do(ctx, "pts", req); err != nil {
+		fatal(err)
+	}
+	var resp *diversification.Response
+	var err error
+	lat := make([]time.Duration, queries)
+	for i := 0; i < queries; i++ {
+		start := time.Now()
+		if resp, err = svc.Do(ctx, "pts", req); err != nil {
+			fatal(err)
+		}
+		lat[i] = time.Since(start)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return resp, lat
+}
+
+// timeClusterSolves is timeSolves for the coordinator: each sample is a
+// full fan-out, coreset merge and final solve over real HTTP.
+func timeClusterSolves(ctx context.Context, coord *cluster.Coordinator, queries int) (*diversification.Response, []time.Duration) {
+	if _, err := coord.Do(ctx, "pts", httpapi.QueryRequest{}); err != nil {
+		fatal(err)
+	}
+	var resp *diversification.Response
+	var err error
+	lat := make([]time.Duration, queries)
+	for i := 0; i < queries; i++ {
+		start := time.Now()
+		if resp, err = coord.Do(ctx, "pts", httpapi.QueryRequest{}); err != nil {
+			fatal(err)
+		}
+		lat[i] = time.Since(start)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return resp, lat
+}
+
+// pctNs reads the p-th percentile (nearest-rank on the sorted sample) in
+// nanoseconds.
+func pctNs(lat []time.Duration, p float64) int64 {
+	idx := int(p * float64(len(lat)-1))
+	return lat[idx].Nanoseconds()
+}

@@ -16,6 +16,8 @@
 //	divbench -cache-replay -requests 2000 -shapes 16 -zipf-s 1.3
 //	divbench -plane-regimes      # plane storage regimes vs n (matrix/tiles/index/memo)
 //	divbench -plane-regimes -regime-max-n 20000
+//	divbench -cluster            # sharded coreset merge vs a single engine
+//	divbench -cluster -cluster-max-n 10000
 package main
 
 import (
@@ -42,6 +44,9 @@ func main() {
 		planeRegimes = flag.Bool("plane-regimes", false, "sweep the score plane's storage regimes (matrix/tiles/index/memo) over growing point sets")
 		regimeMaxN   = flag.Int("regime-max-n", 100_000, "plane-regimes: largest point count in the sweep")
 
+		clusterSweep = flag.Bool("cluster", false, "benchmark the sharded coreset-merge cluster against a single engine")
+		clusterMaxN  = flag.Int("cluster-max-n", 100_000, "cluster: largest candidate count in the sweep")
+
 		cacheReplay = flag.Bool("cache-replay", false, "measure the serving tier's result cache on a zipfian statement replay")
 		replayReq   = flag.Int("requests", 2000, "cache-replay: requests in the stream")
 		replayShp   = flag.Int("shapes", 16, "cache-replay: distinct request shapes")
@@ -53,6 +58,10 @@ func main() {
 	ran := false
 	if *planeRegimes {
 		runPlaneRegimes(*regimeMaxN, *replaySeed)
+		ran = true
+	}
+	if *clusterSweep {
+		runClusterSweep(*clusterMaxN, *replaySeed)
 		ran = true
 	}
 	if *cacheReplay {

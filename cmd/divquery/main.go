@@ -27,6 +27,10 @@
 //	-explain         ask the server for the plan resolution report
 //	-timeout D       per-request deadline, e.g. 10s
 //	-refresh         refresh the statement instead of querying
+//	-coreset         fetch the statement's shard-local k′-coreset (the
+//	                 cluster merge payload) instead of querying
+//	-slack N         coreset budget k′ = k + N (with -coreset; negative =
+//	                 server default of k)
 //	-metrics         print the service counters
 //	-health          probe /healthz (prints "ok" or "degraded")
 //	-json            print the raw JSON response instead of a summary
@@ -65,6 +69,8 @@ func main() {
 		doExplain = flag.Bool("explain", false, "ask the server for the plan resolution report")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		doRefresh = flag.Bool("refresh", false, "refresh the statement instead of querying")
+		doCoreset = flag.Bool("coreset", false, "fetch the statement's shard-local coreset instead of querying")
+		slack     = flag.Int("slack", -1, "coreset budget k' = k + N (with -coreset; negative = server default)")
 		doMetrics = flag.Bool("metrics", false, "print the service counters")
 		doHealth  = flag.Bool("health", false, "probe /healthz")
 		rawJSON   = flag.Bool("json", false, "print the raw JSON response")
@@ -105,6 +111,38 @@ func main() {
 			fatalf("%v", err)
 		}
 		printJSON(info)
+	case *doCoreset:
+		if *stmt == "" {
+			fatalf("need -stmt")
+		}
+		cr := httpapi.CoresetRequest{}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "k":
+				cr.K = k
+			case "lambda":
+				cr.Lambda = lambda
+			case "objective":
+				cr.Objective = objName
+			}
+		})
+		if *slack >= 0 {
+			cr.Slack = slack
+		}
+		cs, err := client.Coreset(ctx, *stmt, cr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *rawJSON {
+			printJSON(cs)
+			return
+		}
+		fmt.Printf("coreset k=%d k'=%d %s λ=%g: %d of %d answers, generation %d\n",
+			cs.K, cs.KPrime, cs.Objective, cs.Lambda, len(cs.Rows), cs.Answers, cs.Generation)
+		for i, row := range cs.Rows {
+			vals, _ := json.Marshal(row)
+			fmt.Printf("  %s score=%g\n", vals, cs.Scores[i])
+		}
 	default:
 		if *stmt == "" {
 			fatalf("need -stmt (or -metrics/-health)")

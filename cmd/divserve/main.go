@@ -64,6 +64,29 @@
 //	-wal-probe-max D    read-only recovery probe backoff cap (default 5s)
 //	-chaos-wal SPEC     TESTING: WAL fault schedule, e.g. sync:5 or write:3+
 //
+// Cluster flags:
+//
+//	-shards a,b,c       coordinator mode: serve by fanning diversify
+//	                    requests out to these shard servers, merging their
+//	                    k′-coresets and solving over the union; mutations
+//	                    route to the owning shard by partition hash. Data
+//	                    flags (-demo/-load/-data-dir) do not apply — data
+//	                    lives on the shards.
+//	-coreset-slack N    coordinator: per-shard coreset budget k′ = k + N
+//	                    (negative, the default, defers to the shard-side
+//	                    default of slack = k)
+//	-shard-id I         shard mode: this server is shard I of -shard-count;
+//	                    -demo/-load install only the rows the partition
+//	                    hash routes here, so a fleet of shards booted from
+//	                    the same source splits it without overlap
+//	-shard-count S      shard mode: total shards in the cluster
+//
+// A coordinator answers the same wire protocol as a single engine. When a
+// shard is down, diversify answers still come back from the remaining
+// shards' coresets — flagged degraded, never wrong — and /healthz reports
+// "degraded"; /metrics grows a cluster block (per-shard latency, coreset
+// sizes, fan-out errors).
+//
 // A WAL failure degrades the server to read-only instead of killing it:
 // queries keep serving, mutations return 503 with Retry-After, /healthz
 // reports "degraded", and a background probe restores write mode when the
@@ -87,6 +110,7 @@ import (
 
 	diversification "repro"
 	"repro/httpapi"
+	"repro/internal/cluster"
 	"repro/internal/faultfs"
 	"repro/internal/fsio"
 	"repro/internal/load"
@@ -125,6 +149,10 @@ func main() {
 		walProbe    = flag.Duration("wal-probe", 0, "read-only recovery probe base backoff (0 = 100ms)")
 		walProbeMax = flag.Duration("wal-probe-max", 0, "read-only recovery probe backoff cap (0 = 5s)")
 		chaosWAL    = flag.String("chaos-wal", "", "TESTING: WAL fault schedule, e.g. sync:5 or write:3+ (op:N fails the Nth once, op:N+ fails from the Nth on)")
+		shards      = flag.String("shards", "", "coordinator mode: comma-separated shard addresses to fan out to")
+		slack       = flag.Int("coreset-slack", -1, "coordinator: per-shard coreset budget k' = k + N (negative = shard default of k)")
+		shardID     = flag.Int("shard-id", -1, "shard mode: this server's shard index (with -shard-count)")
+		shardCount  = flag.Int("shard-count", 0, "shard mode: total shards in the cluster")
 	)
 	var costHints multiFlag
 	flag.Var(&loads, "load", "relation to load, as name=file.tsv (repeatable)")
@@ -132,6 +160,27 @@ func main() {
 	flag.Var(&constraints, "constraint", "compatibility constraint in Cm syntax (repeatable)")
 	flag.Var(&costHints, "cost-hint", "seed the deadline-degradation cost model, as route=duration, e.g. exact=300ms (repeatable)")
 	flag.Parse()
+
+	if *shards != "" {
+		if *demo || len(loads) > 0 || *dataDir != "" {
+			fatalf("-shards (coordinator mode) does not take -demo/-load/-data-dir: data lives on the shards")
+		}
+		if *shardID >= 0 || *shardCount > 0 {
+			fatalf("-shards and -shard-id/-shard-count are mutually exclusive: a server is a coordinator or a shard, not both")
+		}
+		runCoordinator(*addr, strings.Split(*shards, ","), *slack, *disAttr, *timeout, *grace)
+		return
+	}
+
+	var keep func(row []interface{}) bool
+	if *shardCount > 0 || *shardID >= 0 {
+		if *shardID < 0 || *shardID >= *shardCount {
+			fatalf("shard mode needs 0 <= -shard-id < -shard-count, got id %d of %d", *shardID, *shardCount)
+		}
+		id, n := *shardID, *shardCount
+		keep = func(row []interface{}) bool { return cluster.ShardOf(row, n) == id }
+		log.Printf("shard mode: serving partition %d of %d", id, n)
+	}
 
 	var e *diversification.Engine
 	recovered := false
@@ -175,7 +224,7 @@ func main() {
 		// statement and its bindings are still registered — statements are
 		// not persisted.
 		if !recovered {
-			load.Demo(e)
+			load.DemoFilter(e, keep)
 		}
 		if len(stmts) == 0 {
 			stmts = append(stmts, "gifts=Q(item, type, price) :- catalog(item, type, price, s), price <= 40")
@@ -191,7 +240,7 @@ func main() {
 				log.Printf("skipping -load %s: database recovered from %s", spec, *dataDir)
 				continue
 			}
-			if err := load.TSV(e, name, file); err != nil {
+			if err := load.TSVFilter(e, name, file, keep); err != nil {
 				fatalf("loading %s: %v", spec, err)
 			}
 		}
@@ -305,6 +354,40 @@ func main() {
 			fatalf("closing engine: %v", err)
 		}
 		log.Printf("divserve shut down cleanly")
+	}
+}
+
+// runCoordinator serves cluster-coordinator mode: no local engine, just
+// the fan-out/merge backend behind the same wire protocol.
+func runCoordinator(addr string, shardAddrs []string, slack int, distanceAttr string, timeout, grace time.Duration) {
+	coord, err := cluster.New(cluster.Config{
+		Shards:       shardAddrs,
+		Slack:        slack,
+		DistanceAttr: distanceAttr,
+		Timeout:      timeout,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: addr, Handler: httpapi.NewClusterHandler(coord)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("divserve coordinating %d shards on %s: %s", len(shardAddrs), addr, strings.Join(shardAddrs, ", "))
+
+	select {
+	case err := <-errc:
+		fatalf("%v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("divserve coordinator shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), grace+10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("shutdown: %v", err)
+		}
+		log.Printf("divserve coordinator shut down cleanly")
 	}
 }
 

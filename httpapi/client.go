@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
+	"net/http/httptrace"
 	"sort"
 	"strconv"
 	"strings"
@@ -92,9 +94,33 @@ const defaultClientTimeout = 30 * time.Second
 // threshold.
 const latencyWindow = 64
 
+// sharedTransport is the transport behind every Client whose HTTPClient is
+// nil. Unlike http.DefaultTransport's 2 idle conns per host, it keeps a
+// fan-out-sized idle pool: a cluster coordinator issues S concurrent calls
+// per request to the same small set of shard hosts, and recycling those
+// connections instead of re-dialing is the difference between a stable
+// ephemeral-port footprint and churning one port per shard call.
+var sharedTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   30 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	ForceAttemptHTTP2:     true,
+	MaxIdleConns:          256,
+	MaxIdleConnsPerHost:   64,
+	IdleConnTimeout:       90 * time.Second,
+	TLSHandshakeTimeout:   10 * time.Second,
+	ExpectContinueTimeout: 1 * time.Second,
+}
+
+// sharedHTTPClient wraps sharedTransport; per-request deadlines come from
+// contexts, so the client itself carries no timeout.
+var sharedHTTPClient = &http.Client{Transport: sharedTransport}
+
 // Client talks the diversification wire protocol to a divserve instance.
-// The zero HTTPClient means http.DefaultClient; BaseURL is the server
-// root, e.g. "http://127.0.0.1:8080".
+// The zero HTTPClient means a shared tuned transport (see sharedTransport);
+// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 //
 // Resilience: idempotent calls (Query, Refresh, Metrics, Healthz) are
 // retried per Retry with capped exponential backoff plus jitter, honoring
@@ -127,29 +153,45 @@ type Client struct {
 	retries atomic.Int64
 	hedges  atomic.Int64
 
+	connsNew    atomic.Int64
+	connsReused atomic.Int64
+
 	latMu  sync.Mutex
 	lats   []time.Duration
 	latIdx int
 }
 
-// ClientStats counts the resilience machinery's interventions.
+// ClientStats counts the resilience machinery's interventions and the
+// transport's connection economy.
 type ClientStats struct {
 	// Retries counts re-issued attempts (not first attempts).
 	Retries int64 `json:"retries"`
 	// Hedges counts hedged second attempts launched.
 	Hedges int64 `json:"hedges"`
+	// ConnsNew counts attempts served over a freshly dialed connection,
+	// ConnsReused over one recycled from the idle pool. A healthy steady
+	// state reuses nearly always; a rising ConnsNew under constant traffic
+	// means the pool is undersized for the fan-out or the server is
+	// closing connections.
+	ConnsNew    int64 `json:"conns_new"`
+	ConnsReused int64 `json:"conns_reused"`
 }
 
-// Stats snapshots the retry/hedge counters.
+// Stats snapshots the retry/hedge and connection-reuse counters.
 func (c *Client) Stats() ClientStats {
-	return ClientStats{Retries: c.retries.Load(), Hedges: c.hedges.Load()}
+	return ClientStats{
+		Retries:     c.retries.Load(),
+		Hedges:      c.hedges.Load(),
+		ConnsNew:    c.connsNew.Load(),
+		ConnsReused: c.connsReused.Load(),
+	}
 }
 
 func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return sharedHTTPClient
 }
 
 // withTimeout applies the default per-request timeout to contexts without
@@ -217,7 +259,16 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, payload []b
 	if payload != nil {
 		reader = bytes.NewReader(payload)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, strings.TrimSuffix(c.BaseURL, "/")+path, reader)
+	trace := &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if info.Reused {
+				c.connsReused.Add(1)
+			} else {
+				c.connsNew.Add(1)
+			}
+		},
+	}
+	req, err := http.NewRequestWithContext(httptrace.WithClientTrace(ctx, trace), method, strings.TrimSuffix(c.BaseURL, "/")+path, reader)
 	if err != nil {
 		return rtResult{err: err}
 	}
@@ -367,6 +418,23 @@ func (c *Client) Query(ctx context.Context, name string, qr QueryRequest) (*dive
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// Coreset asks the server for the named statement's shard-local
+// k′-coreset (see diversification.Coreset). Row values are normalized back
+// through the wire scalar rule, so re-inserting them into a coordinator
+// engine reproduces the shard's stored values exactly.
+func (c *Client) Coreset(ctx context.Context, name string, cr CoresetRequest) (*diversification.Coreset, error) {
+	var cs diversification.Coreset
+	if err := c.do(ctx, http.MethodPost, "/v1/coreset/"+name, cr, &cs, true); err != nil {
+		return nil, err
+	}
+	rows, err := NormalizeRows(cs.Rows)
+	if err != nil {
+		return nil, err
+	}
+	cs.Rows = rows
+	return &cs, nil
 }
 
 // Refresh brings the named statement's caches up to date.

@@ -1,0 +1,123 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	diversification "repro"
+)
+
+// ClusterBackend is what a cluster coordinator must implement to be served
+// over the same wire protocol as a single-engine Service. It lives here —
+// not in internal/cluster — so the coordinator can depend on httpapi for
+// its shard clients without an import cycle: cluster implements this
+// interface, cmd/divserve wires the two together.
+//
+// The contract mirrors NewHandler's routes: Do fans a query out and merges
+// coresets, Refresh/Mutate/Snapshot fan control-plane calls to every (or
+// the owning) shard, Metrics reports the coordinator's own counters with a
+// populated Cluster block, Health aggregates shard liveness.
+type ClusterBackend interface {
+	Do(ctx context.Context, name string, qr QueryRequest) (*diversification.Response, error)
+	Refresh(ctx context.Context, name string) (diversification.RefreshInfo, error)
+	Mutate(ctx context.Context, table string, rows [][]interface{}, del bool) (MutateBody, error)
+	Snapshot(ctx context.Context) (diversification.SnapshotInfo, error)
+	Metrics() diversification.Metrics
+	Health(ctx context.Context) HealthBody
+}
+
+// NewClusterHandler serves the diversification wire protocol from a
+// cluster coordinator. Routes and status mapping match NewHandler, so
+// clients (cmd/divquery, httpapi.Client) talk to a coordinator and a
+// single engine identically; /v1/coreset is deliberately absent — the
+// coordinator is the consumer of coresets, not a producer.
+func NewClusterHandler(b ClusterBackend) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, b.Health(r.Context()))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, b.Metrics())
+	})
+	mux.HandleFunc("POST /v1/query/{name}", func(w http.ResponseWriter, r *http.Request) {
+		var qr QueryRequest
+		if !readJSON(w, r, &qr) {
+			return
+		}
+		ctx, cancel := requestContext(r.Context(), qr.TimeoutMillis)
+		defer cancel()
+		resp, err := b.Do(ctx, r.PathValue("name"), qr)
+		if err != nil {
+			writeClusterError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/refresh/{name}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := b.Refresh(r.Context(), r.PathValue("name"))
+		if err != nil {
+			writeClusterError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("POST /v1/insert/{table}", clusterMutateHandler(b, false))
+	mux.HandleFunc("POST /v1/delete/{table}", clusterMutateHandler(b, true))
+	mux.HandleFunc("POST /v1/admin/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		info, err := b.Snapshot(r.Context())
+		if err != nil {
+			writeClusterError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	return mux
+}
+
+// clusterMutateHandler decodes a mutation batch and hands the normalized
+// rows to the backend, which routes each row to its owning shard.
+func clusterMutateHandler(b ClusterBackend, del bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var mr MutateRequest
+		if !readJSON(w, r, &mr) {
+			return
+		}
+		if len(mr.Rows) == 0 {
+			writeClusterError(w, &diversification.ArgError{Field: "rows", Reason: "mutation needs at least one row"})
+			return
+		}
+		rows, err := decodeSet(mr.Rows)
+		if err != nil {
+			writeClusterError(w, err)
+			return
+		}
+		mb, err := b.Mutate(r.Context(), r.PathValue("table"), rows, del)
+		if err != nil {
+			writeClusterError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, mb)
+	}
+}
+
+// writeClusterError maps coordinator failures onto the wire. Shard-side
+// failures arrive as StatusErrors from the shard clients and are forwarded
+// with their original status — an unknown statement is 404 whether one
+// engine or eight said so; everything else takes the standard single-engine
+// mapping.
+func writeClusterError(w http.ResponseWriter, err error) {
+	var serr *StatusError
+	if errors.As(err, &serr) {
+		if serr.RetryAfter > 0 {
+			w.Header().Set("Retry-After", "1")
+		}
+		body := serr.Body
+		if body.Error == "" {
+			body.Error = err.Error()
+		}
+		writeJSON(w, serr.Code, body)
+		return
+	}
+	writeError(w, err)
+}

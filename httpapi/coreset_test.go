@@ -1,0 +1,85 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestCoresetRoute covers the wire round trip of the cluster merge
+// payload: the greedy k′-selection with scores and echoed settings, rows
+// normalized back to engine value types.
+func TestCoresetRoute(t *testing.T) {
+	c, _ := testClient(t)
+	ctx := context.Background()
+
+	slack := 0
+	cs, err := c.Coreset(ctx, "catalog", CoresetRequest{Slack: &slack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.K != 3 || cs.KPrime != 3 || len(cs.Rows) != 3 || len(cs.Scores) != 3 {
+		t.Fatalf("tight coreset: k=%d k'=%d rows=%d scores=%d", cs.K, cs.KPrime, len(cs.Rows), len(cs.Scores))
+	}
+	if cs.Objective != "max-sum" || cs.Lambda != 0.7 || cs.Answers != 6 {
+		t.Fatalf("echoed settings wrong: %+v", cs)
+	}
+	if len(cs.Schema) != 3 || cs.Schema[0] != "item" {
+		t.Fatalf("schema wrong: %v", cs.Schema)
+	}
+	// Wire normalization: the integer price must come back int64, not
+	// float64 — re-inserting it into a coordinator engine must compare
+	// equal to the shard's stored value.
+	if _, ok := cs.Rows[0][2].(int64); !ok {
+		t.Fatalf("price survived the wire as %T, want int64", cs.Rows[0][2])
+	}
+
+	// Default slack is k, and k′ clamps to |Q(D)|: k=3, slack=3 → 6 = all
+	// six answers.
+	cs, err = c.Coreset(ctx, "catalog", CoresetRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.KPrime != 6 || len(cs.Rows) != 6 {
+		t.Fatalf("default-slack coreset: k'=%d rows=%d, want 6", cs.KPrime, len(cs.Rows))
+	}
+
+	// Mono objectives are not coreset-mergeable: a typed 400, not a merge
+	// that silently computes the wrong thing.
+	mono := "mono"
+	_, err = c.Coreset(ctx, "catalog", CoresetRequest{Objective: &mono})
+	var serr *StatusError
+	if !errors.As(err, &serr) || serr.Code != http.StatusBadRequest {
+		t.Fatalf("mono coreset: want 400 StatusError, got %v", err)
+	}
+
+	// Unknown statements map to 404, like queries.
+	if _, err = c.Coreset(ctx, "nope", CoresetRequest{}); !errors.As(err, &serr) || serr.Code != http.StatusNotFound {
+		t.Fatalf("unknown statement: want 404, got %v", err)
+	}
+}
+
+// TestClientConnReuse pins the shared-transport satellite: back-to-back
+// calls over the default (shared, tuned) transport recycle the idle
+// connection, and Stats counts both the first dial and the reuses.
+func TestClientConnReuse(t *testing.T) {
+	svc := testService(t)
+	srv := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(srv.Close)
+	c := &Client{BaseURL: srv.URL} // nil HTTPClient: the shared transport
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Query(ctx, "catalog", QueryRequest{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.ConnsNew == 0 {
+		t.Fatalf("no dial recorded: %+v", st)
+	}
+	if st.ConnsReused == 0 {
+		t.Fatalf("4 sequential calls never reused a connection: %+v", st)
+	}
+}

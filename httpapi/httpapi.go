@@ -3,6 +3,7 @@
 // from a diversification.Service, and a small Go client. The protocol:
 //
 //	POST /v1/query/{name}     run a Request against a registered statement
+//	POST /v1/coreset/{name}   extract a shard-local k′-coreset for cluster merge
 //	POST /v1/refresh/{name}   bring a statement's caches up to date
 //	POST /v1/insert/{table}   insert rows into a table
 //	POST /v1/delete/{table}   delete rows from a table
@@ -109,6 +110,44 @@ func (qr QueryRequest) ToRequest() (diversification.Request, error) {
 	}
 	req.Explain = qr.Explain
 	return req, nil
+}
+
+// CoresetRequest is the wire form of POST /v1/coreset/{name}: a cluster
+// coordinator asking a shard for its k′-coreset. Pointer fields override
+// the statement's prepared bindings exactly like QueryRequest; Slack sets
+// k′ = k + slack (absent defers to the shard's default of slack = k).
+type CoresetRequest struct {
+	K         *int     `json:"k,omitempty"`
+	Lambda    *float64 `json:"lambda,omitempty"`
+	Objective *string  `json:"objective,omitempty"` // "max-sum" | "max-min" ("mono" is refused: not coreset-mergeable)
+	Slack     *int     `json:"slack,omitempty"`
+
+	// TimeoutMillis bounds the shard-side extraction; 0 defers to the
+	// shard's default deadline.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// ToSpec lowers the wire form onto the library's typed CoresetSpec.
+func (cr CoresetRequest) ToSpec() (diversification.CoresetSpec, error) {
+	spec := diversification.CoresetSpec{K: cr.K, Lambda: cr.Lambda, Slack: cr.Slack}
+	if cr.Objective != nil {
+		obj, err := diversification.ParseObjective(*cr.Objective)
+		if err != nil {
+			return spec, err
+		}
+		spec.Objective = &obj
+	}
+	return spec, nil
+}
+
+// NormalizeRows applies the wire scalar normalization to JSON-decoded rows
+// of attribute values: json.Number and exactly-integral float64 values
+// become int64 under the library's single int/float boundary rule. A
+// cluster coordinator uses it to restore shard coreset rows to the value
+// types the engine stores, so re-inserted rows compare equal to the
+// originals.
+func NormalizeRows(rows [][]interface{}) ([][]interface{}, error) {
+	return decodeSet(rows)
 }
 
 // decodeSet normalizes JSON-decoded candidate rows: json.Number values

@@ -57,6 +57,25 @@ func NewHandler(svc *diversification.Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	mux.HandleFunc("POST /v1/coreset/{name}", func(w http.ResponseWriter, r *http.Request) {
+		var cr CoresetRequest
+		if !readJSON(w, r, &cr) {
+			return
+		}
+		spec, err := cr.ToSpec()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		ctx, cancel := requestContext(r.Context(), cr.TimeoutMillis)
+		defer cancel()
+		cs, err := svc.Coreset(ctx, r.PathValue("name"), spec)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, cs)
+	})
 	mux.HandleFunc("POST /v1/refresh/{name}", func(w http.ResponseWriter, r *http.Request) {
 		info, err := svc.Refresh(r.Context(), r.PathValue("name"))
 		if err != nil {

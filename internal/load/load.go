@@ -2,7 +2,9 @@
 // TSV relations and the built-in gift-shop demo catalog. It is the single
 // definition both divcli and divserve share, so the demo data pinned by
 // the example golden transcripts and the serve golden transcript cannot
-// silently diverge.
+// silently diverge. The Filter variants install only rows a predicate
+// keeps — divserve's shard mode partitions the same sources by routing
+// hash, so every row lands on exactly one shard.
 package load
 
 import (
@@ -18,6 +20,13 @@ import (
 // TSV reads a relation from a tab-separated file whose first line names
 // the attributes and installs it into the engine.
 func TSV(e *diversification.Engine, name, file string) error {
+	return TSVFilter(e, name, file, nil)
+}
+
+// TSVFilter is TSV keeping only rows for which keep returns true (nil
+// keeps everything). The table is created either way, so an empty
+// partition is still a valid relation.
+func TSVFilter(e *diversification.Engine, name, file string, keep func(row []interface{}) bool) error {
 	f, err := os.Open(file)
 	if err != nil {
 		return err
@@ -31,7 +40,11 @@ func TSV(e *diversification.Engine, name, file string) error {
 		return err
 	}
 	for _, t := range rel.Sorted() {
-		if err := e.Insert(name, tupleArgs(t)...); err != nil {
+		row := tupleArgs(t)
+		if keep != nil && !keep(row) {
+			continue
+		}
+		if err := e.Insert(name, row...); err != nil {
 			return fmt.Errorf("%s: %v", file, err)
 		}
 	}
@@ -58,6 +71,12 @@ func tupleArgs(t relation.Tuple) []interface{} {
 
 // Demo installs the Example 1.1 gift-shop catalog.
 func Demo(e *diversification.Engine) {
+	DemoFilter(e, nil)
+}
+
+// DemoFilter is Demo keeping only rows for which keep returns true (nil
+// keeps everything): the shard-mode partition of the demo catalog.
+func DemoFilter(e *diversification.Engine, keep func(row []interface{}) bool) {
 	e.MustCreateTable("catalog", "item", "type", "price", "inStock")
 	rows := []struct {
 		item, typ    string
@@ -75,6 +94,10 @@ func Demo(e *diversification.Engine) {
 		{"board game", "toy", 32, 2},
 	}
 	for _, r := range rows {
-		e.MustInsert("catalog", r.item, r.typ, r.price, r.stock)
+		row := []interface{}{r.item, r.typ, r.price, r.stock}
+		if keep != nil && !keep(row) {
+			continue
+		}
+		e.MustInsert("catalog", row...)
 	}
 }

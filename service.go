@@ -90,6 +90,10 @@ type Metrics struct {
 	// statements; nil (and absent on the wire) while no statement has a
 	// plane resident.
 	Plane *PlaneMetrics `json:"plane,omitempty"`
+
+	// Cluster carries a coordinator's shard fan-out counters; nil (and
+	// absent on the wire) outside cluster-coordinator mode.
+	Cluster *ClusterMetrics `json:"cluster,omitempty"`
 }
 
 // PlaneMetrics aggregates the score planes cached by the registered
